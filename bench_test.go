@@ -1,0 +1,547 @@
+package cqms
+
+// This file is the benchmark harness promised in DESIGN.md: one benchmark (or
+// small group of benchmarks) per experiment E1–E9. The paper is a vision
+// paper without measured tables, so each benchmark regenerates the evidence
+// behind one of its qualitative claims (interactive meta-querying, negligible
+// profiling overhead, context-aware completion, cheap incremental mining,
+// bounded maintenance scans, ...). cmd/cqms-bench prints the corresponding
+// quality metrics (precision/recall, accuracy) for EXPERIMENTS.md; the
+// benchmarks here measure cost.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/maintenance"
+	"repro/internal/metaquery"
+	"repro/internal/miner"
+	"repro/internal/profiler"
+	"repro/internal/recommend"
+	"repro/internal/session"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// fixture is the shared benchmark workload: a populated scientific database
+// and a replayed multi-user exploratory trace.
+type fixture struct {
+	sys     *CQMS
+	eng     *engine.Engine
+	store   *storage.Store
+	trace   *workload.Trace
+	mining  *miner.Result
+	records []*storage.QueryRecord
+}
+
+var (
+	fixtureOnce sync.Once
+	shared      *fixture
+)
+
+// benchFixture builds (once) a CQMS with ~1,200 logged queries from 20 users.
+func benchFixture(b *testing.B) *fixture {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		eng := engine.New()
+		if err := workload.Populate(eng, 2000, 1); err != nil {
+			panic(fmt.Sprintf("bench fixture: %v", err))
+		}
+		sys := NewWithEngine(eng, DefaultConfig())
+		cfg := workload.DefaultConfig()
+		cfg.Users = 20
+		cfg.SessionsPerUser = 10
+		trace := workload.Generate(cfg)
+		prof := profiler.New(eng, sys.Store(), profiler.DefaultConfig())
+		if _, err := workload.Replay(trace, prof); err != nil {
+			panic(fmt.Sprintf("bench fixture replay: %v", err))
+		}
+		mining := sys.RunMiner()
+		shared = &fixture{
+			sys:     sys,
+			eng:     eng,
+			store:   sys.Store(),
+			trace:   trace,
+			mining:  mining,
+			records: sys.Store().All(Admin),
+		}
+	})
+	return shared
+}
+
+// ---------------------------------------------------------------------------
+// E1 — Figure 1: query-by-feature meta-queries
+// ---------------------------------------------------------------------------
+
+// figure1MetaQuery is the meta-query of Figure 1 adapted to the synthetic
+// trace ("find all queries that correlate water salinity with water
+// temperature data").
+const figure1MetaQuery = `SELECT Q.qid, Q.qText
+	FROM Queries Q, DataSources D1, DataSources D2
+	WHERE Q.qid = D1.qid AND Q.qid = D2.qid
+	AND D1.relName = 'WaterSalinity' AND D2.relName = 'WaterTemp'`
+
+func BenchmarkE1QueryByFeature(b *testing.B) {
+	f := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, matches, err := f.sys.MetaQuery(Admin, figure1MetaQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(matches) == 0 {
+			b.Fatal("meta-query found nothing")
+		}
+	}
+}
+
+// BenchmarkE1RawTextScan is the ablation baseline of DESIGN.md choice 1:
+// answering the same information need by substring scan over raw query text.
+func BenchmarkE1RawTextScan(b *testing.B) {
+	f := benchFixture(b)
+	exec := metaquery.New(f.store)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := exec.Substring(Admin, "WaterSalinity")
+		bm := exec.Substring(Admin, "WaterTemp")
+		if len(a) == 0 || len(bm) == 0 {
+			b.Fatal("substring scan found nothing")
+		}
+	}
+}
+
+func BenchmarkE1AutoMetaQuery(b *testing.B) {
+	f := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matches, err := f.sys.SearchByPartialQuery(Admin, "SELECT FROM WaterSalinity, WaterTemp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(matches) == 0 {
+			b.Fatal("auto meta-query found nothing")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E2 — Figure 2: session detection and rendering
+// ---------------------------------------------------------------------------
+
+func BenchmarkE2SessionDetection(b *testing.B) {
+	f := benchFixture(b)
+	det := session.NewDetector(session.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sessions := det.Detect(f.records, 0)
+		if len(sessions) == 0 {
+			b.Fatal("no sessions detected")
+		}
+	}
+}
+
+func BenchmarkE2SessionRender(b *testing.B) {
+	f := benchFixture(b)
+	det := session.NewDetector(session.DefaultConfig())
+	sessions := det.Detect(f.records, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := session.Render(&sessions[i%len(sessions)]); out == "" {
+			b.Fatal("empty rendering")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E3 — Figure 3: assisted interaction
+// ---------------------------------------------------------------------------
+
+func BenchmarkE3Completion(b *testing.B) {
+	f := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := f.sys.SuggestTables(Admin, "SELECT * FROM WaterSalinity", 5)
+		if len(got) == 0 {
+			b.Fatal("no suggestions")
+		}
+	}
+}
+
+// BenchmarkE3CompletionPopularityOnly is the context-aware vs popularity-only
+// ablation (DESIGN.md choice 2).
+func BenchmarkE3CompletionPopularityOnly(b *testing.B) {
+	f := benchFixture(b)
+	cfg := recommend.DefaultConfig()
+	cfg.ContextAware = false
+	rec := recommend.New(f.store, metaquery.New(f.store), cfg)
+	rec.UpdateMining(f.mining)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := rec.SuggestTables(Admin, "SELECT * FROM WaterSalinity", 5)
+		if len(got) == 0 {
+			b.Fatal("no suggestions")
+		}
+	}
+}
+
+func BenchmarkE3SimilarQueries(b *testing.B) {
+	f := benchFixture(b)
+	probe := "SELECT WaterTemp.lake, WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 15"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := f.sys.SimilarQueries(Admin, probe, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) == 0 {
+			b.Fatal("no similar queries")
+		}
+	}
+}
+
+func BenchmarkE3Corrections(b *testing.B) {
+	f := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := f.sys.Corrections(Admin, "SELECT tmep FROM WaterTemps WHERE tmep < 18")
+		if len(got) == 0 {
+			b.Fatal("no corrections")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E4 — profiling overhead and meta-query latency
+// ---------------------------------------------------------------------------
+
+const e4Query = "SELECT lake, AVG(temp) AS avg_temp FROM WaterTemp WHERE temp < 18 GROUP BY lake ORDER BY avg_temp DESC"
+
+// BenchmarkE4BaselineExecute measures plain DBMS execution without the CQMS.
+func BenchmarkE4BaselineExecute(b *testing.B) {
+	f := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.sys.ExecuteUnprofiled(e4Query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4ProfilerSubmit measures the same query through the profiler
+// (execution + feature extraction + logging + sampling). The difference to
+// the baseline is the CQMS overhead that §2.1 requires to be small.
+func BenchmarkE4ProfilerSubmit(b *testing.B) {
+	f := benchFixture(b)
+	store := storage.NewStore()
+	prof := profiler.New(f.eng, store, profiler.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prof.Submit(profiler.Submission{User: "bench", SQL: e4Query}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4ProfilerLoggingOnly isolates the CQMS-side cost (parse, feature
+// extraction, logging) without query execution, which is the overhead a real
+// DBMS deployment would add to its own execution time.
+func BenchmarkE4ProfilerLoggingOnly(b *testing.B) {
+	b.ReportAllocs()
+	store := storage.NewStore()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := storage.NewRecordFromSQL(e4Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec.User = "bench"
+		store.Put(rec)
+	}
+}
+
+func BenchmarkE4MetaQueryLatency(b *testing.B) {
+	f := benchFixture(b)
+	exec := metaquery.New(f.store)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matches := exec.Keyword(Admin, "salinity")
+		if len(matches) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkE4KNNLatency(b *testing.B) {
+	f := benchFixture(b)
+	exec := metaquery.New(f.store)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matches, err := exec.KNN(Admin, e4Query, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(matches) == 0 {
+			b.Fatal("no neighbours")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E5 — adaptive output sampling
+// ---------------------------------------------------------------------------
+
+func benchSamplePolicy(b *testing.B, policy profiler.SamplePolicy) {
+	f := benchFixture(b)
+	store := storage.NewStore()
+	cfg := profiler.DefaultConfig()
+	cfg.Sample = policy
+	prof := profiler.New(f.eng, store, cfg)
+	// A cheap query with a large result: the adaptive policy stores only a
+	// handful of rows, the fixed policy stores FixedRows.
+	const wide = "SELECT * FROM Observations"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prof.Submit(profiler.Submission{User: "bench", SQL: wide}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5OutputSamplingAdaptive(b *testing.B) {
+	benchSamplePolicy(b, profiler.DefaultSamplePolicy())
+}
+
+func BenchmarkE5OutputSamplingFixed(b *testing.B) {
+	benchSamplePolicy(b, profiler.SamplePolicy{Adaptive: false, FixedRows: 500})
+}
+
+// ---------------------------------------------------------------------------
+// E6 — association-rule mining: batch vs incremental
+// ---------------------------------------------------------------------------
+
+func BenchmarkE6AssociationMiningBatch(b *testing.B) {
+	f := benchFixture(b)
+	transactions := make([][]string, 0, len(f.records))
+	for _, r := range f.records {
+		transactions = append(transactions, r.Features)
+	}
+	cfg := miner.DefaultAssocConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rules := miner.MineAssociationRules(transactions, cfg)
+		if len(rules) == 0 {
+			b.Fatal("no rules")
+		}
+	}
+}
+
+// BenchmarkE6IncrementalMiningAdd measures the per-query cost of keeping the
+// rule counts up to date as the log grows — the operation that must stay
+// cheap for the CQMS to mine continuously (§4.3).
+func BenchmarkE6IncrementalMiningAdd(b *testing.B) {
+	f := benchFixture(b)
+	transactions := make([][]string, 0, len(f.records))
+	for _, r := range f.records {
+		transactions = append(transactions, r.Features)
+	}
+	inc := miner.NewIncrementalMiner(miner.DefaultAssocConfig(), 200)
+	for _, t := range transactions {
+		inc.Add(t)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc.Add(transactions[i%len(transactions)])
+	}
+}
+
+func BenchmarkE6IncrementalMiningRules(b *testing.B) {
+	f := benchFixture(b)
+	inc := miner.NewIncrementalMiner(miner.DefaultAssocConfig(), 200)
+	for _, r := range f.records {
+		inc.Add(r.Features)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rules := inc.Rules(); len(rules) == 0 {
+			b.Fatal("no rules")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E7 — clustering and similarity-measure ablation
+// ---------------------------------------------------------------------------
+
+func BenchmarkE7ClusteringKMedoids(b *testing.B) {
+	f := benchFixture(b)
+	records := f.records
+	if len(records) > 400 {
+		records = records[:400]
+	}
+	cfg := miner.DefaultClusterConfig(25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clusters := miner.KMedoids(records, cfg)
+		if len(clusters) == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+func BenchmarkE7ClusteringAgglomerative(b *testing.B) {
+	f := benchFixture(b)
+	records := f.records
+	if len(records) > 200 {
+		records = records[:200]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clusters := miner.AgglomerativeClusters(records, miner.MeasureFeatures, 0.1, 25)
+		if len(clusters) == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+func benchSimilarityMeasure(b *testing.B, m miner.Measure) {
+	f := benchFixture(b)
+	records := f.records
+	if len(records) > 300 {
+		records = records[:300]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mat := miner.PairwiseMatrix(m, records); len(mat) == 0 {
+			b.Fatal("empty matrix")
+		}
+	}
+}
+
+func BenchmarkE7SimilarityText(b *testing.B)     { benchSimilarityMeasure(b, miner.MeasureText) }
+func BenchmarkE7SimilarityFeatures(b *testing.B) { benchSimilarityMeasure(b, miner.MeasureFeatures) }
+func BenchmarkE7SimilarityTemplate(b *testing.B) { benchSimilarityMeasure(b, miner.MeasureTemplate) }
+func BenchmarkE7SimilarityOutput(b *testing.B)   { benchSimilarityMeasure(b, miner.MeasureOutput) }
+
+// ---------------------------------------------------------------------------
+// E8 — maintenance scans and statistics refresh
+// ---------------------------------------------------------------------------
+
+func BenchmarkE8MaintenanceScan(b *testing.B) {
+	f := benchFixture(b)
+	cfg := maintenance.DefaultConfig()
+	cfg.RefreshStaleStats = false
+	m := maintenance.New(f.eng, f.store, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := m.Scan()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Checked == 0 {
+			b.Fatal("scan checked nothing")
+		}
+	}
+}
+
+func BenchmarkE8StatsRefresh(b *testing.B) {
+	f := benchFixture(b)
+	m := maintenance.New(f.eng, f.store, maintenance.DefaultConfig())
+	ids := f.store.All(Admin)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Flag a small batch as stale each iteration.
+		for j := 0; j < 10; j++ {
+			_ = f.store.MarkStatsStale(ids[(i*10+j)%len(ids)].ID, true)
+		}
+		b.StartTimer()
+		if _, err := m.RefreshStats(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E9 — query-by-data
+// ---------------------------------------------------------------------------
+
+func BenchmarkE9QueryByData(b *testing.B) {
+	f := benchFixture(b)
+	exec := metaquery.New(f.store)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The paper's example: output includes Lake Washington but not Lake
+		// Union.
+		_ = exec.ByData(Admin, []string{"Lake Washington"}, []string{"Lake Union"})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a full mining pass over the whole log (the background job).
+// ---------------------------------------------------------------------------
+
+func BenchmarkFullMiningPass(b *testing.B) {
+	f := benchFixture(b)
+	m := miner.New(miner.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := m.Run(f.store)
+		if res.TransactionCount == 0 {
+			b.Fatal("mined nothing")
+		}
+	}
+}
+
+// Guard: the fixture must look like the workload DESIGN.md describes.
+func TestBenchFixtureShape(t *testing.T) {
+	f := benchFixture(&testing.B{})
+	if f.store.Count() < 500 {
+		t.Errorf("fixture has only %d queries", f.store.Count())
+	}
+	if len(f.trace.Users) != 20 {
+		t.Errorf("fixture users = %d", len(f.trace.Users))
+	}
+	if f.mining == nil || len(f.mining.Rules) == 0 {
+		t.Errorf("fixture mining result empty")
+	}
+	if f.eng.Catalog().Version() == 0 {
+		t.Errorf("engine catalog empty")
+	}
+	elapsed := time.Duration(0)
+	for _, rec := range f.records {
+		elapsed += rec.Stats.ExecTime
+	}
+	if elapsed == 0 {
+		t.Errorf("no runtime statistics recorded")
+	}
+}

@@ -1,0 +1,67 @@
+// Command cqms-bench runs the experiment harness of DESIGN.md (E1–E9) and
+// prints, for every experiment, the paper's qualitative claim next to the
+// values measured on the synthetic workload. Its output is what
+// EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	cqms-bench -rows 1000 -users 20 -sessions 10
+//	cqms-bench -only E3,E4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		rows     = flag.Int("rows", 1000, "rows per measurement table")
+		users    = flag.Int("users", 20, "synthetic users")
+		sessions = flag.Int("sessions", 10, "sessions per user")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		only     = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		RowsPerTable:    *rows,
+		Users:           *users,
+		SessionsPerUser: *sessions,
+		Seed:            *seed,
+	}
+	fmt.Printf("CQMS experiment harness — rows/table=%d users=%d sessions/user=%d seed=%d\n",
+		opts.RowsPerTable, opts.Users, opts.SessionsPerUser, opts.Seed)
+
+	start := time.Now()
+	env, err := experiments.NewEnv(opts)
+	if err != nil {
+		log.Fatalf("building experiment environment: %v", err)
+	}
+	fmt.Printf("environment ready in %s: %d logged queries from %d users\n\n",
+		time.Since(start).Round(time.Millisecond), env.Sys.Store().Count(), len(env.Trace.Users))
+
+	results, err := experiments.RunAll(env)
+	if err != nil {
+		log.Fatalf("running experiments: %v", err)
+	}
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	for _, res := range results {
+		if len(wanted) > 0 && !wanted[res.ID] {
+			continue
+		}
+		fmt.Println(res.Format())
+	}
+	fmt.Printf("total harness time: %s\n", time.Since(start).Round(time.Millisecond))
+}

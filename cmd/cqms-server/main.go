@@ -1,0 +1,89 @@
+// Command cqms-server runs the CQMS server of Figure 4 over HTTP: an embedded
+// scientific database, the Query Profiler / Storage / Meta-query Executor /
+// Miner / Maintenance stack, and the JSON API consumed by cqmsctl and the
+// examples.
+//
+// Usage:
+//
+//	cqms-server -addr :8080 -rows 2000 -seed 1 -replay-users 10
+//
+// With -replay-users > 0 the server pre-loads a synthetic multi-user trace so
+// that search, recommendation and session browsing have something to work
+// with immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/profiler"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr             = flag.String("addr", ":8080", "listen address")
+		rows             = flag.Int("rows", 2000, "rows per measurement table in the synthetic database")
+		seed             = flag.Int64("seed", 1, "random seed for data and trace generation")
+		replayUsers      = flag.Int("replay-users", 10, "number of synthetic users to replay at startup (0 disables)")
+		replaySessions   = flag.Int("replay-sessions", 5, "sessions per synthetic user to replay at startup")
+		miningInterval   = flag.Duration("mine-every", time.Minute, "background mining interval")
+		maintainInterval = flag.Duration("maintain-every", 5*time.Minute, "background maintenance interval")
+	)
+	flag.Parse()
+
+	eng := engine.New()
+	log.Printf("populating synthetic scientific database (%d rows per table)", *rows)
+	if err := workload.Populate(eng, *rows, *seed); err != nil {
+		log.Fatalf("populating database: %v", err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.MiningInterval = *miningInterval
+	cfg.MaintenanceInterval = *maintainInterval
+	cqms := core.NewWithEngine(eng, cfg)
+
+	if *replayUsers > 0 {
+		wcfg := workload.DefaultConfig()
+		wcfg.Seed = *seed
+		wcfg.Users = *replayUsers
+		wcfg.SessionsPerUser = *replaySessions
+		trace := workload.Generate(wcfg)
+		log.Printf("replaying %d synthetic queries from %d users", len(trace.Queries), *replayUsers)
+		prof := profiler.New(eng, cqms.Store(), cfg.Profiler)
+		if failures, err := workload.Replay(trace, prof); err != nil {
+			log.Fatalf("replaying trace: %v", err)
+		} else if failures > 0 {
+			log.Printf("warning: %d replayed queries failed to execute", failures)
+		}
+		res := cqms.RunMiner()
+		log.Printf("initial mining pass: %d queries, %d rules, %d clusters",
+			res.TransactionCount, len(res.Rules), len(res.Clusters))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cqms.StartBackground(ctx)
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(cqms).Handler()}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("CQMS server listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("server: %v", err)
+	}
+	log.Printf("CQMS server stopped")
+}

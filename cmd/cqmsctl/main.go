@@ -1,0 +1,395 @@
+// Command cqmsctl is the command-line CQMS client: it talks to a running
+// cqms-server and exposes the four interaction modes of the paper from the
+// shell.
+//
+// Usage:
+//
+//	cqmsctl -server http://localhost:8080 -user alice -groups limnology <command> [args]
+//
+// Commands:
+//
+//	query <sql>                       run a SQL query through the CQMS (Traditional mode)
+//	annotate <id> <text>              attach an annotation to a logged query
+//	search <keyword>...               keyword search over the query log
+//	metaquery <sql>                   run a SQL meta-query over the feature relations (Figure 1)
+//	partial <partial sql>             find queries matching a partially written query
+//	bydata <include> [exclude]        query-by-data: value that must / must not appear in output
+//	similar <sql>                     k most similar logged queries
+//	history [user]                    list logged queries of a user (default: yourself)
+//	sessions                          list detected query sessions
+//	graph <session id>                render the Figure 2 session window
+//	complete <partial sql>            completion suggestions (Figure 3)
+//	corrections <sql>                 correction suggestions
+//	recommend <sql>                   the Figure 3 similar-queries pane
+//	publish <id> <private|group|public>   change a query's visibility
+//	delete <id>                       delete a logged query
+//	mine                              trigger a mining pass (admin)
+//	maintain                          trigger a maintenance scan (admin)
+//	stats                             server statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/client"
+)
+
+func main() {
+	var (
+		serverURL = flag.String("server", "http://localhost:8080", "CQMS server URL")
+		user      = flag.String("user", os.Getenv("USER"), "acting user")
+		groups    = flag.String("groups", "", "comma-separated groups of the acting user")
+		admin     = flag.Bool("admin", false, "act as administrator")
+		k         = flag.Int("k", 5, "number of suggestions / results where applicable")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var groupList []string
+	if *groups != "" {
+		groupList = strings.Split(*groups, ",")
+	}
+	c := client.New(*serverURL, *user, groupList, *admin)
+
+	cmd, rest := args[0], args[1:]
+	if err := run(c, cmd, rest, *k); err != nil {
+		log.Fatalf("cqmsctl %s: %v", cmd, err)
+	}
+}
+
+func run(c *client.Client, cmd string, args []string, k int) error {
+	switch cmd {
+	case "query":
+		return cmdQuery(c, args)
+	case "annotate":
+		return cmdAnnotate(c, args)
+	case "search":
+		return cmdSearch(c, args)
+	case "metaquery":
+		return cmdMetaQuery(c, args)
+	case "partial":
+		return cmdPartial(c, args)
+	case "bydata":
+		return cmdByData(c, args)
+	case "similar":
+		return cmdSimilar(c, args, k)
+	case "history":
+		return cmdHistory(c, args)
+	case "sessions":
+		return cmdSessions(c)
+	case "graph":
+		return cmdGraph(c, args)
+	case "complete":
+		return cmdComplete(c, args, k)
+	case "corrections":
+		return cmdCorrections(c, args)
+	case "recommend":
+		return cmdRecommend(c, args, k)
+	case "publish":
+		return cmdPublish(c, args)
+	case "delete":
+		return cmdDelete(c, args)
+	case "mine":
+		return cmdMine(c)
+	case "maintain":
+		return cmdMaintain(c)
+	case "stats":
+		return cmdStats(c)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func joined(args []string) string { return strings.Join(args, " ") }
+
+func cmdQuery(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: query <sql>")
+	}
+	resp, err := c.Submit(joined(args), "", "group")
+	if err != nil {
+		return err
+	}
+	if resp.ExecError != "" {
+		fmt.Printf("execution error: %s (logged as query %d)\n", resp.ExecError, resp.QueryID)
+		return nil
+	}
+	fmt.Printf("query %d: %d rows in %.2f ms\n", resp.QueryID, resp.RowCount, resp.ExecMillis)
+	if len(resp.Columns) > 0 {
+		fmt.Println(strings.Join(resp.Columns, "\t"))
+		for _, row := range resp.Rows {
+			fmt.Println(strings.Join(row, "\t"))
+		}
+		if resp.RowCount > len(resp.Rows) {
+			fmt.Printf("... (%d more rows)\n", resp.RowCount-len(resp.Rows))
+		}
+	}
+	if resp.SuggestAnnotation {
+		fmt.Printf("hint: this query is complex — consider `cqmsctl annotate %d \"...\"`\n", resp.QueryID)
+	}
+	return nil
+}
+
+func cmdAnnotate(c *client.Client, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: annotate <query id> <text>")
+	}
+	id, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("invalid query id %q", args[0])
+	}
+	return c.Annotate(id, joined(args[1:]))
+}
+
+func cmdSearch(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: search <keyword>...")
+	}
+	matches, err := c.SearchKeyword(args...)
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		fmt.Printf("[q%-4d %-8s] %s\n", m.Query.ID, m.Query.User, m.Query.Text)
+		for _, a := range m.Query.Annotations {
+			fmt.Printf("      note: %s\n", a)
+		}
+	}
+	fmt.Printf("%d matching queries\n", len(matches))
+	return nil
+}
+
+func cmdMetaQuery(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: metaquery <sql over Queries/DataSources/Attributes/Predicates>")
+	}
+	matches, err := c.MetaQuery(joined(args))
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		fmt.Printf("[q%-4d %-8s] %s\n", m.Query.ID, m.Query.User, m.Query.Text)
+	}
+	fmt.Printf("%d matching queries\n", len(matches))
+	return nil
+}
+
+func cmdPartial(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: partial <partial sql>")
+	}
+	matches, err := c.SearchPartial(joined(args))
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		fmt.Printf("[q%-4d %-8s] %s\n", m.Query.ID, m.Query.User, m.Query.Text)
+	}
+	fmt.Printf("%d matching queries\n", len(matches))
+	return nil
+}
+
+func cmdByData(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: bydata <must-include value> [must-exclude value]")
+	}
+	include := []string{args[0]}
+	var exclude []string
+	if len(args) > 1 {
+		exclude = []string{args[1]}
+	}
+	matches, err := c.SearchByData(include, exclude)
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		fmt.Printf("[q%-4d %-8s] %s\n", m.Query.ID, m.Query.User, m.Query.Text)
+	}
+	fmt.Printf("%d matching queries\n", len(matches))
+	return nil
+}
+
+func cmdSimilar(c *client.Client, args []string, k int) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: similar <sql>")
+	}
+	matches, err := c.Similar(joined(args), k)
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		fmt.Printf("[%3.0f%%] [q%-4d %-8s] %s\n", m.Score*100, m.Query.ID, m.Query.User, m.Query.Text)
+	}
+	return nil
+}
+
+func cmdHistory(c *client.Client, args []string) error {
+	of := ""
+	if len(args) > 0 {
+		of = args[0]
+	}
+	matches, err := c.History(of)
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		valid := ""
+		if !m.Query.Valid {
+			valid = " [INVALID]"
+		}
+		fmt.Printf("[q%-4d %s]%s %s (%d rows, %.2f ms)\n",
+			m.Query.ID, m.Query.IssuedAt.Format("2006-01-02 15:04"), valid,
+			m.Query.Text, m.Query.ResultRows, m.Query.ExecMillis)
+	}
+	return nil
+}
+
+func cmdSessions(c *client.Client) error {
+	sessions, err := c.Sessions()
+	if err != nil {
+		return err
+	}
+	for _, s := range sessions {
+		fmt.Printf("session %-4d %-10s %2d queries  %s — %s  tables: %s\n",
+			s.ID, s.User, s.QueryCount,
+			s.Start.Format("15:04"), s.End.Format("15:04"),
+			strings.Join(s.Tables, ", "))
+	}
+	fmt.Printf("%d sessions\n", len(sessions))
+	return nil
+}
+
+func cmdGraph(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: graph <session id>")
+	}
+	id, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("invalid session id %q", args[0])
+	}
+	graph, err := c.SessionGraph(id)
+	if err != nil {
+		return err
+	}
+	fmt.Print(graph)
+	return nil
+}
+
+func cmdComplete(c *client.Client, args []string, k int) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: complete <partial sql>")
+	}
+	completions, err := c.Complete(joined(args), k)
+	if err != nil {
+		return err
+	}
+	for _, comp := range completions {
+		fmt.Printf("[%-9s] %-45s %s\n", comp.Kind, comp.Text, comp.Reason)
+	}
+	return nil
+}
+
+func cmdCorrections(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: corrections <sql>")
+	}
+	corrections, err := c.Corrections(joined(args))
+	if err != nil {
+		return err
+	}
+	if len(corrections) == 0 {
+		fmt.Println("no corrections suggested")
+		return nil
+	}
+	for _, corr := range corrections {
+		fmt.Printf("[%-9s] %s -> %s (%s)\n", corr.Kind, corr.Original, corr.Suggestion, corr.Reason)
+	}
+	return nil
+}
+
+func cmdRecommend(c *client.Client, args []string, k int) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: recommend <sql>")
+	}
+	similar, err := c.SimilarQueries(joined(args), k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-7s| %-60s| %-20s| %s\n", "Score", "Query", "Diff", "Annotations")
+	for _, s := range similar {
+		text := s.Query.Text
+		if len(text) > 58 {
+			text = text[:55] + "..."
+		}
+		fmt.Printf("[%3.0f%%] | %-60s| %-20s| %s\n", s.Score*100, text, s.Diff, strings.Join(s.Annotations, "; "))
+	}
+	return nil
+}
+
+func cmdPublish(c *client.Client, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: publish <query id> <private|group|public>")
+	}
+	id, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("invalid query id %q", args[0])
+	}
+	return c.SetVisibility(id, args[1])
+}
+
+func cmdDelete(c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: delete <query id>")
+	}
+	id, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("invalid query id %q", args[0])
+	}
+	return c.DeleteQuery(id)
+}
+
+func cmdMine(c *client.Client) error {
+	resp, err := c.Mine()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mined %d queries: %d rules, %d clusters, %d sessions\n",
+		resp.Transactions, resp.Rules, resp.Clusters, resp.Sessions)
+	return nil
+}
+
+func cmdMaintain(c *client.Client) error {
+	resp, err := c.Maintain()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scanned %d queries: %d repaired, %d invalidated, %d statistics refreshed\n",
+		resp.Checked, len(resp.Repaired), len(resp.Invalidated), resp.StatsRefreshed)
+	for _, r := range resp.Repaired {
+		fmt.Printf("  repaired   %s\n", r)
+	}
+	for _, inv := range resp.Invalidated {
+		fmt.Printf("  invalidated %s\n", inv)
+	}
+	return nil
+}
+
+func cmdStats(c *client.Client) error {
+	stats, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("queries:  %d\n", stats.Queries)
+	fmt.Printf("users:    %s\n", strings.Join(stats.Users, ", "))
+	fmt.Printf("tables:   %s\n", strings.Join(stats.Tables, ", "))
+	fmt.Printf("sessions: %d\n", stats.Sessions)
+	return nil
+}

@@ -1,0 +1,77 @@
+package cqms
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly the way the README's
+// quick-start snippet does.
+func TestFacadeEndToEnd(t *testing.T) {
+	sys := New(DefaultConfig())
+	if err := PopulateScientificDB(sys.Engine(), 200, 1); err != nil {
+		t.Fatalf("PopulateScientificDB: %v", err)
+	}
+	alice := Principal{User: "alice", Groups: []string{"limnology"}}
+
+	out, err := sys.Submit(Submission{
+		User: "alice", Group: "limnology", Visibility: VisibilityGroup,
+		SQL: "SELECT lake, temp FROM WaterTemp WHERE temp < 18",
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if out.Result.Cardinality() == 0 {
+		t.Errorf("no rows from populated data")
+	}
+	if err := sys.Annotate(out.QueryID, alice, Annotation{Text: "cold lakes"}); err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	if _, err := sys.Submit(Submission{
+		User: "alice", Group: "limnology", Visibility: VisibilityGroup,
+		SQL:      "SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x",
+		IssuedAt: time.Now(),
+	}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	mining := sys.RunMiner()
+	if mining.TransactionCount != 2 {
+		t.Errorf("mining transactions = %d", mining.TransactionCount)
+	}
+
+	if matches := sys.Search(alice, "salinity"); len(matches) != 1 {
+		t.Errorf("keyword matches = %d, want 1", len(matches))
+	}
+	_, matches, err := sys.MetaQuery(alice, `SELECT Q.qid FROM Queries Q, DataSources D
+		WHERE Q.qid = D.qid AND D.relName = 'WaterSalinity'`)
+	if err != nil {
+		t.Fatalf("MetaQuery: %v", err)
+	}
+	if len(matches) != 1 {
+		t.Errorf("meta-query matches = %d, want 1", len(matches))
+	}
+	if got := sys.SuggestTables(alice, "SELECT * FROM WaterSalinity", 3); len(got) == 0 {
+		t.Errorf("no table suggestions")
+	}
+	if report, err := sys.RunMaintenance(); err != nil || report.Checked != 2 {
+		t.Errorf("maintenance report = %+v, err %v", report, err)
+	}
+	if err := sys.DeleteQuery(out.QueryID, alice); err != nil {
+		t.Errorf("DeleteQuery: %v", err)
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if VisibilityPrivate.String() != "private" || VisibilityPublic.String() != "public" {
+		t.Error("visibility constants mis-mapped")
+	}
+	if !Admin.Admin {
+		t.Error("Admin principal must have the admin flag")
+	}
+	if NewEngine() == nil {
+		t.Error("NewEngine returned nil")
+	}
+	if NewWithEngine(NewEngine(), DefaultConfig()) == nil {
+		t.Error("NewWithEngine returned nil")
+	}
+}

@@ -1,0 +1,89 @@
+// Assisted-composition scenario: Figure 3 of the paper, step by step. A user
+// types a query fragment by fragment; at every step the CQMS proposes
+// completions, flags misspellings, recovers from an empty result and finally
+// shows the ranked similar-queries pane.
+//
+// Run with:
+//
+//	go run ./examples/assistedcomposition
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cqms "repro"
+	"repro/internal/profiler"
+	"repro/internal/workload"
+)
+
+func main() {
+	sys := cqms.New(cqms.DefaultConfig())
+	if err := cqms.PopulateScientificDB(sys.Engine(), 600, 3); err != nil {
+		log.Fatalf("populating database: %v", err)
+	}
+	// Seed the log with colleagues' queries so the assistant has something to
+	// learn from.
+	cfg := workload.DefaultConfig()
+	cfg.Users = 8
+	cfg.SessionsPerUser = 6
+	cfg.Seed = 3
+	trace := workload.Generate(cfg)
+	prof := profiler.New(sys.Engine(), sys.Store(), profiler.DefaultConfig())
+	if _, err := workload.Replay(trace, prof); err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	sys.RunMiner()
+
+	user := cqms.Principal{User: "nodira", Groups: []string{"limnology"}}
+
+	// Step 1: the user has typed only the first relation. The CQMS suggests
+	// which table to add next — context beats global popularity (§2.3).
+	partial := "SELECT * FROM WaterSalinity"
+	fmt.Printf("typed so far:  %s\n", partial)
+	fmt.Println("table suggestions:")
+	for _, c := range sys.SuggestTables(user, partial, 3) {
+		fmt.Printf("  %-15s %.2f  %s\n", c.Text, c.Score, c.Reason)
+	}
+
+	// Step 2: with both tables in place the CQMS proposes join conditions and
+	// predicates mined from the log.
+	partial = "SELECT * FROM WaterSalinity, WaterTemp WHERE "
+	fmt.Printf("\ntyped so far:  %s\n", partial)
+	fmt.Println("completions:")
+	for _, c := range sys.Complete(user, partial, 2) {
+		fmt.Printf("  [%-9s] %s\n", c.Kind, c.Text)
+	}
+
+	// Step 3: the user mistypes a column; the correction assistant catches it
+	// like a spell checker.
+	misspelled := "SELECT tmep FROM WaterTemp WHERE tmep < 18"
+	fmt.Printf("\nsubmitted with a typo:  %s\n", misspelled)
+	for _, corr := range sys.Corrections(user, misspelled) {
+		fmt.Printf("  correction [%s]: %s -> %s (%s)\n", corr.Kind, corr.Original, corr.Suggestion, corr.Reason)
+	}
+
+	// Step 4: a predicate returns the empty set; the CQMS suggests previously
+	// issued predicates on the same column that returned data.
+	empty := "SELECT lake FROM WaterTemp WHERE temp < -40"
+	out, err := sys.Submit(cqms.Submission{User: "nodira", Group: "limnology", Visibility: cqms.VisibilityGroup, SQL: empty})
+	if err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+	fmt.Printf("\nran %q: %d rows\n", empty, out.Result.Cardinality())
+	suggestions, err := sys.EmptyResultSuggestions(user, empty, 3)
+	if err != nil {
+		log.Fatalf("empty-result suggestions: %v", err)
+	}
+	for _, s := range suggestions {
+		fmt.Printf("  try instead: %s (%s)\n", s.Suggestion, s.Reason)
+	}
+
+	// Step 5: the full Figure 3 pane for the query being composed.
+	final := "SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x AND WaterTemp.temp < 18"
+	pane, err := sys.AssistPane(user, final, 3)
+	if err != nil {
+		log.Fatalf("assist pane: %v", err)
+	}
+	fmt.Printf("\nassisted-interaction pane for the finished query:\n%s\n", pane)
+}

@@ -1,0 +1,110 @@
+// Scientific-lab scenario: the paper's motivating setting. A research group
+// shares one large scientific database; many members explore it with
+// evolving queries. The example replays a multi-user synthetic trace through
+// the CQMS, then shows what a newly arrived scientist gets out of the system:
+// the queries their colleagues already ran (Figure 1 meta-query), the
+// session view of one exploration (Figure 2), the auto-generated data-set
+// tutorial, and access control keeping another group's queries invisible.
+//
+// Run with:
+//
+//	go run ./examples/scientificlab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cqms "repro"
+	"repro/internal/profiler"
+	"repro/internal/workload"
+)
+
+func main() {
+	sys := cqms.New(cqms.DefaultConfig())
+	if err := cqms.PopulateScientificDB(sys.Engine(), 800, 7); err != nil {
+		log.Fatalf("populating database: %v", err)
+	}
+
+	// Replay a 12-user workload: 8 limnologists and 4 astronomers share the
+	// data center, each running exploratory sessions.
+	cfg := workload.DefaultConfig()
+	cfg.Users = 12
+	cfg.SessionsPerUser = 6
+	cfg.Seed = 7
+	trace := workload.Generate(cfg)
+	prof := profiler.New(sys.Engine(), sys.Store(), profiler.DefaultConfig())
+	if _, err := workload.Replay(trace, prof); err != nil {
+		log.Fatalf("replaying trace: %v", err)
+	}
+	mining := sys.RunMiner()
+	fmt.Printf("replayed %d queries from %d users; mined %d rules, %d sessions detected\n",
+		sys.Store().Count(), len(trace.Users), len(mining.Rules), len(sys.Sessions(cqms.Admin)))
+
+	// A new limnologist joins the lab.
+	newcomer := cqms.Principal{User: "newcomer", Groups: []string{"limnology"}}
+
+	// 1. "Has anyone already correlated salinity with temperature?" — the
+	//    Figure 1 meta-query answers from the group's query log.
+	_, matches, err := sys.MetaQuery(newcomer, `SELECT Q.qid, Q.qText
+		FROM Queries Q, DataSources D1, DataSources D2
+		WHERE Q.qid = D1.qid AND Q.qid = D2.qid
+		AND D1.relName = 'WaterSalinity' AND D2.relName = 'WaterTemp'`)
+	if err != nil {
+		log.Fatalf("meta-query: %v", err)
+	}
+	fmt.Printf("\n%d colleagues' queries already correlate salinity with temperature; for example:\n", len(matches))
+	for i, m := range matches {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  [%s] %s\n", m.Record.User, m.Record.Canonical)
+	}
+
+	// 2. Browse one colleague's exploration as a Figure 2 session window.
+	sessions := sys.Sessions(newcomer)
+	if len(sessions) > 0 {
+		target := sessions[0]
+		for _, s := range sessions {
+			if s.QueryCount > target.QueryCount {
+				target = s
+			}
+		}
+		graph, err := sys.SessionGraph(newcomer, target.ID)
+		if err != nil {
+			log.Fatalf("session graph: %v", err)
+		}
+		fmt.Printf("\nlongest visible session (Figure 2 view):\n%s\n", graph)
+	}
+
+	// 3. The auto-generated tutorial introduces the data set through its most
+	//    popular queries (§2.3).
+	fmt.Println("auto-generated tutorial for the newcomer:")
+	steps := sys.Tutorial(newcomer, 2)
+	for i, step := range steps {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  relation %s (columns: %v)\n", step.Table, step.Columns)
+		for _, q := range step.PopularQueries {
+			fmt.Printf("    example: %s\n", q.Canonical)
+		}
+	}
+
+	// 4. Access control: the astronomy group's queries stay invisible to the
+	//    limnology newcomer, and vice versa.
+	astroQueries := 0
+	for _, rec := range sys.Store().All(cqms.Admin) {
+		if rec.Group == "astro" {
+			astroQueries++
+		}
+	}
+	visibleAstro := 0
+	for _, m := range sys.Search(newcomer, "Stars") {
+		if m.Record.Group == "astro" {
+			visibleAstro++
+		}
+	}
+	fmt.Printf("\naccess control: %d astronomy queries exist, %d visible to the limnology newcomer\n",
+		astroQueries, visibleAstro)
+}

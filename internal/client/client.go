@@ -1,0 +1,227 @@
+// Package client is a Go client for the CQMS HTTP API (internal/server). It
+// is what cmd/cqmsctl and the integration tests use to talk to a running
+// CQMS server, playing the role of the paper's CQMS client.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Client talks to a CQMS server.
+type Client struct {
+	base       string
+	httpClient *http.Client
+	principal  server.PrincipalDTO
+}
+
+// New returns a client for the server at baseURL acting as the given user.
+func New(baseURL, user string, groups []string, admin bool) *Client {
+	return &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		httpClient: &http.Client{Timeout: 30 * time.Second},
+		principal:  server.PrincipalDTO{User: user, Groups: groups, Admin: admin},
+	}
+}
+
+// Principal returns the identity the client acts as.
+func (c *Client) Principal() server.PrincipalDTO { return c.principal }
+
+func (c *Client) post(path string, req, resp interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	httpResp, err := c.httpClient.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: POST %s: %w", path, err)
+	}
+	defer httpResp.Body.Close()
+	return decodeResponse(path, httpResp, resp)
+}
+
+func (c *Client) get(path string, params url.Values, resp interface{}) error {
+	params.Set("user", c.principal.User)
+	if len(c.principal.Groups) > 0 {
+		params.Set("groups", strings.Join(c.principal.Groups, ","))
+	}
+	if c.principal.Admin {
+		params.Set("admin", "true")
+	}
+	httpResp, err := c.httpClient.Get(c.base + path + "?" + params.Encode())
+	if err != nil {
+		return fmt.Errorf("client: GET %s: %w", path, err)
+	}
+	defer httpResp.Body.Close()
+	return decodeResponse(path, httpResp, resp)
+}
+
+func decodeResponse(path string, httpResp *http.Response, resp interface{}) error {
+	if httpResp.StatusCode >= 400 {
+		var e server.ErrorResponse
+		if err := json.NewDecoder(httpResp.Body).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("client: %s: %s (status %d)", path, e.Error, httpResp.StatusCode)
+		}
+		return fmt.Errorf("client: %s: status %d", path, httpResp.StatusCode)
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Submit runs a SQL query through the CQMS (Traditional mode).
+func (c *Client) Submit(sqlText, group, visibility string) (*server.SubmitResponse, error) {
+	var resp server.SubmitResponse
+	err := c.post("/api/query", server.SubmitRequest{
+		Principal: c.principal, Group: group, Visibility: visibility, SQL: sqlText,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Annotate attaches an annotation to a logged query.
+func (c *Client) Annotate(queryID int64, text string) error {
+	return c.post("/api/annotate", server.AnnotateRequest{
+		Principal: c.principal, QueryID: queryID, Text: text,
+	}, nil)
+}
+
+// SearchKeyword performs keyword search.
+func (c *Client) SearchKeyword(keywords ...string) ([]server.MatchDTO, error) {
+	var resp server.SearchResponse
+	err := c.post("/api/search/keyword", server.SearchRequest{Principal: c.principal, Keywords: keywords}, &resp)
+	return resp.Matches, err
+}
+
+// MetaQuery runs a SQL meta-query over the feature relations.
+func (c *Client) MetaQuery(metaSQL string) ([]server.MatchDTO, error) {
+	var resp server.SearchResponse
+	err := c.post("/api/search/metaquery", server.SearchRequest{Principal: c.principal, MetaSQL: metaSQL}, &resp)
+	return resp.Matches, err
+}
+
+// SearchPartial runs the auto-generated feature meta-query for a partial
+// query.
+func (c *Client) SearchPartial(partial string) ([]server.MatchDTO, error) {
+	var resp server.SearchResponse
+	err := c.post("/api/search/partial", server.SearchRequest{Principal: c.principal, Partial: partial}, &resp)
+	return resp.Matches, err
+}
+
+// SearchByData runs a query-by-data search.
+func (c *Client) SearchByData(include, exclude []string) ([]server.MatchDTO, error) {
+	var resp server.SearchResponse
+	err := c.post("/api/search/bydata", server.SearchRequest{Principal: c.principal, Include: include, Exclude: exclude}, &resp)
+	return resp.Matches, err
+}
+
+// Similar returns the k most similar logged queries to the given SQL.
+func (c *Client) Similar(sqlText string, k int) ([]server.MatchDTO, error) {
+	var resp server.SearchResponse
+	err := c.post("/api/search/similar", server.SearchRequest{Principal: c.principal, SQL: sqlText, K: k}, &resp)
+	return resp.Matches, err
+}
+
+// History returns the caller's (or another user's) query history.
+func (c *Client) History(of string) ([]server.MatchDTO, error) {
+	var resp server.SearchResponse
+	params := url.Values{}
+	if of != "" {
+		params.Set("of", of)
+	}
+	err := c.get("/api/history", params, &resp)
+	return resp.Matches, err
+}
+
+// Sessions lists detected sessions visible to the caller.
+func (c *Client) Sessions() ([]server.SessionDTO, error) {
+	var resp server.SessionsResponse
+	err := c.get("/api/sessions", url.Values{}, &resp)
+	return resp.Sessions, err
+}
+
+// SessionGraph fetches the rendered Figure 2 graph of one session.
+func (c *Client) SessionGraph(id int64) (string, error) {
+	var resp server.GraphResponse
+	params := url.Values{}
+	params.Set("id", strconv.FormatInt(id, 10))
+	err := c.get("/api/sessions/graph", params, &resp)
+	return resp.Graph, err
+}
+
+// Complete requests completion suggestions for a partial query.
+func (c *Client) Complete(partial string, k int) ([]server.CompletionDTO, error) {
+	var resp server.AssistResponse
+	err := c.post("/api/assist/complete", server.CompleteRequest{Principal: c.principal, Partial: partial, K: k}, &resp)
+	return resp.Completions, err
+}
+
+// Corrections requests correction suggestions for a query.
+func (c *Client) Corrections(queryText string) ([]server.CorrectionDTO, error) {
+	var resp server.AssistResponse
+	err := c.post("/api/assist/corrections", server.CompleteRequest{Principal: c.principal, Partial: queryText}, &resp)
+	return resp.Corrections, err
+}
+
+// SimilarQueries requests the Figure 3 similar-queries pane.
+func (c *Client) SimilarQueries(queryText string, k int) ([]server.SimilarQueryDTO, error) {
+	var resp server.AssistResponse
+	err := c.post("/api/assist/similar", server.CompleteRequest{Principal: c.principal, Partial: queryText, K: k}, &resp)
+	return resp.Similar, err
+}
+
+// SetVisibility changes a logged query's visibility.
+func (c *Client) SetVisibility(queryID int64, visibility string) error {
+	return c.post("/api/admin/visibility", server.VisibilityRequest{
+		Principal: c.principal, QueryID: queryID, Visibility: visibility,
+	}, nil)
+}
+
+// DeleteQuery removes a logged query.
+func (c *Client) DeleteQuery(queryID int64) error {
+	return c.post("/api/admin/delete", server.DeleteRequest{Principal: c.principal, QueryID: queryID}, nil)
+}
+
+// Mine triggers a mining pass on the server.
+func (c *Client) Mine() (*server.MineResponse, error) {
+	var resp server.MineResponse
+	err := c.post("/api/admin/mine", struct{}{}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Maintain triggers a maintenance scan on the server.
+func (c *Client) Maintain() (*server.MaintainResponse, error) {
+	var resp server.MaintainResponse
+	err := c.post("/api/admin/maintain", struct{}{}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches server-wide counters.
+func (c *Client) Stats() (*server.StatsResponse, error) {
+	var resp server.StatsResponse
+	err := c.get("/api/stats", url.Values{}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,368 @@
+// Package core implements the Collaborative Query Management System itself:
+// the component that wires the Query Profiler, Query Storage, Meta-query
+// Executor, Query Miner and Query Maintenance of Figure 4 into the four
+// interaction modes of §2 — Traditional, Search & Browse, Assisted and
+// Administrative.
+//
+// CQMS is the type downstream users embed: examples/ and cmd/ build on this
+// API, and the root package cqms re-exports it.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/maintenance"
+	"repro/internal/metaquery"
+	"repro/internal/miner"
+	"repro/internal/profiler"
+	"repro/internal/recommend"
+	"repro/internal/session"
+	"repro/internal/storage"
+)
+
+// Config aggregates the configuration of every CQMS component.
+type Config struct {
+	Profiler    profiler.Config
+	Miner       miner.Config
+	Maintenance maintenance.Config
+	Recommender recommend.Config
+	Session     session.Config
+	// MiningInterval and MaintenanceInterval drive the background scheduler
+	// started by StartBackground.
+	MiningInterval      time.Duration
+	MaintenanceInterval time.Duration
+}
+
+// DefaultConfig returns defaults for every component.
+func DefaultConfig() Config {
+	return Config{
+		Profiler:            profiler.DefaultConfig(),
+		Miner:               miner.DefaultConfig(),
+		Maintenance:         maintenance.DefaultConfig(),
+		Recommender:         recommend.DefaultConfig(),
+		Session:             session.DefaultConfig(),
+		MiningInterval:      time.Minute,
+		MaintenanceInterval: 5 * time.Minute,
+	}
+}
+
+// CQMS is the collaborative query management system.
+type CQMS struct {
+	cfg Config
+
+	eng         *engine.Engine
+	store       *storage.Store
+	profiler    *profiler.Profiler
+	executor    *metaquery.Executor
+	miner       *miner.Miner
+	recommender *recommend.Recommender
+	maintainer  *maintenance.Maintainer
+	detector    *session.Detector
+
+	mu           sync.RWMutex
+	lastMining   *miner.Result
+	lastSessions []session.Session
+}
+
+// New creates a CQMS over a fresh embedded engine.
+func New(cfg Config) *CQMS {
+	return NewWithEngine(engine.New(), cfg)
+}
+
+// NewWithEngine creates a CQMS over an existing engine (typically one already
+// populated with data by the workload substrate).
+func NewWithEngine(eng *engine.Engine, cfg Config) *CQMS {
+	store := storage.NewStore()
+	exec := metaquery.New(store)
+	c := &CQMS{
+		cfg:         cfg,
+		eng:         eng,
+		store:       store,
+		profiler:    profiler.New(eng, store, cfg.Profiler),
+		executor:    exec,
+		miner:       miner.New(cfg.Miner),
+		recommender: recommend.New(store, exec, cfg.Recommender),
+		maintainer:  maintenance.New(eng, store, cfg.Maintenance),
+		detector:    session.NewDetector(cfg.Session),
+	}
+	c.syncSchemas()
+	return c
+}
+
+// Engine exposes the underlying DBMS (for loading data and DDL in examples
+// and tests).
+func (c *CQMS) Engine() *engine.Engine { return c.eng }
+
+// Store exposes the query storage.
+func (c *CQMS) Store() *storage.Store { return c.store }
+
+// syncSchemas pushes the engine's current schema catalog into the
+// recommender so that name completion and correction know about every table.
+func (c *CQMS) syncSchemas() {
+	schemas := make(map[string][]string)
+	for name, s := range c.eng.Catalog().Schemas() {
+		schemas[name] = s.ColumnNames()
+	}
+	c.recommender.SetSchemas(schemas)
+}
+
+// ---------------------------------------------------------------------------
+// Traditional Interaction Mode (§2.1)
+// ---------------------------------------------------------------------------
+
+// Submit executes a user query through the profiler: the query runs on the
+// DBMS and is logged with its features, statistics and output sample.
+func (c *CQMS) Submit(sub profiler.Submission) (*profiler.Outcome, error) {
+	out, err := c.profiler.Submit(sub)
+	if err != nil {
+		return nil, err
+	}
+	// DDL submitted through the CQMS changes the schema; keep the
+	// recommender's catalog in sync.
+	c.syncSchemas()
+	return out, nil
+}
+
+// ExecuteUnprofiled runs a query directly against the DBMS without logging;
+// it exists for the profiling-overhead experiment and for data loading.
+func (c *CQMS) ExecuteUnprofiled(query string) (*engine.Result, error) {
+	return c.profiler.ExecuteUnprofiled(query)
+}
+
+// Annotate attaches an annotation to a logged query.
+func (c *CQMS) Annotate(id storage.QueryID, p storage.Principal, ann storage.Annotation) error {
+	return c.store.Annotate(id, p, ann)
+}
+
+// ---------------------------------------------------------------------------
+// Search & Browse Interaction Mode (§2.2)
+// ---------------------------------------------------------------------------
+
+// Search performs keyword search over the visible query log.
+func (c *CQMS) Search(p storage.Principal, keywords ...string) []metaquery.Match {
+	return c.executor.Keyword(p, keywords...)
+}
+
+// SearchSubstring performs substring search over the visible query log.
+func (c *CQMS) SearchSubstring(p storage.Principal, substr string) []metaquery.Match {
+	return c.executor.Substring(p, substr)
+}
+
+// MetaQuery executes a SQL meta-query over the feature relations (Figure 1).
+func (c *CQMS) MetaQuery(p storage.Principal, metaSQL string) (*engine.Result, []metaquery.Match, error) {
+	return c.executor.SQLMetaQuery(p, metaSQL)
+}
+
+// SearchByPartialQuery auto-generates and runs a feature meta-query from a
+// partially written query.
+func (c *CQMS) SearchByPartialQuery(p storage.Principal, partialSQL string) ([]metaquery.Match, error) {
+	return c.executor.ByPartialQuery(p, partialSQL)
+}
+
+// SearchByStructure runs a query-by-parse-tree search.
+func (c *CQMS) SearchByStructure(p storage.Principal, cond metaquery.StructuralCondition) []metaquery.Match {
+	return c.executor.ByStructure(p, cond)
+}
+
+// SearchByData runs a query-by-data search with positive and negative example
+// values.
+func (c *CQMS) SearchByData(p storage.Principal, include, exclude []string) []metaquery.Match {
+	return c.executor.ByData(p, include, exclude)
+}
+
+// SimilarTo returns the k logged queries most similar to the given query
+// text.
+func (c *CQMS) SimilarTo(p storage.Principal, queryText string, k int) ([]metaquery.Match, error) {
+	return c.executor.KNN(p, queryText, k)
+}
+
+// History returns the visible queries of one user in temporal order.
+func (c *CQMS) History(p storage.Principal, user string) []*storage.QueryRecord {
+	return c.store.ByUser(user, p)
+}
+
+// Sessions returns summaries of the sessions detected in the last mining
+// pass, restricted to those whose queries are visible to the principal.
+func (c *CQMS) Sessions(p storage.Principal) []session.Summary {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []session.Summary
+	for i := range c.lastSessions {
+		s := &c.lastSessions[i]
+		visible := true
+		for _, q := range s.Queries {
+			if !q.VisibleTo(p) {
+				visible = false
+				break
+			}
+		}
+		if visible {
+			out = append(out, session.Summarize(s))
+		}
+	}
+	return out
+}
+
+// SessionGraph renders the Figure 2 session window for a detected session.
+func (c *CQMS) SessionGraph(p storage.Principal, sessionID int64) (string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i := range c.lastSessions {
+		s := &c.lastSessions[i]
+		if s.ID != sessionID {
+			continue
+		}
+		for _, q := range s.Queries {
+			if !q.VisibleTo(p) {
+				return "", fmt.Errorf("core: %w", storage.ErrAccessDenied)
+			}
+		}
+		return session.Render(s), nil
+	}
+	return "", fmt.Errorf("core: session %d: %w", sessionID, storage.ErrNotFound)
+}
+
+// ---------------------------------------------------------------------------
+// Assisted Interaction Mode (§2.3)
+// ---------------------------------------------------------------------------
+
+// Complete returns completion suggestions (tables, columns, predicates,
+// joins) for a partially written query.
+func (c *CQMS) Complete(p storage.Principal, partialSQL string, k int) []recommend.Completion {
+	return c.recommender.Complete(p, partialSQL, k)
+}
+
+// SuggestTables returns table suggestions only.
+func (c *CQMS) SuggestTables(p storage.Principal, partialSQL string, k int) []recommend.Completion {
+	return c.recommender.SuggestTables(p, partialSQL, k)
+}
+
+// Corrections returns spelling corrections for table and column names.
+func (c *CQMS) Corrections(p storage.Principal, querySQL string) []recommend.Correction {
+	return c.recommender.Corrections(p, querySQL)
+}
+
+// EmptyResultSuggestions suggests alternative predicates for a query that
+// returned no rows.
+func (c *CQMS) EmptyResultSuggestions(p storage.Principal, querySQL string, k int) ([]recommend.Correction, error) {
+	return c.recommender.EmptyResultSuggestions(p, querySQL, k)
+}
+
+// SimilarQueries returns the Figure 3 similar-queries pane for a query.
+func (c *CQMS) SimilarQueries(p storage.Principal, querySQL string, k int) ([]recommend.SimilarQuery, error) {
+	return c.recommender.SimilarQueries(p, querySQL, k)
+}
+
+// AssistPane renders the full Figure 3 pane (completions + similar queries)
+// for a partial query.
+func (c *CQMS) AssistPane(p storage.Principal, partialSQL string, k int) (string, error) {
+	completions := c.recommender.Complete(p, partialSQL, k)
+	similar, err := c.recommender.SimilarQueries(p, partialSQL, k)
+	if err != nil {
+		return "", err
+	}
+	return recommend.RenderAssistPane(completions, similar), nil
+}
+
+// Tutorial generates the data-set tutorial of §2.3.
+func (c *CQMS) Tutorial(p storage.Principal, queriesPerTable int) []recommend.TutorialStep {
+	return c.recommender.Tutorial(p, queriesPerTable)
+}
+
+// ---------------------------------------------------------------------------
+// Administrative Interaction Mode (§2.4) and background processing
+// ---------------------------------------------------------------------------
+
+// SetVisibility changes a query's visibility (owner or admin only).
+func (c *CQMS) SetVisibility(id storage.QueryID, p storage.Principal, v storage.Visibility) error {
+	return c.store.SetVisibility(id, p, v)
+}
+
+// DeleteQuery removes a query from the log (owner or admin only).
+func (c *CQMS) DeleteQuery(id storage.QueryID, p storage.Principal) error {
+	return c.store.Delete(id, p)
+}
+
+// RunMiner performs one full background mining pass: session detection, the
+// miner proper, and installation of the results into the recommender.
+func (c *CQMS) RunMiner() *miner.Result {
+	sessions, err := c.detector.Apply(c.store)
+	if err != nil {
+		// Session assignment errors are not fatal to the mining pass; the
+		// miner still runs over whatever the store holds.
+		sessions = nil
+	}
+	res := c.miner.Run(c.store)
+	c.recommender.UpdateMining(res)
+	c.syncSchemas()
+	c.mu.Lock()
+	c.lastMining = res
+	if sessions != nil {
+		c.lastSessions = sessions
+	}
+	c.mu.Unlock()
+	return res
+}
+
+// RunMaintenance performs one maintenance scan.
+func (c *CQMS) RunMaintenance() (*maintenance.Report, error) {
+	report, err := c.maintainer.Scan()
+	if err != nil {
+		return nil, err
+	}
+	c.syncSchemas()
+	return report, nil
+}
+
+// MiningResult returns the most recent mining result (nil before the first
+// pass).
+func (c *CQMS) MiningResult() *miner.Result {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.lastMining
+}
+
+// StartBackground launches the periodic miner and maintenance passes (the
+// "run in the background" components of Figure 4) until the context is
+// cancelled. It returns immediately.
+func (c *CQMS) StartBackground(ctx context.Context) {
+	mineEvery := c.cfg.MiningInterval
+	if mineEvery <= 0 {
+		mineEvery = time.Minute
+	}
+	maintainEvery := c.cfg.MaintenanceInterval
+	if maintainEvery <= 0 {
+		maintainEvery = 5 * time.Minute
+	}
+	go func() {
+		ticker := time.NewTicker(mineEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				c.RunMiner()
+			}
+		}
+	}()
+	go func() {
+		ticker := time.NewTicker(maintainEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				if _, err := c.RunMaintenance(); err != nil {
+					// Maintenance errors are retried on the next tick.
+					continue
+				}
+			}
+		}
+	}()
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metaquery"
+	"repro/internal/profiler"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+var (
+	admin = storage.Principal{Admin: true}
+	alice = storage.Principal{User: "alice", Groups: []string{"limnology"}}
+)
+
+// newSystem builds a CQMS over a small populated scientific database.
+func newSystem(t testing.TB) *CQMS {
+	t.Helper()
+	eng := engine.New()
+	if err := workload.Populate(eng, 300, 1); err != nil {
+		t.Fatalf("Populate: %v", err)
+	}
+	return NewWithEngine(eng, DefaultConfig())
+}
+
+func submit(t testing.TB, c *CQMS, user, group, q string, at time.Time) *profiler.Outcome {
+	t.Helper()
+	out, err := c.Submit(profiler.Submission{
+		User: user, Group: group, Visibility: storage.VisibilityGroup, SQL: q, IssuedAt: at,
+	})
+	if err != nil {
+		t.Fatalf("Submit(%q): %v", q, err)
+	}
+	return out
+}
+
+// loadFigure2Session replays the paper's Figure 2 session for one user.
+func loadFigure2Session(t testing.TB, c *CQMS, user string, base time.Time) {
+	t.Helper()
+	queries := []string{
+		"SELECT * FROM WaterTemp WHERE temp < 22",
+		"SELECT * FROM WaterTemp, WaterSalinity WHERE WaterTemp.loc_x = WaterSalinity.loc_x AND WaterTemp.temp < 22",
+		"SELECT * FROM WaterTemp, WaterSalinity WHERE WaterTemp.loc_x = WaterSalinity.loc_x AND WaterTemp.temp < 10",
+		"SELECT * FROM WaterTemp, WaterSalinity WHERE WaterTemp.loc_x = WaterSalinity.loc_x AND WaterTemp.temp < 18",
+		"SELECT * FROM WaterTemp, WaterSalinity, CityLocations WHERE WaterTemp.loc_x = WaterSalinity.loc_x AND WaterTemp.temp < 18 AND WaterTemp.loc_x = CityLocations.loc_x",
+	}
+	for i, q := range queries {
+		submit(t, c, user, "limnology", q, base.Add(time.Duration(i)*time.Minute))
+	}
+}
+
+func TestTraditionalModeEndToEnd(t *testing.T) {
+	c := newSystem(t)
+	out := submit(t, c, "alice", "limnology", "SELECT lake, temp FROM WaterTemp WHERE temp < 18", time.Time{})
+	if out.ExecError != nil {
+		t.Fatalf("exec error: %v", out.ExecError)
+	}
+	if out.Result.Cardinality() == 0 {
+		t.Errorf("query over populated data returned nothing")
+	}
+	if c.Store().Count() != 1 {
+		t.Errorf("store count = %d", c.Store().Count())
+	}
+	if err := c.Annotate(out.QueryID, alice, storage.Annotation{Text: "cold lakes"}); err != nil {
+		t.Errorf("Annotate: %v", err)
+	}
+}
+
+func TestSearchAndBrowseMode(t *testing.T) {
+	c := newSystem(t)
+	base := time.Date(2009, 1, 5, 9, 0, 0, 0, time.UTC)
+	loadFigure2Session(t, c, "alice", base)
+	submit(t, c, "bob", "limnology", "SELECT city FROM CityLocations WHERE state = 'WA'", base.Add(3*time.Hour))
+
+	// Keyword search.
+	if got := c.Search(admin, "WaterSalinity"); len(got) != 4 {
+		t.Errorf("keyword matches = %d, want 4", len(got))
+	}
+	// Figure 1 meta-query through the public API.
+	_, matches, err := c.MetaQuery(admin, `SELECT Q.qid FROM Queries Q, Attributes A1, Attributes A2
+		WHERE Q.qid = A1.qid AND Q.qid = A2.qid AND A1.relName = 'WaterTemp' AND A1.attrName = 'temp'
+		AND A2.relName = 'WaterSalinity' AND A2.attrName = 'loc_x'`)
+	if err != nil {
+		t.Fatalf("MetaQuery: %v", err)
+	}
+	if len(matches) == 0 {
+		t.Errorf("meta-query found nothing")
+	}
+	// Structure search.
+	if got := c.SearchByStructure(admin, metaquery.StructuralCondition{MinTables: 3}); len(got) != 1 {
+		t.Errorf("structural matches = %d, want 1", len(got))
+	}
+	// Partial-query search.
+	got, err := c.SearchByPartialQuery(admin, "SELECT FROM WaterTemp, WaterSalinity")
+	if err != nil {
+		t.Fatalf("SearchByPartialQuery: %v", err)
+	}
+	if len(got) != 4 {
+		t.Errorf("partial matches = %d, want 4", len(got))
+	}
+	// History.
+	if h := c.History(admin, "alice"); len(h) != 5 {
+		t.Errorf("history = %d, want 5", len(h))
+	}
+	// kNN.
+	knn, err := c.SimilarTo(admin, "SELECT * FROM WaterTemp WHERE temp < 20", 3)
+	if err != nil || len(knn) == 0 {
+		t.Errorf("SimilarTo: %v, %d results", err, len(knn))
+	}
+}
+
+func TestSessionsAfterMining(t *testing.T) {
+	c := newSystem(t)
+	base := time.Date(2009, 1, 5, 9, 0, 0, 0, time.UTC)
+	loadFigure2Session(t, c, "alice", base)
+	submit(t, c, "alice", "limnology", "SELECT city FROM CityLocations", base.Add(5*time.Hour))
+
+	res := c.RunMiner()
+	if res == nil || res.TransactionCount != 6 {
+		t.Fatalf("mining result = %+v", res)
+	}
+	sessions := c.Sessions(admin)
+	if len(sessions) != 2 {
+		t.Fatalf("sessions = %d, want 2", len(sessions))
+	}
+	graph, err := c.SessionGraph(admin, sessions[0].ID)
+	if err != nil {
+		t.Fatalf("SessionGraph: %v", err)
+	}
+	if !strings.Contains(graph, "+table WaterSalinity") {
+		t.Errorf("session graph missing Figure 2 edge label:\n%s", graph)
+	}
+	if _, err := c.SessionGraph(admin, 9999); !errors.Is(err, storage.ErrNotFound) {
+		t.Errorf("missing session error = %v", err)
+	}
+	// Access control on session graphs: a stranger cannot view alice's
+	// group-visible session.
+	stranger := storage.Principal{User: "eve", Groups: []string{"other"}}
+	if _, err := c.SessionGraph(stranger, sessions[0].ID); !errors.Is(err, storage.ErrAccessDenied) {
+		t.Errorf("stranger session access = %v, want ErrAccessDenied", err)
+	}
+	if got := c.Sessions(stranger); len(got) != 0 {
+		t.Errorf("stranger sees %d sessions, want 0", len(got))
+	}
+	if c.MiningResult() == nil {
+		t.Errorf("MiningResult should be cached")
+	}
+}
+
+func TestAssistedMode(t *testing.T) {
+	c := newSystem(t)
+	base := time.Date(2009, 1, 5, 9, 0, 0, 0, time.UTC)
+	// Build a log where WaterSalinity co-occurs with WaterTemp.
+	for i := 0; i < 6; i++ {
+		submit(t, c, "alice", "limnology",
+			"SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x AND WaterTemp.temp < 18",
+			base.Add(time.Duration(i)*3*time.Hour))
+	}
+	for i := 0; i < 8; i++ {
+		submit(t, c, "bob", "limnology", "SELECT city FROM CityLocations WHERE pop > 100000",
+			base.Add(time.Duration(i)*2*time.Hour))
+	}
+	c.RunMiner()
+
+	// Context-aware table completion (§2.3 example).
+	got := c.SuggestTables(alice, "SELECT * FROM WaterSalinity", 3)
+	if len(got) == 0 || got[0].Text != "WaterTemp" {
+		t.Errorf("table suggestions = %+v, want WaterTemp first", got)
+	}
+	// Full completion list has several kinds.
+	all := c.Complete(alice, "SELECT * FROM WaterSalinity, WaterTemp WHERE ", 3)
+	if len(all) == 0 {
+		t.Errorf("no completions")
+	}
+	// Corrections.
+	corr := c.Corrections(alice, "SELECT tmep FROM WaterTemp")
+	if len(corr) == 0 {
+		t.Errorf("no corrections for misspelled column")
+	}
+	// Empty-result suggestions.
+	sugg, err := c.EmptyResultSuggestions(alice, "SELECT * FROM WaterTemp WHERE temp < -100", 3)
+	if err != nil {
+		t.Fatalf("EmptyResultSuggestions: %v", err)
+	}
+	if len(sugg) == 0 {
+		t.Errorf("no empty-result suggestions")
+	}
+	// Similar queries and the rendered pane.
+	pane, err := c.AssistPane(alice, "SELECT * FROM WaterSalinity, WaterTemp WHERE ", 3)
+	if err != nil {
+		t.Fatalf("AssistPane: %v", err)
+	}
+	if !strings.Contains(pane, "Similar Queries") {
+		t.Errorf("pane missing similar queries:\n%s", pane)
+	}
+	sim, err := c.SimilarQueries(alice, "SELECT WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 20", 3)
+	if err != nil || len(sim) == 0 {
+		t.Errorf("SimilarQueries: %v, %d", err, len(sim))
+	}
+	// Tutorial.
+	steps := c.Tutorial(alice, 2)
+	if len(steps) == 0 {
+		t.Errorf("no tutorial steps")
+	}
+}
+
+func TestAdministrativeMode(t *testing.T) {
+	c := newSystem(t)
+	out := submit(t, c, "alice", "limnology", "SELECT temp FROM WaterTemp WHERE temp < 18", time.Time{})
+
+	// Visibility change and deletion respect ownership.
+	bob := storage.Principal{User: "bob", Groups: []string{"limnology"}}
+	if err := c.SetVisibility(out.QueryID, bob, storage.VisibilityPublic); !errors.Is(err, storage.ErrAccessDenied) {
+		t.Errorf("non-owner visibility change err = %v", err)
+	}
+	if err := c.SetVisibility(out.QueryID, alice, storage.VisibilityPublic); err != nil {
+		t.Errorf("owner visibility change: %v", err)
+	}
+	if err := c.DeleteQuery(out.QueryID, alice); err != nil {
+		t.Errorf("DeleteQuery: %v", err)
+	}
+	if c.Store().Count() != 0 {
+		t.Errorf("query not deleted")
+	}
+}
+
+func TestMaintenanceIntegration(t *testing.T) {
+	c := newSystem(t)
+	submit(t, c, "alice", "limnology", "SELECT temp FROM WaterTemp WHERE temp < 18", time.Time{})
+	submit(t, c, "alice", "limnology", "SELECT battery FROM Sensors WHERE battery < 20", time.Time{})
+
+	// Rename a column through the CQMS itself (DDL also goes through Submit).
+	if _, err := c.Submit(profiler.Submission{User: "dba", SQL: "ALTER TABLE WaterTemp RENAME COLUMN temp TO temperature"}); err != nil {
+		t.Fatalf("DDL submit: %v", err)
+	}
+	report, err := c.RunMaintenance()
+	if err != nil {
+		t.Fatalf("RunMaintenance: %v", err)
+	}
+	if len(report.Repaired) != 1 {
+		t.Fatalf("repaired = %+v, want the WaterTemp query", report.Repaired)
+	}
+	// The repaired query must execute against the evolved schema.
+	rec, err := c.Store().Get(report.Repaired[0].ID, admin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecuteUnprofiled(rec.Text); err != nil {
+		t.Errorf("repaired query fails: %v", err)
+	}
+}
+
+func TestBackgroundScheduler(t *testing.T) {
+	c := newSystem(t)
+	cfg := DefaultConfig()
+	cfg.MiningInterval = 10 * time.Millisecond
+	cfg.MaintenanceInterval = 10 * time.Millisecond
+	c2 := NewWithEngine(c.Engine(), cfg)
+	submit(t, c2, "alice", "limnology", "SELECT temp FROM WaterTemp WHERE temp < 18", time.Time{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c2.StartBackground(ctx)
+	deadline := time.After(2 * time.Second)
+	for c2.MiningResult() == nil {
+		select {
+		case <-deadline:
+			cancel()
+			t.Fatal("background miner did not run")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	cancel()
+	if c2.MiningResult().TransactionCount != 1 {
+		t.Errorf("mining result = %+v", c2.MiningResult())
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MiningInterval <= 0 || cfg.MaintenanceInterval <= 0 {
+		t.Errorf("intervals must be positive")
+	}
+	if cfg.Profiler.Sample.MaxRows == 0 {
+		t.Errorf("profiler sample policy missing")
+	}
+	c := New(cfg)
+	if c.Engine() == nil || c.Store() == nil {
+		t.Errorf("New returned incomplete system")
+	}
+}

@@ -1,0 +1,638 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sql"
+)
+
+// binding describes one column of an intermediate relation: the qualifier it
+// is visible under (alias or table name), the base table it came from and its
+// column name.
+type binding struct {
+	qualifier string
+	table     string
+	column    string
+}
+
+// relation is an intermediate result: a list of column bindings plus rows.
+type relation struct {
+	cols []binding
+	rows []Row
+}
+
+func (r *relation) columnNames() []string {
+	out := make([]string, len(r.cols))
+	for i, b := range r.cols {
+		out[i] = b.column
+	}
+	return out
+}
+
+// lookup finds the index of a column reference in the relation. An empty
+// qualifier matches any column with that name but must be unambiguous.
+func (r *relation) lookup(qualifier, column string) (int, error) {
+	found := -1
+	for i, b := range r.cols {
+		if !strings.EqualFold(b.column, column) {
+			continue
+		}
+		if qualifier != "" && !strings.EqualFold(b.qualifier, qualifier) && !strings.EqualFold(b.table, qualifier) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("%w: %s", ErrAmbiguousColumn, column)
+		}
+		found = i
+	}
+	if found < 0 {
+		name := column
+		if qualifier != "" {
+			name = qualifier + "." + column
+		}
+		return 0, fmt.Errorf("%w: %s", ErrColumnNotFound, name)
+	}
+	return found, nil
+}
+
+// env is the evaluation environment for one row, chaining to an outer
+// environment for correlated sub-queries.
+type env struct {
+	rel   *relation
+	row   Row
+	outer *env
+}
+
+func (e *env) lookup(qualifier, column string) (Value, error) {
+	for cur := e; cur != nil; cur = cur.outer {
+		idx, err := cur.rel.lookup(qualifier, column)
+		if err == nil {
+			return cur.row[idx], nil
+		}
+		if strings.Contains(err.Error(), "ambiguous") {
+			return Null, err
+		}
+	}
+	name := column
+	if qualifier != "" {
+		name = qualifier + "." + column
+	}
+	return Null, fmt.Errorf("%w: %s", ErrColumnNotFound, name)
+}
+
+// evaluator evaluates expressions against an environment. It holds a
+// reference to the engine so nested sub-queries can be executed.
+type evaluator struct {
+	eng *Engine
+}
+
+// evalBool evaluates e as a predicate; NULL and errors from NULL comparisons
+// count as false (SQL three-valued logic collapsed to boolean).
+func (ev *evaluator) evalBool(e sql.Expr, en *env) (bool, error) {
+	v, err := ev.eval(e, en)
+	if err != nil {
+		if err == errNullComparison {
+			return false, nil
+		}
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	b, err := v.Coerce(TypeBool)
+	if err != nil {
+		return false, fmt.Errorf("engine: predicate is not boolean: %s", e.SQL())
+	}
+	return b.Bool, nil
+}
+
+func (ev *evaluator) eval(e sql.Expr, en *env) (Value, error) {
+	switch n := e.(type) {
+	case *sql.Literal:
+		return literalValue(n)
+	case *sql.ColumnRef:
+		return en.lookup(n.Table, n.Name)
+	case *sql.ParamExpr:
+		return Null, fmt.Errorf("engine: unbound parameter %s", n.Text)
+	case *sql.UnaryExpr:
+		return ev.evalUnary(n, en)
+	case *sql.BinaryExpr:
+		return ev.evalBinary(n, en)
+	case *sql.FuncCall:
+		return ev.evalFunc(n, en)
+	case *sql.InExpr:
+		return ev.evalIn(n, en)
+	case *sql.BetweenExpr:
+		return ev.evalBetween(n, en)
+	case *sql.LikeExpr:
+		return ev.evalLike(n, en)
+	case *sql.IsNullExpr:
+		v, err := ev.eval(n.Expr, en)
+		if err != nil {
+			return Null, err
+		}
+		if n.Not {
+			return NewBool(!v.IsNull()), nil
+		}
+		return NewBool(v.IsNull()), nil
+	case *sql.ExistsExpr:
+		rel, err := ev.eng.execSelect(n.Select, en)
+		if err != nil {
+			return Null, err
+		}
+		exists := len(rel.rows) > 0
+		if n.Not {
+			exists = !exists
+		}
+		return NewBool(exists), nil
+	case *sql.SubqueryExpr:
+		rel, err := ev.eng.execSelect(n.Select, en)
+		if err != nil {
+			return Null, err
+		}
+		if len(rel.rows) == 0 || len(rel.rows[0]) == 0 {
+			return Null, nil
+		}
+		return rel.rows[0][0], nil
+	case *sql.CaseExpr:
+		return ev.evalCase(n, en)
+	default:
+		return Null, fmt.Errorf("engine: unsupported expression %T", e)
+	}
+}
+
+func literalValue(l *sql.Literal) (Value, error) {
+	switch l.Kind {
+	case sql.LiteralNull:
+		return Null, nil
+	case sql.LiteralBool:
+		return NewBool(strings.EqualFold(l.Text, "TRUE")), nil
+	case sql.LiteralString:
+		return NewText(l.Text), nil
+	case sql.LiteralNumber:
+		if !strings.ContainsAny(l.Text, ".eE") {
+			n, err := strconv.ParseInt(l.Text, 10, 64)
+			if err == nil {
+				return NewInt(n), nil
+			}
+		}
+		f, err := strconv.ParseFloat(l.Text, 64)
+		if err != nil {
+			return Null, fmt.Errorf("engine: invalid number literal %q", l.Text)
+		}
+		return NewFloat(f), nil
+	default:
+		return Null, fmt.Errorf("engine: unknown literal kind %d", l.Kind)
+	}
+}
+
+func (ev *evaluator) evalUnary(n *sql.UnaryExpr, en *env) (Value, error) {
+	v, err := ev.eval(n.Expr, en)
+	if err != nil {
+		return Null, err
+	}
+	switch n.Op {
+	case "NOT":
+		if v.IsNull() {
+			return Null, nil
+		}
+		b, err := v.Coerce(TypeBool)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(!b.Bool), nil
+	case "-":
+		switch v.Type {
+		case TypeInt:
+			return NewInt(-v.Int), nil
+		case TypeFloat:
+			return NewFloat(-v.Float), nil
+		case TypeNull:
+			return Null, nil
+		}
+		return Null, fmt.Errorf("engine: cannot negate %s", v.Type)
+	case "+":
+		return v, nil
+	default:
+		return Null, fmt.Errorf("engine: unknown unary operator %q", n.Op)
+	}
+}
+
+func (ev *evaluator) evalBinary(n *sql.BinaryExpr, en *env) (Value, error) {
+	switch n.Op {
+	case "AND":
+		lb, err := ev.evalBool(n.Left, en)
+		if err != nil {
+			return Null, err
+		}
+		if !lb {
+			return NewBool(false), nil
+		}
+		rb, err := ev.evalBool(n.Right, en)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(rb), nil
+	case "OR":
+		lb, err := ev.evalBool(n.Left, en)
+		if err != nil {
+			return Null, err
+		}
+		if lb {
+			return NewBool(true), nil
+		}
+		rb, err := ev.evalBool(n.Right, en)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(rb), nil
+	}
+	left, err := ev.eval(n.Left, en)
+	if err != nil {
+		return Null, err
+	}
+	right, err := ev.eval(n.Right, en)
+	if err != nil {
+		return Null, err
+	}
+	switch n.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if left.IsNull() || right.IsNull() {
+			return Null, nil
+		}
+		c, err := left.Compare(right)
+		if err != nil {
+			return Null, err
+		}
+		var out bool
+		switch n.Op {
+		case "=":
+			out = c == 0
+		case "<>":
+			out = c != 0
+		case "<":
+			out = c < 0
+		case "<=":
+			out = c <= 0
+		case ">":
+			out = c > 0
+		case ">=":
+			out = c >= 0
+		}
+		return NewBool(out), nil
+	case "+", "-", "*", "/", "%":
+		return arith(n.Op, left, right)
+	case "||":
+		if left.IsNull() || right.IsNull() {
+			return Null, nil
+		}
+		return NewText(left.String() + right.String()), nil
+	default:
+		return Null, fmt.Errorf("engine: unknown binary operator %q", n.Op)
+	}
+}
+
+func arith(op string, left, right Value) (Value, error) {
+	if left.IsNull() || right.IsNull() {
+		return Null, nil
+	}
+	// Integer arithmetic when both sides are INT (except division, which
+	// follows SQL convention of integer division).
+	if left.Type == TypeInt && right.Type == TypeInt {
+		a, b := left.Int, right.Int
+		switch op {
+		case "+":
+			return NewInt(a + b), nil
+		case "-":
+			return NewInt(a - b), nil
+		case "*":
+			return NewInt(a * b), nil
+		case "/":
+			if b == 0 {
+				return Null, fmt.Errorf("engine: division by zero")
+			}
+			return NewInt(a / b), nil
+		case "%":
+			if b == 0 {
+				return Null, fmt.Errorf("engine: division by zero")
+			}
+			return NewInt(a % b), nil
+		}
+	}
+	lf, lok := left.asFloat()
+	rf, rok := right.asFloat()
+	if !lok || !rok {
+		return Null, fmt.Errorf("engine: arithmetic on non-numeric values %s and %s", left.Type, right.Type)
+	}
+	switch op {
+	case "+":
+		return NewFloat(lf + rf), nil
+	case "-":
+		return NewFloat(lf - rf), nil
+	case "*":
+		return NewFloat(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return Null, fmt.Errorf("engine: division by zero")
+		}
+		return NewFloat(lf / rf), nil
+	case "%":
+		if rf == 0 {
+			return Null, fmt.Errorf("engine: division by zero")
+		}
+		return NewFloat(float64(int64(lf) % int64(rf))), nil
+	default:
+		return Null, fmt.Errorf("engine: unknown arithmetic operator %q", op)
+	}
+}
+
+func (ev *evaluator) evalFunc(n *sql.FuncCall, en *env) (Value, error) {
+	if n.IsAggregate() {
+		return Null, fmt.Errorf("engine: aggregate %s used outside aggregation context", n.Name)
+	}
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := ev.eval(a, en)
+		if err != nil {
+			return Null, err
+		}
+		args[i] = v
+	}
+	return callScalarFunc(n.Name, args)
+}
+
+func callScalarFunc(name string, args []Value) (Value, error) {
+	switch strings.ToUpper(name) {
+	case "LOWER":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("engine: LOWER expects 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		return NewText(strings.ToLower(args[0].String())), nil
+	case "UPPER":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("engine: UPPER expects 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		return NewText(strings.ToUpper(args[0].String())), nil
+	case "LENGTH":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("engine: LENGTH expects 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		return NewInt(int64(len(args[0].String()))), nil
+	case "ABS":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("engine: ABS expects 1 argument")
+		}
+		v := args[0]
+		switch v.Type {
+		case TypeInt:
+			if v.Int < 0 {
+				return NewInt(-v.Int), nil
+			}
+			return v, nil
+		case TypeFloat:
+			if v.Float < 0 {
+				return NewFloat(-v.Float), nil
+			}
+			return v, nil
+		case TypeNull:
+			return Null, nil
+		}
+		return Null, fmt.Errorf("engine: ABS on non-numeric value")
+	case "ROUND":
+		if len(args) < 1 || args[0].IsNull() {
+			return Null, nil
+		}
+		f, ok := args[0].asFloat()
+		if !ok {
+			return Null, fmt.Errorf("engine: ROUND on non-numeric value")
+		}
+		scale := 0.0
+		if len(args) > 1 {
+			s, ok := args[1].asFloat()
+			if !ok {
+				return Null, fmt.Errorf("engine: ROUND scale must be numeric")
+			}
+			scale = s
+		}
+		mult := 1.0
+		for i := 0; i < int(scale); i++ {
+			mult *= 10
+		}
+		v := f * mult
+		if v >= 0 {
+			v = float64(int64(v + 0.5))
+		} else {
+			v = float64(int64(v - 0.5))
+		}
+		return NewFloat(v / mult), nil
+	case "COALESCE":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return Null, nil
+	case "SUBSTR", "SUBSTRING":
+		if len(args) < 2 || args[0].IsNull() {
+			return Null, nil
+		}
+		s := args[0].String()
+		start, ok := args[1].asFloat()
+		if !ok {
+			return Null, fmt.Errorf("engine: SUBSTR start must be numeric")
+		}
+		i := int(start) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i > len(s) {
+			i = len(s)
+		}
+		end := len(s)
+		if len(args) > 2 {
+			n, ok := args[2].asFloat()
+			if !ok {
+				return Null, fmt.Errorf("engine: SUBSTR length must be numeric")
+			}
+			end = i + int(n)
+			if end > len(s) {
+				end = len(s)
+			}
+		}
+		return NewText(s[i:end]), nil
+	default:
+		return Null, fmt.Errorf("engine: unknown function %s", name)
+	}
+}
+
+func (ev *evaluator) evalIn(n *sql.InExpr, en *env) (Value, error) {
+	target, err := ev.eval(n.Expr, en)
+	if err != nil {
+		return Null, err
+	}
+	if target.IsNull() {
+		return Null, nil
+	}
+	match := false
+	if n.Select != nil {
+		rel, err := ev.eng.execSelect(n.Select, en)
+		if err != nil {
+			return Null, err
+		}
+		for _, row := range rel.rows {
+			if len(row) > 0 && target.Equal(row[0]) {
+				match = true
+				break
+			}
+		}
+	} else {
+		for _, item := range n.List {
+			v, err := ev.eval(item, en)
+			if err != nil {
+				return Null, err
+			}
+			if target.Equal(v) {
+				match = true
+				break
+			}
+		}
+	}
+	if n.Not {
+		match = !match
+	}
+	return NewBool(match), nil
+}
+
+func (ev *evaluator) evalBetween(n *sql.BetweenExpr, en *env) (Value, error) {
+	v, err := ev.eval(n.Expr, en)
+	if err != nil {
+		return Null, err
+	}
+	low, err := ev.eval(n.Low, en)
+	if err != nil {
+		return Null, err
+	}
+	high, err := ev.eval(n.High, en)
+	if err != nil {
+		return Null, err
+	}
+	if v.IsNull() || low.IsNull() || high.IsNull() {
+		return Null, nil
+	}
+	cl, err := v.Compare(low)
+	if err != nil {
+		return Null, err
+	}
+	ch, err := v.Compare(high)
+	if err != nil {
+		return Null, err
+	}
+	in := cl >= 0 && ch <= 0
+	if n.Not {
+		in = !in
+	}
+	return NewBool(in), nil
+}
+
+func (ev *evaluator) evalLike(n *sql.LikeExpr, en *env) (Value, error) {
+	v, err := ev.eval(n.Expr, en)
+	if err != nil {
+		return Null, err
+	}
+	p, err := ev.eval(n.Pattern, en)
+	if err != nil {
+		return Null, err
+	}
+	if v.IsNull() || p.IsNull() {
+		return Null, nil
+	}
+	match := likeMatch(v.String(), p.String())
+	if n.Not {
+		match = !match
+	}
+	return NewBool(match), nil
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards, case-insensitive.
+func likeMatch(s, pattern string) bool {
+	s = strings.ToLower(s)
+	pattern = strings.ToLower(pattern)
+	return likeMatchRec(s, pattern)
+}
+
+func likeMatchRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive wildcards.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeMatchRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s = s[1:]
+			p = p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s = s[1:]
+			p = p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+func (ev *evaluator) evalCase(n *sql.CaseExpr, en *env) (Value, error) {
+	if n.Operand != nil {
+		op, err := ev.eval(n.Operand, en)
+		if err != nil {
+			return Null, err
+		}
+		for _, w := range n.Whens {
+			v, err := ev.eval(w.When, en)
+			if err != nil {
+				return Null, err
+			}
+			if op.Equal(v) {
+				return ev.eval(w.Then, en)
+			}
+		}
+	} else {
+		for _, w := range n.Whens {
+			ok, err := ev.evalBool(w.When, en)
+			if err != nil {
+				return Null, err
+			}
+			if ok {
+				return ev.eval(w.Then, en)
+			}
+		}
+	}
+	if n.Else != nil {
+		return ev.eval(n.Else, en)
+	}
+	return Null, nil
+}

@@ -1,0 +1,1011 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sql"
+)
+
+// execSelect evaluates a SELECT statement against the catalog. The outer
+// environment (possibly nil) supplies bindings for correlated sub-queries.
+func (e *Engine) execSelect(stmt *sql.SelectStmt, outer *env) (*relation, error) {
+	rel, err := e.execSelectCore(stmt, outer)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Compound != nil {
+		right, err := e.execSelect(stmt.Compound.Right, outer)
+		if err != nil {
+			return nil, err
+		}
+		rel, err = applyCompound(stmt.Compound.Op, stmt.Compound.All, rel, right)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+func (e *Engine) execSelectCore(stmt *sql.SelectStmt, outer *env) (*relation, error) {
+	ev := &evaluator{eng: e}
+
+	// 1. Evaluate FROM into a single joined relation, pushing down WHERE
+	//    conjuncts where possible.
+	conjuncts := splitConjuncts(stmt.Where)
+	source, usedConjuncts, err := e.buildFrom(stmt.From, conjuncts, outer)
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. Apply the remaining WHERE conjuncts.
+	remaining := make([]sql.Expr, 0, len(conjuncts))
+	for i, c := range conjuncts {
+		if !usedConjuncts[i] {
+			remaining = append(remaining, c)
+		}
+	}
+	if len(remaining) > 0 {
+		filtered := source.rows[:0:0]
+		for _, row := range source.rows {
+			en := &env{rel: source, row: row, outer: outer}
+			keep := true
+			for _, c := range remaining {
+				ok, err := ev.evalBool(c, en)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				filtered = append(filtered, row)
+			}
+		}
+		source = &relation{cols: source.cols, rows: filtered}
+	}
+
+	// 3. Aggregation or plain projection.
+	var out *relation
+	if needsAggregation(stmt) {
+		out, err = e.execAggregate(stmt, source, outer)
+	} else {
+		out, err = e.execProject(stmt, source, outer)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// 4. DISTINCT.
+	if stmt.Distinct {
+		out.rows = distinctRows(out.rows)
+	}
+
+	// 5. ORDER BY. Column references in ORDER BY may name output aliases or
+	//    source columns; aggregation output handles its own ordering inside
+	//    execAggregate, so this path only covers the non-aggregated case
+	//    (execProject keeps a parallel source relation for ordering).
+	// ORDER BY is applied inside execProject/execAggregate because it may
+	// reference columns that are not projected.
+
+	// 6. LIMIT/OFFSET.
+	if stmt.Limit != nil {
+		out.rows = applyLimit(out.rows, stmt.Limit)
+	}
+	return out, nil
+}
+
+// splitConjuncts splits a WHERE tree on top-level ANDs.
+func splitConjuncts(e sql.Expr) []sql.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sql.BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.Left), splitConjuncts(b.Right)...)
+	}
+	return []sql.Expr{e}
+}
+
+// buildFrom evaluates the FROM list into one relation. It returns a parallel
+// slice marking which WHERE conjuncts were consumed by push-down or joins.
+func (e *Engine) buildFrom(from []sql.TableRef, conjuncts []sql.Expr, outer *env) (*relation, []bool, error) {
+	used := make([]bool, len(conjuncts))
+	if len(from) == 0 {
+		// SELECT without FROM: a single empty row so expressions evaluate once.
+		return &relation{cols: nil, rows: []Row{{}}}, used, nil
+	}
+	var acc *relation
+	for _, ref := range from {
+		rel, err := e.evalTableRef(ref, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Push down single-relation conjuncts onto rel before joining.
+		rel, err = e.pushDownFilters(rel, conjuncts, used, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		if acc == nil {
+			acc = rel
+			continue
+		}
+		acc, err = e.joinRelations(acc, rel, conjuncts, used, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	// A final push-down pass over the accumulated relation catches conjuncts
+	// that reference columns from several relations already joined.
+	acc, err := e.pushDownFilters(acc, conjuncts, used, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	return acc, used, nil
+}
+
+// pushDownFilters applies every not-yet-used conjunct that references only
+// columns available in rel (and contains no sub-query) as a filter on rel.
+func (e *Engine) pushDownFilters(rel *relation, conjuncts []sql.Expr, used []bool, outer *env) (*relation, error) {
+	ev := &evaluator{eng: e}
+	applicable := make([]int, 0, len(conjuncts))
+	for i, c := range conjuncts {
+		if used[i] || exprHasSubquery(c) {
+			continue
+		}
+		if exprResolvable(c, rel) {
+			applicable = append(applicable, i)
+		}
+	}
+	if len(applicable) == 0 {
+		return rel, nil
+	}
+	filtered := make([]Row, 0, len(rel.rows))
+	for _, row := range rel.rows {
+		en := &env{rel: rel, row: row, outer: outer}
+		keep := true
+		for _, idx := range applicable {
+			ok, err := ev.evalBool(conjuncts[idx], en)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			filtered = append(filtered, row)
+		}
+	}
+	for _, idx := range applicable {
+		used[idx] = true
+	}
+	return &relation{cols: rel.cols, rows: filtered}, nil
+}
+
+// exprResolvable reports whether every column reference in the expression can
+// be resolved against rel.
+func exprResolvable(e sql.Expr, rel *relation) bool {
+	ok := true
+	sql.WalkExpr(e, func(x sql.Expr) bool {
+		if c, isCol := x.(*sql.ColumnRef); isCol {
+			if _, err := rel.lookup(c.Table, c.Name); err != nil {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func exprHasSubquery(e sql.Expr) bool {
+	has := false
+	sql.WalkExpr(e, func(x sql.Expr) bool {
+		switch n := x.(type) {
+		case *sql.InExpr:
+			if n.Select != nil {
+				has = true
+			}
+		case *sql.ExistsExpr, *sql.SubqueryExpr:
+			has = true
+		}
+		return !has
+	})
+	return has
+}
+
+// evalTableRef evaluates a single FROM item.
+func (e *Engine) evalTableRef(ref sql.TableRef, outer *env) (*relation, error) {
+	switch t := ref.(type) {
+	case *sql.TableName:
+		schema, rows, err := e.catalog.snapshotRows(t.Name)
+		if err != nil {
+			return nil, err
+		}
+		qualifier := t.Name
+		if t.Alias != "" {
+			qualifier = t.Alias
+		}
+		cols := make([]binding, len(schema.Columns))
+		for i, c := range schema.Columns {
+			cols[i] = binding{qualifier: qualifier, table: schema.Table, column: c.Name}
+		}
+		return &relation{cols: cols, rows: rows}, nil
+	case *sql.SubqueryRef:
+		rel, err := e.execSelect(t.Select, outer)
+		if err != nil {
+			return nil, err
+		}
+		qualifier := t.Alias
+		cols := make([]binding, len(rel.cols))
+		for i, c := range rel.cols {
+			q := qualifier
+			if q == "" {
+				q = c.qualifier
+			}
+			cols[i] = binding{qualifier: q, table: c.table, column: c.column}
+		}
+		return &relation{cols: cols, rows: rel.rows}, nil
+	case *sql.JoinExpr:
+		left, err := e.evalTableRef(t.Left, outer)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.evalTableRef(t.Right, outer)
+		if err != nil {
+			return nil, err
+		}
+		return e.explicitJoin(t, left, right, outer)
+	default:
+		return nil, fmt.Errorf("engine: unsupported table reference %T", ref)
+	}
+}
+
+// joinRelations joins two relations from a comma-separated FROM list, using
+// any available equi-join conjunct as a hash-join key; otherwise it falls
+// back to a cross product.
+func (e *Engine) joinRelations(left, right *relation, conjuncts []sql.Expr, used []bool, outer *env) (*relation, error) {
+	combinedCols := append(append([]binding{}, left.cols...), right.cols...)
+	combined := &relation{cols: combinedCols}
+
+	// Look for an equi-join conjunct with one side in left and one in right.
+	for i, c := range conjuncts {
+		if used[i] {
+			continue
+		}
+		b, ok := c.(*sql.BinaryExpr)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		lc, lok := b.Left.(*sql.ColumnRef)
+		rc, rok := b.Right.(*sql.ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		li, lerr := left.lookup(lc.Table, lc.Name)
+		ri, rerr := right.lookup(rc.Table, rc.Name)
+		if lerr != nil || rerr != nil {
+			// Try the flipped orientation.
+			li, lerr = left.lookup(rc.Table, rc.Name)
+			ri, rerr = right.lookup(lc.Table, lc.Name)
+			if lerr != nil || rerr != nil {
+				continue
+			}
+		}
+		used[i] = true
+		combined.rows = hashJoinRows(left.rows, right.rows, li, ri, false)
+		return combined, nil
+	}
+	// Cross product.
+	combined.rows = crossJoinRows(left.rows, right.rows)
+	return combined, nil
+}
+
+// explicitJoin evaluates JOIN ... ON / USING with inner and outer variants.
+func (e *Engine) explicitJoin(j *sql.JoinExpr, left, right *relation, outer *env) (*relation, error) {
+	ev := &evaluator{eng: e}
+	combinedCols := append(append([]binding{}, left.cols...), right.cols...)
+	combined := &relation{cols: combinedCols}
+
+	// Build the ON condition from USING if necessary.
+	on := j.On
+	if on == nil && len(j.Using) > 0 {
+		for _, col := range j.Using {
+			lq := left.cols[0].qualifier
+			rq := right.cols[0].qualifier
+			cond := &sql.BinaryExpr{Op: "=",
+				Left:  &sql.ColumnRef{Table: lq, Name: col},
+				Right: &sql.ColumnRef{Table: rq, Name: col}}
+			if on == nil {
+				on = cond
+			} else {
+				on = &sql.BinaryExpr{Op: "AND", Left: on, Right: cond}
+			}
+		}
+	}
+
+	if j.Type == JoinCrossType() || on == nil {
+		combined.rows = crossJoinRows(left.rows, right.rows)
+		return combined, nil
+	}
+
+	// Try a hash join for single equality conditions between the two sides.
+	if b, ok := on.(*sql.BinaryExpr); ok && b.Op == "=" && j.Type == sql.JoinInner {
+		lc, lok := b.Left.(*sql.ColumnRef)
+		rc, rok := b.Right.(*sql.ColumnRef)
+		if lok && rok {
+			li, lerr := left.lookup(lc.Table, lc.Name)
+			ri, rerr := right.lookup(rc.Table, rc.Name)
+			if lerr != nil || rerr != nil {
+				li, lerr = left.lookup(rc.Table, rc.Name)
+				ri, rerr = right.lookup(lc.Table, lc.Name)
+			}
+			if lerr == nil && rerr == nil {
+				combined.rows = hashJoinRows(left.rows, right.rows, li, ri, false)
+				return combined, nil
+			}
+		}
+	}
+
+	// General nested-loop join with outer-join null padding.
+	leftMatched := make([]bool, len(left.rows))
+	rightMatched := make([]bool, len(right.rows))
+	for li, lrow := range left.rows {
+		for ri, rrow := range right.rows {
+			joined := append(append(Row{}, lrow...), rrow...)
+			en := &env{rel: combined, row: joined, outer: outer}
+			ok, err := ev.evalBool(on, en)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				combined.rows = append(combined.rows, joined)
+				leftMatched[li] = true
+				rightMatched[ri] = true
+			}
+		}
+	}
+	nullRow := func(n int) Row {
+		r := make(Row, n)
+		for i := range r {
+			r[i] = Null
+		}
+		return r
+	}
+	if j.Type == sql.JoinLeft || j.Type == sql.JoinFull {
+		for li, lrow := range left.rows {
+			if !leftMatched[li] {
+				combined.rows = append(combined.rows, append(append(Row{}, lrow...), nullRow(len(right.cols))...))
+			}
+		}
+	}
+	if j.Type == sql.JoinRight || j.Type == sql.JoinFull {
+		for ri, rrow := range right.rows {
+			if !rightMatched[ri] {
+				combined.rows = append(combined.rows, append(append(Row{}, nullRow(len(left.cols))...), rrow...))
+			}
+		}
+	}
+	return combined, nil
+}
+
+// JoinCrossType exposes the cross-join constant to avoid importing sql in
+// callers that only need the comparison above.
+func JoinCrossType() sql.JoinType { return sql.JoinCross }
+
+func crossJoinRows(left, right []Row) []Row {
+	out := make([]Row, 0, len(left)*len(right))
+	for _, l := range left {
+		for _, r := range right {
+			out = append(out, append(append(Row{}, l...), r...))
+		}
+	}
+	return out
+}
+
+func hashJoinRows(left, right []Row, li, ri int, _ bool) []Row {
+	// Build on the smaller side.
+	if len(right) < len(left) {
+		index := make(map[string][]Row, len(right))
+		for _, r := range right {
+			if r[ri].IsNull() {
+				continue
+			}
+			k := r[ri].Key()
+			index[k] = append(index[k], r)
+		}
+		var out []Row
+		for _, l := range left {
+			if l[li].IsNull() {
+				continue
+			}
+			for _, r := range index[l[li].Key()] {
+				out = append(out, append(append(Row{}, l...), r...))
+			}
+		}
+		return out
+	}
+	index := make(map[string][]Row, len(left))
+	for _, l := range left {
+		if l[li].IsNull() {
+			continue
+		}
+		k := l[li].Key()
+		index[k] = append(index[k], l)
+	}
+	var out []Row
+	for _, r := range right {
+		if r[ri].IsNull() {
+			continue
+		}
+		for _, l := range index[r[ri].Key()] {
+			out = append(out, append(append(Row{}, l...), r...))
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Projection, aggregation, ordering
+// ---------------------------------------------------------------------------
+
+// execProject projects the SELECT list over each source row (no aggregation).
+func (e *Engine) execProject(stmt *sql.SelectStmt, source *relation, outer *env) (*relation, error) {
+	ev := &evaluator{eng: e}
+	outCols, starIdx, err := projectionColumns(stmt, source)
+	if err != nil {
+		return nil, err
+	}
+	out := &relation{cols: outCols}
+
+	// Precompute ORDER BY keys against the source relation so ordering can
+	// reference non-projected columns.
+	type keyedRow struct {
+		keys Row
+		row  Row
+	}
+	var keyed []keyedRow
+	for _, srcRow := range source.rows {
+		en := &env{rel: source, row: srcRow, outer: outer}
+		projected := make(Row, 0, len(outCols))
+		for i, item := range stmt.Columns {
+			switch {
+			case item.Star:
+				projected = append(projected, srcRow...)
+			case item.TableStar != "":
+				for ci, b := range source.cols {
+					if strings.EqualFold(b.qualifier, item.TableStar) || strings.EqualFold(b.table, item.TableStar) {
+						projected = append(projected, srcRow[ci])
+					}
+				}
+			default:
+				v, err := ev.eval(item.Expr, en)
+				if err != nil {
+					return nil, err
+				}
+				projected = append(projected, v)
+			}
+			_ = i
+		}
+		var keys Row
+		for _, o := range stmt.OrderBy {
+			v, err := e.evalOrderKey(o.Expr, stmt, source, srcRow, projected, outCols, outer)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, v)
+		}
+		keyed = append(keyed, keyedRow{keys: keys, row: projected})
+	}
+	_ = starIdx
+	if len(stmt.OrderBy) > 0 {
+		sort.SliceStable(keyed, func(i, j int) bool {
+			return compareKeys(keyed[i].keys, keyed[j].keys, stmt.OrderBy)
+		})
+	}
+	for _, kr := range keyed {
+		out.rows = append(out.rows, kr.row)
+	}
+	return out, nil
+}
+
+// evalOrderKey evaluates an ORDER BY expression, first trying output aliases
+// then the source relation.
+func (e *Engine) evalOrderKey(expr sql.Expr, stmt *sql.SelectStmt, source *relation, srcRow, projected Row, outCols []binding, outer *env) (Value, error) {
+	if c, ok := expr.(*sql.ColumnRef); ok && c.Table == "" {
+		for i, item := range stmt.Columns {
+			if item.Alias != "" && strings.EqualFold(item.Alias, c.Name) && i < len(projected) {
+				return projected[i], nil
+			}
+		}
+	}
+	ev := &evaluator{eng: e}
+	en := &env{rel: source, row: srcRow, outer: outer}
+	return ev.eval(expr, en)
+}
+
+func compareKeys(a, b Row, order []sql.OrderItem) bool {
+	for i := range order {
+		if i >= len(a) || i >= len(b) {
+			break
+		}
+		av, bv := a[i], b[i]
+		if av.IsNull() && bv.IsNull() {
+			continue
+		}
+		if av.IsNull() {
+			return !order[i].Desc
+		}
+		if bv.IsNull() {
+			return order[i].Desc
+		}
+		c, err := av.Compare(bv)
+		if err != nil || c == 0 {
+			continue
+		}
+		if order[i].Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+// projectionColumns computes the output bindings for the SELECT list.
+func projectionColumns(stmt *sql.SelectStmt, source *relation) ([]binding, int, error) {
+	var out []binding
+	starIdx := -1
+	for _, item := range stmt.Columns {
+		switch {
+		case item.Star:
+			starIdx = len(out)
+			out = append(out, source.cols...)
+		case item.TableStar != "":
+			for _, b := range source.cols {
+				if strings.EqualFold(b.qualifier, item.TableStar) || strings.EqualFold(b.table, item.TableStar) {
+					out = append(out, b)
+				}
+			}
+		default:
+			name := item.Alias
+			if name == "" {
+				if c, ok := item.Expr.(*sql.ColumnRef); ok {
+					name = c.Name
+				} else {
+					name = item.Expr.SQL()
+				}
+			}
+			out = append(out, binding{column: name})
+		}
+	}
+	return out, starIdx, nil
+}
+
+// needsAggregation reports whether the SELECT uses GROUP BY or aggregate
+// functions in its SELECT list or HAVING clause.
+func needsAggregation(stmt *sql.SelectStmt) bool {
+	if len(stmt.GroupBy) > 0 || stmt.Having != nil {
+		return true
+	}
+	agg := false
+	for _, item := range stmt.Columns {
+		if item.Expr == nil {
+			continue
+		}
+		sql.WalkExpr(item.Expr, func(x sql.Expr) bool {
+			if f, ok := x.(*sql.FuncCall); ok && f.IsAggregate() {
+				agg = true
+				return false
+			}
+			return true
+		})
+	}
+	return agg
+}
+
+// execAggregate evaluates a grouped (or implicitly single-group) query.
+func (e *Engine) execAggregate(stmt *sql.SelectStmt, source *relation, outer *env) (*relation, error) {
+	ev := &evaluator{eng: e}
+
+	// Partition rows into groups.
+	type group struct {
+		keyVals Row
+		rows    []Row
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range source.rows {
+		en := &env{rel: source, row: row, outer: outer}
+		var keyVals Row
+		var keyParts []string
+		for _, g := range stmt.GroupBy {
+			v, err := ev.eval(g, en)
+			if err != nil {
+				return nil, err
+			}
+			keyVals = append(keyVals, v)
+			keyParts = append(keyParts, v.Key())
+		}
+		key := strings.Join(keyParts, "\x1f")
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{keyVals: keyVals}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		grp.rows = append(grp.rows, row)
+	}
+	// A query with aggregates but no GROUP BY has exactly one group, even if
+	// the source is empty.
+	if len(stmt.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+
+	outCols, _, err := projectionColumns(stmt, source)
+	if err != nil {
+		return nil, err
+	}
+	out := &relation{cols: outCols}
+
+	type keyedRow struct {
+		keys Row
+		row  Row
+	}
+	var keyed []keyedRow
+	for _, key := range order {
+		grp := groups[key]
+		gev := &groupEvaluator{eng: e, source: source, rows: grp.rows, outer: outer}
+		// HAVING filter.
+		if stmt.Having != nil {
+			v, err := gev.eval(stmt.Having)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			b, err := v.Coerce(TypeBool)
+			if err != nil || !b.Bool {
+				continue
+			}
+		}
+		projected := make(Row, 0, len(stmt.Columns))
+		for _, item := range stmt.Columns {
+			switch {
+			case item.Star:
+				// SELECT * with GROUP BY projects the first row of the group.
+				if len(grp.rows) > 0 {
+					projected = append(projected, grp.rows[0]...)
+				} else {
+					projected = append(projected, make(Row, len(source.cols))...)
+				}
+			case item.TableStar != "":
+				if len(grp.rows) > 0 {
+					for ci, b := range source.cols {
+						if strings.EqualFold(b.qualifier, item.TableStar) || strings.EqualFold(b.table, item.TableStar) {
+							projected = append(projected, grp.rows[0][ci])
+						}
+					}
+				}
+			default:
+				v, err := gev.eval(item.Expr)
+				if err != nil {
+					return nil, err
+				}
+				projected = append(projected, v)
+			}
+		}
+		var keys Row
+		for _, o := range stmt.OrderBy {
+			v, err := e.evalGroupOrderKey(o.Expr, stmt, gev, projected)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, v)
+		}
+		keyed = append(keyed, keyedRow{keys: keys, row: projected})
+	}
+	if len(stmt.OrderBy) > 0 {
+		sort.SliceStable(keyed, func(i, j int) bool {
+			return compareKeys(keyed[i].keys, keyed[j].keys, stmt.OrderBy)
+		})
+	}
+	for _, kr := range keyed {
+		out.rows = append(out.rows, kr.row)
+	}
+	return out, nil
+}
+
+func (e *Engine) evalGroupOrderKey(expr sql.Expr, stmt *sql.SelectStmt, gev *groupEvaluator, projected Row) (Value, error) {
+	if c, ok := expr.(*sql.ColumnRef); ok && c.Table == "" {
+		for i, item := range stmt.Columns {
+			if item.Alias != "" && strings.EqualFold(item.Alias, c.Name) && i < len(projected) {
+				return projected[i], nil
+			}
+		}
+	}
+	return gev.eval(expr)
+}
+
+// groupEvaluator evaluates expressions in the context of one group: aggregate
+// calls aggregate over the group's rows, plain column references evaluate
+// against the group's first row.
+type groupEvaluator struct {
+	eng    *Engine
+	source *relation
+	rows   []Row
+	outer  *env
+}
+
+func (g *groupEvaluator) eval(e sql.Expr) (Value, error) {
+	if f, ok := e.(*sql.FuncCall); ok && f.IsAggregate() {
+		return g.evalAggregate(f)
+	}
+	switch n := e.(type) {
+	case *sql.BinaryExpr:
+		// Allow expressions over aggregates, e.g. AVG(x) > 10, SUM(a)/COUNT(*).
+		left, err := g.eval(n.Left)
+		if err != nil {
+			return Null, err
+		}
+		right, err := g.eval(n.Right)
+		if err != nil {
+			return Null, err
+		}
+		return evalBinaryValues(n.Op, left, right)
+	case *sql.UnaryExpr:
+		inner, err := g.eval(n.Expr)
+		if err != nil {
+			return Null, err
+		}
+		switch n.Op {
+		case "-":
+			return arith("-", NewInt(0), inner)
+		case "NOT":
+			if inner.IsNull() {
+				return Null, nil
+			}
+			b, err := inner.Coerce(TypeBool)
+			if err != nil {
+				return Null, err
+			}
+			return NewBool(!b.Bool), nil
+		default:
+			return inner, nil
+		}
+	}
+	// Non-aggregate expression: evaluate against the group's representative row.
+	ev := &evaluator{eng: g.eng}
+	var row Row
+	if len(g.rows) > 0 {
+		row = g.rows[0]
+	} else {
+		row = make(Row, len(g.source.cols))
+		for i := range row {
+			row[i] = Null
+		}
+	}
+	en := &env{rel: g.source, row: row, outer: g.outer}
+	return ev.eval(e, en)
+}
+
+func (g *groupEvaluator) evalAggregate(f *sql.FuncCall) (Value, error) {
+	name := strings.ToUpper(f.Name)
+	ev := &evaluator{eng: g.eng}
+	// Collect argument values across the group.
+	var vals []Value
+	if f.Star {
+		if name != "COUNT" {
+			return Null, fmt.Errorf("engine: %s(*) is not supported", name)
+		}
+		return NewInt(int64(len(g.rows))), nil
+	}
+	if len(f.Args) != 1 {
+		return Null, fmt.Errorf("engine: aggregate %s expects exactly one argument", name)
+	}
+	seen := make(map[string]bool)
+	for _, row := range g.rows {
+		en := &env{rel: g.source, row: row, outer: g.outer}
+		v, err := ev.eval(f.Args[0], en)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if f.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch name {
+	case "COUNT":
+		return NewInt(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return Null, nil
+		}
+		sum := 0.0
+		allInt := true
+		for _, v := range vals {
+			f, ok := v.asFloat()
+			if !ok {
+				return Null, fmt.Errorf("engine: %s over non-numeric values", name)
+			}
+			if v.Type != TypeInt {
+				allInt = false
+			}
+			sum += f
+		}
+		if name == "AVG" {
+			return NewFloat(sum / float64(len(vals))), nil
+		}
+		if allInt {
+			return NewInt(int64(sum)), nil
+		}
+		return NewFloat(sum), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := v.Compare(best)
+			if err != nil {
+				return Null, err
+			}
+			if (name == "MIN" && c < 0) || (name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return Null, fmt.Errorf("engine: unknown aggregate %s", name)
+	}
+}
+
+// evalBinaryValues applies a binary operator to two already-evaluated values.
+func evalBinaryValues(op string, left, right Value) (Value, error) {
+	switch op {
+	case "AND", "OR":
+		if left.IsNull() || right.IsNull() {
+			return Null, nil
+		}
+		lb, err := left.Coerce(TypeBool)
+		if err != nil {
+			return Null, err
+		}
+		rb, err := right.Coerce(TypeBool)
+		if err != nil {
+			return Null, err
+		}
+		if op == "AND" {
+			return NewBool(lb.Bool && rb.Bool), nil
+		}
+		return NewBool(lb.Bool || rb.Bool), nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		if left.IsNull() || right.IsNull() {
+			return Null, nil
+		}
+		c, err := left.Compare(right)
+		if err != nil {
+			return Null, err
+		}
+		var out bool
+		switch op {
+		case "=":
+			out = c == 0
+		case "<>":
+			out = c != 0
+		case "<":
+			out = c < 0
+		case "<=":
+			out = c <= 0
+		case ">":
+			out = c > 0
+		case ">=":
+			out = c >= 0
+		}
+		return NewBool(out), nil
+	case "||":
+		if left.IsNull() || right.IsNull() {
+			return Null, nil
+		}
+		return NewText(left.String() + right.String()), nil
+	default:
+		return arith(op, left, right)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// DISTINCT, LIMIT, set operations
+// ---------------------------------------------------------------------------
+
+func rowKey(r Row) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.Key()
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+func distinctRows(rows []Row) []Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		k := rowKey(r)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+func applyLimit(rows []Row, limit *sql.LimitClause) []Row {
+	start := int(limit.Offset)
+	if start < 0 {
+		start = 0
+	}
+	if start > len(rows) {
+		return nil
+	}
+	end := len(rows)
+	if limit.Count >= 0 && start+int(limit.Count) < end {
+		end = start + int(limit.Count)
+	}
+	return rows[start:end]
+}
+
+func applyCompound(op string, all bool, left, right *relation) (*relation, error) {
+	if len(left.cols) != len(right.cols) {
+		return nil, fmt.Errorf("engine: %s operands have different column counts (%d vs %d)", op, len(left.cols), len(right.cols))
+	}
+	out := &relation{cols: left.cols}
+	switch op {
+	case "UNION":
+		out.rows = append(append([]Row{}, left.rows...), right.rows...)
+		if !all {
+			out.rows = distinctRows(out.rows)
+		}
+	case "EXCEPT":
+		rightKeys := make(map[string]bool, len(right.rows))
+		for _, r := range right.rows {
+			rightKeys[rowKey(r)] = true
+		}
+		for _, r := range left.rows {
+			if !rightKeys[rowKey(r)] {
+				out.rows = append(out.rows, r)
+			}
+		}
+		if !all {
+			out.rows = distinctRows(out.rows)
+		}
+	case "INTERSECT":
+		rightKeys := make(map[string]bool, len(right.rows))
+		for _, r := range right.rows {
+			rightKeys[rowKey(r)] = true
+		}
+		for _, r := range left.rows {
+			if rightKeys[rowKey(r)] {
+				out.rows = append(out.rows, r)
+			}
+		}
+		if !all {
+			out.rows = distinctRows(out.rows)
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown set operation %s", op)
+	}
+	return out, nil
+}

@@ -1,0 +1,495 @@
+// Package maintenance implements the CQMS Query Maintenance component
+// (Figure 4, §4.4): the background process that keeps the Query Storage
+// up-to-date as the underlying database evolves. It identifies queries
+// invalidated by schema changes, attempts automatic repair for renames,
+// flags runtime statistics that have become stale, selectively re-executes
+// queries to refresh statistics, and maintains a per-query quality score.
+package maintenance
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// Config controls maintenance behaviour.
+type Config struct {
+	// AttemptRepair enables automatic rewriting of queries broken by RENAME
+	// schema changes.
+	AttemptRepair bool
+	// RefreshStaleStats enables re-executing flagged queries to refresh their
+	// runtime statistics.
+	RefreshStaleStats bool
+	// MaxRefreshPerScan bounds how many stale queries are re-executed per
+	// scan (the paper notes that re-running everything is "overly
+	// expensive"); the most popular/recent queries are refreshed first.
+	MaxRefreshPerScan int
+	// StaleRowDeltaRatio is the relative change in a table's row count beyond
+	// which statistics of queries over that table are considered stale.
+	StaleRowDeltaRatio float64
+}
+
+// DefaultConfig returns the default maintenance configuration.
+func DefaultConfig() Config {
+	return Config{
+		AttemptRepair:      true,
+		RefreshStaleStats:  true,
+		MaxRefreshPerScan:  50,
+		StaleRowDeltaRatio: 0.25,
+	}
+}
+
+// Invalidation describes one query flagged as broken by schema evolution.
+type Invalidation struct {
+	ID     storage.QueryID
+	Reason string
+}
+
+// Repair describes one automatically repaired query.
+type Repair struct {
+	ID      storage.QueryID
+	OldText string
+	NewText string
+	Change  string
+}
+
+// Report summarises one maintenance scan.
+type Report struct {
+	Checked        int
+	Invalidated    []Invalidation
+	Repaired       []Repair
+	StatsFlagged   []storage.QueryID
+	StatsRefreshed []storage.QueryID
+	QualityScored  int
+	Elapsed        time.Duration
+}
+
+// Maintainer runs maintenance scans over a store backed by an engine.
+type Maintainer struct {
+	eng   *engine.Engine
+	store *storage.Store
+	cfg   Config
+	// lastRowCounts remembers per-table row counts from the previous scan to
+	// detect data-distribution changes.
+	lastRowCounts map[string]int
+}
+
+// New returns a maintainer.
+func New(eng *engine.Engine, store *storage.Store, cfg Config) *Maintainer {
+	return &Maintainer{eng: eng, store: store, cfg: cfg, lastRowCounts: map[string]int{}}
+}
+
+// Scan runs one full maintenance pass: schema-change validation (with
+// optional repair), stale-statistics detection (with optional refresh) and
+// quality scoring. It returns a report of everything it did.
+func (m *Maintainer) Scan() (*Report, error) {
+	start := time.Now()
+	report := &Report{}
+	admin := storage.Principal{Admin: true}
+	records := m.store.All(admin)
+	report.Checked = len(records)
+
+	schemas := m.eng.Catalog().Schemas()
+	changes := m.eng.Catalog().Changes(0)
+
+	currentCounts := make(map[string]int)
+	for name := range schemas {
+		if n, err := m.eng.Catalog().RowCount(name); err == nil {
+			currentCounts[name] = n
+		}
+	}
+
+	for _, rec := range records {
+		if len(rec.Tables) == 0 {
+			continue
+		}
+		// 1. Validity against the current schema.
+		reason, repairable := validate(rec, schemas, changes)
+		if reason != "" {
+			if m.cfg.AttemptRepair && repairable != nil {
+				if rep, err := m.tryRepair(rec, repairable, schemas); err == nil {
+					report.Repaired = append(report.Repaired, *rep)
+					continue
+				}
+			}
+			if err := m.store.MarkInvalid(rec.ID, reason); err != nil {
+				return nil, fmt.Errorf("maintenance: flagging query %d: %w", rec.ID, err)
+			}
+			report.Invalidated = append(report.Invalidated, Invalidation{ID: rec.ID, Reason: reason})
+			continue
+		}
+		if !rec.Valid {
+			// Previously flagged but now consistent again (e.g. the column
+			// was re-added): clear the flag.
+			if err := m.store.MarkValid(rec.ID); err != nil {
+				return nil, err
+			}
+		}
+
+		// 2. Staleness of runtime statistics: schema newer than the recorded
+		// run, or the referenced tables' cardinalities changed materially.
+		if m.isStale(rec, currentCounts) {
+			if err := m.store.MarkStatsStale(rec.ID, true); err != nil {
+				return nil, err
+			}
+			report.StatsFlagged = append(report.StatsFlagged, rec.ID)
+		}
+
+		// 3. Quality score.
+		if err := m.store.SetQuality(rec.ID, QualityScore(rec)); err != nil {
+			return nil, err
+		}
+		report.QualityScored++
+	}
+
+	// 4. Refresh statistics for (a bounded number of) stale queries.
+	if m.cfg.RefreshStaleStats {
+		refreshed, err := m.RefreshStats(m.cfg.MaxRefreshPerScan)
+		if err != nil {
+			return nil, err
+		}
+		report.StatsRefreshed = refreshed
+	}
+
+	m.lastRowCounts = currentCounts
+	report.Elapsed = time.Since(start)
+	return report, nil
+}
+
+// validate checks the query's referenced tables and columns against the
+// current schema. It returns a human-readable reason when the query is
+// broken, plus the schema change that broke it when that change is a rename
+// (and hence repairable).
+func validate(rec *storage.QueryRecord, schemas map[string]*engine.Schema, changes []engine.SchemaChange) (string, *engine.SchemaChange) {
+	findSchema := func(table string) *engine.Schema {
+		for name, s := range schemas {
+			if strings.EqualFold(name, table) {
+				return s
+			}
+		}
+		return nil
+	}
+	for _, table := range rec.Tables {
+		s := findSchema(table)
+		if s == nil {
+			if ch := findRename(changes, engine.ChangeRenameTable, table, ""); ch != nil {
+				return fmt.Sprintf("table %s renamed to %s", table, ch.NewName), ch
+			}
+			return fmt.Sprintf("table %s no longer exists", table), nil
+		}
+		// Columns the query references on this table.
+		for _, attr := range rec.Attributes {
+			if !strings.EqualFold(attr.Rel, table) {
+				continue
+			}
+			if s.ColumnIndex(attr.Attr) < 0 {
+				if ch := findRename(changes, engine.ChangeRenameColumn, table, attr.Attr); ch != nil {
+					return fmt.Sprintf("column %s.%s renamed to %s", table, attr.Attr, ch.NewName), ch
+				}
+				return fmt.Sprintf("column %s.%s no longer exists", table, attr.Attr), nil
+			}
+		}
+	}
+	return "", nil
+}
+
+// findRename locates the most recent rename change matching the missing
+// table or column.
+func findRename(changes []engine.SchemaChange, kind engine.SchemaChangeKind, table, column string) *engine.SchemaChange {
+	for i := len(changes) - 1; i >= 0; i-- {
+		ch := changes[i]
+		if ch.Kind != kind {
+			continue
+		}
+		switch kind {
+		case engine.ChangeRenameTable:
+			if strings.EqualFold(ch.Table, table) {
+				return &ch
+			}
+		case engine.ChangeRenameColumn:
+			if strings.EqualFold(ch.Table, table) && strings.EqualFold(ch.Column, column) {
+				return &ch
+			}
+		}
+	}
+	return nil
+}
+
+// tryRepair rewrites the query for a rename change, verifies that the
+// rewritten query parses and references only existing tables and columns,
+// and replaces the stored text.
+func (m *Maintainer) tryRepair(rec *storage.QueryRecord, ch *engine.SchemaChange, schemas map[string]*engine.Schema) (*Repair, error) {
+	var newText string
+	var err error
+	switch ch.Kind {
+	case engine.ChangeRenameTable:
+		newText, err = RewriteTableName(rec.Text, ch.Table, ch.NewName)
+	case engine.ChangeRenameColumn:
+		newText, err = RewriteColumnName(rec.Text, ch.Table, ch.Column, ch.NewName)
+	default:
+		return nil, fmt.Errorf("maintenance: change %v is not repairable", ch.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	updated, err := storage.NewRecordFromSQL(newText)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the rewritten query against the current schema before
+	// committing the repair.
+	if reason, _ := validate(updated, schemas, nil); reason != "" {
+		return nil, fmt.Errorf("maintenance: repair still invalid: %s", reason)
+	}
+	if err := m.store.ReplaceText(rec.ID, updated); err != nil {
+		return nil, err
+	}
+	if err := m.store.MarkValid(rec.ID); err != nil {
+		return nil, err
+	}
+	return &Repair{
+		ID: rec.ID, OldText: rec.Text, NewText: newText,
+		Change: fmt.Sprintf("%s %s -> %s", ch.Kind, ch.Table+nonEmptyDot(ch.Column), ch.NewName),
+	}, nil
+}
+
+func nonEmptyDot(column string) string {
+	if column == "" {
+		return ""
+	}
+	return "." + column
+}
+
+// isStale decides whether the query's recorded runtime statistics should be
+// refreshed: the schema has changed since the query ran, or the row count of
+// a referenced table moved by more than StaleRowDeltaRatio since the last
+// scan.
+func (m *Maintainer) isStale(rec *storage.QueryRecord, currentCounts map[string]int) bool {
+	if rec.StatsStale {
+		return true
+	}
+	if rec.Stats.SchemaVersion < m.eng.Catalog().Version() {
+		// Only consider it stale if one of its tables actually changed after
+		// the query ran.
+		for _, ch := range m.eng.Catalog().Changes(rec.Stats.SchemaVersion) {
+			for _, t := range rec.Tables {
+				if strings.EqualFold(ch.Table, t) {
+					return true
+				}
+			}
+		}
+	}
+	if m.cfg.StaleRowDeltaRatio > 0 {
+		for _, t := range rec.Tables {
+			prev, okPrev := m.lastRowCounts[t]
+			cur, okCur := currentCounts[t]
+			if !okPrev || !okCur || prev == 0 {
+				continue
+			}
+			delta := float64(cur-prev) / float64(prev)
+			if delta < 0 {
+				delta = -delta
+			}
+			if delta > m.cfg.StaleRowDeltaRatio {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RefreshStats re-executes up to max stale queries (most recently issued
+// first), updating their runtime statistics and output samples. It returns
+// the IDs refreshed.
+func (m *Maintainer) RefreshStats(max int) ([]storage.QueryID, error) {
+	admin := storage.Principal{Admin: true}
+	stale := m.store.StaleQueries()
+	if max > 0 && len(stale) > max {
+		// Most recent queries first: higher IDs are newer.
+		stale = stale[len(stale)-max:]
+	}
+	var refreshed []storage.QueryID
+	for _, id := range stale {
+		rec, err := m.store.Get(id, admin)
+		if err != nil {
+			continue
+		}
+		res, execErr := m.eng.Execute(rec.Text)
+		stats := storage.RuntimeStats{
+			SchemaVersion: m.eng.Catalog().Version(),
+			ExecutedAt:    time.Now(),
+		}
+		if execErr != nil {
+			stats.Error = execErr.Error()
+			if err := m.store.UpdateStats(id, stats); err != nil {
+				return refreshed, err
+			}
+			if err := m.store.MarkInvalid(id, "re-execution failed: "+execErr.Error()); err != nil {
+				return refreshed, err
+			}
+			continue
+		}
+		stats.ExecTime = res.Elapsed
+		stats.ResultRows = res.Cardinality()
+		stats.ResultColumns = len(res.Columns)
+		if err := m.store.UpdateStats(id, stats); err != nil {
+			return refreshed, err
+		}
+		refreshed = append(refreshed, id)
+	}
+	return refreshed, nil
+}
+
+// QualityScore computes the §4.4 query-quality measure in [0, 1]: valid,
+// annotated, efficient queries with modest result sizes score highest.
+func QualityScore(rec *storage.QueryRecord) float64 {
+	score := 0.0
+	if rec.Valid {
+		score += 0.4
+	}
+	if len(rec.Annotations) > 0 {
+		score += 0.2
+	}
+	if rec.Stats.Error == "" {
+		score += 0.1
+	}
+	// Efficiency: 0.2 at instant execution decaying with runtime.
+	ms := float64(rec.Stats.ExecTime.Milliseconds())
+	score += 0.2 / (1 + ms/200)
+	// Simplicity: fewer referenced tables is simpler.
+	score += 0.1 / float64(1+len(rec.Tables))
+	if score > 1 {
+		score = 1
+	}
+	return score
+}
+
+// ---------------------------------------------------------------------------
+// Query rewriting for repairs
+// ---------------------------------------------------------------------------
+
+// RewriteTableName renames every reference to oldName in the query to
+// newName and returns the rewritten SQL text.
+func RewriteTableName(queryText, oldName, newName string) (string, error) {
+	stmt, err := sql.Parse(queryText)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("maintenance: only SELECT queries can be repaired")
+	}
+	rewriteSelectTables(sel, oldName, newName)
+	return sel.SQL(), nil
+}
+
+func rewriteSelectTables(sel *sql.SelectStmt, oldName, newName string) {
+	sql.WalkTableRefs(sel, func(t sql.TableRef) bool {
+		if tn, ok := t.(*sql.TableName); ok && strings.EqualFold(tn.Name, oldName) {
+			tn.Name = newName
+		}
+		return true
+	})
+	rewrite := func(e sql.Expr) {
+		sql.WalkExpr(e, func(x sql.Expr) bool {
+			if c, ok := x.(*sql.ColumnRef); ok && strings.EqualFold(c.Table, oldName) {
+				c.Table = newName
+			}
+			return true
+		})
+	}
+	for _, item := range sel.Columns {
+		rewrite(item.Expr)
+	}
+	rewrite(sel.Where)
+	rewrite(sel.Having)
+	for _, g := range sel.GroupBy {
+		rewrite(g)
+	}
+	for _, o := range sel.OrderBy {
+		rewrite(o.Expr)
+	}
+	for _, t := range sel.From {
+		rewriteJoinQualifiers(t, rewrite)
+	}
+	for _, sub := range sql.Subqueries(sel) {
+		rewriteSelectTables(sub, oldName, newName)
+	}
+}
+
+// rewriteJoinQualifiers applies the rewrite function to every ON condition in
+// a (possibly nested) join tree.
+func rewriteJoinQualifiers(t sql.TableRef, rewrite func(sql.Expr)) {
+	if j, ok := t.(*sql.JoinExpr); ok {
+		rewriteJoinQualifiers(j.Left, rewrite)
+		rewriteJoinQualifiers(j.Right, rewrite)
+		rewrite(j.On)
+	}
+}
+
+// RewriteColumnName renames references to table.oldCol (or unqualified oldCol
+// when the query references only that table) to newCol.
+func RewriteColumnName(queryText, table, oldCol, newCol string) (string, error) {
+	stmt, err := sql.Parse(queryText)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("maintenance: only SELECT queries can be repaired")
+	}
+	analysis := sql.Analyze(sel)
+	aliasesOfTable := map[string]bool{strings.ToLower(table): true}
+	for alias, base := range analysis.Aliases {
+		if strings.EqualFold(base, table) {
+			aliasesOfTable[strings.ToLower(alias)] = true
+		}
+	}
+	singleTable := len(analysis.Tables) == 1 && strings.EqualFold(analysis.Tables[0], table)
+
+	rewriteCols := func(sel *sql.SelectStmt) {
+		rewrite := func(e sql.Expr) {
+			sql.WalkExpr(e, func(x sql.Expr) bool {
+				c, ok := x.(*sql.ColumnRef)
+				if !ok || !strings.EqualFold(c.Name, oldCol) {
+					return true
+				}
+				if c.Table == "" {
+					if singleTable {
+						c.Name = newCol
+					}
+					return true
+				}
+				if aliasesOfTable[strings.ToLower(c.Table)] {
+					c.Name = newCol
+				}
+				return true
+			})
+		}
+		for _, item := range sel.Columns {
+			rewrite(item.Expr)
+		}
+		rewrite(sel.Where)
+		rewrite(sel.Having)
+		for _, g := range sel.GroupBy {
+			rewrite(g)
+		}
+		for _, o := range sel.OrderBy {
+			rewrite(o.Expr)
+		}
+		for _, t := range sel.From {
+			if j, ok := t.(*sql.JoinExpr); ok {
+				rewrite(j.On)
+			}
+		}
+	}
+	rewriteCols(sel)
+	for _, sub := range sql.Subqueries(sel) {
+		rewriteCols(sub)
+	}
+	return sel.SQL(), nil
+}

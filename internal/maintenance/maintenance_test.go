@@ -1,0 +1,379 @@
+package maintenance
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/profiler"
+	"repro/internal/storage"
+)
+
+var admin = storage.Principal{Admin: true}
+
+// fixture builds an engine with the lakes schema, a profiler and a set of
+// logged queries.
+func fixture(t testing.TB) (*engine.Engine, *storage.Store, *profiler.Profiler) {
+	t.Helper()
+	eng := engine.New()
+	setup := []string{
+		"CREATE TABLE WaterTemp (id INT, lake TEXT, loc_x INT, temp FLOAT)",
+		"CREATE TABLE WaterSalinity (id INT, lake TEXT, loc_x INT, salinity FLOAT)",
+		"CREATE TABLE CityLocations (city TEXT, state TEXT, loc_x INT)",
+		"INSERT INTO WaterTemp VALUES (1, 'Lake Washington', 10, 14.5), (2, 'Lake Union', 11, 19.0)",
+		"INSERT INTO WaterSalinity VALUES (1, 'Lake Washington', 10, 2.5)",
+		"INSERT INTO CityLocations VALUES ('Seattle', 'WA', 10)",
+	}
+	for _, s := range setup {
+		eng.MustExecute(s)
+	}
+	store := storage.NewStore()
+	p := profiler.New(eng, store, profiler.DefaultConfig())
+	submit := func(q string) {
+		if _, err := p.Submit(profiler.Submission{User: "alice", Visibility: storage.VisibilityPublic, SQL: q}); err != nil {
+			t.Fatalf("Submit(%q): %v", q, err)
+		}
+	}
+	submit("SELECT temp FROM WaterTemp WHERE temp < 18")
+	submit("SELECT lake, temp FROM WaterTemp ORDER BY temp")
+	submit("SELECT salinity FROM WaterSalinity WHERE salinity > 2")
+	submit("SELECT WaterTemp.temp, CityLocations.city FROM WaterTemp, CityLocations WHERE WaterTemp.loc_x = CityLocations.loc_x")
+	return eng, store, p
+}
+
+func TestScanAllValid(t *testing.T) {
+	eng, store, _ := fixture(t)
+	m := New(eng, store, DefaultConfig())
+	report, err := m.Scan()
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if report.Checked != 4 {
+		t.Errorf("checked = %d, want 4", report.Checked)
+	}
+	if len(report.Invalidated) != 0 || len(report.Repaired) != 0 {
+		t.Errorf("nothing should be invalid on an unchanged schema: %+v", report)
+	}
+	if report.QualityScored != 4 {
+		t.Errorf("quality scored = %d, want 4", report.QualityScored)
+	}
+	// Quality scores persisted.
+	for _, rec := range store.All(admin) {
+		if rec.QualityScore <= 0 {
+			t.Errorf("query %d has no quality score", rec.ID)
+		}
+	}
+}
+
+func TestScanFlagsDroppedColumn(t *testing.T) {
+	eng, store, _ := fixture(t)
+	eng.MustExecute("ALTER TABLE WaterSalinity DROP COLUMN salinity")
+	m := New(eng, store, DefaultConfig())
+	report, err := m.Scan()
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(report.Invalidated) != 1 {
+		t.Fatalf("invalidated = %+v, want exactly the salinity query", report.Invalidated)
+	}
+	if !strings.Contains(report.Invalidated[0].Reason, "salinity") {
+		t.Errorf("reason = %q", report.Invalidated[0].Reason)
+	}
+	invalid := store.InvalidQueries()
+	if len(invalid) != 1 {
+		t.Errorf("store invalid queries = %v", invalid)
+	}
+}
+
+func TestScanFlagsDroppedTable(t *testing.T) {
+	eng, store, _ := fixture(t)
+	eng.MustExecute("DROP TABLE CityLocations")
+	m := New(eng, store, DefaultConfig())
+	report, err := m.Scan()
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(report.Invalidated) != 1 {
+		t.Fatalf("invalidated = %+v", report.Invalidated)
+	}
+	if !strings.Contains(report.Invalidated[0].Reason, "CityLocations") {
+		t.Errorf("reason = %q", report.Invalidated[0].Reason)
+	}
+}
+
+func TestScanRepairsRenamedColumn(t *testing.T) {
+	eng, store, _ := fixture(t)
+	eng.MustExecute("ALTER TABLE WaterTemp RENAME COLUMN temp TO temperature")
+	m := New(eng, store, DefaultConfig())
+	report, err := m.Scan()
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(report.Repaired) < 2 {
+		t.Fatalf("repaired = %+v, want the two WaterTemp.temp queries", report.Repaired)
+	}
+	if len(report.Invalidated) != 0 {
+		t.Errorf("renames should be repaired, not invalidated: %+v", report.Invalidated)
+	}
+	// The repaired queries now reference the new column and still execute.
+	for _, rep := range report.Repaired {
+		if !strings.Contains(rep.NewText, "temperature") {
+			t.Errorf("repair text = %q", rep.NewText)
+		}
+		if _, err := eng.Execute(rep.NewText); err != nil {
+			t.Errorf("repaired query does not execute: %v", err)
+		}
+	}
+	for _, rec := range store.All(admin) {
+		if !rec.Valid {
+			t.Errorf("query %d should be valid after repair", rec.ID)
+		}
+	}
+}
+
+func TestScanRepairsQueryOrderingByAlias(t *testing.T) {
+	// Regression: a query ordering by a SELECT alias (ORDER BY avg_temp) must
+	// be repairable after the underlying column is renamed; the alias must
+	// not be mistaken for a dropped column.
+	eng, store, p := fixture(t)
+	out, err := p.Submit(profiler.Submission{
+		User: "alice", Visibility: storage.VisibilityPublic,
+		SQL: "SELECT lake, AVG(temp) AS avg_temp FROM WaterTemp GROUP BY lake ORDER BY avg_temp DESC",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.MustExecute("ALTER TABLE WaterTemp RENAME COLUMN temp TO temperature")
+	report, err := New(eng, store, DefaultConfig()).Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired := false
+	for _, rep := range report.Repaired {
+		if rep.ID == out.QueryID {
+			repaired = true
+			if !strings.Contains(rep.NewText, "AVG(temperature)") || !strings.Contains(rep.NewText, "ORDER BY avg_temp") {
+				t.Errorf("repair text = %q", rep.NewText)
+			}
+			if _, err := eng.Execute(rep.NewText); err != nil {
+				t.Errorf("repaired query fails: %v", err)
+			}
+		}
+	}
+	if !repaired {
+		t.Errorf("aliased query was not repaired; invalidated = %+v", report.Invalidated)
+	}
+}
+
+func TestScanRepairsRenamedTable(t *testing.T) {
+	eng, store, _ := fixture(t)
+	eng.MustExecute("ALTER TABLE WaterSalinity RENAME TO LakeSalinity")
+	m := New(eng, store, DefaultConfig())
+	report, err := m.Scan()
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(report.Repaired) != 1 {
+		t.Fatalf("repaired = %+v, want the salinity query", report.Repaired)
+	}
+	if !strings.Contains(report.Repaired[0].NewText, "LakeSalinity") {
+		t.Errorf("repair text = %q", report.Repaired[0].NewText)
+	}
+	if _, err := eng.Execute(report.Repaired[0].NewText); err != nil {
+		t.Errorf("repaired query fails: %v", err)
+	}
+	// The store index follows the rename.
+	if got := store.ByTable("LakeSalinity", admin); len(got) != 1 {
+		t.Errorf("ByTable(LakeSalinity) = %d, want 1", len(got))
+	}
+}
+
+func TestScanRepairDisabled(t *testing.T) {
+	eng, store, _ := fixture(t)
+	eng.MustExecute("ALTER TABLE WaterTemp RENAME COLUMN temp TO temperature")
+	cfg := DefaultConfig()
+	cfg.AttemptRepair = false
+	m := New(eng, store, cfg)
+	report, err := m.Scan()
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(report.Repaired) != 0 {
+		t.Errorf("repair disabled but repaired = %+v", report.Repaired)
+	}
+	if len(report.Invalidated) == 0 {
+		t.Errorf("broken queries should be invalidated when repair is off")
+	}
+}
+
+func TestStaleStatsFlaggingAndRefresh(t *testing.T) {
+	eng, store, _ := fixture(t)
+	m := New(eng, store, DefaultConfig())
+	if _, err := m.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	// Grow WaterTemp by well over the 25% threshold.
+	for i := 0; i < 10; i++ {
+		eng.MustExecute("INSERT INTO WaterTemp VALUES (99, 'Bulk Lake', 50, 12.0)")
+	}
+	report, err := m.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.StatsFlagged) == 0 {
+		t.Fatalf("no stats flagged after data growth")
+	}
+	if len(report.StatsRefreshed) == 0 {
+		t.Fatalf("no stats refreshed")
+	}
+	// The refreshed statistics reflect the new data.
+	for _, rec := range store.All(admin) {
+		if rec.Tables[0] == "WaterTemp" && len(rec.Tables) == 1 && strings.Contains(rec.Text, "ORDER BY") {
+			if rec.Stats.ResultRows != 12 {
+				t.Errorf("refreshed cardinality = %d, want 12", rec.Stats.ResultRows)
+			}
+		}
+	}
+	if len(store.StaleQueries()) != 0 {
+		t.Errorf("stale flags should be cleared after refresh")
+	}
+}
+
+func TestStaleStatsAfterSchemaChangeOnReferencedTable(t *testing.T) {
+	eng, store, _ := fixture(t)
+	m := New(eng, store, DefaultConfig())
+	if _, err := m.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	// Adding a column to WaterSalinity leaves its queries valid but makes
+	// their stats stale; WaterTemp-only queries are unaffected.
+	eng.MustExecute("ALTER TABLE WaterSalinity ADD COLUMN depth FLOAT")
+	cfg := DefaultConfig()
+	cfg.RefreshStaleStats = false
+	m2 := New(eng, store, cfg)
+	report, err := m2.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.StatsFlagged) != 1 {
+		t.Errorf("stats flagged = %v, want only the WaterSalinity query", report.StatsFlagged)
+	}
+}
+
+func TestRefreshStatsBound(t *testing.T) {
+	eng, store, _ := fixture(t)
+	for _, id := range []storage.QueryID{1, 2, 3, 4} {
+		if err := store.MarkStatsStale(id, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := New(eng, store, DefaultConfig())
+	refreshed, err := m.RefreshStats(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refreshed) != 2 {
+		t.Errorf("refreshed = %d, want 2 (bounded)", len(refreshed))
+	}
+	// The most recent queries are refreshed first.
+	if refreshed[0] != 3 || refreshed[1] != 4 {
+		t.Errorf("refreshed IDs = %v, want the newest two", refreshed)
+	}
+}
+
+func TestRefreshStatsMarksFailingQueriesInvalid(t *testing.T) {
+	eng, store, _ := fixture(t)
+	eng.MustExecute("DROP TABLE CityLocations")
+	// Flag the CityLocations query as stale and refresh it: execution fails,
+	// so it must be marked invalid.
+	if err := store.MarkStatsStale(4, true); err != nil {
+		t.Fatal(err)
+	}
+	m := New(eng, store, DefaultConfig())
+	refreshed, err := m.RefreshStats(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refreshed) != 0 {
+		t.Errorf("failing query should not count as refreshed")
+	}
+	rec, _ := store.Get(4, admin)
+	if rec.Valid {
+		t.Errorf("failing query should be invalid after refresh attempt")
+	}
+}
+
+func TestQualityScore(t *testing.T) {
+	good := &storage.QueryRecord{
+		Valid:       true,
+		Annotations: []storage.Annotation{{Text: "documented"}},
+		Tables:      []string{"WaterTemp"},
+		Stats:       storage.RuntimeStats{ExecTime: time.Millisecond, ResultRows: 5},
+	}
+	bad := &storage.QueryRecord{
+		Valid:  false,
+		Tables: []string{"A", "B", "C", "D"},
+		Stats:  storage.RuntimeStats{ExecTime: 10 * time.Second, Error: "boom"},
+	}
+	gs, bs := QualityScore(good), QualityScore(bad)
+	if gs <= bs {
+		t.Errorf("good quality %v should exceed bad quality %v", gs, bs)
+	}
+	if gs > 1 || bs < 0 {
+		t.Errorf("scores out of range: %v %v", gs, bs)
+	}
+}
+
+func TestRewriteTableName(t *testing.T) {
+	got, err := RewriteTableName(
+		"SELECT WaterSalinity.salinity FROM WaterSalinity WHERE WaterSalinity.salinity > 2",
+		"WaterSalinity", "LakeSalinity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(got, "WaterSalinity") || !strings.Contains(got, "LakeSalinity") {
+		t.Errorf("rewrite = %q", got)
+	}
+	// Aliased references keep their alias.
+	got, err = RewriteTableName("SELECT s.salinity FROM WaterSalinity s JOIN WaterTemp t ON s.loc_x = t.loc_x", "WaterSalinity", "LakeSalinity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "LakeSalinity s") || !strings.Contains(got, "s.salinity") {
+		t.Errorf("aliased rewrite = %q", got)
+	}
+	if _, err := RewriteTableName("not sql", "a", "b"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := RewriteTableName("DELETE FROM t", "t", "u"); err == nil {
+		t.Error("expected non-SELECT error")
+	}
+}
+
+func TestRewriteColumnName(t *testing.T) {
+	// Unqualified references over a single table.
+	got, err := RewriteColumnName("SELECT temp FROM WaterTemp WHERE temp < 18 ORDER BY temp", "WaterTemp", "temp", "temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(got, " temp ") || !strings.Contains(got, "temperature") {
+		t.Errorf("rewrite = %q", got)
+	}
+	// Alias-qualified references.
+	got, err = RewriteColumnName("SELECT t.temp FROM WaterTemp t, WaterSalinity s WHERE t.temp < 18 AND s.loc_x = t.loc_x", "WaterTemp", "temp", "temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "t.temperature") {
+		t.Errorf("aliased column rewrite = %q", got)
+	}
+	// A same-named column of a different table is left alone.
+	got, err = RewriteColumnName("SELECT t.loc_x, s.loc_x FROM WaterTemp t, WaterSalinity s", "WaterTemp", "loc_x", "grid_x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "t.grid_x") || !strings.Contains(got, "s.loc_x") {
+		t.Errorf("selective column rewrite = %q", got)
+	}
+}

@@ -1,0 +1,524 @@
+// Package metaquery implements the CQMS Meta-query Executor (Figure 4): the
+// online component that answers queries about queries. It supports the four
+// meta-querying paradigms of §2.2 and §4.2:
+//
+//   - keyword and substring search over query text and annotations,
+//   - query-by-feature: SQL meta-queries over the Figure 1 feature relations,
+//     including automatic generation of such meta-queries from a partially
+//     written query,
+//   - query-by-parse-tree: conditions on the structure of logged queries,
+//   - query-by-data: conditions on query outputs (positive/negative example
+//     tuples), and
+//   - kNN similarity queries used by the Assisted Interaction Mode.
+//
+// All operations enforce the storage layer's access-control rules.
+package metaquery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/miner"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// ErrNoQIDColumn is returned by SQLMetaQuery when the meta-query result does
+// not include a qid column to join back to stored queries.
+var ErrNoQIDColumn = errors.New("metaquery: meta-query result has no qid column")
+
+// Match is one meta-query result: a stored query, a relevance score in
+// [0, 1] and a short explanation of why it matched.
+type Match struct {
+	Record *storage.QueryRecord
+	Score  float64
+	Why    string
+}
+
+// Executor answers meta-queries over a query store.
+type Executor struct {
+	store   *storage.Store
+	weights miner.CompositeWeights
+}
+
+// New returns an executor over the store using the default composite
+// similarity weights for kNN queries.
+func New(store *storage.Store) *Executor {
+	return &Executor{store: store, weights: miner.DefaultWeights()}
+}
+
+// SetWeights overrides the composite similarity weights used by KNN.
+func (x *Executor) SetWeights(w miner.CompositeWeights) { x.weights = w }
+
+// ---------------------------------------------------------------------------
+// Keyword and substring search
+// ---------------------------------------------------------------------------
+
+// Keyword returns the visible queries whose text or annotations contain every
+// given keyword (case-insensitive). The score is the fraction of matched
+// keywords weighted towards annotation hits.
+func (x *Executor) Keyword(p storage.Principal, keywords ...string) []Match {
+	if len(keywords) == 0 {
+		return nil
+	}
+	lowered := make([]string, len(keywords))
+	for i, k := range keywords {
+		lowered[i] = strings.ToLower(k)
+	}
+	var out []Match
+	for _, rec := range x.store.All(p) {
+		text := strings.ToLower(rec.Text)
+		var annText strings.Builder
+		for _, a := range rec.Annotations {
+			annText.WriteString(strings.ToLower(a.Text))
+			annText.WriteString(" ")
+		}
+		ann := annText.String()
+		matched := 0
+		annotationHits := 0
+		for _, k := range lowered {
+			inText := strings.Contains(text, k)
+			inAnn := strings.Contains(ann, k)
+			if inText || inAnn {
+				matched++
+			}
+			if inAnn {
+				annotationHits++
+			}
+		}
+		if matched != len(lowered) {
+			continue
+		}
+		score := 0.8 + 0.2*float64(annotationHits)/float64(len(lowered))
+		out = append(out, Match{Record: rec, Score: score, Why: "keywords: " + strings.Join(keywords, ", ")})
+	}
+	sortMatches(out)
+	return out
+}
+
+// Substring returns the visible queries whose canonical text contains the
+// given substring (case-insensitive).
+func (x *Executor) Substring(p storage.Principal, substr string) []Match {
+	needle := strings.ToLower(substr)
+	var out []Match
+	for _, rec := range x.store.All(p) {
+		if strings.Contains(strings.ToLower(rec.Canonical), needle) ||
+			strings.Contains(strings.ToLower(rec.Text), needle) {
+			out = append(out, Match{Record: rec, Score: 1, Why: "substring: " + substr})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Query-by-feature: SQL meta-queries over the feature relations
+// ---------------------------------------------------------------------------
+
+// SQLMetaQuery materialises the feature relations visible to the principal
+// and executes the given SQL meta-query (e.g. the query of Figure 1) against
+// them. If the result contains a qid column, the corresponding stored
+// queries are returned as matches alongside the raw result.
+func (x *Executor) SQLMetaQuery(p storage.Principal, metaSQL string) (*engine.Result, []Match, error) {
+	eng, err := x.store.MaterializeFeatureRelations(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := eng.Execute(metaSQL)
+	if err != nil {
+		return nil, nil, fmt.Errorf("metaquery: executing meta-query: %w", err)
+	}
+	qidCol := -1
+	for i, c := range res.Columns {
+		if strings.EqualFold(c, "qid") {
+			qidCol = i
+			break
+		}
+	}
+	if qidCol < 0 {
+		return res, nil, ErrNoQIDColumn
+	}
+	seen := make(map[storage.QueryID]bool)
+	var matches []Match
+	for _, row := range res.Rows {
+		v := row[qidCol]
+		if v.Type != engine.TypeInt {
+			continue
+		}
+		id := storage.QueryID(v.Int)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		rec, err := x.store.Get(id, p)
+		if err != nil {
+			continue
+		}
+		matches = append(matches, Match{Record: rec, Score: 1, Why: "feature meta-query"})
+	}
+	return res, matches, nil
+}
+
+// GenerateMetaQuery builds a Figure 1-style SQL meta-query from a partially
+// written user query (§2.2: "the CQMS could automatically generate these
+// statements from partially written queries"). The partial query need not
+// parse; table names are taken from the FROM clause tokens and attribute
+// names from identifiers appearing elsewhere.
+func GenerateMetaQuery(partialSQL string) (string, error) {
+	tables, attrs := extractPartialFeatures(partialSQL)
+	if len(tables) == 0 && len(attrs) == 0 {
+		return "", fmt.Errorf("metaquery: no tables or attributes found in partial query")
+	}
+	var (
+		from  []string
+		where []string
+	)
+	from = append(from, storage.RelQueries+" Q")
+	for i, t := range tables {
+		alias := fmt.Sprintf("D%d", i+1)
+		from = append(from, storage.RelDataSources+" "+alias)
+		where = append(where, fmt.Sprintf("Q.qid = %s.qid", alias))
+		where = append(where, fmt.Sprintf("%s.relName = '%s'", alias, escapeSQLString(t)))
+	}
+	for i, a := range attrs {
+		alias := fmt.Sprintf("A%d", i+1)
+		from = append(from, storage.RelAttributes+" "+alias)
+		where = append(where, fmt.Sprintf("Q.qid = %s.qid", alias))
+		where = append(where, fmt.Sprintf("%s.attrName = '%s'", alias, escapeSQLString(a)))
+	}
+	query := "SELECT DISTINCT Q.qid, Q.qText FROM " + strings.Join(from, ", ")
+	if len(where) > 0 {
+		query += " WHERE " + strings.Join(where, " AND ")
+	}
+	return query, nil
+}
+
+// escapeSQLString doubles single quotes for inclusion in a SQL literal.
+func escapeSQLString(s string) string { return strings.ReplaceAll(s, "'", "''") }
+
+// extractPartialFeatures tokenises a possibly-incomplete query and heuristically
+// extracts table names (identifiers in the FROM clause) and attribute names
+// (identifiers in SELECT/WHERE/GROUP BY clauses).
+func extractPartialFeatures(partial string) (tables, attrs []string) {
+	toks, err := sql.Tokenize(partial)
+	if err != nil {
+		return nil, nil
+	}
+	clause := ""
+	seenT := make(map[string]bool)
+	seenA := make(map[string]bool)
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind == sql.TokenKeyword {
+			switch t.Text {
+			case "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER":
+				clause = t.Text
+			}
+			continue
+		}
+		if t.Kind != sql.TokenIdent && t.Kind != sql.TokenQuotedIdent {
+			continue
+		}
+		// Qualified references a.b: the qualifier may be an alias, the second
+		// part is an attribute.
+		if i+2 < len(toks) && toks[i+1].Kind == sql.TokenDot &&
+			(toks[i+2].Kind == sql.TokenIdent || toks[i+2].Kind == sql.TokenQuotedIdent) {
+			attr := toks[i+2].Text
+			if !seenA[attr] {
+				seenA[attr] = true
+				attrs = append(attrs, attr)
+			}
+			i += 2
+			continue
+		}
+		switch clause {
+		case "FROM":
+			// Skip alias tokens: an identifier immediately following another
+			// identifier in the FROM clause is an alias.
+			if i > 0 && (toks[i-1].Kind == sql.TokenIdent || toks[i-1].Kind == sql.TokenQuotedIdent) {
+				continue
+			}
+			if !seenT[t.Text] {
+				seenT[t.Text] = true
+				tables = append(tables, t.Text)
+			}
+		case "SELECT", "WHERE", "GROUP", "HAVING", "ORDER":
+			if !seenA[t.Text] {
+				seenA[t.Text] = true
+				attrs = append(attrs, t.Text)
+			}
+		}
+	}
+	return tables, attrs
+}
+
+// ByPartialQuery auto-generates a feature meta-query from the partial query
+// text and executes it, returning the matching stored queries.
+func (x *Executor) ByPartialQuery(p storage.Principal, partialSQL string) ([]Match, error) {
+	meta, err := GenerateMetaQuery(partialSQL)
+	if err != nil {
+		return nil, err
+	}
+	_, matches, err := x.SQLMetaQuery(p, meta)
+	if err != nil && !errors.Is(err, ErrNoQIDColumn) {
+		return nil, err
+	}
+	for i := range matches {
+		matches[i].Why = "auto-generated feature meta-query"
+	}
+	return matches, nil
+}
+
+// ---------------------------------------------------------------------------
+// Query-by-parse-tree: structural conditions
+// ---------------------------------------------------------------------------
+
+// StructuralCondition expresses conditions on the structure of logged
+// queries (query-by-parse-tree, §2.2). Zero values mean "no condition".
+type StructuralCondition struct {
+	// RequireTables: every listed table must appear in the query's FROM.
+	RequireTables []string
+	// RequireJoinBetween: the query must join the two listed relations.
+	RequireJoinBetween [2]string
+	// RequirePredicateOn: the query must have a selection predicate on
+	// rel.attr (any operator/constant).
+	RequirePredicateOn [2]string
+	// RequireAggregate: the query must use the given aggregate function.
+	RequireAggregate string
+	// RequireGroupBy: the query must group by the given column.
+	RequireGroupBy string
+	// RequireNested: the query must contain a nested sub-query.
+	RequireNested bool
+	// MinTables is the minimum number of distinct relations referenced.
+	MinTables int
+	// MaxResultRows, when > 0, requires the logged result cardinality to be
+	// at most this value ("small result set", §1).
+	MaxResultRows int
+	// MaxExecTimeMillis, when > 0, requires the logged execution time to be
+	// at most this many milliseconds ("fast execution time", §1).
+	MaxExecTimeMillis int
+}
+
+// ByStructure returns the visible queries satisfying every condition.
+func (x *Executor) ByStructure(p storage.Principal, cond StructuralCondition) []Match {
+	var out []Match
+	for _, rec := range x.store.All(p) {
+		why, ok := matchStructure(rec, cond)
+		if ok {
+			out = append(out, Match{Record: rec, Score: 1, Why: why})
+		}
+	}
+	return out
+}
+
+func matchStructure(rec *storage.QueryRecord, cond StructuralCondition) (string, bool) {
+	var reasons []string
+	hasTable := func(name string) bool {
+		for _, t := range rec.Tables {
+			if strings.EqualFold(t, name) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, t := range cond.RequireTables {
+		if !hasTable(t) {
+			return "", false
+		}
+	}
+	if len(cond.RequireTables) > 0 {
+		reasons = append(reasons, "tables "+strings.Join(cond.RequireTables, ","))
+	}
+	if cond.RequireJoinBetween[0] != "" && cond.RequireJoinBetween[1] != "" {
+		found := false
+		for _, pr := range rec.Predicates {
+			if !pr.IsJoin {
+				continue
+			}
+			a, b := pr.Rel, pr.RightRel
+			if (strings.EqualFold(a, cond.RequireJoinBetween[0]) && strings.EqualFold(b, cond.RequireJoinBetween[1])) ||
+				(strings.EqualFold(a, cond.RequireJoinBetween[1]) && strings.EqualFold(b, cond.RequireJoinBetween[0])) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return "", false
+		}
+		reasons = append(reasons, "join "+cond.RequireJoinBetween[0]+"-"+cond.RequireJoinBetween[1])
+	}
+	if cond.RequirePredicateOn[1] != "" {
+		found := false
+		for _, pr := range rec.Predicates {
+			if pr.IsJoin {
+				continue
+			}
+			if strings.EqualFold(pr.Attr, cond.RequirePredicateOn[1]) &&
+				(cond.RequirePredicateOn[0] == "" || strings.EqualFold(pr.Rel, cond.RequirePredicateOn[0])) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return "", false
+		}
+		reasons = append(reasons, "predicate on "+cond.RequirePredicateOn[0]+"."+cond.RequirePredicateOn[1])
+	}
+	if cond.RequireAggregate != "" {
+		found := false
+		for _, a := range rec.Aggregates {
+			if strings.EqualFold(a, cond.RequireAggregate) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return "", false
+		}
+		reasons = append(reasons, "aggregate "+cond.RequireAggregate)
+	}
+	if cond.RequireGroupBy != "" {
+		found := false
+		for _, g := range rec.GroupBy {
+			if strings.EqualFold(g, cond.RequireGroupBy) || strings.HasSuffix(strings.ToLower(g), "."+strings.ToLower(cond.RequireGroupBy)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return "", false
+		}
+		reasons = append(reasons, "group by "+cond.RequireGroupBy)
+	}
+	if cond.RequireNested {
+		stmt, err := sql.Parse(rec.Text)
+		if err != nil {
+			return "", false
+		}
+		sel, ok := stmt.(*sql.SelectStmt)
+		if !ok || len(sql.Subqueries(sel)) == 0 {
+			return "", false
+		}
+		reasons = append(reasons, "nested")
+	}
+	if cond.MinTables > 0 && len(rec.Tables) < cond.MinTables {
+		return "", false
+	}
+	if cond.MaxResultRows > 0 {
+		if rec.Stats.ResultRows > cond.MaxResultRows {
+			return "", false
+		}
+		reasons = append(reasons, fmt.Sprintf("result rows <= %d", cond.MaxResultRows))
+	}
+	if cond.MaxExecTimeMillis > 0 {
+		if rec.Stats.ExecTime.Milliseconds() > int64(cond.MaxExecTimeMillis) {
+			return "", false
+		}
+		reasons = append(reasons, fmt.Sprintf("exec time <= %dms", cond.MaxExecTimeMillis))
+	}
+	return strings.Join(reasons, "; "), true
+}
+
+// ---------------------------------------------------------------------------
+// Query-by-data
+// ---------------------------------------------------------------------------
+
+// ByData implements the query-by-data paradigm (§2.2): the user names values
+// that should appear (include) and not appear (exclude) in a query's output;
+// the executor returns logged queries whose output samples separate those
+// examples. Queries without output samples never match.
+func (x *Executor) ByData(p storage.Principal, include, exclude []string) []Match {
+	var out []Match
+	for _, rec := range x.store.All(p) {
+		if rec.Sample == nil {
+			continue
+		}
+		ok := true
+		for _, want := range include {
+			if !sampleContains(rec.Sample, want) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, not := range exclude {
+			if sampleContains(rec.Sample, not) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		why := fmt.Sprintf("output includes %v, excludes %v", include, exclude)
+		out = append(out, Match{Record: rec, Score: 1, Why: why})
+	}
+	return out
+}
+
+func sampleContains(s *storage.OutputSample, value string) bool {
+	needle := strings.ToLower(value)
+	for _, row := range s.Rows {
+		for _, cell := range row {
+			if strings.ToLower(cell) == needle {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// kNN similarity queries
+// ---------------------------------------------------------------------------
+
+// KNN returns the k logged queries most similar to the given query text under
+// the executor's composite similarity, visible to the principal. The query
+// text must parse.
+func (x *Executor) KNN(p storage.Principal, queryText string, k int) ([]Match, error) {
+	probe, err := storage.NewRecordFromSQL(queryText)
+	if err != nil {
+		return nil, err
+	}
+	return x.knnRecord(p, probe, k, 0), nil
+}
+
+// KNNExcluding is KNN but skips the query with the given ID (used when
+// recommending similar queries to one already logged).
+func (x *Executor) KNNExcluding(p storage.Principal, probe *storage.QueryRecord, k int, exclude storage.QueryID) []Match {
+	return x.knnRecord(p, probe, k, exclude)
+}
+
+func (x *Executor) knnRecord(p storage.Principal, probe *storage.QueryRecord, k int, exclude storage.QueryID) []Match {
+	var out []Match
+	for _, rec := range x.store.All(p) {
+		if rec.ID == exclude {
+			continue
+		}
+		score := miner.CompositeSimilarity(x.weights, probe, rec)
+		if score <= 0 {
+			continue
+		}
+		out = append(out, Match{Record: rec, Score: score, Why: "similar query"})
+	}
+	sortMatches(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// sortMatches sorts by descending score, breaking ties by ascending query ID
+// for determinism.
+func sortMatches(matches []Match) {
+	sort.SliceStable(matches, func(i, j int) bool {
+		if matches[i].Score != matches[j].Score {
+			return matches[i].Score > matches[j].Score
+		}
+		return matches[i].Record.ID < matches[j].Record.ID
+	})
+}

@@ -1,0 +1,338 @@
+package metaquery
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+var (
+	admin = storage.Principal{Admin: true}
+	alice = storage.Principal{User: "alice", Groups: []string{"limnology"}}
+	carol = storage.Principal{User: "carol", Groups: []string{"astro"}}
+)
+
+func put(t testing.TB, s *storage.Store, text, user string, vis storage.Visibility) storage.QueryID {
+	t.Helper()
+	rec, err := storage.NewRecordFromSQL(text)
+	if err != nil {
+		t.Fatalf("NewRecordFromSQL(%q): %v", text, err)
+	}
+	rec.User = user
+	rec.Group = "limnology"
+	rec.Visibility = vis
+	rec.IssuedAt = time.Date(2009, 1, 5, 12, 0, 0, 0, time.UTC)
+	return s.Put(rec)
+}
+
+func newFixture(t testing.TB) (*Executor, *storage.Store, map[string]storage.QueryID) {
+	t.Helper()
+	s := storage.NewStore()
+	ids := map[string]storage.QueryID{}
+	ids["correlate"] = put(t, s,
+		"SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x AND WaterTemp.temp < 18",
+		"alice", storage.VisibilityPublic)
+	ids["correlate2"] = put(t, s,
+		"SELECT s.salinity, t.temp FROM WaterSalinity s JOIN WaterTemp t ON s.loc_x = t.loc_x WHERE s.depth > 5",
+		"bob", storage.VisibilityPublic)
+	ids["tempOnly"] = put(t, s, "SELECT temp FROM WaterTemp WHERE temp > 20", "alice", storage.VisibilityPublic)
+	ids["cities"] = put(t, s, "SELECT city FROM CityLocations WHERE state = 'WA'", "bob", storage.VisibilityPublic)
+	ids["agg"] = put(t, s, "SELECT lake, AVG(temp) FROM WaterTemp GROUP BY lake", "alice", storage.VisibilityPublic)
+	ids["nested"] = put(t, s, "SELECT lake FROM WaterTemp WHERE temp > (SELECT AVG(temp) FROM WaterTemp)", "bob", storage.VisibilityPublic)
+	ids["private"] = put(t, s, "SELECT secret FROM PrivateNotes", "alice", storage.VisibilityPrivate)
+
+	if err := s.Annotate(ids["correlate"], storage.Principal{User: "alice"}, storage.Annotation{
+		Text: "find temp and salinity of Seattle lakes",
+	}); err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	return New(s), s, ids
+}
+
+func matchIDs(matches []Match) map[storage.QueryID]bool {
+	out := make(map[storage.QueryID]bool)
+	for _, m := range matches {
+		out[m.Record.ID] = true
+	}
+	return out
+}
+
+func TestKeywordSearch(t *testing.T) {
+	x, _, ids := newFixture(t)
+	matches := x.Keyword(admin, "salinity")
+	got := matchIDs(matches)
+	if !got[ids["correlate"]] || !got[ids["correlate2"]] {
+		t.Errorf("keyword search missing correlation queries: %v", got)
+	}
+	if got[ids["cities"]] {
+		t.Errorf("keyword search should not match the cities query")
+	}
+	// Multiple keywords must all match; annotations count.
+	matches = x.Keyword(admin, "Seattle", "salinity")
+	got = matchIDs(matches)
+	if len(got) != 1 || !got[ids["correlate"]] {
+		t.Errorf("annotation keyword search = %v, want only the annotated query", got)
+	}
+	// Annotation hits rank higher than text-only hits.
+	matches = x.Keyword(admin, "salinity")
+	if matches[0].Record.ID != ids["correlate"] {
+		t.Errorf("annotated query should rank first, got %d", matches[0].Record.ID)
+	}
+	if len(x.Keyword(admin)) != 0 {
+		t.Errorf("no keywords should return no matches")
+	}
+}
+
+func TestSubstringSearch(t *testing.T) {
+	x, _, ids := newFixture(t)
+	matches := x.Substring(admin, "state = 'wa'")
+	got := matchIDs(matches)
+	if len(got) != 1 || !got[ids["cities"]] {
+		t.Errorf("substring search = %v", got)
+	}
+}
+
+func TestSearchRespectsAccessControl(t *testing.T) {
+	x, _, ids := newFixture(t)
+	matches := x.Keyword(carol, "secret")
+	if len(matches) != 0 {
+		t.Errorf("carol should not find alice's private query")
+	}
+	matches = x.Keyword(alice, "secret")
+	if got := matchIDs(matches); !got[ids["private"]] {
+		t.Errorf("alice should find her own private query")
+	}
+}
+
+func TestSQLMetaQueryFigure1(t *testing.T) {
+	x, _, ids := newFixture(t)
+	metaSQL := `SELECT Q.qid, Q.qText
+		FROM Queries Q, Attributes A1, Attributes A2
+		WHERE Q.qid = A1.qid AND Q.qid = A2.qid
+		AND A1.attrName = 'salinity' AND A1.relName = 'WaterSalinity'
+		AND A2.attrName = 'temp' AND A2.relName = 'WaterTemp'`
+	res, matches, err := x.SQLMetaQuery(admin, metaSQL)
+	if err != nil {
+		t.Fatalf("SQLMetaQuery: %v", err)
+	}
+	if res == nil || len(res.Rows) == 0 {
+		t.Fatalf("no raw rows")
+	}
+	got := matchIDs(matches)
+	if len(got) != 2 || !got[ids["correlate"]] || !got[ids["correlate2"]] {
+		t.Errorf("Figure 1 meta-query = %v, want the two correlation queries", got)
+	}
+}
+
+func TestSQLMetaQueryWithoutQID(t *testing.T) {
+	x, _, _ := newFixture(t)
+	res, matches, err := x.SQLMetaQuery(admin, "SELECT COUNT(*) FROM Queries")
+	if !errors.Is(err, ErrNoQIDColumn) {
+		t.Fatalf("err = %v, want ErrNoQIDColumn", err)
+	}
+	if res == nil || len(matches) != 0 {
+		t.Errorf("raw result should still be returned")
+	}
+	if res.Rows[0][0].Int != 7 {
+		t.Errorf("count = %v, want 7", res.Rows[0][0])
+	}
+}
+
+func TestSQLMetaQueryInvalidSQL(t *testing.T) {
+	x, _, _ := newFixture(t)
+	if _, _, err := x.SQLMetaQuery(admin, "SELEKT garbage"); err == nil {
+		t.Error("expected error for invalid meta-query")
+	}
+}
+
+func TestGenerateMetaQueryFromPartial(t *testing.T) {
+	// The §2.2 example: the user has typed only the FROM clause.
+	meta, err := GenerateMetaQuery("SELECT FROM WaterSalinity, WaterTemp")
+	if err != nil {
+		t.Fatalf("GenerateMetaQuery: %v", err)
+	}
+	for _, want := range []string{"DataSources", "relName = 'WaterSalinity'", "relName = 'WaterTemp'", "Q.qid"} {
+		if !strings.Contains(meta, want) {
+			t.Errorf("generated meta-query missing %q:\n%s", want, meta)
+		}
+	}
+}
+
+func TestGenerateMetaQueryEmpty(t *testing.T) {
+	if _, err := GenerateMetaQuery("SELECT"); err == nil {
+		t.Error("expected error for contentless partial query")
+	}
+}
+
+func TestByPartialQueryEndToEnd(t *testing.T) {
+	x, _, ids := newFixture(t)
+	matches, err := x.ByPartialQuery(admin, "SELECT FROM WaterSalinity, WaterTemp")
+	if err != nil {
+		t.Fatalf("ByPartialQuery: %v", err)
+	}
+	got := matchIDs(matches)
+	if !got[ids["correlate"]] || !got[ids["correlate2"]] {
+		t.Errorf("partial-query search = %v, want correlation queries", got)
+	}
+	if got[ids["cities"]] {
+		t.Errorf("partial-query search should not return the cities query")
+	}
+}
+
+func TestByStructure(t *testing.T) {
+	x, _, ids := newFixture(t)
+
+	// Queries joining WaterSalinity and WaterTemp.
+	matches := x.ByStructure(admin, StructuralCondition{RequireJoinBetween: [2]string{"WaterSalinity", "WaterTemp"}})
+	got := matchIDs(matches)
+	if len(got) != 2 || !got[ids["correlate"]] || !got[ids["correlate2"]] {
+		t.Errorf("join condition = %v", got)
+	}
+
+	// Queries with a selection predicate on temp.
+	matches = x.ByStructure(admin, StructuralCondition{RequirePredicateOn: [2]string{"WaterTemp", "temp"}})
+	got = matchIDs(matches)
+	if !got[ids["correlate"]] || !got[ids["tempOnly"]] {
+		t.Errorf("predicate condition = %v", got)
+	}
+
+	// Aggregate + group-by condition.
+	matches = x.ByStructure(admin, StructuralCondition{RequireAggregate: "AVG", RequireGroupBy: "lake"})
+	got = matchIDs(matches)
+	if len(got) != 1 || !got[ids["agg"]] {
+		t.Errorf("aggregate condition = %v", got)
+	}
+
+	// Nested queries.
+	matches = x.ByStructure(admin, StructuralCondition{RequireNested: true})
+	got = matchIDs(matches)
+	if len(got) != 1 || !got[ids["nested"]] {
+		t.Errorf("nested condition = %v", got)
+	}
+
+	// Minimum table count.
+	matches = x.ByStructure(admin, StructuralCondition{MinTables: 2})
+	got = matchIDs(matches)
+	if !got[ids["correlate"]] || got[ids["tempOnly"]] {
+		t.Errorf("min-tables condition = %v", got)
+	}
+
+	// Required tables.
+	matches = x.ByStructure(admin, StructuralCondition{RequireTables: []string{"CityLocations"}})
+	got = matchIDs(matches)
+	if len(got) != 1 || !got[ids["cities"]] {
+		t.Errorf("require-tables condition = %v", got)
+	}
+}
+
+func TestByStructureRuntimeConditions(t *testing.T) {
+	x, s, ids := newFixture(t)
+	if err := s.UpdateStats(ids["tempOnly"], storage.RuntimeStats{ExecTime: 2 * time.Millisecond, ResultRows: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateStats(ids["cities"], storage.RuntimeStats{ExecTime: 900 * time.Millisecond, ResultRows: 100000}); err != nil {
+		t.Fatal(err)
+	}
+	matches := x.ByStructure(admin, StructuralCondition{MaxResultRows: 10, MaxExecTimeMillis: 10})
+	got := matchIDs(matches)
+	if !got[ids["tempOnly"]] {
+		t.Errorf("fast small query should match: %v", got)
+	}
+	if got[ids["cities"]] {
+		t.Errorf("slow large query should not match")
+	}
+}
+
+func TestByData(t *testing.T) {
+	x, s, ids := newFixture(t)
+	// Attach output samples: the paper's example distinguishes Lake
+	// Washington from Lake Union via 'temp < 18'.
+	coldID := put(t, s, "SELECT lake FROM WaterTemp WHERE temp < 18", "alice", storage.VisibilityPublic)
+	warmID := put(t, s, "SELECT lake FROM WaterTemp WHERE temp < 25", "alice", storage.VisibilityPublic)
+	attachSample(t, s, coldID, [][]string{{"Lake Washington"}, {"Lake Sammamish"}})
+	attachSample(t, s, warmID, [][]string{{"Lake Washington"}, {"Lake Union"}, {"Lake Sammamish"}})
+
+	matches := x.ByData(admin, []string{"Lake Washington"}, []string{"Lake Union"})
+	got := matchIDs(matches)
+	if !got[coldID] {
+		t.Errorf("query separating the examples should match")
+	}
+	if got[warmID] {
+		t.Errorf("query including the excluded tuple should not match")
+	}
+	// Queries without samples never match.
+	if got[ids["tempOnly"]] {
+		t.Errorf("sample-less query should not match")
+	}
+}
+
+// attachSample sets a record's output sample (samples are normally written
+// by the profiler at submission time).
+func attachSample(t testing.TB, s *storage.Store, id storage.QueryID, rows [][]string) {
+	t.Helper()
+	sample := &storage.OutputSample{Columns: []string{"lake"}, Rows: rows, TotalRows: len(rows)}
+	if err := s.SetSample(id, sample); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKNN(t *testing.T) {
+	x, _, ids := newFixture(t)
+	matches, err := x.KNN(admin, "SELECT temp FROM WaterTemp WHERE temp > 15", 3)
+	if err != nil {
+		t.Fatalf("KNN: %v", err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no neighbours")
+	}
+	if len(matches) > 3 {
+		t.Errorf("k not respected: %d", len(matches))
+	}
+	// The most similar logged query should be the WaterTemp-only one.
+	if matches[0].Record.ID != ids["tempOnly"] {
+		t.Errorf("nearest neighbour = %d, want %d", matches[0].Record.ID, ids["tempOnly"])
+	}
+	// Scores are sorted descending.
+	for i := 1; i < len(matches); i++ {
+		if matches[i].Score > matches[i-1].Score {
+			t.Errorf("matches not sorted")
+		}
+	}
+}
+
+func TestKNNInvalidQuery(t *testing.T) {
+	x, _, _ := newFixture(t)
+	if _, err := x.KNN(admin, "SELEKT broken", 3); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestKNNExcluding(t *testing.T) {
+	x, s, ids := newFixture(t)
+	probe, err := s.Get(ids["tempOnly"], admin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := x.KNNExcluding(admin, probe, 5, ids["tempOnly"])
+	for _, m := range matches {
+		if m.Record.ID == ids["tempOnly"] {
+			t.Errorf("excluded query returned")
+		}
+	}
+}
+
+func TestKNNAccessControl(t *testing.T) {
+	x, _, ids := newFixture(t)
+	matches, err := x.KNN(carol, "SELECT secret FROM PrivateNotes", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		if m.Record.ID == ids["private"] {
+			t.Errorf("private query leaked to carol via KNN")
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package profiler implements the CQMS Query Profiler (Figure 4): the online
+// component that receives user SQL, forwards it to the underlying DBMS and,
+// before doing so, logs the query — its text, syntactic features, runtime
+// statistics and a bounded sample of its output — in the Query Storage.
+//
+// The paper's key requirements for this component (§2.1, §4.1) are that it
+// must not impose significant runtime overhead, and that output samples must
+// be sized adaptively: a query that runs for two hours and outputs ten rows
+// should have its whole output stored, while a two-second query producing
+// two million rows needs no large sample. SamplePolicy implements that rule.
+package profiler
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// SamplePolicy controls how many output rows the profiler stores for a query
+// (§4.1 "Profiling query results").
+type SamplePolicy struct {
+	// Adaptive enables the execution-time-proportional budget. When false,
+	// every query stores at most FixedRows rows.
+	Adaptive bool
+	// FixedRows is the sample cap used when Adaptive is false.
+	FixedRows int
+	// MinRows is the smallest adaptive budget (cheap queries).
+	MinRows int
+	// MaxRows is the largest adaptive budget (expensive queries).
+	MaxRows int
+	// TimePerExtraRow is how much execution time buys one additional sample
+	// row beyond MinRows.
+	TimePerExtraRow time.Duration
+}
+
+// DefaultSamplePolicy mirrors the paper's example: cheap queries keep a small
+// sample, expensive queries may store their entire (small) output.
+func DefaultSamplePolicy() SamplePolicy {
+	return SamplePolicy{
+		Adaptive:        true,
+		FixedRows:       20,
+		MinRows:         5,
+		MaxRows:         500,
+		TimePerExtraRow: 2 * time.Millisecond,
+	}
+}
+
+// Budget returns the number of output rows to store for a query with the
+// given execution time.
+func (p SamplePolicy) Budget(execTime time.Duration) int {
+	if !p.Adaptive {
+		return p.FixedRows
+	}
+	extra := int(execTime / p.TimePerExtraRow)
+	budget := p.MinRows + extra
+	if budget > p.MaxRows {
+		budget = p.MaxRows
+	}
+	if budget < p.MinRows {
+		budget = p.MinRows
+	}
+	return budget
+}
+
+// Config configures a Profiler.
+type Config struct {
+	// Sample is the output sampling policy.
+	Sample SamplePolicy
+	// AnnotationPromptTableThreshold is the number of referenced tables above
+	// which the profiler suggests that the user annotate the query (§2.1:
+	// the CQMS should request annotations for complex queries).
+	AnnotationPromptTableThreshold int
+	// AnnotationPromptOnNesting requests an annotation for nested queries.
+	AnnotationPromptOnNesting bool
+}
+
+// DefaultConfig returns the default profiler configuration.
+func DefaultConfig() Config {
+	return Config{
+		Sample:                         DefaultSamplePolicy(),
+		AnnotationPromptTableThreshold: 3,
+		AnnotationPromptOnNesting:      true,
+	}
+}
+
+// Submission is one user query entering the CQMS in Traditional Interaction
+// Mode.
+type Submission struct {
+	User       string
+	Group      string
+	Visibility storage.Visibility
+	SQL        string
+	// IssuedAt defaults to the current time; the workload generator sets it
+	// explicitly to replay historical traces.
+	IssuedAt time.Time
+}
+
+// Outcome is what the profiler returns to the client: the DBMS result, the
+// logged record's ID and whether the CQMS suggests annotating the query.
+type Outcome struct {
+	Result            *engine.Result
+	QueryID           storage.QueryID
+	SuggestAnnotation bool
+	// ExecError holds the DBMS execution error, if any. The query is still
+	// logged (with the error recorded as a runtime feature) so that the
+	// correction assistant can learn from failing queries.
+	ExecError error
+}
+
+// Profiler forwards queries to the engine and logs them in the store.
+type Profiler struct {
+	eng   *engine.Engine
+	store *storage.Store
+	cfg   Config
+	clock func() time.Time
+}
+
+// New returns a profiler over the given engine and store.
+func New(eng *engine.Engine, store *storage.Store, cfg Config) *Profiler {
+	return &Profiler{eng: eng, store: store, cfg: cfg, clock: time.Now}
+}
+
+// SetClock overrides the profiler's time source.
+func (p *Profiler) SetClock(now func() time.Time) { p.clock = now }
+
+// Engine returns the underlying engine.
+func (p *Profiler) Engine() *engine.Engine { return p.eng }
+
+// Store returns the underlying query store.
+func (p *Profiler) Store() *storage.Store { return p.store }
+
+// Submit executes the query and logs it. Parse errors are returned without
+// logging (the text never became a query); execution errors are logged with
+// the error recorded and returned in the Outcome.
+func (p *Profiler) Submit(sub Submission) (*Outcome, error) {
+	rec, err := storage.NewRecordFromSQL(sub.SQL)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: %w", err)
+	}
+	rec.User = sub.User
+	rec.Group = sub.Group
+	rec.Visibility = sub.Visibility
+	if !sub.IssuedAt.IsZero() {
+		rec.IssuedAt = sub.IssuedAt
+	} else {
+		rec.IssuedAt = p.clock()
+	}
+
+	res, execErr := p.eng.Execute(sub.SQL)
+
+	stats := storage.RuntimeStats{
+		SchemaVersion: p.eng.Catalog().Version(),
+		ExecutedAt:    rec.IssuedAt,
+	}
+	if execErr != nil {
+		stats.Error = execErr.Error()
+	} else {
+		stats.ExecTime = res.Elapsed
+		stats.ResultRows = res.Cardinality()
+		stats.ResultColumns = len(res.Columns)
+		rec.Sample = p.sampleOutput(res)
+	}
+	rec.Stats = stats
+
+	id := p.store.Put(rec)
+	out := &Outcome{
+		Result:            res,
+		QueryID:           id,
+		SuggestAnnotation: p.shouldSuggestAnnotation(sub.SQL, rec),
+		ExecError:         execErr,
+	}
+	return out, nil
+}
+
+// ExecuteUnprofiled runs the query directly against the engine without any
+// logging. It is the baseline for the profiling-overhead experiment (E4).
+func (p *Profiler) ExecuteUnprofiled(query string) (*engine.Result, error) {
+	return p.eng.Execute(query)
+}
+
+// sampleOutput produces a bounded, stringified sample of the result per the
+// adaptive sampling policy.
+func (p *Profiler) sampleOutput(res *engine.Result) *storage.OutputSample {
+	if res == nil {
+		return nil
+	}
+	budget := p.cfg.Sample.Budget(res.Elapsed)
+	n := len(res.Rows)
+	take := n
+	if take > budget {
+		take = budget
+	}
+	sample := &storage.OutputSample{
+		Columns:   append([]string(nil), res.Columns...),
+		TotalRows: n,
+		Truncated: take < n,
+	}
+	sample.Rows = make([][]string, 0, take)
+	for i := 0; i < take; i++ {
+		sample.Rows = append(sample.Rows, res.Rows[i].Strings())
+	}
+	return sample
+}
+
+// shouldSuggestAnnotation applies §2.1's rule: prompt for documentation when
+// the query is complex (many tables or nesting).
+func (p *Profiler) shouldSuggestAnnotation(text string, rec *storage.QueryRecord) bool {
+	if p.cfg.AnnotationPromptTableThreshold > 0 && len(rec.Tables) >= p.cfg.AnnotationPromptTableThreshold {
+		return true
+	}
+	if p.cfg.AnnotationPromptOnNesting {
+		if stmt, err := sql.Parse(text); err == nil {
+			if sel, ok := stmt.(*sql.SelectStmt); ok && len(sql.Subqueries(sel)) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,234 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+func newTestEngine(t testing.TB) *engine.Engine {
+	t.Helper()
+	e := engine.New()
+	setup := []string{
+		"CREATE TABLE WaterTemp (id INT, lake TEXT, loc_x INT, temp FLOAT)",
+		"CREATE TABLE WaterSalinity (id INT, lake TEXT, loc_x INT, salinity FLOAT)",
+		"INSERT INTO WaterTemp VALUES (1, 'Lake Washington', 10, 14.5), (2, 'Lake Union', 11, 19.0), (3, 'Lake Sammamish', 12, 17.2)",
+		"INSERT INTO WaterSalinity VALUES (1, 'Lake Washington', 10, 2.5), (2, 'Lake Union', 11, 3.1)",
+	}
+	for _, s := range setup {
+		e.MustExecute(s)
+	}
+	return e
+}
+
+func newProfiler(t testing.TB) (*Profiler, *storage.Store) {
+	t.Helper()
+	store := storage.NewStore()
+	p := New(newTestEngine(t), store, DefaultConfig())
+	return p, store
+}
+
+func TestSubmitLogsQueryAndReturnsResult(t *testing.T) {
+	p, store := newProfiler(t)
+	out, err := p.Submit(Submission{
+		User: "alice", Group: "limnology", Visibility: storage.VisibilityGroup,
+		SQL: "SELECT lake, temp FROM WaterTemp WHERE temp < 18",
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if out.ExecError != nil {
+		t.Fatalf("unexpected exec error: %v", out.ExecError)
+	}
+	if out.Result.Cardinality() != 2 {
+		t.Errorf("result rows = %d, want 2", out.Result.Cardinality())
+	}
+	if store.Count() != 1 {
+		t.Fatalf("store count = %d, want 1", store.Count())
+	}
+	rec, err := store.Get(out.QueryID, storage.Principal{User: "alice"})
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if rec.Stats.ResultRows != 2 || rec.Stats.ResultColumns != 2 {
+		t.Errorf("stats = %+v", rec.Stats)
+	}
+	if rec.Stats.ExecTime <= 0 {
+		t.Errorf("exec time not recorded")
+	}
+	if rec.Sample == nil || rec.Sample.TotalRows != 2 {
+		t.Errorf("sample = %+v", rec.Sample)
+	}
+	if len(rec.Tables) != 1 || rec.Tables[0] != "WaterTemp" {
+		t.Errorf("features not extracted: %+v", rec.Tables)
+	}
+}
+
+func TestSubmitParseErrorNotLogged(t *testing.T) {
+	p, store := newProfiler(t)
+	if _, err := p.Submit(Submission{User: "alice", SQL: "SELEKT * FROM t"}); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if store.Count() != 0 {
+		t.Errorf("parse errors should not be logged")
+	}
+}
+
+func TestSubmitExecErrorStillLogged(t *testing.T) {
+	p, store := newProfiler(t)
+	out, err := p.Submit(Submission{User: "alice", SQL: "SELECT * FROM NoSuchTable"})
+	if err != nil {
+		t.Fatalf("Submit should not fail for execution errors: %v", err)
+	}
+	if out.ExecError == nil {
+		t.Fatal("expected an execution error in the outcome")
+	}
+	if store.Count() != 1 {
+		t.Fatalf("failing query should still be logged")
+	}
+	rec, _ := store.Get(out.QueryID, storage.Principal{User: "alice"})
+	if rec.Stats.Error == "" || !strings.Contains(rec.Stats.Error, "table not found") {
+		t.Errorf("stats error = %q", rec.Stats.Error)
+	}
+	if rec.Sample != nil {
+		t.Errorf("failed queries should have no output sample")
+	}
+}
+
+func TestAnnotationSuggestions(t *testing.T) {
+	p, _ := newProfiler(t)
+	// Simple single-table query: no suggestion.
+	out, err := p.Submit(Submission{User: "alice", SQL: "SELECT temp FROM WaterTemp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SuggestAnnotation {
+		t.Errorf("simple query should not prompt for annotation")
+	}
+	// A query with a nested sub-query prompts for annotation (§2.1).
+	out, err = p.Submit(Submission{User: "alice",
+		SQL: "SELECT lake FROM WaterTemp WHERE temp > (SELECT AVG(temp) FROM WaterTemp)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.SuggestAnnotation {
+		t.Errorf("nested query should prompt for annotation")
+	}
+	// A three-table query prompts for annotation.
+	p.Engine().MustExecute("CREATE TABLE CityLocations (city TEXT, loc_x INT)")
+	out, err = p.Submit(Submission{User: "alice",
+		SQL: "SELECT * FROM WaterTemp, WaterSalinity, CityLocations"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.SuggestAnnotation {
+		t.Errorf("wide join should prompt for annotation")
+	}
+}
+
+func TestSamplePolicyFixed(t *testing.T) {
+	pol := SamplePolicy{Adaptive: false, FixedRows: 7}
+	if got := pol.Budget(time.Hour); got != 7 {
+		t.Errorf("fixed budget = %d, want 7", got)
+	}
+	if got := pol.Budget(0); got != 7 {
+		t.Errorf("fixed budget = %d, want 7", got)
+	}
+}
+
+func TestSamplePolicyAdaptive(t *testing.T) {
+	pol := SamplePolicy{Adaptive: true, MinRows: 5, MaxRows: 500, TimePerExtraRow: time.Millisecond}
+	if got := pol.Budget(0); got != 5 {
+		t.Errorf("zero-time budget = %d, want MinRows", got)
+	}
+	if got := pol.Budget(20 * time.Millisecond); got != 25 {
+		t.Errorf("20ms budget = %d, want 25", got)
+	}
+	// The paper's example: a two-hour query may store its whole (small)
+	// output; the budget saturates at MaxRows.
+	if got := pol.Budget(2 * time.Hour); got != 500 {
+		t.Errorf("expensive-query budget = %d, want MaxRows", got)
+	}
+}
+
+func TestAdaptiveSamplingAppliedToOutput(t *testing.T) {
+	store := storage.NewStore()
+	eng := newTestEngine(t)
+	// Insert many rows so the result exceeds the minimum budget.
+	for i := 0; i < 300; i++ {
+		eng.MustExecute("INSERT INTO WaterTemp VALUES (99, 'Bulk Lake', 50, 10.0)")
+	}
+	cfg := DefaultConfig()
+	cfg.Sample = SamplePolicy{Adaptive: true, MinRows: 5, MaxRows: 500, TimePerExtraRow: time.Hour}
+	p := New(eng, store, cfg)
+	out, err := p.Submit(Submission{User: "alice", SQL: "SELECT * FROM WaterTemp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := store.Get(out.QueryID, storage.Principal{User: "alice"})
+	// The query is fast, so only MinRows rows are kept even though the
+	// result has 300+ rows.
+	if len(rec.Sample.Rows) != 5 {
+		t.Errorf("sample rows = %d, want 5 (min budget)", len(rec.Sample.Rows))
+	}
+	if !rec.Sample.Truncated {
+		t.Errorf("sample should be marked truncated")
+	}
+	if rec.Sample.TotalRows != out.Result.Cardinality() {
+		t.Errorf("TotalRows = %d, want %d", rec.Sample.TotalRows, out.Result.Cardinality())
+	}
+}
+
+func TestFullOutputKeptWhenWithinBudget(t *testing.T) {
+	p, store := newProfiler(t)
+	out, err := p.Submit(Submission{User: "alice", SQL: "SELECT * FROM WaterTemp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := store.Get(out.QueryID, storage.Principal{User: "alice"})
+	if rec.Sample.Truncated {
+		t.Errorf("small result should not be truncated")
+	}
+	if len(rec.Sample.Rows) != 3 {
+		t.Errorf("sample rows = %d, want 3", len(rec.Sample.Rows))
+	}
+}
+
+func TestSchemaVersionRecorded(t *testing.T) {
+	p, store := newProfiler(t)
+	before, _ := p.Submit(Submission{User: "alice", SQL: "SELECT temp FROM WaterTemp"})
+	p.Engine().MustExecute("ALTER TABLE WaterTemp ADD COLUMN sensor TEXT")
+	after, _ := p.Submit(Submission{User: "alice", SQL: "SELECT temp FROM WaterTemp"})
+	recBefore, _ := store.Get(before.QueryID, storage.Principal{User: "alice"})
+	recAfter, _ := store.Get(after.QueryID, storage.Principal{User: "alice"})
+	if recAfter.Stats.SchemaVersion <= recBefore.Stats.SchemaVersion {
+		t.Errorf("schema version should increase after DDL: %d vs %d",
+			recBefore.Stats.SchemaVersion, recAfter.Stats.SchemaVersion)
+	}
+}
+
+func TestIssuedAtOverride(t *testing.T) {
+	p, store := newProfiler(t)
+	ts := time.Date(2009, 1, 5, 10, 0, 0, 0, time.UTC)
+	out, err := p.Submit(Submission{User: "alice", SQL: "SELECT temp FROM WaterTemp", IssuedAt: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := store.Get(out.QueryID, storage.Principal{User: "alice"})
+	if !rec.IssuedAt.Equal(ts) {
+		t.Errorf("IssuedAt = %v, want %v", rec.IssuedAt, ts)
+	}
+}
+
+func TestExecuteUnprofiledDoesNotLog(t *testing.T) {
+	p, store := newProfiler(t)
+	if _, err := p.ExecuteUnprofiled("SELECT temp FROM WaterTemp"); err != nil {
+		t.Fatal(err)
+	}
+	if store.Count() != 0 {
+		t.Errorf("unprofiled execution should not log")
+	}
+}

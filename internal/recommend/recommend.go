@@ -1,0 +1,555 @@
+// Package recommend implements the CQMS Assisted Interaction Mode (§2.3,
+// Figure 3): context-aware query completion (tables, columns, predicates,
+// joins), automated query correction (misspelled names, empty-result
+// predicates), ranked similar-query recommendation with the Figure 3
+// score/diff/annotation columns, and automatic tutorial generation for new
+// users.
+//
+// The recommender consumes the Query Miner's output (association rules,
+// popularity counts) and the Meta-query Executor's kNN search, so its
+// suggestions improve as the query log grows.
+package recommend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/metaquery"
+	"repro/internal/miner"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// CompletionKind classifies a completion suggestion.
+type CompletionKind int
+
+// Completion kinds.
+const (
+	CompleteTable CompletionKind = iota
+	CompleteColumn
+	CompletePredicate
+	CompleteJoin
+)
+
+// String returns a readable label.
+func (k CompletionKind) String() string {
+	switch k {
+	case CompleteTable:
+		return "table"
+	case CompleteColumn:
+		return "column"
+	case CompletePredicate:
+		return "predicate"
+	case CompleteJoin:
+		return "join"
+	default:
+		return "unknown"
+	}
+}
+
+// Completion is one suggestion in the Figure 3 "Completions" drop-down.
+type Completion struct {
+	Kind   CompletionKind
+	Text   string
+	Score  float64
+	Reason string
+}
+
+// Correction is one suggestion in the Figure 3 "Corrections" pane.
+type Correction struct {
+	Kind       string // "table", "column", "predicate"
+	Original   string
+	Suggestion string
+	Reason     string
+	Confidence float64
+}
+
+// SimilarQuery is one row of the Figure 3 "Similar Queries" pane: a score, the
+// query, the diff relative to the user's query and its annotations.
+type SimilarQuery struct {
+	Record      *storage.QueryRecord
+	Score       float64
+	Diff        string
+	Annotations []string
+}
+
+// RankingWeights combines similarity with the "other desired properties"
+// mentioned in §2.3 (popularity, efficient runtime, small result
+// cardinality).
+type RankingWeights struct {
+	Similarity  float64
+	Popularity  float64
+	Runtime     float64
+	Cardinality float64
+}
+
+// DefaultRankingWeights emphasises similarity.
+func DefaultRankingWeights() RankingWeights {
+	return RankingWeights{Similarity: 0.7, Popularity: 0.15, Runtime: 0.1, Cardinality: 0.05}
+}
+
+// Config controls the recommender.
+type Config struct {
+	Ranking RankingWeights
+	// MaxSuggestions is the default cap on suggestions per category.
+	MaxSuggestions int
+	// ContextAware enables association-rule-driven suggestions; when false
+	// the recommender falls back to global popularity only (the E3 ablation
+	// baseline).
+	ContextAware bool
+}
+
+// DefaultConfig returns the default recommender configuration.
+func DefaultConfig() Config {
+	return Config{Ranking: DefaultRankingWeights(), MaxSuggestions: 5, ContextAware: true}
+}
+
+// Recommender produces assisted-interaction suggestions.
+type Recommender struct {
+	store *storage.Store
+	exec  *metaquery.Executor
+	cfg   Config
+
+	mu      sync.RWMutex
+	mined   *miner.Result
+	schemas map[string][]string // table -> column names, from the DBMS catalog
+}
+
+// New returns a recommender over the store and meta-query executor.
+func New(store *storage.Store, exec *metaquery.Executor, cfg Config) *Recommender {
+	return &Recommender{store: store, exec: exec, cfg: cfg, schemas: map[string][]string{}}
+}
+
+// UpdateMining installs a fresh mining result (called after each background
+// miner pass).
+func (r *Recommender) UpdateMining(res *miner.Result) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mined = res
+}
+
+// SetSchemas installs the DBMS schema catalog used for name completion and
+// correction.
+func (r *Recommender) SetSchemas(schemas map[string][]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.schemas = schemas
+}
+
+func (r *Recommender) miningSnapshot() *miner.Result {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.mined == nil {
+		return &miner.Result{}
+	}
+	return r.mined
+}
+
+func (r *Recommender) schemaSnapshot() map[string][]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string][]string, len(r.schemas))
+	for k, v := range r.schemas {
+		out[k] = v
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Context extraction from the partially written query
+// ---------------------------------------------------------------------------
+
+// context describes what the user has typed so far.
+type queryContext struct {
+	tables   []string
+	columns  []string
+	features []string
+}
+
+func (r *Recommender) contextOf(partialSQL string) queryContext {
+	ctx := queryContext{}
+	// Prefer a full parse; fall back to token-level extraction for partial
+	// queries.
+	if stmt, err := sql.Parse(partialSQL); err == nil {
+		if sel, ok := stmt.(*sql.SelectStmt); ok {
+			a := sql.Analyze(sel)
+			ctx.tables = a.Tables
+			for _, c := range a.Columns {
+				name := c.Column
+				if c.Table != "" {
+					name = c.Table + "." + c.Column
+				}
+				ctx.columns = append(ctx.columns, name)
+			}
+			ctx.features = a.FeatureSet()
+			return ctx
+		}
+	}
+	tables, attrs := partialFeatures(partialSQL)
+	ctx.tables = tables
+	ctx.columns = attrs
+	for _, t := range tables {
+		ctx.features = append(ctx.features, "table:"+t)
+	}
+	for _, a := range attrs {
+		ctx.features = append(ctx.features, "col:"+a)
+	}
+	return ctx
+}
+
+// partialFeatures tokenises an incomplete query to find table and column
+// identifiers.
+func partialFeatures(partial string) (tables, attrs []string) {
+	toks, err := sql.Tokenize(partial)
+	if err != nil {
+		return nil, nil
+	}
+	clause := ""
+	seenT := map[string]bool{}
+	seenA := map[string]bool{}
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind == sql.TokenKeyword {
+			switch t.Text {
+			case "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER":
+				clause = t.Text
+			}
+			continue
+		}
+		if t.Kind != sql.TokenIdent && t.Kind != sql.TokenQuotedIdent {
+			continue
+		}
+		if i+2 < len(toks) && toks[i+1].Kind == sql.TokenDot {
+			if toks[i+2].Kind == sql.TokenIdent || toks[i+2].Kind == sql.TokenQuotedIdent {
+				if !seenA[toks[i+2].Text] {
+					seenA[toks[i+2].Text] = true
+					attrs = append(attrs, toks[i+2].Text)
+				}
+				i += 2
+				continue
+			}
+		}
+		if clause == "FROM" {
+			if i > 0 && (toks[i-1].Kind == sql.TokenIdent || toks[i-1].Kind == sql.TokenQuotedIdent) {
+				continue // alias
+			}
+			if !seenT[t.Text] {
+				seenT[t.Text] = true
+				tables = append(tables, t.Text)
+			}
+		} else if !seenA[t.Text] {
+			seenA[t.Text] = true
+			attrs = append(attrs, t.Text)
+		}
+	}
+	return tables, attrs
+}
+
+// ---------------------------------------------------------------------------
+// Completion
+// ---------------------------------------------------------------------------
+
+// SuggestTables suggests tables to add to the FROM clause of the partially
+// written query. Context-aware suggestions from association rules rank above
+// global popularity (the §2.3 example: given WaterSalinity, suggest WaterTemp
+// over the globally more popular CityLocations).
+func (r *Recommender) SuggestTables(p storage.Principal, partialSQL string, k int) []Completion {
+	if k <= 0 {
+		k = r.cfg.MaxSuggestions
+	}
+	ctx := r.contextOf(partialSQL)
+	mined := r.miningSnapshot()
+	have := make(map[string]bool)
+	for _, t := range ctx.tables {
+		have[strings.ToLower(t)] = true
+	}
+
+	var out []Completion
+	seen := make(map[string]bool)
+	add := func(table string, score float64, reason string) {
+		key := strings.ToLower(table)
+		if have[key] || seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, Completion{Kind: CompleteTable, Text: table, Score: score, Reason: reason})
+	}
+
+	if r.cfg.ContextAware && len(ctx.features) > 0 {
+		for _, rule := range miner.TopRulesFor(mined.Rules, ctx.features, 0) {
+			if !strings.HasPrefix(rule.Consequent, "table:") {
+				continue
+			}
+			// Context-aware scores occupy (1, 2] so they always outrank the
+			// popularity fallback below.
+			add(strings.TrimPrefix(rule.Consequent, "table:"), 1+rule.Confidence,
+				fmt.Sprintf("co-occurs with current tables (confidence %.0f%%)", rule.Confidence*100))
+		}
+	}
+	// Global popularity fallback, normalised to (0, 1].
+	maxCount := 1
+	for _, pop := range mined.TablePopularity {
+		if pop.Count > maxCount {
+			maxCount = pop.Count
+		}
+	}
+	for _, pop := range mined.TablePopularity {
+		add(pop.Item, float64(pop.Count)/float64(maxCount),
+			fmt.Sprintf("popular table (%d queries)", pop.Count))
+	}
+	// Schema fallback for cold starts.
+	for table := range r.schemaSnapshot() {
+		add(table, 0.1, "table in schema")
+	}
+	sortCompletions(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SuggestColumns suggests columns for the tables already referenced by the
+// partial query, ranked by how often they are used in logged queries over
+// those tables.
+func (r *Recommender) SuggestColumns(p storage.Principal, partialSQL string, k int) []Completion {
+	if k <= 0 {
+		k = r.cfg.MaxSuggestions
+	}
+	ctx := r.contextOf(partialSQL)
+	have := make(map[string]bool)
+	for _, c := range ctx.columns {
+		have[strings.ToLower(c)] = true
+		if idx := strings.LastIndex(c, "."); idx >= 0 {
+			have[strings.ToLower(c[idx+1:])] = true
+		}
+	}
+	tables := make(map[string]bool)
+	for _, t := range ctx.tables {
+		tables[strings.ToLower(t)] = true
+	}
+
+	counts := make(map[string]int)
+	for _, t := range ctx.tables {
+		for _, rec := range r.store.ByTable(t, p) {
+			for _, attr := range rec.Attributes {
+				if attr.Rel != "" && !tables[strings.ToLower(attr.Rel)] {
+					continue
+				}
+				name := attr.Attr
+				if attr.Rel != "" {
+					name = attr.Rel + "." + attr.Attr
+				}
+				counts[name]++
+			}
+		}
+	}
+	var out []Completion
+	maxCount := 1
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for name, c := range counts {
+		bare := name
+		if idx := strings.LastIndex(name, "."); idx >= 0 {
+			bare = name[idx+1:]
+		}
+		if have[strings.ToLower(name)] || have[strings.ToLower(bare)] {
+			continue
+		}
+		out = append(out, Completion{
+			Kind: CompleteColumn, Text: name,
+			Score:  float64(c) / float64(maxCount),
+			Reason: fmt.Sprintf("used in %d logged queries over these tables", c),
+		})
+	}
+	// Schema columns as a cold-start fallback.
+	schemas := r.schemaSnapshot()
+	for _, t := range ctx.tables {
+		for _, col := range schemas[t] {
+			full := t + "." + col
+			if have[strings.ToLower(full)] || have[strings.ToLower(col)] {
+				continue
+			}
+			dup := false
+			for _, existing := range out {
+				if strings.EqualFold(existing.Text, full) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, Completion{Kind: CompleteColumn, Text: full, Score: 0.05, Reason: "column in schema"})
+			}
+		}
+	}
+	sortCompletions(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SuggestPredicates suggests WHERE predicates for the partial query from the
+// predicate templates most frequently applied to the referenced tables.
+func (r *Recommender) SuggestPredicates(p storage.Principal, partialSQL string, k int) []Completion {
+	if k <= 0 {
+		k = r.cfg.MaxSuggestions
+	}
+	ctx := r.contextOf(partialSQL)
+	tables := make(map[string]bool)
+	for _, t := range ctx.tables {
+		tables[strings.ToLower(t)] = true
+	}
+	// Count concrete predicates (with constants) so the suggestion is
+	// immediately usable, as in Figure 3's drop-down.
+	counts := make(map[string]int)
+	for _, t := range ctx.tables {
+		for _, rec := range r.store.ByTable(t, p) {
+			for _, pr := range rec.Predicates {
+				if pr.IsJoin {
+					continue
+				}
+				if pr.Rel != "" && !tables[strings.ToLower(pr.Rel)] {
+					continue
+				}
+				col := pr.Attr
+				if pr.Rel != "" {
+					col = pr.Rel + "." + pr.Attr
+				}
+				text := col + " " + pr.Op + " " + pr.Const
+				counts[text]++
+			}
+		}
+	}
+	existing := r.existingPredicates(partialSQL)
+	var out []Completion
+	maxCount := 1
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for text, c := range counts {
+		if existing[text] {
+			continue
+		}
+		out = append(out, Completion{
+			Kind: CompletePredicate, Text: text,
+			Score:  float64(c) / float64(maxCount),
+			Reason: fmt.Sprintf("used in %d logged queries", c),
+		})
+	}
+	sortCompletions(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func (r *Recommender) existingPredicates(partialSQL string) map[string]bool {
+	out := make(map[string]bool)
+	stmt, err := sql.Parse(partialSQL)
+	if err != nil {
+		return out
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return out
+	}
+	for _, pr := range sql.Analyze(sel).Predicates {
+		col := pr.Column
+		if pr.Table != "" {
+			col = pr.Table + "." + pr.Column
+		}
+		out[col+" "+pr.Op+" "+pr.Value] = true
+	}
+	return out
+}
+
+// SuggestJoins suggests join conditions connecting the tables referenced by
+// the partial query, taken from the join predicates of logged queries.
+func (r *Recommender) SuggestJoins(p storage.Principal, partialSQL string, k int) []Completion {
+	if k <= 0 {
+		k = r.cfg.MaxSuggestions
+	}
+	ctx := r.contextOf(partialSQL)
+	if len(ctx.tables) < 2 {
+		return nil
+	}
+	tables := make(map[string]bool)
+	for _, t := range ctx.tables {
+		tables[strings.ToLower(t)] = true
+	}
+	counts := make(map[string]int)
+	for _, t := range ctx.tables {
+		for _, rec := range r.store.ByTable(t, p) {
+			for _, pr := range rec.Predicates {
+				if !pr.IsJoin {
+					continue
+				}
+				if !tables[strings.ToLower(pr.Rel)] || !tables[strings.ToLower(pr.RightRel)] {
+					continue
+				}
+				text := pr.Rel + "." + pr.Attr + " " + pr.Op + " " + pr.RightRel + "." + pr.RightAttr
+				counts[canonicalJoinText(text, pr)]++
+			}
+		}
+	}
+	var out []Completion
+	maxCount := 1
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for text, c := range counts {
+		out = append(out, Completion{
+			Kind: CompleteJoin, Text: text,
+			Score:  float64(c) / float64(maxCount),
+			Reason: fmt.Sprintf("join used in %d logged queries", c),
+		})
+	}
+	sortCompletions(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// canonicalJoinText orders the two sides of an equi-join deterministically so
+// that A.x = B.x and B.x = A.x aggregate.
+func canonicalJoinText(text string, pr storage.PredicateRow) string {
+	if pr.Op != "=" {
+		return text
+	}
+	left := pr.Rel + "." + pr.Attr
+	right := pr.RightRel + "." + pr.RightAttr
+	if left > right {
+		left, right = right, left
+	}
+	return left + " = " + right
+}
+
+// Complete merges table, column, predicate and join suggestions for the
+// partial query, capped at k entries per kind.
+func (r *Recommender) Complete(p storage.Principal, partialSQL string, k int) []Completion {
+	var out []Completion
+	out = append(out, r.SuggestTables(p, partialSQL, k)...)
+	out = append(out, r.SuggestColumns(p, partialSQL, k)...)
+	out = append(out, r.SuggestPredicates(p, partialSQL, k)...)
+	out = append(out, r.SuggestJoins(p, partialSQL, k)...)
+	return out
+}
+
+func sortCompletions(cs []Completion) {
+	sort.SliceStable(cs, func(i, j int) bool {
+		if cs[i].Score != cs[j].Score {
+			return cs[i].Score > cs[j].Score
+		}
+		return cs[i].Text < cs[j].Text
+	})
+}

@@ -1,0 +1,498 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metaquery"
+	"repro/internal/profiler"
+	"repro/internal/storage"
+)
+
+// maxInlineRows bounds how many result rows a Traditional-mode response
+// carries back to the client; full results stay server-side as in the paper's
+// shared-data-center setting.
+const maxInlineRows = 100
+
+// Server is the CQMS HTTP server.
+type Server struct {
+	cqms *core.CQMS
+	mux  *http.ServeMux
+}
+
+// New returns a server over the given CQMS instance.
+func New(c *core.CQMS) *Server {
+	s := &Server{cqms: c, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// Handler returns the http.Handler for the server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/api/query", s.handleSubmit)
+	s.mux.HandleFunc("/api/annotate", s.handleAnnotate)
+	s.mux.HandleFunc("/api/search/keyword", s.handleKeyword)
+	s.mux.HandleFunc("/api/search/substring", s.handleSubstring)
+	s.mux.HandleFunc("/api/search/metaquery", s.handleMetaQuery)
+	s.mux.HandleFunc("/api/search/partial", s.handlePartial)
+	s.mux.HandleFunc("/api/search/bydata", s.handleByData)
+	s.mux.HandleFunc("/api/search/similar", s.handleSimilarSearch)
+	s.mux.HandleFunc("/api/history", s.handleHistory)
+	s.mux.HandleFunc("/api/sessions", s.handleSessions)
+	s.mux.HandleFunc("/api/sessions/graph", s.handleSessionGraph)
+	s.mux.HandleFunc("/api/assist/complete", s.handleComplete)
+	s.mux.HandleFunc("/api/assist/corrections", s.handleCorrections)
+	s.mux.HandleFunc("/api/assist/similar", s.handleSimilarQueries)
+	s.mux.HandleFunc("/api/assist/tutorial", s.handleTutorial)
+	s.mux.HandleFunc("/api/admin/visibility", s.handleVisibility)
+	s.mux.HandleFunc("/api/admin/delete", s.handleDelete)
+	s.mux.HandleFunc("/api/admin/mine", s.handleMine)
+	s.mux.HandleFunc("/api/admin/maintain", s.handleMaintain)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, storage.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, storage.ErrAccessDenied):
+		status = http.StatusForbidden
+	case errors.Is(err, errBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+var errBadRequest = errors.New("bad request")
+
+func decode(r *http.Request, v interface{}) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return nil
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "method not allowed"})
+		return false
+	}
+	return true
+}
+
+func matchesToDTO(matches []metaquery.Match) []MatchDTO {
+	out := make([]MatchDTO, 0, len(matches))
+	for _, m := range matches {
+		out = append(out, MatchDTO{Query: queryDTO(m.Record), Score: m.Score, Why: m.Why})
+	}
+	return out
+}
+
+// principalFromQuery builds a principal from URL query parameters (used by
+// GET endpoints).
+func principalFromQuery(r *http.Request) storage.Principal {
+	p := storage.Principal{User: r.URL.Query().Get("user")}
+	if g := r.URL.Query().Get("groups"); g != "" {
+		p.Groups = strings.Split(g, ",")
+	}
+	p.Admin = r.URL.Query().Get("admin") == "true"
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Traditional Interaction Mode
+// ---------------------------------------------------------------------------
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req SubmitRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, fmt.Errorf("%w: sql is required", errBadRequest))
+		return
+	}
+	group := req.Group
+	if group == "" && len(req.Principal.Groups) > 0 {
+		group = req.Principal.Groups[0]
+	}
+	out, err := s.cqms.Submit(profiler.Submission{
+		User:       req.Principal.User,
+		Group:      group,
+		Visibility: parseVisibility(req.Visibility),
+		SQL:        req.SQL,
+	})
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	resp := SubmitResponse{
+		QueryID:           int64(out.QueryID),
+		SuggestAnnotation: out.SuggestAnnotation,
+	}
+	if out.ExecError != nil {
+		resp.ExecError = out.ExecError.Error()
+	} else if out.Result != nil {
+		resp.Columns = out.Result.Columns
+		resp.RowCount = out.Result.Cardinality()
+		resp.ExecMillis = float64(out.Result.Elapsed.Microseconds()) / 1000.0
+		limit := len(out.Result.Rows)
+		if limit > maxInlineRows {
+			limit = maxInlineRows
+		}
+		for i := 0; i < limit; i++ {
+			resp.Rows = append(resp.Rows, out.Result.Rows[i].Strings())
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req AnnotateRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	err := s.cqms.Annotate(storage.QueryID(req.QueryID), req.Principal.principal(), storage.Annotation{
+		Author: req.Principal.User, Text: req.Text, Fragment: req.Fragment,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// ---------------------------------------------------------------------------
+// Search & Browse Interaction Mode
+// ---------------------------------------------------------------------------
+
+func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req SearchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	matches := s.cqms.Search(req.Principal.principal(), req.Keywords...)
+	writeJSON(w, http.StatusOK, SearchResponse{Matches: matchesToDTO(matches)})
+}
+
+func (s *Server) handleSubstring(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req SearchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	matches := s.cqms.SearchSubstring(req.Principal.principal(), req.Substring)
+	writeJSON(w, http.StatusOK, SearchResponse{Matches: matchesToDTO(matches)})
+}
+
+func (s *Server) handleMetaQuery(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req SearchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	_, matches, err := s.cqms.MetaQuery(req.Principal.principal(), req.MetaSQL)
+	if err != nil && !errors.Is(err, metaquery.ErrNoQIDColumn) {
+		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Matches: matchesToDTO(matches)})
+}
+
+func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req SearchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	matches, err := s.cqms.SearchByPartialQuery(req.Principal.principal(), req.Partial)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Matches: matchesToDTO(matches)})
+}
+
+func (s *Server) handleByData(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req SearchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	matches := s.cqms.SearchByData(req.Principal.principal(), req.Include, req.Exclude)
+	writeJSON(w, http.StatusOK, SearchResponse{Matches: matchesToDTO(matches)})
+}
+
+func (s *Server) handleSimilarSearch(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req SearchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = 5
+	}
+	matches, err := s.cqms.SimilarTo(req.Principal.principal(), req.SQL, k)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Matches: matchesToDTO(matches)})
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	p := principalFromQuery(r)
+	user := r.URL.Query().Get("of")
+	if user == "" {
+		user = p.User
+	}
+	records := s.cqms.History(p, user)
+	matches := make([]MatchDTO, 0, len(records))
+	for _, rec := range records {
+		matches = append(matches, MatchDTO{Query: queryDTO(rec), Score: 1})
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Matches: matches})
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	p := principalFromQuery(r)
+	summaries := s.cqms.Sessions(p)
+	resp := SessionsResponse{}
+	for _, sum := range summaries {
+		resp.Sessions = append(resp.Sessions, SessionDTO{
+			ID: sum.ID, User: sum.User, QueryCount: sum.QueryCount,
+			Start: sum.Start, End: sum.End, Tables: sum.Tables,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionGraph(w http.ResponseWriter, r *http.Request) {
+	p := principalFromQuery(r)
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: invalid session id", errBadRequest))
+		return
+	}
+	graph, err := s.cqms.SessionGraph(p, id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, GraphResponse{Graph: graph})
+}
+
+// ---------------------------------------------------------------------------
+// Assisted Interaction Mode
+// ---------------------------------------------------------------------------
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req CompleteRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	p := req.Principal.principal()
+	resp := AssistResponse{}
+	for _, c := range s.cqms.Complete(p, req.Partial, req.K) {
+		resp.Completions = append(resp.Completions, CompletionDTO{
+			Kind: c.Kind.String(), Text: c.Text, Score: c.Score, Reason: c.Reason,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCorrections(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req CompleteRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	p := req.Principal.principal()
+	resp := AssistResponse{}
+	for _, c := range s.cqms.Corrections(p, req.Partial) {
+		resp.Corrections = append(resp.Corrections, CorrectionDTO{
+			Kind: c.Kind, Original: c.Original, Suggestion: c.Suggestion,
+			Reason: c.Reason, Confidence: c.Confidence,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSimilarQueries(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req CompleteRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	p := req.Principal.principal()
+	similar, err := s.cqms.SimilarQueries(p, req.Partial, req.K)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	resp := AssistResponse{}
+	for _, sim := range similar {
+		resp.Similar = append(resp.Similar, SimilarQueryDTO{
+			Query: queryDTO(sim.Record), Score: sim.Score, Diff: sim.Diff, Annotations: sim.Annotations,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTutorial(w http.ResponseWriter, r *http.Request) {
+	p := principalFromQuery(r)
+	steps := s.cqms.Tutorial(p, 3)
+	type stepDTO struct {
+		Table   string   `json:"table"`
+		Columns []string `json:"columns,omitempty"`
+		Queries []string `json:"queries,omitempty"`
+	}
+	out := make([]stepDTO, 0, len(steps))
+	for _, step := range steps {
+		dto := stepDTO{Table: step.Table, Columns: step.Columns}
+		for _, q := range step.PopularQueries {
+			dto.Queries = append(dto.Queries, q.Canonical)
+		}
+		out = append(out, dto)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ---------------------------------------------------------------------------
+// Administrative Interaction Mode
+// ---------------------------------------------------------------------------
+
+func (s *Server) handleVisibility(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req VisibilityRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	err := s.cqms.SetVisibility(storage.QueryID(req.QueryID), req.Principal.principal(), parseVisibility(req.Visibility))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req DeleteRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.cqms.DeleteQuery(storage.QueryID(req.QueryID), req.Principal.principal()); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	res := s.cqms.RunMiner()
+	writeJSON(w, http.StatusOK, MineResponse{
+		Transactions: res.TransactionCount,
+		Rules:        len(res.Rules),
+		Clusters:     len(res.Clusters),
+		Sessions:     len(s.cqms.Sessions(storage.Principal{Admin: true})),
+	})
+}
+
+func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	report, err := s.cqms.RunMaintenance()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := MaintainResponse{Checked: report.Checked, StatsRefreshed: len(report.StatsRefreshed)}
+	for _, inv := range report.Invalidated {
+		resp.Invalidated = append(resp.Invalidated, fmt.Sprintf("q%d: %s", inv.ID, inv.Reason))
+	}
+	for _, rep := range report.Repaired {
+		resp.Repaired = append(resp.Repaired, fmt.Sprintf("q%d: %s", rep.ID, rep.Change))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	store := s.cqms.Store()
+	var tables []string
+	for _, tc := range store.TableCounts() {
+		tables = append(tables, tc.Table)
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Queries:  store.Count(),
+		Users:    store.Users(),
+		Tables:   tables,
+		Sessions: len(store.SessionIDs()),
+	})
+}

@@ -1,0 +1,272 @@
+package server_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// newTestServer starts an httptest server over a populated CQMS and returns
+// clients for a limnologist, an astronomer and an admin.
+func newTestServer(t testing.TB) (*httptest.Server, *client.Client, *client.Client, *client.Client) {
+	t.Helper()
+	eng := engine.New()
+	if err := workload.Populate(eng, 200, 1); err != nil {
+		t.Fatalf("Populate: %v", err)
+	}
+	cqms := core.NewWithEngine(eng, core.DefaultConfig())
+	ts := httptest.NewServer(server.New(cqms).Handler())
+	t.Cleanup(ts.Close)
+	alice := client.New(ts.URL, "alice", []string{"limnology"}, false)
+	carol := client.New(ts.URL, "carol", []string{"astro"}, false)
+	admin := client.New(ts.URL, "root", nil, true)
+	return ts, alice, carol, admin
+}
+
+func TestSubmitAndHistoryOverHTTP(t *testing.T) {
+	_, alice, _, _ := newTestServer(t)
+	resp, err := alice.Submit("SELECT lake, temp FROM WaterTemp WHERE temp < 18", "limnology", "group")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if resp.QueryID == 0 || resp.RowCount == 0 || len(resp.Columns) != 2 {
+		t.Errorf("submit response = %+v", resp)
+	}
+	if resp.ExecError != "" {
+		t.Errorf("unexpected exec error %q", resp.ExecError)
+	}
+	hist, err := alice.History("")
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if len(hist) != 1 || hist[0].Query.User != "alice" {
+		t.Errorf("history = %+v", hist)
+	}
+}
+
+func TestSubmitInvalidSQLOverHTTP(t *testing.T) {
+	_, alice, _, _ := newTestServer(t)
+	if _, err := alice.Submit("SELEKT nonsense", "limnology", "group"); err == nil {
+		t.Error("expected an error for unparsable SQL")
+	}
+	if _, err := alice.Submit("", "limnology", "group"); err == nil {
+		t.Error("expected an error for empty SQL")
+	}
+	// Execution errors (valid SQL, missing table) are reported in-band.
+	resp, err := alice.Submit("SELECT * FROM NoSuchTable", "limnology", "group")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if resp.ExecError == "" {
+		t.Errorf("expected execError for missing table")
+	}
+}
+
+func TestAnnotateAndKeywordSearchOverHTTP(t *testing.T) {
+	_, alice, _, _ := newTestServer(t)
+	resp, err := alice.Submit("SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x", "limnology", "group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Annotate(resp.QueryID, "Seattle lakes correlation"); err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	matches, err := alice.SearchKeyword("Seattle", "salinity")
+	if err != nil {
+		t.Fatalf("SearchKeyword: %v", err)
+	}
+	if len(matches) != 1 || matches[0].Query.ID != resp.QueryID {
+		t.Errorf("keyword matches = %+v", matches)
+	}
+	if len(matches[0].Query.Annotations) != 1 {
+		t.Errorf("annotations not returned: %+v", matches[0].Query)
+	}
+}
+
+func TestMetaQueryOverHTTP(t *testing.T) {
+	_, alice, _, admin := newTestServer(t)
+	if _, err := alice.Submit("SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x", "limnology", "public"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Submit("SELECT city FROM CityLocations", "limnology", "public"); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := admin.MetaQuery(`SELECT Q.qid FROM Queries Q, DataSources D1, DataSources D2
+		WHERE Q.qid = D1.qid AND Q.qid = D2.qid AND D1.relName = 'WaterSalinity' AND D2.relName = 'WaterTemp'`)
+	if err != nil {
+		t.Fatalf("MetaQuery: %v", err)
+	}
+	if len(matches) != 1 {
+		t.Errorf("meta-query matches = %d, want 1", len(matches))
+	}
+	// Invalid meta-SQL is a client error.
+	if _, err := admin.MetaQuery("SELEKT"); err == nil {
+		t.Error("expected error for invalid meta-query")
+	}
+}
+
+func TestAccessControlOverHTTP(t *testing.T) {
+	_, alice, carol, _ := newTestServer(t)
+	resp, err := alice.Submit("SELECT temp FROM WaterTemp WHERE temp < 18", "limnology", "group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Carol (different group) cannot see alice's query via keyword search.
+	matches, err := carol.SearchKeyword("WaterTemp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("carol sees %d of alice's group queries, want 0", len(matches))
+	}
+	// Carol cannot change its visibility either.
+	if err := carol.SetVisibility(resp.QueryID, "public"); err == nil {
+		t.Error("expected forbidden error")
+	}
+	// Alice can.
+	if err := alice.SetVisibility(resp.QueryID, "public"); err != nil {
+		t.Errorf("owner SetVisibility: %v", err)
+	}
+	matches, err = carol.SearchKeyword("WaterTemp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Errorf("after publication carol sees %d, want 1", len(matches))
+	}
+}
+
+func TestAssistEndpointsOverHTTP(t *testing.T) {
+	_, alice, _, admin := newTestServer(t)
+	for i := 0; i < 5; i++ {
+		if _, err := alice.Submit("SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x AND WaterTemp.temp < 18", "limnology", "group"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := admin.Mine(); err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	completions, err := alice.Complete("SELECT * FROM WaterSalinity", 3)
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	foundWaterTemp := false
+	for _, c := range completions {
+		if c.Kind == "table" && c.Text == "WaterTemp" {
+			foundWaterTemp = true
+		}
+	}
+	if !foundWaterTemp {
+		t.Errorf("completions = %+v, want WaterTemp table suggestion", completions)
+	}
+	corrections, err := alice.Corrections("SELECT tmep FROM WaterTemp")
+	if err != nil {
+		t.Fatalf("Corrections: %v", err)
+	}
+	if len(corrections) == 0 {
+		t.Errorf("no corrections over HTTP")
+	}
+	similar, err := alice.SimilarQueries("SELECT WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 20", 3)
+	if err != nil {
+		t.Fatalf("SimilarQueries: %v", err)
+	}
+	if len(similar) == 0 {
+		t.Errorf("no similar queries over HTTP")
+	}
+	if similar[0].Diff == "" {
+		t.Errorf("similar query missing diff column")
+	}
+}
+
+func TestSessionsAndGraphOverHTTP(t *testing.T) {
+	_, alice, _, admin := newTestServer(t)
+	queries := []string{
+		"SELECT * FROM WaterTemp WHERE temp < 22",
+		"SELECT * FROM WaterTemp, WaterSalinity WHERE WaterTemp.loc_x = WaterSalinity.loc_x AND WaterTemp.temp < 22",
+		"SELECT * FROM WaterTemp, WaterSalinity WHERE WaterTemp.loc_x = WaterSalinity.loc_x AND WaterTemp.temp < 18",
+	}
+	for _, q := range queries {
+		if _, err := alice.Submit(q, "limnology", "group"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := admin.Mine(); err != nil {
+		t.Fatal(err)
+	}
+	sessions, err := alice.Sessions()
+	if err != nil {
+		t.Fatalf("Sessions: %v", err)
+	}
+	if len(sessions) != 1 || sessions[0].QueryCount != 3 {
+		t.Fatalf("sessions = %+v", sessions)
+	}
+	graph, err := alice.SessionGraph(sessions[0].ID)
+	if err != nil {
+		t.Fatalf("SessionGraph: %v", err)
+	}
+	if !strings.Contains(graph, "+table WaterSalinity") {
+		t.Errorf("graph missing edge label:\n%s", graph)
+	}
+	if _, err := alice.SessionGraph(99999); err == nil {
+		t.Error("expected not-found error")
+	}
+}
+
+func TestMaintainAndStatsOverHTTP(t *testing.T) {
+	_, alice, _, admin := newTestServer(t)
+	if _, err := alice.Submit("SELECT temp FROM WaterTemp WHERE temp < 18", "limnology", "group"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Submit("ALTER TABLE WaterTemp RENAME COLUMN temp TO temperature", "limnology", "group"); err != nil {
+		t.Fatal(err)
+	}
+	report, err := admin.Maintain()
+	if err != nil {
+		t.Fatalf("Maintain: %v", err)
+	}
+	if len(report.Repaired) != 1 {
+		t.Errorf("repaired = %+v, want one repair", report.Repaired)
+	}
+	stats, err := admin.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if stats.Queries != 2 || len(stats.Users) != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestDeleteOverHTTP(t *testing.T) {
+	_, alice, carol, _ := newTestServer(t)
+	resp, err := alice.Submit("SELECT temp FROM WaterTemp", "limnology", "group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := carol.DeleteQuery(resp.QueryID); err == nil {
+		t.Error("non-owner delete should fail")
+	}
+	if err := alice.DeleteQuery(resp.QueryID); err != nil {
+		t.Errorf("owner delete: %v", err)
+	}
+	if err := alice.DeleteQuery(99999); err == nil {
+		t.Error("deleting a missing query should fail")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _, _, _ := newTestServer(t)
+	resp, err := ts.Client().Get(ts.URL + "/api/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("GET /api/query status = %d, want 405", resp.StatusCode)
+	}
+}

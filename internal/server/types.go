@@ -1,0 +1,234 @@
+// Package server exposes the CQMS over HTTP/JSON, realising the
+// client-server architecture of Figure 4: the CQMS client communicates with
+// the CQMS server through standard SQL queries (the Traditional mode
+// endpoint) and meta-queries (the Search & Browse and Assisted mode
+// endpoints), plus the administrative endpoints of §2.4.
+//
+// Authentication is out of scope for the paper and for this reproduction:
+// each request declares its principal (user, groups, admin flag), and the
+// storage layer enforces the visibility rules on that declared identity.
+package server
+
+import (
+	"time"
+
+	"repro/internal/storage"
+)
+
+// PrincipalDTO identifies the requesting user.
+type PrincipalDTO struct {
+	User   string   `json:"user"`
+	Groups []string `json:"groups,omitempty"`
+	Admin  bool     `json:"admin,omitempty"`
+}
+
+func (p PrincipalDTO) principal() storage.Principal {
+	return storage.Principal{User: p.User, Groups: p.Groups, Admin: p.Admin}
+}
+
+// SubmitRequest is the Traditional-mode request: run a SQL query.
+type SubmitRequest struct {
+	Principal  PrincipalDTO `json:"principal"`
+	Group      string       `json:"group,omitempty"`
+	Visibility string       `json:"visibility,omitempty"` // private, group, public
+	SQL        string       `json:"sql"`
+}
+
+// SubmitResponse returns the execution result and logging metadata.
+type SubmitResponse struct {
+	QueryID           int64      `json:"queryId"`
+	Columns           []string   `json:"columns,omitempty"`
+	Rows              [][]string `json:"rows,omitempty"`
+	RowCount          int        `json:"rowCount"`
+	ExecMillis        float64    `json:"execMillis"`
+	ExecError         string     `json:"execError,omitempty"`
+	SuggestAnnotation bool       `json:"suggestAnnotation"`
+}
+
+// AnnotateRequest attaches an annotation to a logged query.
+type AnnotateRequest struct {
+	Principal PrincipalDTO `json:"principal"`
+	QueryID   int64        `json:"queryId"`
+	Text      string       `json:"text"`
+	Fragment  string       `json:"fragment,omitempty"`
+}
+
+// SearchRequest covers keyword, substring, meta-query, partial-query and
+// query-by-data searches; exactly one of the payload fields is used per
+// endpoint.
+type SearchRequest struct {
+	Principal PrincipalDTO `json:"principal"`
+	Keywords  []string     `json:"keywords,omitempty"`
+	Substring string       `json:"substring,omitempty"`
+	MetaSQL   string       `json:"metaSql,omitempty"`
+	Partial   string       `json:"partial,omitempty"`
+	Include   []string     `json:"include,omitempty"`
+	Exclude   []string     `json:"exclude,omitempty"`
+	K         int          `json:"k,omitempty"`
+	SQL       string       `json:"sql,omitempty"`
+}
+
+// QueryDTO is the wire representation of a logged query.
+type QueryDTO struct {
+	ID          int64     `json:"id"`
+	Text        string    `json:"text"`
+	User        string    `json:"user"`
+	Group       string    `json:"group,omitempty"`
+	IssuedAt    time.Time `json:"issuedAt"`
+	Tables      []string  `json:"tables,omitempty"`
+	ResultRows  int       `json:"resultRows"`
+	ExecMillis  float64   `json:"execMillis"`
+	SessionID   int64     `json:"sessionId,omitempty"`
+	Valid       bool      `json:"valid"`
+	Annotations []string  `json:"annotations,omitempty"`
+	Quality     float64   `json:"quality,omitempty"`
+}
+
+// MatchDTO is one search result.
+type MatchDTO struct {
+	Query QueryDTO `json:"query"`
+	Score float64  `json:"score"`
+	Why   string   `json:"why,omitempty"`
+}
+
+// SearchResponse carries search results.
+type SearchResponse struct {
+	Matches []MatchDTO `json:"matches"`
+}
+
+// CompleteRequest asks for completions / corrections / similar queries for a
+// (partial) query.
+type CompleteRequest struct {
+	Principal PrincipalDTO `json:"principal"`
+	Partial   string       `json:"partial"`
+	K         int          `json:"k,omitempty"`
+}
+
+// CompletionDTO is one completion suggestion.
+type CompletionDTO struct {
+	Kind   string  `json:"kind"`
+	Text   string  `json:"text"`
+	Score  float64 `json:"score"`
+	Reason string  `json:"reason,omitempty"`
+}
+
+// CorrectionDTO is one correction suggestion.
+type CorrectionDTO struct {
+	Kind       string  `json:"kind"`
+	Original   string  `json:"original"`
+	Suggestion string  `json:"suggestion"`
+	Reason     string  `json:"reason,omitempty"`
+	Confidence float64 `json:"confidence"`
+}
+
+// SimilarQueryDTO is one row of the Figure 3 similar-queries pane.
+type SimilarQueryDTO struct {
+	Query       QueryDTO `json:"query"`
+	Score       float64  `json:"score"`
+	Diff        string   `json:"diff"`
+	Annotations []string `json:"annotations,omitempty"`
+}
+
+// AssistResponse bundles everything the assisted-interaction client pane
+// needs.
+type AssistResponse struct {
+	Completions []CompletionDTO   `json:"completions,omitempty"`
+	Corrections []CorrectionDTO   `json:"corrections,omitempty"`
+	Similar     []SimilarQueryDTO `json:"similar,omitempty"`
+}
+
+// SessionDTO summarises one detected session.
+type SessionDTO struct {
+	ID         int64     `json:"id"`
+	User       string    `json:"user"`
+	QueryCount int       `json:"queryCount"`
+	Start      time.Time `json:"start"`
+	End        time.Time `json:"end"`
+	Tables     []string  `json:"tables,omitempty"`
+}
+
+// SessionsResponse lists sessions.
+type SessionsResponse struct {
+	Sessions []SessionDTO `json:"sessions"`
+}
+
+// GraphResponse carries the rendered Figure 2 session graph.
+type GraphResponse struct {
+	Graph string `json:"graph"`
+}
+
+// VisibilityRequest changes a query's visibility.
+type VisibilityRequest struct {
+	Principal  PrincipalDTO `json:"principal"`
+	QueryID    int64        `json:"queryId"`
+	Visibility string       `json:"visibility"`
+}
+
+// DeleteRequest removes a query.
+type DeleteRequest struct {
+	Principal PrincipalDTO `json:"principal"`
+	QueryID   int64        `json:"queryId"`
+}
+
+// MaintainResponse summarises a maintenance scan.
+type MaintainResponse struct {
+	Checked        int      `json:"checked"`
+	Invalidated    []string `json:"invalidated,omitempty"`
+	Repaired       []string `json:"repaired,omitempty"`
+	StatsRefreshed int      `json:"statsRefreshed"`
+}
+
+// MineResponse summarises a mining pass.
+type MineResponse struct {
+	Transactions int `json:"transactions"`
+	Rules        int `json:"rules"`
+	Clusters     int `json:"clusters"`
+	Sessions     int `json:"sessions"`
+}
+
+// StatsResponse reports server-wide counters.
+type StatsResponse struct {
+	Queries  int      `json:"queries"`
+	Users    []string `json:"users"`
+	Tables   []string `json:"tables"`
+	Sessions int      `json:"sessions"`
+}
+
+// ErrorResponse is returned for every failed request.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseVisibility maps the wire value onto the storage constant, defaulting
+// to group visibility.
+func parseVisibility(s string) storage.Visibility {
+	switch s {
+	case "private":
+		return storage.VisibilityPrivate
+	case "public":
+		return storage.VisibilityPublic
+	default:
+		return storage.VisibilityGroup
+	}
+}
+
+func queryDTO(rec *storage.QueryRecord) QueryDTO {
+	var anns []string
+	for _, a := range rec.Annotations {
+		anns = append(anns, a.Text)
+	}
+	return QueryDTO{
+		ID:          int64(rec.ID),
+		Text:        rec.Text,
+		User:        rec.User,
+		Group:       rec.Group,
+		IssuedAt:    rec.IssuedAt,
+		Tables:      rec.Tables,
+		ResultRows:  rec.Stats.ResultRows,
+		ExecMillis:  float64(rec.Stats.ExecTime.Microseconds()) / 1000.0,
+		SessionID:   rec.SessionID,
+		Valid:       rec.Valid,
+		Annotations: anns,
+		Quality:     rec.QualityScore,
+	}
+}

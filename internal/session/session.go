@@ -1,0 +1,282 @@
+// Package session implements the CQMS query-session model (§2.2, §4.1 of the
+// paper): it segments a user's query stream into sessions — series of similar
+// queries issued with the same information goal — computes the structural
+// diff between consecutive queries, and renders the session window
+// visualisation of Figure 2 where nodes are queries and edges are labelled
+// with the difference between consecutive queries.
+package session
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// Config controls session segmentation.
+type Config struct {
+	// MaxGap is the idle time after which a new query always starts a new
+	// session.
+	MaxGap time.Duration
+	// SoftGap is the idle time after which a new query starts a new session
+	// unless it is similar to the previous query (the user paused to look at
+	// results but is still pursuing the same goal).
+	SoftGap time.Duration
+	// MinSimilarity is the feature-set Jaccard similarity at or above which
+	// two consecutive queries are considered part of the same exploration.
+	MinSimilarity float64
+}
+
+// DefaultConfig returns segmentation parameters tuned for interactive
+// exploratory sessions.
+func DefaultConfig() Config {
+	return Config{
+		MaxGap:        30 * time.Minute,
+		SoftGap:       5 * time.Minute,
+		MinSimilarity: 0.2,
+	}
+}
+
+// Session is one detected query session.
+type Session struct {
+	ID      int64
+	User    string
+	Queries []*storage.QueryRecord
+	Edges   []storage.SessionEdge
+	Start   time.Time
+	End     time.Time
+}
+
+// Len returns the number of queries in the session.
+func (s *Session) Len() int { return len(s.Queries) }
+
+// Duration returns the wall-clock span of the session.
+func (s *Session) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Detector segments query streams into sessions.
+type Detector struct {
+	cfg Config
+}
+
+// NewDetector returns a detector with the given configuration.
+func NewDetector(cfg Config) *Detector {
+	return &Detector{cfg: cfg}
+}
+
+// Detect segments the given records (any order, any mix of users) into
+// sessions. Queries of different users never share a session. Session IDs
+// are assigned sequentially starting at startID+1.
+func (d *Detector) Detect(records []*storage.QueryRecord, startID int64) []Session {
+	byUser := make(map[string][]*storage.QueryRecord)
+	var users []string
+	for _, r := range records {
+		if _, ok := byUser[r.User]; !ok {
+			users = append(users, r.User)
+		}
+		byUser[r.User] = append(byUser[r.User], r)
+	}
+	sort.Strings(users)
+
+	var sessions []Session
+	nextID := startID
+	for _, user := range users {
+		recs := byUser[user]
+		sort.Slice(recs, func(i, j int) bool { return recs[i].IssuedAt.Before(recs[j].IssuedAt) })
+		var cur *Session
+		var prev *storage.QueryRecord
+		flush := func() {
+			if cur != nil && len(cur.Queries) > 0 {
+				sessions = append(sessions, *cur)
+			}
+			cur = nil
+		}
+		for _, rec := range recs {
+			newSession := cur == nil
+			if !newSession {
+				gap := rec.IssuedAt.Sub(prev.IssuedAt)
+				sim := FeatureSimilarity(prev, rec)
+				switch {
+				case gap > d.cfg.MaxGap:
+					newSession = true
+				case gap > d.cfg.SoftGap && sim < d.cfg.MinSimilarity:
+					newSession = true
+				}
+			}
+			if newSession {
+				flush()
+				nextID++
+				cur = &Session{ID: nextID, User: user, Start: rec.IssuedAt}
+			}
+			if prev != nil && !newSession {
+				cur.Edges = append(cur.Edges, edgeBetween(prev, rec))
+			}
+			cur.Queries = append(cur.Queries, rec)
+			cur.End = rec.IssuedAt
+			prev = rec
+		}
+		flush()
+	}
+	return sessions
+}
+
+// Apply runs detection over every query in the store (admin view), writes the
+// assigned session IDs and edges back into the store and returns the detected
+// sessions. It is invoked by the Query Miner's background pass.
+func (d *Detector) Apply(store *storage.Store) ([]Session, error) {
+	records := store.All(storage.Principal{Admin: true})
+	sessions := d.Detect(records, 0)
+	for _, sess := range sessions {
+		for _, q := range sess.Queries {
+			if err := store.AssignSession(q.ID, sess.ID); err != nil {
+				return nil, fmt.Errorf("session: assigning query %d: %w", q.ID, err)
+			}
+		}
+		for _, e := range sess.Edges {
+			if err := store.AddEdge(e); err != nil {
+				return nil, fmt.Errorf("session: adding edge %d->%d: %w", e.From, e.To, err)
+			}
+		}
+	}
+	return sessions, nil
+}
+
+// edgeBetween builds the session edge between two consecutive queries,
+// classifying it and labelling it with the structural diff.
+func edgeBetween(prev, next *storage.QueryRecord) storage.SessionEdge {
+	diff := sql.ComputeDiff(prev.Analysis(), next.Analysis())
+	etype := storage.EdgeModification
+	if diff.Empty() {
+		etype = storage.EdgeTemporal
+	} else if isInvestigation(diff) {
+		etype = storage.EdgeInvestigation
+	}
+	return storage.SessionEdge{From: prev.ID, To: next.ID, Type: etype, Diff: diff.String()}
+}
+
+// isInvestigation reports whether the diff looks like the user drilling into
+// why certain tuples appear: predicates only added, projection narrowed, no
+// new tables.
+func isInvestigation(d *sql.Diff) bool {
+	addedPred, removedCol := false, false
+	for _, e := range d.Entries {
+		switch e.Kind {
+		case sql.DiffAddTable, sql.DiffRemoveTable, sql.DiffAddColumn:
+			return false
+		case sql.DiffAddPredicate:
+			addedPred = true
+		case sql.DiffRemoveColumn:
+			removedCol = true
+		}
+	}
+	return addedPred && removedCol
+}
+
+// FeatureSimilarity is the Jaccard similarity of two queries' feature sets,
+// the measure used both for session segmentation and as one of the miner's
+// similarity measures.
+func FeatureSimilarity(a, b *storage.QueryRecord) float64 {
+	return jaccard(a.Features, b.Features)
+}
+
+func jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[string]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	inter := 0
+	union := len(set)
+	for _, y := range b {
+		if set[y] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	return float64(inter) / float64(union)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 rendering
+// ---------------------------------------------------------------------------
+
+// Render produces the ASCII session-window visualisation of Figure 2: one
+// node per query in temporal order, with edges labelled by the diff between
+// consecutive queries, followed by the full text of the final query.
+func Render(s *Session) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Session %d — user %s — %d queries — %s\n",
+		s.ID, s.User, len(s.Queries), s.Duration().Round(time.Second))
+	if len(s.Queries) == 0 {
+		return sb.String()
+	}
+	for i, q := range s.Queries {
+		label := firstTableOrText(q)
+		ts := q.IssuedAt.Format("15:04")
+		if i == 0 {
+			fmt.Fprintf(&sb, "  [%s] (q%d) %s\n", ts, q.ID, label)
+			continue
+		}
+		diff := "(same)"
+		if i-1 < len(s.Edges) {
+			diff = s.Edges[i-1].Diff
+		}
+		fmt.Fprintf(&sb, "     |  %s\n", diff)
+		fmt.Fprintf(&sb, "     v\n")
+		fmt.Fprintf(&sb, "  [%s] (q%d) %s\n", ts, q.ID, label)
+	}
+	final := s.Queries[len(s.Queries)-1]
+	fmt.Fprintf(&sb, "  final query: %s\n", final.Canonical)
+	return sb.String()
+}
+
+// firstTableOrText returns a compact node label: the list of referenced
+// tables, falling back to a prefix of the query text.
+func firstTableOrText(q *storage.QueryRecord) string {
+	if len(q.Tables) > 0 {
+		return strings.Join(q.Tables, ", ")
+	}
+	text := q.Canonical
+	if len(text) > 40 {
+		text = text[:37] + "..."
+	}
+	return text
+}
+
+// Summary is the compact per-session description used by the browse mode and
+// by cmd/cqmsctl when listing sessions.
+type Summary struct {
+	ID         int64
+	User       string
+	QueryCount int
+	Start      time.Time
+	End        time.Time
+	Tables     []string
+}
+
+// Summarize builds a Summary for the session.
+func Summarize(s *Session) Summary {
+	tables := make(map[string]bool)
+	for _, q := range s.Queries {
+		for _, t := range q.Tables {
+			tables[t] = true
+		}
+	}
+	names := make([]string, 0, len(tables))
+	for t := range tables {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	return Summary{
+		ID: s.ID, User: s.User, QueryCount: len(s.Queries),
+		Start: s.Start, End: s.End, Tables: names,
+	}
+}

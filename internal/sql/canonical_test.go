@@ -1,0 +1,299 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTemplateMasksConstants(t *testing.T) {
+	cases := []struct {
+		a, b string
+	}{
+		{
+			"SELECT * FROM WaterTemp WHERE temp < 18",
+			"SELECT * FROM WaterTemp WHERE temp < 22",
+		},
+		{
+			"SELECT * FROM t WHERE name = 'Lake Washington'",
+			"SELECT * FROM t WHERE name = 'Lake Union'",
+		},
+		{
+			"SELECT * FROM t WHERE a IN (1, 2)",
+			"SELECT * FROM t WHERE a IN (3, 4, 5)",
+		},
+		{
+			"SELECT * FROM t WHERE a BETWEEN 1 AND 5",
+			"SELECT * FROM t WHERE a BETWEEN 10 AND 50",
+		},
+	}
+	for _, c := range cases {
+		ta := TemplateText(c.a)
+		tb := TemplateText(c.b)
+		if ta != tb {
+			t.Errorf("templates differ:\n  %q -> %q\n  %q -> %q", c.a, ta, c.b, tb)
+		}
+		if strings.Contains(ta, "18") || strings.Contains(ta, "Lake") {
+			t.Errorf("template %q still contains constants", ta)
+		}
+	}
+}
+
+func TestTemplateDistinguishesStructure(t *testing.T) {
+	a := TemplateText("SELECT * FROM WaterTemp WHERE temp < 18")
+	b := TemplateText("SELECT * FROM WaterTemp WHERE temp > 18")
+	if a == b {
+		t.Errorf("different operators should give different templates: %q", a)
+	}
+	c := TemplateText("SELECT * FROM WaterSalinity WHERE temp < 18")
+	if a == c {
+		t.Errorf("different tables should give different templates: %q", a)
+	}
+}
+
+func TestFingerprintStableAcrossFormatting(t *testing.T) {
+	a := Fingerprint("SELECT  *  FROM WaterTemp  WHERE temp < 18")
+	b := Fingerprint("select * from WaterTemp where temp < 25")
+	if a != b {
+		t.Errorf("fingerprints differ for same template: %d vs %d", a, b)
+	}
+	c := Fingerprint("SELECT * FROM WaterSalinity WHERE temp < 18")
+	if a == c {
+		t.Errorf("fingerprints should differ across tables")
+	}
+}
+
+func TestExactFingerprint(t *testing.T) {
+	a := ExactFingerprint("SELECT * FROM t WHERE x = 1")
+	b := ExactFingerprint("select *   from t where x = 1")
+	if a != b {
+		t.Errorf("formatting should not change exact fingerprint")
+	}
+	c := ExactFingerprint("SELECT * FROM t WHERE x = 2")
+	if a == c {
+		t.Errorf("different constants must change exact fingerprint")
+	}
+}
+
+func TestTemplateFallbackOnUnparsableText(t *testing.T) {
+	// Partial queries (as typed in the assisted mode) do not parse; the
+	// token-level fallback should still mask constants.
+	tmpl := TemplateText("SELECT * FROM WaterTemp WHERE temp < 18 AND")
+	if strings.Contains(tmpl, "18") {
+		t.Errorf("fallback template still contains constant: %q", tmpl)
+	}
+	if !strings.Contains(tmpl, "WaterTemp") {
+		t.Errorf("fallback template lost table name: %q", tmpl)
+	}
+}
+
+func TestCloneSelectIsDeep(t *testing.T) {
+	orig := mustParseSelect(t, "SELECT a FROM t WHERE x = 1 AND y IN (SELECT y FROM u)")
+	clone := CloneSelect(orig)
+	// Mutate the clone and verify the original is untouched.
+	clone.Columns[0].Alias = "changed"
+	clone.Where.(*BinaryExpr).Op = "OR"
+	if orig.Columns[0].Alias == "changed" {
+		t.Errorf("clone shares Columns with original")
+	}
+	if orig.Where.(*BinaryExpr).Op != "AND" {
+		t.Errorf("clone shares Where with original")
+	}
+	if orig.SQL() == clone.SQL() {
+		t.Errorf("mutated clone should print differently")
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	if CloneSelect(nil) != nil {
+		t.Error("CloneSelect(nil) should be nil")
+	}
+	if CloneExpr(nil) != nil {
+		t.Error("CloneExpr(nil) should be nil")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Property-based tests: generate random queries from a small grammar and
+// check invariants of the parser, printer, canonicalizer and analyzer.
+// ---------------------------------------------------------------------------
+
+// genQuery builds a random but always-valid SELECT statement.
+func genQuery(r *rand.Rand) string {
+	tables := []string{"WaterSalinity", "WaterTemp", "CityLocations", "Lakes", "Sensors"}
+	cols := []string{"temp", "salinity", "depth", "loc_x", "loc_y", "city", "lake", "state"}
+	ops := []string{"=", "<", ">", "<=", ">=", "<>"}
+
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if r.Intn(4) == 0 {
+		sb.WriteString("DISTINCT ")
+	}
+	ncols := 1 + r.Intn(3)
+	if r.Intn(5) == 0 {
+		sb.WriteString("*")
+	} else {
+		for i := 0; i < ncols; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			if r.Intn(4) == 0 {
+				sb.WriteString("AVG(" + cols[r.Intn(len(cols))] + ")")
+			} else {
+				sb.WriteString(cols[r.Intn(len(cols))])
+			}
+		}
+	}
+	sb.WriteString(" FROM ")
+	ntab := 1 + r.Intn(3)
+	used := make([]string, 0, ntab)
+	for i := 0; i < ntab; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		tb := tables[r.Intn(len(tables))]
+		used = append(used, tb)
+		sb.WriteString(tb)
+	}
+	if r.Intn(2) == 0 {
+		sb.WriteString(" WHERE ")
+		npred := 1 + r.Intn(3)
+		for i := 0; i < npred; i++ {
+			if i > 0 {
+				if r.Intn(3) == 0 {
+					sb.WriteString(" OR ")
+				} else {
+					sb.WriteString(" AND ")
+				}
+			}
+			col := cols[r.Intn(len(cols))]
+			switch r.Intn(4) {
+			case 0:
+				sb.WriteString(col + " " + ops[r.Intn(len(ops))] + " " + itoa(r.Intn(100)))
+			case 1:
+				sb.WriteString(col + " LIKE 'Lake%'")
+			case 2:
+				sb.WriteString(col + " IN (" + itoa(r.Intn(10)) + ", " + itoa(r.Intn(10)) + ")")
+			default:
+				sb.WriteString(col + " BETWEEN " + itoa(r.Intn(10)) + " AND " + itoa(10+r.Intn(10)))
+			}
+		}
+	}
+	if r.Intn(4) == 0 {
+		sb.WriteString(" GROUP BY " + cols[r.Intn(len(cols))])
+	}
+	if r.Intn(4) == 0 {
+		sb.WriteString(" ORDER BY " + cols[r.Intn(len(cols))])
+		if r.Intn(2) == 0 {
+			sb.WriteString(" DESC")
+		}
+	}
+	if r.Intn(4) == 0 {
+		sb.WriteString(" LIMIT " + itoa(1+r.Intn(100)))
+	}
+	_ = used
+	return sb.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := []byte{}
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestPropertyParsePrintFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := genQuery(r)
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Logf("generated query failed to parse: %q: %v", q, err)
+			return false
+		}
+		text1 := stmt.SQL()
+		stmt2, err := Parse(text1)
+		if err != nil {
+			t.Logf("printed query failed to re-parse: %q: %v", text1, err)
+			return false
+		}
+		return stmt2.SQL() == text1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTemplateIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := genQuery(r)
+		tmpl := TemplateText(q)
+		// Applying the template transformation twice must be stable.
+		return TemplateText(tmpl) == tmpl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFingerprintIgnoresConstantsOnly(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := genQuery(r)
+		// Masking constants by hand: fingerprint of q equals fingerprint of
+		// its own template.
+		return Fingerprint(q) == Fingerprint(TemplateText(q))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAnalysisTablesSubsetOfFrom(t *testing.T) {
+	known := map[string]bool{
+		"WaterSalinity": true, "WaterTemp": true, "CityLocations": true,
+		"Lakes": true, "Sensors": true,
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := genQuery(r)
+		a, err := AnalyzeQuery(q)
+		if err != nil {
+			return false
+		}
+		if len(a.Tables) == 0 {
+			return false
+		}
+		for _, tb := range a.Tables {
+			if !known[tb] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDiffSelfIsEmpty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := genQuery(r)
+		d, err := DiffQueries(q, q)
+		if err != nil {
+			return false
+		}
+		return d.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

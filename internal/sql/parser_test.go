@@ -1,0 +1,396 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParseSelect(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	sel, err := ParseSelect(q)
+	if err != nil {
+		t.Fatalf("ParseSelect(%q): %v", q, err)
+	}
+	return sel
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustParseSelect(t, "SELECT a, b FROM t WHERE a = 1")
+	if len(sel.Columns) != 2 {
+		t.Fatalf("columns = %d, want 2", len(sel.Columns))
+	}
+	if len(sel.From) != 1 {
+		t.Fatalf("from = %d, want 1", len(sel.From))
+	}
+	tn, ok := sel.From[0].(*TableName)
+	if !ok || tn.Name != "t" {
+		t.Errorf("from[0] = %#v, want table t", sel.From[0])
+	}
+	cmp, ok := sel.Where.(*BinaryExpr)
+	if !ok || cmp.Op != "=" {
+		t.Errorf("where = %#v, want '=' comparison", sel.Where)
+	}
+}
+
+func TestParsePaperFigure2Query(t *testing.T) {
+	// The running example from Figure 2 of the paper.
+	q := `SELECT * FROM WaterSalinity S, WaterTemp T, CityLocations L WHERE T.temp < 18`
+	sel := mustParseSelect(t, q)
+	if !sel.Columns[0].Star {
+		t.Errorf("expected SELECT *")
+	}
+	if len(sel.From) != 3 {
+		t.Fatalf("from list = %d, want 3", len(sel.From))
+	}
+	aliases := map[string]string{}
+	for _, ref := range sel.From {
+		tn := ref.(*TableName)
+		aliases[tn.Alias] = tn.Name
+	}
+	if aliases["S"] != "WaterSalinity" || aliases["T"] != "WaterTemp" || aliases["L"] != "CityLocations" {
+		t.Errorf("aliases = %v", aliases)
+	}
+}
+
+func TestParsePaperFigure1MetaQuery(t *testing.T) {
+	// The meta-query of Figure 1 is itself plain SQL and must parse.
+	q := `SELECT Q.qid, Q.qText
+	FROM Queries Q, Attributes A1, Attributes A2
+	WHERE Q.qid = A1.qid AND Q.qid = A2.qid
+	AND A1.attrName = 'salinity'
+	AND A1.relName = 'WaterSalinity'
+	AND A2.attrName = 'temp'
+	AND A2.relName = 'WaterTemp'`
+	sel := mustParseSelect(t, q)
+	if len(sel.From) != 3 {
+		t.Errorf("from = %d, want 3", len(sel.From))
+	}
+	a := Analyze(sel)
+	if len(a.Predicates) != 6 {
+		t.Errorf("predicates = %d, want 6", len(a.Predicates))
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	cases := []struct {
+		q    string
+		typ  JoinType
+		cols int
+	}{
+		{"SELECT * FROM a JOIN b ON a.x = b.x", JoinInner, 1},
+		{"SELECT * FROM a INNER JOIN b ON a.x = b.x", JoinInner, 1},
+		{"SELECT * FROM a LEFT JOIN b ON a.x = b.x", JoinLeft, 1},
+		{"SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x", JoinLeft, 1},
+		{"SELECT * FROM a RIGHT JOIN b ON a.x = b.x", JoinRight, 1},
+		{"SELECT * FROM a FULL OUTER JOIN b ON a.x = b.x", JoinFull, 1},
+		{"SELECT * FROM a CROSS JOIN b", JoinCross, 1},
+	}
+	for _, c := range cases {
+		sel := mustParseSelect(t, c.q)
+		join, ok := sel.From[0].(*JoinExpr)
+		if !ok {
+			t.Errorf("%q: from[0] is %T, want JoinExpr", c.q, sel.From[0])
+			continue
+		}
+		if join.Type != c.typ {
+			t.Errorf("%q: join type = %v, want %v", c.q, join.Type, c.typ)
+		}
+	}
+}
+
+func TestParseJoinUsing(t *testing.T) {
+	sel := mustParseSelect(t, "SELECT * FROM a JOIN b USING (x, y)")
+	join := sel.From[0].(*JoinExpr)
+	if len(join.Using) != 2 || join.Using[0] != "x" || join.Using[1] != "y" {
+		t.Errorf("using = %v", join.Using)
+	}
+}
+
+func TestParseChainedJoins(t *testing.T) {
+	sel := mustParseSelect(t, "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y")
+	outer, ok := sel.From[0].(*JoinExpr)
+	if !ok {
+		t.Fatalf("from[0] = %T", sel.From[0])
+	}
+	if _, ok := outer.Left.(*JoinExpr); !ok {
+		t.Errorf("left of outer join should be the first join, got %T", outer.Left)
+	}
+}
+
+func TestParseNestedSubqueries(t *testing.T) {
+	q := `SELECT city FROM CityLocations WHERE city IN (SELECT city FROM Cities WHERE state = 'WA')`
+	sel := mustParseSelect(t, q)
+	in, ok := sel.Where.(*InExpr)
+	if !ok {
+		t.Fatalf("where = %T, want InExpr", sel.Where)
+	}
+	if in.Select == nil {
+		t.Fatalf("IN subquery missing")
+	}
+	subs := Subqueries(sel)
+	if len(subs) != 1 {
+		t.Errorf("Subqueries = %d, want 1", len(subs))
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	q := `SELECT avg_temp FROM (SELECT AVG(temp) AS avg_temp FROM WaterTemp GROUP BY lake) sub WHERE avg_temp > 15`
+	sel := mustParseSelect(t, q)
+	sub, ok := sel.From[0].(*SubqueryRef)
+	if !ok {
+		t.Fatalf("from[0] = %T, want SubqueryRef", sel.From[0])
+	}
+	if sub.Alias != "sub" {
+		t.Errorf("alias = %q, want sub", sub.Alias)
+	}
+	if len(sub.Select.GroupBy) != 1 {
+		t.Errorf("inner group by = %d, want 1", len(sub.Select.GroupBy))
+	}
+}
+
+func TestParseGroupByHavingOrderLimit(t *testing.T) {
+	q := `SELECT lake, AVG(temp) AS avg_temp FROM WaterTemp WHERE temp > 0 GROUP BY lake HAVING AVG(temp) > 10 ORDER BY avg_temp DESC LIMIT 10 OFFSET 5`
+	sel := mustParseSelect(t, q)
+	if len(sel.GroupBy) != 1 {
+		t.Errorf("group by = %d, want 1", len(sel.GroupBy))
+	}
+	if sel.Having == nil {
+		t.Errorf("having missing")
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Errorf("order by = %#v", sel.OrderBy)
+	}
+	if sel.Limit == nil || sel.Limit.Count != 10 || !sel.Limit.HasOffset || sel.Limit.Offset != 5 {
+		t.Errorf("limit = %#v", sel.Limit)
+	}
+}
+
+func TestParsePredicateVariants(t *testing.T) {
+	cases := []string{
+		"SELECT * FROM t WHERE a BETWEEN 1 AND 10",
+		"SELECT * FROM t WHERE a NOT BETWEEN 1 AND 10",
+		"SELECT * FROM t WHERE name LIKE 'Lake%'",
+		"SELECT * FROM t WHERE name NOT LIKE 'Lake%'",
+		"SELECT * FROM t WHERE a IS NULL",
+		"SELECT * FROM t WHERE a IS NOT NULL",
+		"SELECT * FROM t WHERE a IN (1, 2, 3)",
+		"SELECT * FROM t WHERE a NOT IN (1, 2, 3)",
+		"SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+		"SELECT * FROM t WHERE NOT EXISTS (SELECT 1 FROM u)",
+		"SELECT * FROM t WHERE NOT a = 1",
+		"SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)",
+		"SELECT * FROM t WHERE salinity > (SELECT AVG(salinity) FROM t)",
+	}
+	for _, q := range cases {
+		if _, err := ParseSelect(q); err != nil {
+			t.Errorf("ParseSelect(%q): %v", q, err)
+		}
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	cases := []string{
+		"SELECT a + b * c FROM t",
+		"SELECT (a + b) * c FROM t",
+		"SELECT -a, +b FROM t",
+		"SELECT a || '-' || b FROM t",
+		"SELECT COUNT(*), COUNT(DISTINCT a), SUM(a), AVG(b), MIN(c), MAX(d) FROM t",
+		"SELECT LOWER(name), COALESCE(a, b, 0) FROM t",
+		"SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t",
+		"SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t",
+		"SELECT a AS x, b y, t.* FROM t",
+		"SELECT TRUE, FALSE, NULL FROM t",
+	}
+	for _, q := range cases {
+		if _, err := ParseSelect(q); err != nil {
+			t.Errorf("ParseSelect(%q): %v", q, err)
+		}
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	sel := mustParseSelect(t, "SELECT a + b * c FROM t")
+	add, ok := sel.Columns[0].Expr.(*BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("top op = %#v, want +", sel.Columns[0].Expr)
+	}
+	mul, ok := add.Right.(*BinaryExpr)
+	if !ok || mul.Op != "*" {
+		t.Errorf("right = %#v, want *", add.Right)
+	}
+}
+
+func TestParseAndOrPrecedence(t *testing.T) {
+	sel := mustParseSelect(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := sel.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %#v, want OR", sel.Where)
+	}
+	and, ok := or.Right.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Errorf("right = %#v, want AND", or.Right)
+	}
+}
+
+func TestParseCompound(t *testing.T) {
+	sel := mustParseSelect(t, "SELECT a FROM t UNION ALL SELECT a FROM u")
+	if sel.Compound == nil || sel.Compound.Op != "UNION" || !sel.Compound.All {
+		t.Fatalf("compound = %#v", sel.Compound)
+	}
+	if sel.Compound.Right == nil {
+		t.Errorf("compound right missing")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ins, ok := stmt.(*InsertStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", stmt)
+	}
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Errorf("insert = %#v", ins)
+	}
+}
+
+func TestParseInsertSelect(t *testing.T) {
+	stmt, err := Parse("INSERT INTO archive SELECT * FROM t WHERE year < 2000")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ins := stmt.(*InsertStmt)
+	if ins.Select == nil {
+		t.Errorf("insert-select missing select")
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	stmt, err := Parse("UPDATE t SET a = 1, b = b + 1 WHERE id = 5")
+	if err != nil {
+		t.Fatalf("Parse update: %v", err)
+	}
+	upd := stmt.(*UpdateStmt)
+	if len(upd.Set) != 2 || upd.Where == nil {
+		t.Errorf("update = %#v", upd)
+	}
+
+	stmt, err = Parse("DELETE FROM t WHERE id = 5")
+	if err != nil {
+		t.Fatalf("Parse delete: %v", err)
+	}
+	del := stmt.(*DeleteStmt)
+	if del.Table != "t" || del.Where == nil {
+		t.Errorf("delete = %#v", del)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE IF NOT EXISTS WaterTemp (id INT PRIMARY KEY, lake VARCHAR(100) NOT NULL, temp FLOAT, measured TIMESTAMP)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if !ct.IfNotExists || ct.Table != "WaterTemp" || len(ct.Columns) != 4 {
+		t.Fatalf("create = %#v", ct)
+	}
+	if !ct.Columns[0].PrimaryKey {
+		t.Errorf("first column should be primary key")
+	}
+	if ct.Columns[1].Type != "TEXT" || !ct.Columns[1].NotNull {
+		t.Errorf("second column = %#v", ct.Columns[1])
+	}
+	if ct.Columns[3].Type != "TIMESTAMP" {
+		t.Errorf("fourth column type = %q", ct.Columns[3].Type)
+	}
+}
+
+func TestParseDropAndAlter(t *testing.T) {
+	stmt, err := Parse("DROP TABLE IF EXISTS old_data")
+	if err != nil {
+		t.Fatalf("Parse drop: %v", err)
+	}
+	if d := stmt.(*DropTableStmt); !d.IfExists || d.Table != "old_data" {
+		t.Errorf("drop = %#v", d)
+	}
+
+	cases := []struct {
+		q      string
+		action AlterAction
+	}{
+		{"ALTER TABLE t ADD COLUMN c INT", AlterAddColumn},
+		{"ALTER TABLE t DROP COLUMN c", AlterDropColumn},
+		{"ALTER TABLE t RENAME COLUMN a TO b", AlterRenameColumn},
+		{"ALTER TABLE t RENAME TO u", AlterRenameTable},
+	}
+	for _, c := range cases {
+		stmt, err := Parse(c.q)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.q, err)
+			continue
+		}
+		if a := stmt.(*AlterTableStmt); a.Action != c.action {
+			t.Errorf("%q action = %v, want %v", c.q, a.Action, c.action)
+		}
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	stmts, err := ParseStatements("SELECT 1; SELECT 2; INSERT INTO t VALUES (3);")
+	if err != nil {
+		t.Fatalf("ParseStatements: %v", err)
+	}
+	if len(stmts) != 3 {
+		t.Errorf("statements = %d, want 3", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT FROM",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GROUP",
+		"SELECT * FROM t ORDER",
+		"SELECT * FROM t LIMIT abc",
+		"SELECT * FROM t WHERE a NOT 5",
+		"INSERT t VALUES (1)",
+		"UPDATE t a = 1",
+		"CREATE TABLE t",
+		"FROBNICATE the database",
+		"SELECT * FROM t; garbage",
+		"SELECT * FROM t WHERE a IN ()",
+		"SELECT CASE END FROM t",
+	}
+	for _, q := range cases {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestParseErrorMessageHasPosition(t *testing.T) {
+	_, err := Parse("SELECT * FROM t WHERE AND")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error %q should mention position", err)
+	}
+}
+
+func TestParseSelectRejectsNonSelect(t *testing.T) {
+	if _, err := ParseSelect("DELETE FROM t"); err == nil {
+		t.Error("ParseSelect should reject DELETE")
+	}
+}
+
+func TestParseMultipleStatementsRejectedByParse(t *testing.T) {
+	if _, err := Parse("SELECT 1; SELECT 2"); err == nil {
+		t.Error("Parse should reject multiple statements")
+	}
+}

@@ -1,0 +1,418 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// This file renders AST nodes back into SQL text. The output is a normalised
+// spelling (keywords upper-cased, single spaces) which the canonicalizer and
+// fingerprint rely on for deterministic round-tripping.
+
+// SQL renders the SELECT statement.
+func (s *SelectStmt) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, item := range s.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(item.SQL())
+	}
+	if len(s.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, t := range s.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(t.SQL())
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.SQL())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.SQL())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.FormatInt(s.Limit.Count, 10))
+		if s.Limit.HasOffset {
+			sb.WriteString(" OFFSET ")
+			sb.WriteString(strconv.FormatInt(s.Limit.Offset, 10))
+		}
+	}
+	if s.Compound != nil {
+		sb.WriteString(" ")
+		sb.WriteString(s.Compound.Op)
+		if s.Compound.All {
+			sb.WriteString(" ALL")
+		}
+		sb.WriteString(" ")
+		sb.WriteString(s.Compound.Right.SQL())
+	}
+	return sb.String()
+}
+
+// SQL renders a SELECT-list item.
+func (s SelectItem) SQL() string {
+	if s.Star {
+		return "*"
+	}
+	if s.TableStar != "" {
+		return s.TableStar + ".*"
+	}
+	out := s.Expr.SQL()
+	if s.Alias != "" {
+		out += " AS " + s.Alias
+	}
+	return out
+}
+
+// SQL renders the INSERT statement.
+func (s *InsertStmt) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO ")
+	sb.WriteString(s.Table)
+	if len(s.Columns) > 0 {
+		sb.WriteString(" (")
+		sb.WriteString(strings.Join(s.Columns, ", "))
+		sb.WriteString(")")
+	}
+	if s.Select != nil {
+		sb.WriteString(" ")
+		sb.WriteString(s.Select.SQL())
+		return sb.String()
+	}
+	sb.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.SQL())
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+// SQL renders the UPDATE statement.
+func (s *UpdateStmt) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("UPDATE ")
+	sb.WriteString(s.Table)
+	sb.WriteString(" SET ")
+	for i, a := range s.Set {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.Column)
+		sb.WriteString(" = ")
+		sb.WriteString(a.Value.SQL())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.SQL())
+	}
+	return sb.String()
+}
+
+// SQL renders the DELETE statement.
+func (s *DeleteStmt) SQL() string {
+	out := "DELETE FROM " + s.Table
+	if s.Where != nil {
+		out += " WHERE " + s.Where.SQL()
+	}
+	return out
+}
+
+// SQL renders the CREATE TABLE statement.
+func (s *CreateTableStmt) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE ")
+	if s.IfNotExists {
+		sb.WriteString("IF NOT EXISTS ")
+	}
+	sb.WriteString(s.Table)
+	sb.WriteString(" (")
+	for i, c := range s.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+		sb.WriteString(" ")
+		sb.WriteString(c.Type)
+		if c.PrimaryKey {
+			sb.WriteString(" PRIMARY KEY")
+		}
+		if c.NotNull {
+			sb.WriteString(" NOT NULL")
+		}
+		if c.Unique {
+			sb.WriteString(" UNIQUE")
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// SQL renders the DROP TABLE statement.
+func (s *DropTableStmt) SQL() string {
+	if s.IfExists {
+		return "DROP TABLE IF EXISTS " + s.Table
+	}
+	return "DROP TABLE " + s.Table
+}
+
+// SQL renders the ALTER TABLE statement.
+func (s *AlterTableStmt) SQL() string {
+	switch s.Action {
+	case AlterAddColumn:
+		return "ALTER TABLE " + s.Table + " ADD COLUMN " + s.Column.Name + " " + s.Column.Type
+	case AlterDropColumn:
+		return "ALTER TABLE " + s.Table + " DROP COLUMN " + s.OldName
+	case AlterRenameColumn:
+		return "ALTER TABLE " + s.Table + " RENAME COLUMN " + s.OldName + " TO " + s.NewName
+	case AlterRenameTable:
+		return "ALTER TABLE " + s.Table + " RENAME TO " + s.NewName
+	default:
+		return "ALTER TABLE " + s.Table
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table references
+// ---------------------------------------------------------------------------
+
+// SQL renders the base-table reference.
+func (t *TableName) SQL() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// SQL renders the join expression.
+func (j *JoinExpr) SQL() string {
+	var sb strings.Builder
+	sb.WriteString(j.Left.SQL())
+	sb.WriteString(" ")
+	sb.WriteString(j.Type.String())
+	sb.WriteString(" ")
+	sb.WriteString(j.Right.SQL())
+	if j.On != nil {
+		sb.WriteString(" ON ")
+		sb.WriteString(j.On.SQL())
+	} else if len(j.Using) > 0 {
+		sb.WriteString(" USING (")
+		sb.WriteString(strings.Join(j.Using, ", "))
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+// SQL renders the derived-table reference.
+func (s *SubqueryRef) SQL() string {
+	out := "(" + s.Select.SQL() + ")"
+	if s.Alias != "" {
+		out += " " + s.Alias
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// SQL renders the column reference.
+func (c *ColumnRef) SQL() string { return c.QualifiedName() }
+
+// SQL renders the literal.
+func (l *Literal) SQL() string {
+	switch l.Kind {
+	case LiteralString:
+		return "'" + strings.ReplaceAll(l.Text, "'", "''") + "'"
+	case LiteralNull:
+		return "NULL"
+	case LiteralBool:
+		return strings.ToUpper(l.Text)
+	default:
+		return l.Text
+	}
+}
+
+// binaryPrec returns a precedence class used only to decide parenthesisation
+// when printing nested binary expressions.
+func binaryPrec(op string) int {
+	switch op {
+	case "OR":
+		return 1
+	case "AND":
+		return 2
+	case "=", "<>", "<", "<=", ">", ">=", "LIKE":
+		return 3
+	case "+", "-", "||":
+		return 4
+	case "*", "/", "%":
+		return 5
+	default:
+		return 6
+	}
+}
+
+func renderOperand(parent string, e Expr) string {
+	if b, ok := e.(*BinaryExpr); ok {
+		if binaryPrec(b.Op) < binaryPrec(parent) {
+			return "(" + b.SQL() + ")"
+		}
+	}
+	return e.SQL()
+}
+
+// SQL renders the binary expression with minimal parentheses.
+func (b *BinaryExpr) SQL() string {
+	return renderOperand(b.Op, b.Left) + " " + b.Op + " " + renderOperand(b.Op, b.Right)
+}
+
+// SQL renders the unary expression.
+func (u *UnaryExpr) SQL() string {
+	inner := u.Expr.SQL()
+	if _, ok := u.Expr.(*BinaryExpr); ok {
+		inner = "(" + inner + ")"
+	}
+	if u.Op == "NOT" {
+		return "NOT " + inner
+	}
+	return u.Op + inner
+}
+
+// SQL renders the function call.
+func (f *FuncCall) SQL() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.SQL()
+	}
+	prefix := ""
+	if f.Distinct {
+		prefix = "DISTINCT "
+	}
+	return f.Name + "(" + prefix + strings.Join(args, ", ") + ")"
+}
+
+// SQL renders the IN expression.
+func (in *InExpr) SQL() string {
+	var sb strings.Builder
+	sb.WriteString(in.Expr.SQL())
+	if in.Not {
+		sb.WriteString(" NOT")
+	}
+	sb.WriteString(" IN (")
+	if in.Select != nil {
+		sb.WriteString(in.Select.SQL())
+	} else {
+		for i, e := range in.List {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.SQL())
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// SQL renders the BETWEEN expression.
+func (b *BetweenExpr) SQL() string {
+	not := ""
+	if b.Not {
+		not = " NOT"
+	}
+	return b.Expr.SQL() + not + " BETWEEN " + b.Low.SQL() + " AND " + b.High.SQL()
+}
+
+// SQL renders the LIKE expression.
+func (l *LikeExpr) SQL() string {
+	not := ""
+	if l.Not {
+		not = " NOT"
+	}
+	return l.Expr.SQL() + not + " LIKE " + l.Pattern.SQL()
+}
+
+// SQL renders the IS NULL expression.
+func (i *IsNullExpr) SQL() string {
+	if i.Not {
+		return i.Expr.SQL() + " IS NOT NULL"
+	}
+	return i.Expr.SQL() + " IS NULL"
+}
+
+// SQL renders the EXISTS expression.
+func (e *ExistsExpr) SQL() string {
+	if e.Not {
+		return "NOT EXISTS (" + e.Select.SQL() + ")"
+	}
+	return "EXISTS (" + e.Select.SQL() + ")"
+}
+
+// SQL renders the scalar sub-query.
+func (s *SubqueryExpr) SQL() string { return "(" + s.Select.SQL() + ")" }
+
+// SQL renders the CASE expression.
+func (c *CaseExpr) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	if c.Operand != nil {
+		sb.WriteString(" ")
+		sb.WriteString(c.Operand.SQL())
+	}
+	for _, w := range c.Whens {
+		sb.WriteString(" WHEN ")
+		sb.WriteString(w.When.SQL())
+		sb.WriteString(" THEN ")
+		sb.WriteString(w.Then.SQL())
+	}
+	if c.Else != nil {
+		sb.WriteString(" ELSE ")
+		sb.WriteString(c.Else.SQL())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// SQL renders the parameter placeholder.
+func (p *ParamExpr) SQL() string { return p.Text }

@@ -1,0 +1,65 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/sql"
+)
+
+// NewRecordFromSQL parses the query text, extracts its syntactic features and
+// returns a QueryRecord ready for Store.Put. Runtime statistics, samples,
+// user identity and visibility are filled in by the caller (normally the
+// Query Profiler).
+func NewRecordFromSQL(text string) (*QueryRecord, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("storage: parsing query: %w", err)
+	}
+	rec := &QueryRecord{
+		Text:        text,
+		Canonical:   stmt.SQL(),
+		Template:    sql.Template(stmt),
+		Fingerprint: sql.Fingerprint(text),
+		ExactHash:   sql.ExactFingerprint(text),
+		Valid:       true,
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return rec, nil
+	}
+	a := sql.Analyze(sel)
+	rec.Tables = append([]string(nil), a.Tables...)
+	for _, c := range a.Columns {
+		rec.Attributes = append(rec.Attributes, AttributeRow{Attr: c.Column, Rel: c.Table, Clause: c.Clause})
+	}
+	for _, p := range a.Predicates {
+		rec.Predicates = append(rec.Predicates, PredicateRow{
+			Attr: p.Column, Rel: p.Table, Op: p.Op, Const: p.Value,
+			IsJoin: p.IsJoin, RightRel: p.RightTab, RightAttr: p.RightCol,
+		})
+	}
+	rec.Aggregates = append([]string(nil), a.Aggregates...)
+	rec.GroupBy = append([]string(nil), a.GroupByColumns...)
+	rec.Features = a.FeatureSet()
+	return rec, nil
+}
+
+// Analysis reconstructs a sql.Analysis from the stored feature rows, so that
+// components which operate on analyses (diffing, similarity) do not need to
+// re-parse the query text.
+func (q *QueryRecord) Analysis() *sql.Analysis {
+	a := &sql.Analysis{Aliases: map[string]string{}}
+	a.Tables = append([]string(nil), q.Tables...)
+	for _, attr := range q.Attributes {
+		a.Columns = append(a.Columns, sql.ColumnUse{Table: attr.Rel, Column: attr.Attr, Clause: attr.Clause})
+	}
+	for _, p := range q.Predicates {
+		a.Predicates = append(a.Predicates, sql.PredicateFeature{
+			Table: p.Rel, Column: p.Attr, Op: p.Op, Value: p.Const,
+			IsJoin: p.IsJoin, RightTab: p.RightRel, RightCol: p.RightAttr,
+		})
+	}
+	a.Aggregates = append([]string(nil), q.Aggregates...)
+	a.GroupByColumns = append([]string(nil), q.GroupBy...)
+	return a
+}

@@ -1,0 +1,536 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sentinel errors.
+var (
+	// ErrNotFound is returned when a query ID does not exist.
+	ErrNotFound = errors.New("storage: query not found")
+	// ErrAccessDenied is returned when the principal may not see or modify a
+	// query.
+	ErrAccessDenied = errors.New("storage: access denied")
+)
+
+// Store is the Query Storage component. It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	queries map[QueryID]*QueryRecord
+	order   []QueryID
+	nextID  QueryID
+
+	// Inverted indexes for interactive meta-querying.
+	byTable       map[string][]QueryID // lower-cased table name
+	byAttribute   map[string][]QueryID // lower-cased "rel.attr"
+	byUser        map[string][]QueryID
+	byFingerprint map[uint64][]QueryID
+	bySession     map[int64][]QueryID
+
+	edges []SessionEdge
+
+	now func() time.Time
+}
+
+// NewStore returns an empty query store.
+func NewStore() *Store {
+	return &Store{
+		queries:       make(map[QueryID]*QueryRecord),
+		byTable:       make(map[string][]QueryID),
+		byAttribute:   make(map[string][]QueryID),
+		byUser:        make(map[string][]QueryID),
+		byFingerprint: make(map[uint64][]QueryID),
+		bySession:     make(map[int64][]QueryID),
+		now:           time.Now,
+	}
+}
+
+// SetClock overrides the store's time source (used by tests and the workload
+// generator).
+func (s *Store) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// Put inserts a record and assigns it an ID. The record's IssuedAt is set to
+// the current time if zero. Put returns the assigned ID.
+func (s *Store) Put(rec *QueryRecord) QueryID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	rec.ID = s.nextID
+	if rec.IssuedAt.IsZero() {
+		rec.IssuedAt = s.now()
+	}
+	rec.Valid = true
+	s.queries[rec.ID] = rec
+	s.order = append(s.order, rec.ID)
+	s.index(rec)
+	return rec.ID
+}
+
+func (s *Store) index(rec *QueryRecord) {
+	for _, t := range rec.Tables {
+		key := strings.ToLower(t)
+		s.byTable[key] = append(s.byTable[key], rec.ID)
+	}
+	seenAttr := make(map[string]bool)
+	for _, a := range rec.Attributes {
+		key := strings.ToLower(a.Rel + "." + a.Attr)
+		if seenAttr[key] {
+			continue
+		}
+		seenAttr[key] = true
+		s.byAttribute[key] = append(s.byAttribute[key], rec.ID)
+	}
+	s.byUser[rec.User] = append(s.byUser[rec.User], rec.ID)
+	s.byFingerprint[rec.Fingerprint] = append(s.byFingerprint[rec.Fingerprint], rec.ID)
+	if rec.SessionID != 0 {
+		s.bySession[rec.SessionID] = append(s.bySession[rec.SessionID], rec.ID)
+	}
+}
+
+// Get returns a copy of the record with the given ID, enforcing visibility
+// for the principal.
+func (s *Store) Get(id QueryID, p Principal) (*QueryRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if !rec.VisibleTo(p) {
+		return nil, fmt.Errorf("%w: query %d", ErrAccessDenied, id)
+	}
+	return rec.Clone(), nil
+}
+
+// Count returns the total number of stored queries (regardless of
+// visibility).
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.queries)
+}
+
+// All returns copies of every record visible to the principal, in insertion
+// (temporal) order.
+func (s *Store) All(p Principal) []*QueryRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*QueryRecord, 0, len(s.order))
+	for _, id := range s.order {
+		rec := s.queries[id]
+		if rec.VisibleTo(p) {
+			out = append(out, rec.Clone())
+		}
+	}
+	return out
+}
+
+// ByUser returns the queries submitted by the given user that are visible to
+// the principal, in temporal order.
+func (s *Store) ByUser(user string, p Principal) []*QueryRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.byUser[user]
+	out := make([]*QueryRecord, 0, len(ids))
+	for _, id := range ids {
+		rec := s.queries[id]
+		if rec.VisibleTo(p) {
+			out = append(out, rec.Clone())
+		}
+	}
+	return out
+}
+
+// ByTable returns visible queries whose FROM clause references the table.
+func (s *Store) ByTable(table string, p Principal) []*QueryRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cloneVisible(s.byTable[strings.ToLower(table)], p)
+}
+
+// ByAttribute returns visible queries that reference relName.attrName.
+func (s *Store) ByAttribute(rel, attr string, p Principal) []*QueryRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cloneVisible(s.byAttribute[strings.ToLower(rel+"."+attr)], p)
+}
+
+// ByFingerprint returns visible queries with the given template fingerprint.
+func (s *Store) ByFingerprint(fp uint64, p Principal) []*QueryRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cloneVisible(s.byFingerprint[fp], p)
+}
+
+// BySession returns the visible queries of one session in temporal order.
+func (s *Store) BySession(sessionID int64, p Principal) []*QueryRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := append([]QueryID(nil), s.bySession[sessionID]...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return s.cloneVisible(ids, p)
+}
+
+// SessionIDs returns all session identifiers present in the store, sorted.
+func (s *Store) SessionIDs() []int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int64, 0, len(s.bySession))
+	for id := range s.bySession {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *Store) cloneVisible(ids []QueryID, p Principal) []*QueryRecord {
+	out := make([]*QueryRecord, 0, len(ids))
+	for _, id := range ids {
+		rec, ok := s.queries[id]
+		if ok && rec.VisibleTo(p) {
+			out = append(out, rec.Clone())
+		}
+	}
+	return out
+}
+
+// Users returns the distinct users that have logged queries, sorted.
+func (s *Store) Users() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byUser))
+	for u := range s.byUser {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tables returns the distinct table names referenced across all logged
+// queries along with how many queries reference each, sorted by descending
+// count then name. The recommender uses these as global popularity priors.
+type TableCount struct {
+	Table string
+	Count int
+}
+
+// TableCounts returns per-table reference counts.
+func (s *Store) TableCounts() []TableCount {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]TableCount, 0, len(s.byTable))
+	nameOf := make(map[string]string)
+	for _, rec := range s.queries {
+		for _, t := range rec.Tables {
+			nameOf[strings.ToLower(t)] = t
+		}
+	}
+	for key, ids := range s.byTable {
+		name := nameOf[key]
+		if name == "" {
+			name = key
+		}
+		out = append(out, TableCount{Table: name, Count: len(ids)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Table < out[j].Table
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Mutations: annotations, sessions, maintenance state, deletion
+// ---------------------------------------------------------------------------
+
+// Annotate appends an annotation to the query. Only the owner, a member of
+// the owning group, or an admin may annotate.
+func (s *Store) Annotate(id QueryID, p Principal, ann Annotation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.queries[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if !rec.VisibleTo(p) {
+		return fmt.Errorf("%w: query %d", ErrAccessDenied, id)
+	}
+	if ann.At.IsZero() {
+		ann.At = s.now()
+	}
+	if ann.Author == "" {
+		ann.Author = p.User
+	}
+	rec.Annotations = append(rec.Annotations, ann)
+	return nil
+}
+
+// SetVisibility changes who can see the query. Only the owner or an admin
+// may change visibility (User Administrative Interaction Mode).
+func (s *Store) SetVisibility(id QueryID, p Principal, v Visibility) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.queries[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if rec.User != p.User && !p.Admin {
+		return fmt.Errorf("%w: only the owner may change visibility of query %d", ErrAccessDenied, id)
+	}
+	rec.Visibility = v
+	return nil
+}
+
+// Delete removes a query from the store. Only the owner or an admin may
+// delete (§2.4 "Users will need the ability to delete old queries").
+func (s *Store) Delete(id QueryID, p Principal) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.queries[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if rec.User != p.User && !p.Admin {
+		return fmt.Errorf("%w: only the owner may delete query %d", ErrAccessDenied, id)
+	}
+	delete(s.queries, id)
+	for i, qid := range s.order {
+		if qid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.removeFromIndexes(rec)
+	return nil
+}
+
+func (s *Store) removeFromIndexes(rec *QueryRecord) {
+	removeID := func(list []QueryID, id QueryID) []QueryID {
+		out := list[:0]
+		for _, x := range list {
+			if x != id {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	for _, t := range rec.Tables {
+		key := strings.ToLower(t)
+		s.byTable[key] = removeID(s.byTable[key], rec.ID)
+	}
+	for _, a := range rec.Attributes {
+		key := strings.ToLower(a.Rel + "." + a.Attr)
+		s.byAttribute[key] = removeID(s.byAttribute[key], rec.ID)
+	}
+	s.byUser[rec.User] = removeID(s.byUser[rec.User], rec.ID)
+	s.byFingerprint[rec.Fingerprint] = removeID(s.byFingerprint[rec.Fingerprint], rec.ID)
+	if rec.SessionID != 0 {
+		s.bySession[rec.SessionID] = removeID(s.bySession[rec.SessionID], rec.ID)
+	}
+	kept := s.edges[:0]
+	for _, e := range s.edges {
+		if e.From != rec.ID && e.To != rec.ID {
+			kept = append(kept, e)
+		}
+	}
+	s.edges = kept
+}
+
+// AssignSession records the session a query belongs to (set by the miner's
+// session detector).
+func (s *Store) AssignSession(id QueryID, sessionID int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.queries[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if rec.SessionID != 0 {
+		old := s.bySession[rec.SessionID]
+		kept := old[:0]
+		for _, x := range old {
+			if x != id {
+				kept = append(kept, x)
+			}
+		}
+		s.bySession[rec.SessionID] = kept
+	}
+	rec.SessionID = sessionID
+	s.bySession[sessionID] = append(s.bySession[sessionID], id)
+	return nil
+}
+
+// AddEdge records a session edge between two logged queries.
+func (s *Store) AddEdge(edge SessionEdge) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.queries[edge.From]; !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, edge.From)
+	}
+	if _, ok := s.queries[edge.To]; !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, edge.To)
+	}
+	s.edges = append(s.edges, edge)
+	return nil
+}
+
+// Edges returns a copy of the session edge relation.
+func (s *Store) Edges() []SessionEdge {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]SessionEdge(nil), s.edges...)
+}
+
+// EdgesFrom returns the edges leaving the given query.
+func (s *Store) EdgesFrom(id QueryID) []SessionEdge {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []SessionEdge
+	for _, e := range s.edges {
+		if e.From == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MarkInvalid flags a query as invalidated (e.g. by a schema change) with a
+// reason. Used by the Query Maintenance component.
+func (s *Store) MarkInvalid(id QueryID, reason string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.queries[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	rec.Valid = false
+	rec.InvalidReason = reason
+	return nil
+}
+
+// MarkValid clears the invalid flag (after a successful automatic repair).
+func (s *Store) MarkValid(id QueryID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.queries[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	rec.Valid = true
+	rec.InvalidReason = ""
+	return nil
+}
+
+// MarkStatsStale flags the runtime statistics of a query as outdated.
+func (s *Store) MarkStatsStale(id QueryID, stale bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.queries[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	rec.StatsStale = stale
+	return nil
+}
+
+// UpdateStats replaces a query's runtime statistics (e.g. after the
+// maintenance component re-executes it) and clears the stale flag.
+func (s *Store) UpdateStats(id QueryID, stats RuntimeStats) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.queries[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	rec.Stats = stats
+	rec.StatsStale = false
+	return nil
+}
+
+// SetSample replaces a query's stored output sample, used when the
+// maintenance component re-executes a query to refresh its statistics.
+func (s *Store) SetSample(id QueryID, sample *OutputSample) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.queries[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	rec.Sample = sample
+	return nil
+}
+
+// SetQuality records a quality score for the query (§4.4).
+func (s *Store) SetQuality(id QueryID, score float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.queries[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	rec.QualityScore = score
+	return nil
+}
+
+// ReplaceText rewrites the query text and canonical forms, used by the
+// maintenance component's automatic repair. Features must be re-extracted by
+// the caller and passed in.
+func (s *Store) ReplaceText(id QueryID, updated *QueryRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.queries[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	s.removeFromIndexes(rec)
+	rec.Text = updated.Text
+	rec.Canonical = updated.Canonical
+	rec.Template = updated.Template
+	rec.Fingerprint = updated.Fingerprint
+	rec.ExactHash = updated.ExactHash
+	rec.Tables = updated.Tables
+	rec.Attributes = updated.Attributes
+	rec.Predicates = updated.Predicates
+	rec.Aggregates = updated.Aggregates
+	rec.GroupBy = updated.GroupBy
+	rec.Features = updated.Features
+	s.index(rec)
+	return nil
+}
+
+// InvalidQueries returns the IDs of all queries currently flagged invalid.
+func (s *Store) InvalidQueries() []QueryID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []QueryID
+	for _, id := range s.order {
+		if !s.queries[id].Valid {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// StaleQueries returns the IDs of all queries whose statistics are stale.
+func (s *Store) StaleQueries() []QueryID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []QueryID
+	for _, id := range s.order {
+		if s.queries[id].StatsStale {
+			out = append(out, id)
+		}
+	}
+	return out
+}

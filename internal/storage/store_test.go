@@ -1,0 +1,413 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var (
+	alice = Principal{User: "alice", Groups: []string{"limnology"}}
+	bob   = Principal{User: "bob", Groups: []string{"limnology"}}
+	carol = Principal{User: "carol", Groups: []string{"astro"}}
+	admin = Principal{User: "root", Admin: true}
+)
+
+func putQuery(t testing.TB, s *Store, text, user, group string, vis Visibility) QueryID {
+	t.Helper()
+	rec, err := NewRecordFromSQL(text)
+	if err != nil {
+		t.Fatalf("NewRecordFromSQL(%q): %v", text, err)
+	}
+	rec.User = user
+	rec.Group = group
+	rec.Visibility = vis
+	return s.Put(rec)
+}
+
+func newTestStore(t testing.TB) (*Store, []QueryID) {
+	t.Helper()
+	s := NewStore()
+	ids := []QueryID{
+		putQuery(t, s, "SELECT * FROM WaterTemp WHERE temp < 18", "alice", "limnology", VisibilityGroup),
+		putQuery(t, s, "SELECT salinity, temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x", "alice", "limnology", VisibilityGroup),
+		putQuery(t, s, "SELECT city FROM CityLocations WHERE state = 'WA'", "bob", "limnology", VisibilityPrivate),
+		putQuery(t, s, "SELECT ra, dec FROM Stars WHERE magnitude < 6", "carol", "astro", VisibilityPublic),
+	}
+	return s, ids
+}
+
+func TestPutAndGet(t *testing.T) {
+	s, ids := newTestStore(t)
+	rec, err := s.Get(ids[0], alice)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if rec.User != "alice" || rec.Tables[0] != "WaterTemp" {
+		t.Errorf("rec = %+v", rec)
+	}
+	if rec.Template == "" || rec.Fingerprint == 0 {
+		t.Errorf("template/fingerprint not filled: %+v", rec)
+	}
+	if !rec.Valid {
+		t.Errorf("new records should be valid")
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	s, _ := newTestStore(t)
+	if _, err := s.Get(QueryID(9999), admin); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRecordFeatureExtraction(t *testing.T) {
+	s, ids := newTestStore(t)
+	rec, _ := s.Get(ids[1], alice)
+	if len(rec.Tables) != 2 {
+		t.Errorf("tables = %v", rec.Tables)
+	}
+	// The join predicate should be recorded.
+	foundJoin := false
+	for _, p := range rec.Predicates {
+		if p.IsJoin {
+			foundJoin = true
+		}
+	}
+	if !foundJoin {
+		t.Errorf("join predicate missing: %+v", rec.Predicates)
+	}
+	if len(rec.Features) == 0 {
+		t.Errorf("feature set empty")
+	}
+}
+
+func TestNewRecordFromSQLInvalid(t *testing.T) {
+	if _, err := NewRecordFromSQL("not valid sql"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestNewRecordFromSQLNonSelect(t *testing.T) {
+	rec, err := NewRecordFromSQL("INSERT INTO t VALUES (1)")
+	if err != nil {
+		t.Fatalf("NewRecordFromSQL: %v", err)
+	}
+	if len(rec.Tables) != 0 {
+		t.Errorf("DML should have no extracted tables")
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	s, ids := newTestStore(t)
+
+	// Group visibility: bob (same group) can see alice's query.
+	if _, err := s.Get(ids[0], bob); err != nil {
+		t.Errorf("bob should see alice's group-visible query: %v", err)
+	}
+	// carol (different group) cannot.
+	if _, err := s.Get(ids[0], carol); !errors.Is(err, ErrAccessDenied) {
+		t.Errorf("carol access err = %v, want ErrAccessDenied", err)
+	}
+	// Private visibility: only bob sees bob's private query.
+	if _, err := s.Get(ids[2], alice); !errors.Is(err, ErrAccessDenied) {
+		t.Errorf("alice should not see bob's private query: %v", err)
+	}
+	if _, err := s.Get(ids[2], bob); err != nil {
+		t.Errorf("bob should see his own query: %v", err)
+	}
+	// Public visibility: anyone sees carol's query.
+	if _, err := s.Get(ids[3], alice); err != nil {
+		t.Errorf("alice should see public query: %v", err)
+	}
+	// Admin sees everything.
+	for _, id := range ids {
+		if _, err := s.Get(id, admin); err != nil {
+			t.Errorf("admin should see query %d: %v", id, err)
+		}
+	}
+}
+
+func TestAllRespectsVisibility(t *testing.T) {
+	s, _ := newTestStore(t)
+	if n := len(s.All(admin)); n != 4 {
+		t.Errorf("admin sees %d, want 4", n)
+	}
+	if n := len(s.All(alice)); n != 3 {
+		t.Errorf("alice sees %d, want 3 (her 2 + public)", n)
+	}
+	if n := len(s.All(carol)); n != 1 {
+		t.Errorf("carol sees %d, want 1", n)
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	s, _ := newTestStore(t)
+	if got := s.ByTable("WaterTemp", admin); len(got) != 2 {
+		t.Errorf("ByTable(WaterTemp) = %d, want 2", len(got))
+	}
+	if got := s.ByTable("watertemp", admin); len(got) != 2 {
+		t.Errorf("ByTable should be case-insensitive")
+	}
+	// Only the first query references temp with an unambiguously resolvable
+	// table (the second uses an unqualified name over two FROM tables).
+	if got := s.ByAttribute("WaterTemp", "temp", admin); len(got) != 1 {
+		t.Errorf("ByAttribute(WaterTemp.temp) = %d, want 1", len(got))
+	}
+	if got := s.ByUser("alice", admin); len(got) != 2 {
+		t.Errorf("ByUser(alice) = %d, want 2", len(got))
+	}
+	if got := s.ByUser("alice", carol); len(got) != 0 {
+		t.Errorf("carol should not see alice's queries via ByUser")
+	}
+	rec, _ := s.Get(QueryID(1), admin)
+	if got := s.ByFingerprint(rec.Fingerprint, admin); len(got) != 1 {
+		t.Errorf("ByFingerprint = %d, want 1", len(got))
+	}
+}
+
+func TestTableCounts(t *testing.T) {
+	s, _ := newTestStore(t)
+	counts := s.TableCounts()
+	if len(counts) == 0 {
+		t.Fatal("no table counts")
+	}
+	if counts[0].Table != "WaterTemp" || counts[0].Count != 2 {
+		t.Errorf("most popular = %+v, want WaterTemp:2", counts[0])
+	}
+	// Counts must be sorted descending.
+	for i := 1; i < len(counts); i++ {
+		if counts[i].Count > counts[i-1].Count {
+			t.Errorf("counts not sorted: %+v", counts)
+		}
+	}
+}
+
+func TestAnnotations(t *testing.T) {
+	s, ids := newTestStore(t)
+	err := s.Annotate(ids[0], alice, Annotation{Text: "find temp and salinity of Seattle lakes"})
+	if err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	// Group member can annotate too.
+	if err := s.Annotate(ids[0], bob, Annotation{Text: "reused for 2009 survey"}); err != nil {
+		t.Fatalf("Annotate by group member: %v", err)
+	}
+	// Non-member cannot.
+	if err := s.Annotate(ids[0], carol, Annotation{Text: "nope"}); !errors.Is(err, ErrAccessDenied) {
+		t.Errorf("carol annotate err = %v, want ErrAccessDenied", err)
+	}
+	rec, _ := s.Get(ids[0], alice)
+	if len(rec.Annotations) != 2 {
+		t.Fatalf("annotations = %d, want 2", len(rec.Annotations))
+	}
+	if rec.Annotations[0].Author != "alice" || rec.Annotations[0].At.IsZero() {
+		t.Errorf("annotation author/time not defaulted: %+v", rec.Annotations[0])
+	}
+	if err := s.Annotate(QueryID(999), alice, Annotation{Text: "x"}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing query annotate err = %v", err)
+	}
+}
+
+func TestSetVisibility(t *testing.T) {
+	s, ids := newTestStore(t)
+	// Bob makes his private query group-visible.
+	if err := s.SetVisibility(ids[2], bob, VisibilityGroup); err != nil {
+		t.Fatalf("SetVisibility: %v", err)
+	}
+	if _, err := s.Get(ids[2], alice); err != nil {
+		t.Errorf("alice should now see bob's group query: %v", err)
+	}
+	// Alice cannot change bob's visibility.
+	if err := s.SetVisibility(ids[2], alice, VisibilityPublic); !errors.Is(err, ErrAccessDenied) {
+		t.Errorf("err = %v, want ErrAccessDenied", err)
+	}
+	// Admin can.
+	if err := s.SetVisibility(ids[2], admin, VisibilityPublic); err != nil {
+		t.Errorf("admin SetVisibility: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, ids := newTestStore(t)
+	if err := s.Delete(ids[0], bob); !errors.Is(err, ErrAccessDenied) {
+		t.Errorf("bob deleting alice's query err = %v, want ErrAccessDenied", err)
+	}
+	if err := s.Delete(ids[0], alice); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get(ids[0], admin); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted query still retrievable")
+	}
+	if got := s.ByTable("WaterTemp", admin); len(got) != 1 {
+		t.Errorf("index not updated after delete: %d", len(got))
+	}
+	if s.Count() != 3 {
+		t.Errorf("count = %d, want 3", s.Count())
+	}
+	if err := s.Delete(QueryID(12345), admin); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleting missing query err = %v", err)
+	}
+}
+
+func TestSessionsAndEdges(t *testing.T) {
+	s, ids := newTestStore(t)
+	if err := s.AssignSession(ids[0], 7); err != nil {
+		t.Fatalf("AssignSession: %v", err)
+	}
+	if err := s.AssignSession(ids[1], 7); err != nil {
+		t.Fatalf("AssignSession: %v", err)
+	}
+	got := s.BySession(7, admin)
+	if len(got) != 2 {
+		t.Errorf("BySession = %d, want 2", len(got))
+	}
+	sessions := s.SessionIDs()
+	if len(sessions) != 1 || sessions[0] != 7 {
+		t.Errorf("SessionIDs = %v", sessions)
+	}
+	// Re-assignment moves the query to the new session.
+	if err := s.AssignSession(ids[1], 8); err != nil {
+		t.Fatalf("AssignSession: %v", err)
+	}
+	if got := s.BySession(7, admin); len(got) != 1 {
+		t.Errorf("after reassignment session 7 has %d queries, want 1", len(got))
+	}
+
+	if err := s.AddEdge(SessionEdge{From: ids[0], To: ids[1], Type: EdgeModification, Diff: "+table WaterSalinity"}); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := s.AddEdge(SessionEdge{From: ids[0], To: QueryID(999)}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("AddEdge with missing target err = %v", err)
+	}
+	edges := s.EdgesFrom(ids[0])
+	if len(edges) != 1 || edges[0].Type != EdgeModification {
+		t.Errorf("edges = %+v", edges)
+	}
+	if err := s.AssignSession(QueryID(999), 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("AssignSession missing err = %v", err)
+	}
+}
+
+func TestMaintenanceState(t *testing.T) {
+	s, ids := newTestStore(t)
+	if err := s.MarkInvalid(ids[0], "column WaterTemp.temp dropped"); err != nil {
+		t.Fatalf("MarkInvalid: %v", err)
+	}
+	rec, _ := s.Get(ids[0], alice)
+	if rec.Valid || rec.InvalidReason == "" {
+		t.Errorf("record should be invalid: %+v", rec)
+	}
+	invalid := s.InvalidQueries()
+	if len(invalid) != 1 || invalid[0] != ids[0] {
+		t.Errorf("InvalidQueries = %v", invalid)
+	}
+	if err := s.MarkValid(ids[0]); err != nil {
+		t.Fatalf("MarkValid: %v", err)
+	}
+	if len(s.InvalidQueries()) != 0 {
+		t.Errorf("invalid list should be empty after MarkValid")
+	}
+
+	if err := s.MarkStatsStale(ids[1], true); err != nil {
+		t.Fatalf("MarkStatsStale: %v", err)
+	}
+	if got := s.StaleQueries(); len(got) != 1 || got[0] != ids[1] {
+		t.Errorf("StaleQueries = %v", got)
+	}
+	if err := s.UpdateStats(ids[1], RuntimeStats{ExecTime: 5 * time.Millisecond, ResultRows: 42}); err != nil {
+		t.Fatalf("UpdateStats: %v", err)
+	}
+	rec, _ = s.Get(ids[1], alice)
+	if rec.StatsStale || rec.Stats.ResultRows != 42 {
+		t.Errorf("stats not updated: %+v", rec.Stats)
+	}
+	if err := s.SetQuality(ids[1], 0.8); err != nil {
+		t.Fatalf("SetQuality: %v", err)
+	}
+	rec, _ = s.Get(ids[1], alice)
+	if rec.QualityScore != 0.8 {
+		t.Errorf("quality = %v", rec.QualityScore)
+	}
+}
+
+func TestReplaceText(t *testing.T) {
+	s, ids := newTestStore(t)
+	updated, err := NewRecordFromSQL("SELECT * FROM LakeTemperatures WHERE temp < 18")
+	if err != nil {
+		t.Fatalf("NewRecordFromSQL: %v", err)
+	}
+	if err := s.ReplaceText(ids[0], updated); err != nil {
+		t.Fatalf("ReplaceText: %v", err)
+	}
+	rec, _ := s.Get(ids[0], alice)
+	if rec.Tables[0] != "LakeTemperatures" {
+		t.Errorf("tables = %v", rec.Tables)
+	}
+	// Index follows the rewrite.
+	if got := s.ByTable("LakeTemperatures", admin); len(got) != 1 {
+		t.Errorf("ByTable(LakeTemperatures) = %d, want 1", len(got))
+	}
+	if got := s.ByTable("WaterTemp", admin); len(got) != 1 {
+		t.Errorf("ByTable(WaterTemp) = %d, want 1 (one other query remains)", len(got))
+	}
+	if err := s.ReplaceText(QueryID(999), updated); !errors.Is(err, ErrNotFound) {
+		t.Errorf("ReplaceText missing err = %v", err)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s, ids := newTestStore(t)
+	rec, _ := s.Get(ids[0], alice)
+	rec.Tables[0] = "Mutated"
+	rec.Text = "mutated"
+	rec2, _ := s.Get(ids[0], alice)
+	if rec2.Tables[0] == "Mutated" || rec2.Text == "mutated" {
+		t.Errorf("Get should return a copy, store was mutated")
+	}
+}
+
+func TestUsersList(t *testing.T) {
+	s, _ := newTestStore(t)
+	users := s.Users()
+	if len(users) != 3 {
+		t.Errorf("users = %v, want 3 distinct users", users)
+	}
+}
+
+func TestVisibilityString(t *testing.T) {
+	if VisibilityPrivate.String() != "private" || VisibilityGroup.String() != "group" ||
+		VisibilityPublic.String() != "public" || Visibility(99).String() != "unknown" {
+		t.Error("Visibility.String labels wrong")
+	}
+	if EdgeTemporal.String() != "temporal" || EdgeModification.String() != "modification" ||
+		EdgeInvestigation.String() != "investigation" || EdgeType(99).String() != "unknown" {
+		t.Error("EdgeType.String labels wrong")
+	}
+}
+
+func TestConcurrentPutAndRead(t *testing.T) {
+	s := NewStore()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			rec, err := NewRecordFromSQL("SELECT * FROM WaterTemp WHERE temp < 18")
+			if err != nil {
+				t.Errorf("NewRecordFromSQL: %v", err)
+				return
+			}
+			rec.User = "alice"
+			s.Put(rec)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		s.All(admin)
+		s.ByTable("WaterTemp", admin)
+		s.TableCounts()
+	}
+	<-done
+	if s.Count() != 200 {
+		t.Errorf("count = %d, want 200", s.Count())
+	}
+}

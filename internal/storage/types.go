@@ -1,0 +1,233 @@
+// Package storage implements the CQMS Query Storage (Figure 4 of the paper):
+// the durable log of every query submitted through the Query Profiler, its
+// extracted syntactic features (the Figure 1 feature relations Queries,
+// DataSources, Attributes, Predicates), runtime statistics, output samples,
+// user annotations, session membership and the session edge relation.
+//
+// The store is an in-memory structure with inverted indexes on tables,
+// attributes, users and fingerprints so that the Meta-query Executor can
+// answer feature and keyword searches interactively, and it can materialise
+// its feature relations as engine tables so that SQL meta-queries (the
+// query-by-feature paradigm of §2.2) execute against a real DBMS substrate.
+package storage
+
+import (
+	"time"
+)
+
+// QueryID identifies a logged query.
+type QueryID int64
+
+// Visibility controls who may see a logged query (paper §2.4: access control
+// rules restrict knowledge transfer to collaborating group members).
+type Visibility int
+
+// Visibility levels.
+const (
+	// VisibilityPrivate: only the owning user.
+	VisibilityPrivate Visibility = iota
+	// VisibilityGroup: the owning user's group.
+	VisibilityGroup
+	// VisibilityPublic: every user of the CQMS.
+	VisibilityPublic
+)
+
+// String returns a readable label.
+func (v Visibility) String() string {
+	switch v {
+	case VisibilityPrivate:
+		return "private"
+	case VisibilityGroup:
+		return "group"
+	case VisibilityPublic:
+		return "public"
+	default:
+		return "unknown"
+	}
+}
+
+// Principal identifies the user on whose behalf a meta-query or browse
+// operation runs, used for access-control filtering.
+type Principal struct {
+	User   string
+	Groups []string
+	// Admin principals bypass visibility checks (System Administrative
+	// Interaction Mode, §2.4).
+	Admin bool
+}
+
+// MemberOf reports whether the principal belongs to the named group.
+func (p Principal) MemberOf(group string) bool {
+	for _, g := range p.Groups {
+		if g == group {
+			return true
+		}
+	}
+	return false
+}
+
+// AttributeRow is one row of the Attributes feature relation of Figure 1:
+// (qid, attrName, relName) extended with the clause the attribute appears in.
+type AttributeRow struct {
+	Attr   string
+	Rel    string
+	Clause string // SELECT, WHERE, GROUPBY, HAVING, ORDERBY, JOIN
+}
+
+// PredicateRow is one row of the Predicates feature relation of Figure 1:
+// (qid, attrName, relName, op, const).
+type PredicateRow struct {
+	Attr   string
+	Rel    string
+	Op     string
+	Const  string
+	IsJoin bool
+	// For join predicates the right-hand side.
+	RightRel  string
+	RightAttr string
+}
+
+// RuntimeStats are the runtime query features captured by the profiler
+// (§4.1): execution time, result cardinality and the schema version the
+// query ran against.
+type RuntimeStats struct {
+	ExecTime      time.Duration
+	ResultRows    int
+	ResultColumns int
+	Error         string
+	SchemaVersion int64
+	ExecutedAt    time.Time
+}
+
+// OutputSample is a bounded sample of the query's result (§4.1 "Profiling
+// query results"): columns plus up to MaxRows stringified rows.
+type OutputSample struct {
+	Columns   []string
+	Rows      [][]string
+	TotalRows int
+	// Truncated is true when the sample holds fewer rows than the result.
+	Truncated bool
+}
+
+// Annotation is a user-supplied note on a query or on a fragment of it
+// (§2.1: users capture semantic information about their queries).
+type Annotation struct {
+	Author   string
+	Text     string
+	Fragment string // optional query fragment the annotation refers to
+	At       time.Time
+}
+
+// EdgeType classifies the relationship between two queries in a session
+// (§4.1: temporal, modification and investigation relations).
+type EdgeType int
+
+// Edge types.
+const (
+	EdgeTemporal EdgeType = iota
+	EdgeModification
+	EdgeInvestigation
+)
+
+// String returns a readable label.
+func (e EdgeType) String() string {
+	switch e {
+	case EdgeTemporal:
+		return "temporal"
+	case EdgeModification:
+		return "modification"
+	case EdgeInvestigation:
+		return "investigation"
+	default:
+		return "unknown"
+	}
+}
+
+// SessionEdge is one row of the normalised session edge relation: a pair of
+// query identifiers, an edge type and the diff summary used as the edge
+// label in the Figure 2 visualisation.
+type SessionEdge struct {
+	From QueryID
+	To   QueryID
+	Type EdgeType
+	Diff string
+}
+
+// QueryRecord is the full stored representation of one logged query: raw
+// text, canonical/template forms, the extracted feature relations, runtime
+// statistics, an output sample, annotations and maintenance state.
+type QueryRecord struct {
+	ID          QueryID
+	Text        string
+	Canonical   string
+	Template    string
+	Fingerprint uint64
+	ExactHash   uint64
+
+	User       string
+	Group      string
+	Visibility Visibility
+	IssuedAt   time.Time
+
+	// Syntactic features (Figure 1 relations).
+	Tables     []string
+	Attributes []AttributeRow
+	Predicates []PredicateRow
+	Aggregates []string
+	GroupBy    []string
+	Features   []string // flat feature set used by the miner
+
+	// Runtime features and output sample.
+	Stats  RuntimeStats
+	Sample *OutputSample
+
+	Annotations []Annotation
+
+	// Session membership assigned by the miner.
+	SessionID int64
+
+	// Maintenance state (§4.4).
+	Valid         bool
+	InvalidReason string
+	StatsStale    bool
+	QualityScore  float64
+}
+
+// Clone returns a deep copy of the record so callers can mutate the result
+// without affecting the store.
+func (q *QueryRecord) Clone() *QueryRecord {
+	out := *q
+	out.Tables = append([]string(nil), q.Tables...)
+	out.Attributes = append([]AttributeRow(nil), q.Attributes...)
+	out.Predicates = append([]PredicateRow(nil), q.Predicates...)
+	out.Aggregates = append([]string(nil), q.Aggregates...)
+	out.GroupBy = append([]string(nil), q.GroupBy...)
+	out.Features = append([]string(nil), q.Features...)
+	out.Annotations = append([]Annotation(nil), q.Annotations...)
+	if q.Sample != nil {
+		s := *q.Sample
+		s.Columns = append([]string(nil), q.Sample.Columns...)
+		s.Rows = make([][]string, len(q.Sample.Rows))
+		for i, r := range q.Sample.Rows {
+			s.Rows[i] = append([]string(nil), r...)
+		}
+		out.Sample = &s
+	}
+	return &out
+}
+
+// VisibleTo reports whether the record may be shown to the principal under
+// the paper's access-control requirement.
+func (q *QueryRecord) VisibleTo(p Principal) bool {
+	if p.Admin || q.User == p.User {
+		return true
+	}
+	switch q.Visibility {
+	case VisibilityPublic:
+		return true
+	case VisibilityGroup:
+		return q.Group != "" && p.MemberOf(q.Group)
+	default:
+		return false
+	}
+}
