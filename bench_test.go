@@ -14,6 +14,7 @@ package cqms
 //	go test -bench=. -benchmem
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/recommend"
 	"repro/internal/session"
 	"repro/internal/storage"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -520,6 +522,166 @@ func BenchmarkFullMiningPass(b *testing.B) {
 			b.Fatal("mined nothing")
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// WAL — durable query-log append throughput and recovery time
+// ---------------------------------------------------------------------------
+
+// walBenchRecords returns a handful of parsed records to cycle through, so
+// appended mutations look like the real profiler output.
+func walBenchRecords(b *testing.B) []*storage.QueryRecord {
+	b.Helper()
+	queries := []string{
+		"SELECT WaterTemp.lake, WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 15",
+		"SELECT WaterSalinity.lake, AVG(WaterSalinity.salinity) FROM WaterSalinity GROUP BY WaterSalinity.lake",
+		"SELECT Observations.id FROM Observations, Stations WHERE Observations.station = Stations.id",
+		"SELECT Stations.name FROM Stations ORDER BY Stations.name",
+	}
+	recs := make([]*storage.QueryRecord, 0, len(queries))
+	for i, q := range queries {
+		rec, err := storage.NewRecordFromSQL(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec.User = fmt.Sprintf("bench%d", i)
+		rec.Stats = storage.RuntimeStats{ExecTime: time.Millisecond, ResultRows: 42}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// BenchmarkWALAppend measures the per-mutation cost of durable logging — the
+// overhead a durable deployment adds to Store.Put — under each fsync policy.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, policy := range []string{"off", "interval", "always"} {
+		b.Run("sync="+policy, func(b *testing.B) {
+			store := storage.NewStore()
+			cfg := wal.DefaultConfig(b.TempDir())
+			cfg.SyncPolicy = policy
+			mgr, _, err := wal.Open(store, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mgr.Close()
+			recs := walBenchRecords(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				store.Put(recs[i%len(recs)].Clone())
+			}
+			b.StopTimer()
+			if err := mgr.Err(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// walRecoveryDirs builds (once) two data directories holding ~100k logged
+// mutations: one as a pure WAL, one compacted into a snapshot. Recovery from
+// each is what the benchmarks below measure.
+const walRecoveryRecords = 100_000
+
+var (
+	walRecoveryOnce    sync.Once
+	walRecoveryWALDir  string
+	walRecoverySnapDir string
+	walRecoveryErr     error
+)
+
+// TestMain removes the shared WAL-recovery directories after the run; they
+// cannot be b.TempDir() (cleaned when one benchmark returns) and would
+// otherwise pile up in the system temp dir.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	for _, dir := range []string{walRecoveryWALDir, walRecoverySnapDir} {
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+	}
+	os.Exit(code)
+}
+
+func walRecoverySetup(b *testing.B) (walDir, snapDir string) {
+	b.Helper()
+	walRecoveryOnce.Do(func() {
+		recs := walBenchRecords(b)
+		build := func(dir string, compact bool) error {
+			store := storage.NewStore()
+			cfg := wal.DefaultConfig(dir)
+			cfg.SyncPolicy = "off"
+			mgr, _, err := wal.Open(store, cfg)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < walRecoveryRecords; i++ {
+				id := store.Put(recs[i%len(recs)].Clone())
+				if i%100 == 0 {
+					if err := store.Annotate(id, Admin, storage.Annotation{Author: "bench", Text: "note"}); err != nil {
+						return err
+					}
+				}
+			}
+			if compact {
+				if _, _, _, err := mgr.Compact(); err != nil {
+					return err
+				}
+			}
+			return mgr.Close()
+		}
+		// Not b.TempDir(): these directories are shared across benchmark
+		// functions, and b.TempDir is removed when its benchmark returns.
+		if walRecoveryWALDir, walRecoveryErr = os.MkdirTemp("", "cqms-wal-bench-"); walRecoveryErr != nil {
+			return
+		}
+		if walRecoverySnapDir, walRecoveryErr = os.MkdirTemp("", "cqms-wal-bench-"); walRecoveryErr != nil {
+			return
+		}
+		if err := build(walRecoveryWALDir, false); err != nil {
+			walRecoveryErr = err
+			return
+		}
+		walRecoveryErr = build(walRecoverySnapDir, true)
+	})
+	if walRecoveryErr != nil {
+		b.Fatal(walRecoveryErr)
+	}
+	return walRecoveryWALDir, walRecoverySnapDir
+}
+
+func benchWALRecovery(b *testing.B, dir string) {
+	cfg := wal.DefaultConfig(dir)
+	cfg.SyncPolicy = "off"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := storage.NewStore()
+		mgr, info, err := wal.Open(store, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if info.Queries != walRecoveryRecords {
+			b.Fatalf("recovered %d queries, want %d", info.Queries, walRecoveryRecords)
+		}
+		if err := mgr.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALRecoveryReplay rebuilds a ~100k-query store by replaying the
+// raw WAL — the worst-case restart.
+func BenchmarkWALRecoveryReplay(b *testing.B) {
+	walDir, _ := walRecoverySetup(b)
+	benchWALRecovery(b, walDir)
+}
+
+// BenchmarkWALRecoverySnapshot rebuilds the same store from a compacted
+// snapshot — the restart path the background snapshotter keeps cheap.
+func BenchmarkWALRecoverySnapshot(b *testing.B) {
+	_, snapDir := walRecoverySetup(b)
+	benchWALRecovery(b, snapDir)
 }
 
 // Guard: the fixture must look like the workload DESIGN.md describes.

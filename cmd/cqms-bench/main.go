@@ -7,12 +7,19 @@
 //
 //	cqms-bench -rows 1000 -users 20 -sessions 10
 //	cqms-bench -only E3,E4
+//	cqms-bench -json > results.jsonl
+//
+// With -json each experiment is emitted as one JSON object per line, so the
+// perf/quality trajectory can be tracked across PRs by machines instead of
+// prose.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -26,6 +33,7 @@ func main() {
 		sessions = flag.Int("sessions", 10, "sessions per user")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		only     = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+		asJSON   = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
 	)
 	flag.Parse()
 
@@ -35,16 +43,20 @@ func main() {
 		SessionsPerUser: *sessions,
 		Seed:            *seed,
 	}
-	fmt.Printf("CQMS experiment harness — rows/table=%d users=%d sessions/user=%d seed=%d\n",
-		opts.RowsPerTable, opts.Users, opts.SessionsPerUser, opts.Seed)
+	if !*asJSON {
+		fmt.Printf("CQMS experiment harness — rows/table=%d users=%d sessions/user=%d seed=%d\n",
+			opts.RowsPerTable, opts.Users, opts.SessionsPerUser, opts.Seed)
+	}
 
 	start := time.Now()
 	env, err := experiments.NewEnv(opts)
 	if err != nil {
 		log.Fatalf("building experiment environment: %v", err)
 	}
-	fmt.Printf("environment ready in %s: %d logged queries from %d users\n\n",
-		time.Since(start).Round(time.Millisecond), env.Sys.Store().Count(), len(env.Trace.Users))
+	if !*asJSON {
+		fmt.Printf("environment ready in %s: %d logged queries from %d users\n\n",
+			time.Since(start).Round(time.Millisecond), env.Sys.Store().Count(), len(env.Trace.Users))
+	}
 
 	results, err := experiments.RunAll(env)
 	if err != nil {
@@ -57,11 +69,20 @@ func main() {
 			wanted[strings.TrimSpace(strings.ToUpper(id))] = true
 		}
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, res := range results {
 		if len(wanted) > 0 && !wanted[res.ID] {
 			continue
 		}
+		if *asJSON {
+			if err := enc.Encode(res); err != nil {
+				log.Fatalf("encoding result %s: %v", res.ID, err)
+			}
+			continue
+		}
 		fmt.Println(res.Format())
 	}
-	fmt.Printf("total harness time: %s\n", time.Since(start).Round(time.Millisecond))
+	if !*asJSON {
+		fmt.Printf("total harness time: %s\n", time.Since(start).Round(time.Millisecond))
+	}
 }

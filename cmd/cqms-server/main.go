@@ -6,10 +6,15 @@
 // Usage:
 //
 //	cqms-server -addr :8080 -rows 2000 -seed 1 -replay-users 10
+//	cqms-server -addr :8080 -data-dir /var/lib/cqms
 //
-// With -replay-users > 0 the server pre-loads a synthetic multi-user trace so
-// that search, recommendation and session browsing have something to work
-// with immediately.
+// With -data-dir the query log is durable: every mutation is appended to a
+// segmented write-ahead log and the store is snapshotted periodically, so a
+// restart recovers the full log (snapshot + WAL tail replay) instead of
+// starting empty. With -replay-users > 0 the server pre-loads a synthetic
+// multi-user trace so that search, recommendation and session browsing have
+// something to work with immediately; replay is skipped when a data
+// directory already holds recovered queries.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/profiler"
 	"repro/internal/server"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -37,6 +43,10 @@ func main() {
 		replaySessions   = flag.Int("replay-sessions", 5, "sessions per synthetic user to replay at startup")
 		miningInterval   = flag.Duration("mine-every", time.Minute, "background mining interval")
 		maintainInterval = flag.Duration("maintain-every", 5*time.Minute, "background maintenance interval")
+		dataDir          = flag.String("data-dir", "", "directory for the durable query log (empty: in-memory only)")
+		syncPolicy       = flag.String("sync", "interval", "WAL fsync policy: always, interval or off")
+		segmentBytes     = flag.Int64("segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation threshold")
+		snapshotEvery    = flag.Duration("snapshot-every", 5*time.Minute, "background snapshot/compaction interval")
 	)
 	flag.Parse()
 
@@ -49,8 +59,32 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.MiningInterval = *miningInterval
 	cfg.MaintenanceInterval = *maintainInterval
-	cqms := core.NewWithEngine(eng, cfg)
+	if *dataDir != "" {
+		cfg.Durability = wal.DefaultConfig(*dataDir)
+		cfg.Durability.SyncPolicy = *syncPolicy
+		cfg.Durability.SegmentBytes = *segmentBytes
+		cfg.Durability.SnapshotEvery = *snapshotEvery
+	}
+	cqms, err := core.OpenWithEngine(eng, cfg)
+	if err != nil {
+		log.Fatalf("opening CQMS: %v", err)
+	}
+	if rec := cqms.Recovery(); rec != nil {
+		log.Printf("recovered durable query log from %s: %d queries (snapshot seq %d, %d WAL records replayed, torn tail: %v)",
+			*dataDir, rec.Queries, rec.SnapshotSeq, rec.Replayed, rec.TornTail)
+	}
 
+	if cqms.Store().Count() > 0 {
+		// Recovered data: mine it immediately so sessions and recommendations
+		// are warm, and don't layer a fresh synthetic trace on top.
+		if *replayUsers > 0 {
+			log.Printf("skipping trace replay: data directory already holds %d queries", cqms.Store().Count())
+			*replayUsers = 0
+		}
+		res := cqms.RunMiner()
+		log.Printf("initial mining pass over recovered log: %d queries, %d rules, %d clusters",
+			res.TransactionCount, len(res.Rules), len(res.Clusters))
+	}
 	if *replayUsers > 0 {
 		wcfg := workload.DefaultConfig()
 		wcfg.Seed = *seed
@@ -84,6 +118,11 @@ func main() {
 	log.Printf("CQMS server listening on %s", *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("server: %v", err)
+	}
+	// Flush the durable log before exiting so every acknowledged mutation is
+	// on disk.
+	if err := cqms.Close(); err != nil {
+		log.Printf("warning: closing durable query log: %v", err)
 	}
 	log.Printf("CQMS server stopped")
 }

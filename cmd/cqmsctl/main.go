@@ -25,6 +25,9 @@
 //	delete <id>                       delete a logged query
 //	mine                              trigger a mining pass (admin)
 //	maintain                          trigger a maintenance scan (admin)
+//	log info                          durable query-log state (segments, sequences)
+//	log backup                        force a point-in-time snapshot of the query log
+//	log compact                       snapshot and prune covered WAL segments
 //	stats                             server statistics
 package main
 
@@ -101,6 +104,8 @@ func run(c *client.Client, cmd string, args []string, k int) error {
 		return cmdMine(c)
 	case "maintain":
 		return cmdMaintain(c)
+	case "log":
+		return cmdLog(c, args)
 	case "stats":
 		return cmdStats(c)
 	default:
@@ -380,6 +385,54 @@ func cmdMaintain(c *client.Client) error {
 		fmt.Printf("  invalidated %s\n", inv)
 	}
 	return nil
+}
+
+func cmdLog(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: log <info|backup|compact>")
+	}
+	switch args[0] {
+	case "info":
+		info, err := c.LogInfo()
+		if err != nil {
+			return err
+		}
+		if !info.Enabled {
+			fmt.Println("durability: disabled (server runs in-memory; start it with -data-dir)")
+			return nil
+		}
+		fmt.Printf("data dir:       %s\n", info.Dir)
+		fmt.Printf("sync policy:    %s\n", info.SyncPolicy)
+		if info.AppendError != "" {
+			fmt.Printf("WARNING:        durability broken, mutations are NOT being persisted: %s\n", info.AppendError)
+		}
+		fmt.Printf("last sequence:  %d\n", info.LastSeq)
+		fmt.Printf("snapshot seq:   %d (%d mutations pending)\n", info.SnapshotSeq, info.AppendsSinceSnapshot)
+		var total int64
+		for _, seg := range info.Segments {
+			fmt.Printf("  segment %s  first-seq %-10d %8d bytes\n", seg.Name, seg.FirstSeq, seg.Bytes)
+			total += seg.Bytes
+		}
+		fmt.Printf("%d segments, %d bytes\n", len(info.Segments), total)
+		return nil
+	case "backup":
+		resp, err := c.LogBackup()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("snapshot covering sequence %d written to %s\n", resp.Seq, resp.Path)
+		return nil
+	case "compact":
+		resp, err := c.LogCompact()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("snapshot covering sequence %d written to %s; %d segments removed\n",
+			resp.Seq, resp.Path, resp.RemovedSegments)
+		return nil
+	default:
+		return fmt.Errorf("unknown log subcommand %q (want info, backup or compact)", args[0])
+	}
 }
 
 func cmdStats(c *client.Client) error {

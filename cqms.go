@@ -28,6 +28,7 @@ import (
 	"repro/internal/recommend"
 	"repro/internal/session"
 	"repro/internal/storage"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -95,8 +96,27 @@ type MaintenanceReport = maintenance.Report
 // Engine is the embedded relational engine the CQMS sits on.
 type Engine = engine.Engine
 
+// DurabilityConfig configures the durable query log (Config.Durability).
+type DurabilityConfig = wal.Config
+
+// RecoveryInfo reports what Open reconstructed from disk.
+type RecoveryInfo = wal.RecoveryInfo
+
+// DefaultDurabilityConfig returns the default durable-log settings for a
+// data directory.
+func DefaultDurabilityConfig(dir string) DurabilityConfig { return wal.DefaultConfig(dir) }
+
 // New creates a CQMS over a fresh embedded engine.
 func New(cfg Config) *CQMS { return core.New(cfg) }
+
+// Open creates a CQMS and, when cfg.Durability.Dir is set, recovers the query
+// log from disk and keeps it durable. Call Close to flush on shutdown.
+func Open(cfg Config) (*CQMS, error) { return core.Open(cfg) }
+
+// OpenWithEngine is Open over an existing (already populated) engine.
+func OpenWithEngine(eng *Engine, cfg Config) (*CQMS, error) {
+	return core.OpenWithEngine(eng, cfg)
+}
 
 // NewWithEngine creates a CQMS over an existing (already populated) engine.
 func NewWithEngine(eng *Engine, cfg Config) *CQMS { return core.NewWithEngine(eng, cfg) }

@@ -216,6 +216,38 @@ func (c *Client) Maintain() (*server.MaintainResponse, error) {
 	return &resp, nil
 }
 
+// LogInfo reports the server's durable query-log state.
+func (c *Client) LogInfo() (*server.LogInfoResponse, error) {
+	var resp server.LogInfoResponse
+	err := c.get("/api/admin/log/info", url.Values{}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// LogBackup forces a full-store snapshot (a consistent point-in-time backup
+// on the server) and returns its location.
+func (c *Client) LogBackup() (*server.LogSnapshotResponse, error) {
+	var resp server.LogSnapshotResponse
+	err := c.post("/api/admin/log/snapshot", struct{}{}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// LogCompact snapshots the store and removes the WAL segments the snapshot
+// covers.
+func (c *Client) LogCompact() (*server.LogSnapshotResponse, error) {
+	var resp server.LogSnapshotResponse
+	err := c.post("/api/admin/log/compact", struct{}{}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Stats fetches server-wide counters.
 func (c *Client) Stats() (*server.StatsResponse, error) {
 	var resp server.StatsResponse

@@ -1,0 +1,170 @@
+package client
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// newServer spins up a CQMS HTTP server over a small populated database and
+// returns a client for alice plus the test server for extra clients.
+func newServer(t *testing.T, cfg core.Config) (*httptest.Server, *core.CQMS) {
+	t.Helper()
+	eng := engine.New()
+	if err := workload.Populate(eng, 200, 1); err != nil {
+		t.Fatalf("Populate: %v", err)
+	}
+	cqms, err := core.OpenWithEngine(eng, cfg)
+	if err != nil {
+		t.Fatalf("OpenWithEngine: %v", err)
+	}
+	ts := httptest.NewServer(server.New(cqms).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := cqms.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return ts, cqms
+}
+
+func TestClientSubmitSearchAnnotateRoundTrip(t *testing.T) {
+	ts, _ := newServer(t, core.DefaultConfig())
+	alice := New(ts.URL, "alice", []string{"limnology"}, false)
+
+	resp, err := alice.Submit("SELECT WaterTemp.lake, WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 15", "limnology", "group")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if resp.QueryID == 0 {
+		t.Fatal("Submit assigned no query ID")
+	}
+	if resp.ExecError != "" {
+		t.Fatalf("Submit execution error: %s", resp.ExecError)
+	}
+	if len(resp.Columns) == 0 {
+		t.Fatal("Submit returned no columns")
+	}
+
+	if err := alice.Annotate(resp.QueryID, "cold lakes only"); err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+
+	matches, err := alice.SearchKeyword("watertemp")
+	if err != nil {
+		t.Fatalf("SearchKeyword: %v", err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("keyword search found %d matches, want 1", len(matches))
+	}
+	got := matches[0].Query
+	if got.ID != resp.QueryID || got.User != "alice" {
+		t.Fatalf("match = %+v", got)
+	}
+	if len(got.Annotations) != 1 || got.Annotations[0] != "cold lakes only" {
+		t.Fatalf("annotations on match = %v", got.Annotations)
+	}
+
+	history, err := alice.History("")
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if len(history) != 1 || history[0].Query.ID != resp.QueryID {
+		t.Fatalf("history = %+v", history)
+	}
+}
+
+func TestClientVisibilityEnforcedAcrossUsers(t *testing.T) {
+	ts, _ := newServer(t, core.DefaultConfig())
+	alice := New(ts.URL, "alice", []string{"limnology"}, false)
+	mallory := New(ts.URL, "mallory", nil, false)
+
+	resp, err := alice.Submit("SELECT WaterSalinity.lake FROM WaterSalinity", "limnology", "private")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// A stranger cannot see or annotate the private query.
+	if matches, err := mallory.SearchKeyword("watersalinity"); err != nil || len(matches) != 0 {
+		t.Fatalf("stranger saw %d private matches (err %v)", len(matches), err)
+	}
+	if err := mallory.Annotate(resp.QueryID, "sneaky"); err == nil {
+		t.Fatal("stranger annotated a private query")
+	}
+	if err := mallory.SetVisibility(resp.QueryID, "public"); err == nil {
+		t.Fatal("stranger changed visibility of a private query")
+	}
+	// The owner publishes it; now everyone finds it.
+	if err := alice.SetVisibility(resp.QueryID, "public"); err != nil {
+		t.Fatalf("owner SetVisibility: %v", err)
+	}
+	if matches, err := mallory.SearchKeyword("watersalinity"); err != nil || len(matches) != 1 {
+		t.Fatalf("stranger found %d public matches (err %v)", len(matches), err)
+	}
+
+	stats, err := alice.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if stats.Queries != 1 {
+		t.Fatalf("stats.Queries = %d, want 1", stats.Queries)
+	}
+}
+
+func TestClientLogEndpoints(t *testing.T) {
+	// In-memory server: log info reports durability disabled and backup fails.
+	ts, _ := newServer(t, core.DefaultConfig())
+	c := New(ts.URL, "admin", nil, true)
+	info, err := c.LogInfo()
+	if err != nil {
+		t.Fatalf("LogInfo: %v", err)
+	}
+	if info.Enabled {
+		t.Fatal("in-memory server reported durability enabled")
+	}
+	if _, err := c.LogBackup(); err == nil || !strings.Contains(err.Error(), "disabled") {
+		t.Fatalf("LogBackup on in-memory server: %v", err)
+	}
+
+	// Durable server: submit, then inspect / backup / compact the log.
+	cfg := core.DefaultConfig()
+	cfg.Durability.Dir = t.TempDir()
+	cfg.Durability.SyncPolicy = "off"
+	tsd, _ := newServer(t, cfg)
+	cd := New(tsd.URL, "alice", []string{"limnology"}, false)
+	if _, err := cd.Submit("SELECT WaterTemp.lake FROM WaterTemp", "limnology", "group"); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	dinfo, err := cd.LogInfo()
+	if err != nil {
+		t.Fatalf("LogInfo: %v", err)
+	}
+	if !dinfo.Enabled || dinfo.LastSeq == 0 || len(dinfo.Segments) == 0 {
+		t.Fatalf("durable log info = %+v", dinfo)
+	}
+	backup, err := cd.LogBackup()
+	if err != nil {
+		t.Fatalf("LogBackup: %v", err)
+	}
+	if backup.Seq != dinfo.LastSeq || backup.Path == "" {
+		t.Fatalf("backup = %+v, want seq %d", backup, dinfo.LastSeq)
+	}
+	compacted, err := cd.LogCompact()
+	if err != nil {
+		t.Fatalf("LogCompact: %v", err)
+	}
+	if compacted.Seq < backup.Seq {
+		t.Fatalf("compact seq %d went backwards from %d", compacted.Seq, backup.Seq)
+	}
+	after, err := cd.LogInfo()
+	if err != nil {
+		t.Fatalf("LogInfo after compact: %v", err)
+	}
+	if after.SnapshotSeq != compacted.Seq || after.AppendsSinceSnapshot != 0 {
+		t.Fatalf("log info after compact = %+v", after)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/recommend"
 	"repro/internal/session"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Config aggregates the configuration of every CQMS component.
@@ -31,8 +32,13 @@ type Config struct {
 	Maintenance maintenance.Config
 	Recommender recommend.Config
 	Session     session.Config
+	// Durability persists the query log to disk (segmented WAL + snapshots).
+	// Disabled unless Durability.Dir is set; Open and OpenWithEngine recover
+	// the store from that directory before serving.
+	Durability wal.Config
 	// MiningInterval and MaintenanceInterval drive the background scheduler
-	// started by StartBackground.
+	// started by StartBackground; Durability.SnapshotEvery drives its
+	// snapshot/compaction pass.
 	MiningInterval      time.Duration
 	MaintenanceInterval time.Duration
 }
@@ -66,6 +72,9 @@ type CQMS struct {
 	mu           sync.RWMutex
 	lastMining   *miner.Result
 	lastSessions []session.Session
+
+	wal      *wal.Manager      // nil when durability is disabled
+	recovery *wal.RecoveryInfo // what Open reconstructed from disk
 }
 
 // New creates a CQMS over a fresh embedded engine.
@@ -92,6 +101,45 @@ func NewWithEngine(eng *engine.Engine, cfg Config) *CQMS {
 	c.syncSchemas()
 	return c
 }
+
+// Open creates a CQMS over a fresh embedded engine and, when
+// cfg.Durability.Dir is set, recovers the query log from disk (newest
+// snapshot plus WAL tail) and keeps it durable from then on. Close flushes
+// and detaches the log.
+func Open(cfg Config) (*CQMS, error) {
+	return OpenWithEngine(engine.New(), cfg)
+}
+
+// OpenWithEngine is Open over an existing (typically pre-populated) engine.
+func OpenWithEngine(eng *engine.Engine, cfg Config) (*CQMS, error) {
+	c := NewWithEngine(eng, cfg)
+	if !cfg.Durability.Enabled() {
+		return c, nil
+	}
+	mgr, recovery, err := wal.Open(c.store, cfg.Durability)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening durable query log: %w", err)
+	}
+	c.wal = mgr
+	c.recovery = recovery
+	return c, nil
+}
+
+// Close flushes the durable query log (a no-op for in-memory systems). The
+// CQMS must not be used afterwards.
+func (c *CQMS) Close() error {
+	if c.wal == nil {
+		return nil
+	}
+	return c.wal.Close()
+}
+
+// Durability exposes the WAL manager, or nil when persistence is disabled.
+func (c *CQMS) Durability() *wal.Manager { return c.wal }
+
+// Recovery reports what Open reconstructed from disk, or nil when the system
+// started fresh or in-memory.
+func (c *CQMS) Recovery() *wal.RecoveryInfo { return c.recovery }
 
 // Engine exposes the underlying DBMS (for loading data and DDL in examples
 // and tests).
@@ -327,7 +375,8 @@ func (c *CQMS) MiningResult() *miner.Result {
 }
 
 // StartBackground launches the periodic miner and maintenance passes (the
-// "run in the background" components of Figure 4) until the context is
+// "run in the background" components of Figure 4) and, when durability is
+// enabled, the periodic snapshot/compaction pass, until the context is
 // cancelled. It returns immediately.
 func (c *CQMS) StartBackground(ctx context.Context) {
 	mineEvery := c.cfg.MiningInterval
@@ -365,4 +414,20 @@ func (c *CQMS) StartBackground(ctx context.Context) {
 			}
 		}
 	}()
+	if c.wal != nil && c.cfg.Durability.SnapshotEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(c.cfg.Durability.SnapshotEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					// Snapshot errors are retried on the next tick; the WAL
+					// itself keeps every mutation in the meantime.
+					_ = c.wal.MaybeSnapshot()
+				}
+			}
+		}()
+	}
 }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/profiler"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// openDurable builds a durable CQMS over a small populated database, reusing
+// the data directory across calls to exercise recover-on-start.
+func openDurable(t *testing.T, dir string) *CQMS {
+	t.Helper()
+	eng := engine.New()
+	if err := workload.Populate(eng, 300, 1); err != nil {
+		t.Fatalf("Populate: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.Durability.Dir = dir
+	cfg.Durability.SyncPolicy = "off"
+	c, err := OpenWithEngine(eng, cfg)
+	if err != nil {
+		t.Fatalf("OpenWithEngine: %v", err)
+	}
+	return c
+}
+
+func TestDurableSubmitSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c := openDurable(t, dir)
+	base := time.Date(2026, 7, 1, 9, 0, 0, 0, time.UTC)
+	out := submit(t, c, "alice", "limnology",
+		"SELECT WaterTemp.lake, WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 15", base)
+	submit(t, c, "alice", "limnology",
+		"SELECT WaterSalinity.lake FROM WaterSalinity", base.Add(time.Minute))
+	if err := c.Annotate(out.QueryID, alice, storage.Annotation{Text: "cold lakes"}); err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	if err := c.SetVisibility(out.QueryID, alice, storage.VisibilityPublic); err != nil {
+		t.Fatalf("SetVisibility: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c2 := openDurable(t, dir)
+	defer c2.Close()
+	rec := c2.Recovery()
+	if rec == nil || rec.Queries != 2 {
+		t.Fatalf("recovery info = %+v, want 2 queries", rec)
+	}
+	got, err := c2.Store().Get(out.QueryID, storage.Principal{User: "bob"})
+	if err != nil {
+		t.Fatalf("recovered query not public: %v", err)
+	}
+	if len(got.Annotations) != 1 || got.Annotations[0].Text != "cold lakes" {
+		t.Fatalf("recovered annotations = %+v", got.Annotations)
+	}
+	if matches := c2.Search(admin, "watertemp"); len(matches) != 1 {
+		t.Fatalf("keyword search over recovered log found %d matches, want 1", len(matches))
+	}
+	// The log keeps growing after recovery.
+	out3 := submit(t, c2, "bob", "limnology",
+		"SELECT Observations.id FROM Observations", base.Add(2*time.Minute))
+	if out3.QueryID <= out.QueryID {
+		t.Fatalf("post-recovery query id %d not beyond recovered ids", out3.QueryID)
+	}
+}
+
+func TestOpenWithoutDurabilityIsInMemory(t *testing.T) {
+	c, err := Open(DefaultConfig())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if c.Durability() != nil || c.Recovery() != nil {
+		t.Fatal("in-memory Open attached a WAL manager")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestDurableSchedulerSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	eng := engine.New()
+	if err := workload.Populate(eng, 100, 1); err != nil {
+		t.Fatalf("Populate: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.Durability.Dir = dir
+	cfg.Durability.SyncPolicy = "off"
+	cfg.Durability.SnapshotEvery = 20 * time.Millisecond
+	cfg.MiningInterval = time.Hour
+	cfg.MaintenanceInterval = time.Hour
+	c, err := OpenWithEngine(eng, cfg)
+	if err != nil {
+		t.Fatalf("OpenWithEngine: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Submit(profiler.Submission{
+		User: "alice", SQL: "SELECT WaterTemp.lake FROM WaterTemp",
+	}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	c.StartBackground(ctx)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		info, err := c.Durability().Info()
+		if err != nil {
+			t.Fatalf("Info: %v", err)
+		}
+		if info.SnapshotSeq > 0 {
+			return // the scheduler snapshotted the store
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("background scheduler never snapshotted the store")
+}

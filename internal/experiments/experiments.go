@@ -43,18 +43,18 @@ func DefaultOptions() Options {
 
 // Metric is one reported measurement.
 type Metric struct {
-	Name  string
-	Value float64
-	Unit  string
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
 }
 
 // Result is the outcome of one experiment.
 type Result struct {
-	ID      string
-	Title   string
-	Claim   string // the paper's qualitative claim this experiment checks
-	Metrics []Metric
-	Notes   string
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Claim   string   `json:"claim"` // the paper's qualitative claim this experiment checks
+	Metrics []Metric `json:"metrics"`
+	Notes   string   `json:"notes,omitempty"`
 }
 
 // Format renders the result as the block recorded in EXPERIMENTS.md.

@@ -55,6 +55,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/api/admin/delete", s.handleDelete)
 	s.mux.HandleFunc("/api/admin/mine", s.handleMine)
 	s.mux.HandleFunc("/api/admin/maintain", s.handleMaintain)
+	s.mux.HandleFunc("/api/admin/log/info", s.handleLogInfo)
+	s.mux.HandleFunc("/api/admin/log/snapshot", s.handleLogSnapshot)
+	s.mux.HandleFunc("/api/admin/log/compact", s.handleLogCompact)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 }
 
@@ -481,6 +484,68 @@ func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 		resp.Repaired = append(resp.Repaired, fmt.Sprintf("q%d: %s", rep.ID, rep.Change))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLogInfo(w http.ResponseWriter, r *http.Request) {
+	mgr := s.cqms.Durability()
+	if mgr == nil {
+		writeJSON(w, http.StatusOK, LogInfoResponse{Enabled: false})
+		return
+	}
+	info, err := mgr.Info()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := LogInfoResponse{
+		Enabled:              true,
+		Dir:                  info.Dir,
+		SyncPolicy:           info.SyncPolicy,
+		LastSeq:              info.LastSeq,
+		SnapshotSeq:          info.SnapshotSeq,
+		AppendsSinceSnapshot: info.AppendsSinceSnapshot,
+		AppendError:          info.AppendError,
+	}
+	for _, seg := range info.Segments {
+		resp.Segments = append(resp.Segments, LogSegmentDTO{
+			Name: seg.Name, FirstSeq: seg.FirstSeq, Bytes: seg.Bytes,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLogSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	mgr := s.cqms.Durability()
+	if mgr == nil {
+		writeError(w, fmt.Errorf("%w: durability is disabled (start the server with -data-dir)", errBadRequest))
+		return
+	}
+	path, seq, err := mgr.Snapshot()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, LogSnapshotResponse{Path: path, Seq: seq})
+}
+
+func (s *Server) handleLogCompact(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	mgr := s.cqms.Durability()
+	if mgr == nil {
+		writeError(w, fmt.Errorf("%w: durability is disabled (start the server with -data-dir)", errBadRequest))
+		return
+	}
+	path, seq, removed, err := mgr.Compact()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, LogSnapshotResponse{Path: path, Seq: seq, RemovedSegments: removed})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

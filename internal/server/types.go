@@ -194,6 +194,34 @@ type StatsResponse struct {
 	Sessions int      `json:"sessions"`
 }
 
+// LogSegmentDTO describes one on-disk WAL segment.
+type LogSegmentDTO struct {
+	Name     string `json:"name"`
+	FirstSeq uint64 `json:"firstSeq"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// LogInfoResponse reports the durable query-log state.
+type LogInfoResponse struct {
+	Enabled              bool            `json:"enabled"`
+	Dir                  string          `json:"dir,omitempty"`
+	SyncPolicy           string          `json:"syncPolicy,omitempty"`
+	LastSeq              uint64          `json:"lastSeq,omitempty"`
+	SnapshotSeq          uint64          `json:"snapshotSeq,omitempty"`
+	AppendsSinceSnapshot int64           `json:"appendsSinceSnapshot,omitempty"`
+	Segments             []LogSegmentDTO `json:"segments,omitempty"`
+	// AppendError is set when the durability pipeline has failed: mutations
+	// after it are acknowledged but not durable.
+	AppendError string `json:"appendError,omitempty"`
+}
+
+// LogSnapshotResponse reports a snapshot (backup) or compaction run.
+type LogSnapshotResponse struct {
+	Path            string `json:"path"`
+	Seq             uint64 `json:"seq"`
+	RemovedSegments int    `json:"removedSegments,omitempty"`
+}
+
 // ErrorResponse is returned for every failed request.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -1,0 +1,292 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MutationOp names a mutating store operation. The op codes are part of the
+// on-disk WAL format: changing an existing code breaks replay of old logs.
+type MutationOp string
+
+// Mutation operations. Every mutating Store method has a corresponding op so
+// that replaying a mutation stream rebuilds the store — records, edges and
+// all inverted indexes — exactly as the live operations built it.
+const (
+	OpPut           MutationOp = "put"
+	OpAnnotate      MutationOp = "annotate"
+	OpSetVisibility MutationOp = "visibility"
+	OpDelete        MutationOp = "delete"
+	OpAssignSession MutationOp = "assign-session"
+	OpAddEdge       MutationOp = "add-edge"
+	OpMarkInvalid   MutationOp = "mark-invalid"
+	OpMarkValid     MutationOp = "mark-valid"
+	OpMarkStale     MutationOp = "mark-stale"
+	OpUpdateStats   MutationOp = "update-stats"
+	OpSetSample     MutationOp = "set-sample"
+	OpSetQuality    MutationOp = "set-quality"
+	OpReplaceText   MutationOp = "replace-text"
+)
+
+// Mutation is one typed write-ahead-log entry: the complete description of a
+// single mutating Store operation, sufficient to replay it. Access control
+// has already been enforced by the time a mutation is emitted, so replaying
+// does not re-check principals.
+type Mutation struct {
+	Op MutationOp `json:"op"`
+	ID QueryID    `json:"id,omitempty"`
+
+	// Record carries the full record for OpPut and the replacement fields
+	// for OpReplaceText.
+	Record     *QueryRecord  `json:"record,omitempty"`
+	Annotation *Annotation   `json:"annotation,omitempty"`
+	Visibility Visibility    `json:"vis,omitempty"`
+	SessionID  int64         `json:"session,omitempty"`
+	Edge       *SessionEdge  `json:"edge,omitempty"`
+	Reason     string        `json:"reason,omitempty"`
+	Stale      bool          `json:"stale,omitempty"`
+	Stats      *RuntimeStats `json:"stats,omitempty"`
+	Sample     *OutputSample `json:"sample,omitempty"`
+	Score      float64       `json:"score,omitempty"`
+}
+
+// Encode serialises the mutation for the WAL payload.
+func (m *Mutation) Encode() ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// DecodeMutation parses a WAL payload back into a mutation.
+func DecodeMutation(b []byte) (*Mutation, error) {
+	var m Mutation
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("storage: decoding mutation: %w", err)
+	}
+	if m.Op == "" {
+		return nil, fmt.Errorf("storage: decoding mutation: missing op")
+	}
+	return &m, nil
+}
+
+// MutationHook observes every successful mutation, invoked while the store
+// lock is held so hooks see mutations in exactly their apply order. The WAL
+// manager installs a hook that appends the encoded mutation to the log.
+type MutationHook func(*Mutation)
+
+// SetMutationHook installs the mutation observer (nil disables it).
+func (s *Store) SetMutationHook(h MutationHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
+
+// emit forwards a mutation to the hook. Callers must hold the write lock.
+func (s *Store) emit(m *Mutation) {
+	if s.hook != nil {
+		s.hook(m)
+	}
+}
+
+// Apply replays one mutation against the store without emitting it to the
+// hook. It is the recovery path: live operations and Apply share the same
+// internal state transitions, so a store rebuilt by replaying a mutation
+// stream is identical — contents and inverted indexes — to the store that
+// emitted the stream. Apply takes ownership of the mutation and its record:
+// replay hands over freshly decoded values.
+func (s *Store) Apply(m *Mutation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyLocked(m)
+}
+
+// applyLocked dispatches a mutation to the shared state-transition helpers.
+// Callers must hold the write lock.
+func (s *Store) applyLocked(m *Mutation) error {
+	switch m.Op {
+	case OpPut:
+		if m.Record == nil {
+			return fmt.Errorf("storage: apply %s: missing record", m.Op)
+		}
+		s.insert(m.Record)
+		return nil
+	case OpAnnotate:
+		if m.Annotation == nil {
+			return fmt.Errorf("storage: apply %s: missing annotation", m.Op)
+		}
+		rec, err := s.lookup(m.ID)
+		if err != nil {
+			return err
+		}
+		rec.Annotations = append(rec.Annotations, *m.Annotation)
+		return nil
+	case OpSetVisibility:
+		rec, err := s.lookup(m.ID)
+		if err != nil {
+			return err
+		}
+		rec.Visibility = m.Visibility
+		return nil
+	case OpDelete:
+		rec, err := s.lookup(m.ID)
+		if err != nil {
+			return err
+		}
+		s.remove(rec)
+		return nil
+	case OpAssignSession:
+		rec, err := s.lookup(m.ID)
+		if err != nil {
+			return err
+		}
+		s.reassignSession(rec, m.SessionID)
+		return nil
+	case OpAddEdge:
+		if m.Edge == nil {
+			return fmt.Errorf("storage: apply %s: missing edge", m.Op)
+		}
+		if _, err := s.lookup(m.Edge.From); err != nil {
+			return err
+		}
+		if _, err := s.lookup(m.Edge.To); err != nil {
+			return err
+		}
+		if _, dup := s.edgeSet[*m.Edge]; dup {
+			return nil // replayed logs may hold duplicates
+		}
+		s.edges = append(s.edges, *m.Edge)
+		s.edgeSet[*m.Edge] = struct{}{}
+		return nil
+	case OpMarkInvalid:
+		rec, err := s.lookup(m.ID)
+		if err != nil {
+			return err
+		}
+		rec.Valid = false
+		rec.InvalidReason = m.Reason
+		return nil
+	case OpMarkValid:
+		rec, err := s.lookup(m.ID)
+		if err != nil {
+			return err
+		}
+		rec.Valid = true
+		rec.InvalidReason = ""
+		return nil
+	case OpMarkStale:
+		rec, err := s.lookup(m.ID)
+		if err != nil {
+			return err
+		}
+		rec.StatsStale = m.Stale
+		return nil
+	case OpUpdateStats:
+		if m.Stats == nil {
+			return fmt.Errorf("storage: apply %s: missing stats", m.Op)
+		}
+		rec, err := s.lookup(m.ID)
+		if err != nil {
+			return err
+		}
+		rec.Stats = *m.Stats
+		rec.StatsStale = false
+		return nil
+	case OpSetSample:
+		rec, err := s.lookup(m.ID)
+		if err != nil {
+			return err
+		}
+		rec.Sample = m.Sample
+		return nil
+	case OpSetQuality:
+		rec, err := s.lookup(m.ID)
+		if err != nil {
+			return err
+		}
+		rec.QualityScore = m.Score
+		return nil
+	case OpReplaceText:
+		if m.Record == nil {
+			return fmt.Errorf("storage: apply %s: missing record", m.Op)
+		}
+		rec, err := s.lookup(m.ID)
+		if err != nil {
+			return err
+		}
+		s.replaceText(rec, m.Record)
+		return nil
+	default:
+		return fmt.Errorf("storage: apply: unknown op %q", m.Op)
+	}
+}
+
+// lookup returns the live record for an ID. Callers must hold a lock.
+func (s *Store) lookup(id QueryID) (*QueryRecord, error) {
+	rec, ok := s.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	return rec, nil
+}
+
+// insert places a record with an already-assigned ID into the store and all
+// inverted indexes. It is shared by the live Put path and WAL replay; replay
+// of a Put whose ID already exists (a snapshot/segment overlap) replaces the
+// older copy so recovery stays idempotent. Callers must hold the write lock.
+func (s *Store) insert(rec *QueryRecord) {
+	if old, ok := s.queries[rec.ID]; ok {
+		s.remove(old)
+	}
+	s.queries[rec.ID] = rec
+	s.order = append(s.order, rec.ID)
+	s.index(rec)
+	if rec.ID > s.nextID {
+		s.nextID = rec.ID
+	}
+}
+
+// remove deletes a record from the store, its indexes and the edge relation.
+// Callers must hold the write lock.
+func (s *Store) remove(rec *QueryRecord) {
+	delete(s.queries, rec.ID)
+	for i, qid := range s.order {
+		if qid == rec.ID {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.removeFromIndexes(rec)
+}
+
+// reassignSession moves a record between session index buckets. Callers must
+// hold the write lock.
+func (s *Store) reassignSession(rec *QueryRecord, sessionID int64) {
+	if rec.SessionID != 0 {
+		old := s.bySession[rec.SessionID]
+		kept := old[:0]
+		for _, x := range old {
+			if x != rec.ID {
+				kept = append(kept, x)
+			}
+		}
+		s.bySession[rec.SessionID] = kept
+	}
+	rec.SessionID = sessionID
+	s.bySession[sessionID] = append(s.bySession[sessionID], rec.ID)
+}
+
+// replaceText rewrites the record's text and feature relations from the
+// update, re-indexing it. Callers must hold the write lock.
+func (s *Store) replaceText(rec, updated *QueryRecord) {
+	s.removeFromIndexes(rec)
+	rec.Text = updated.Text
+	rec.Canonical = updated.Canonical
+	rec.Template = updated.Template
+	rec.Fingerprint = updated.Fingerprint
+	rec.ExactHash = updated.ExactHash
+	rec.Tables = updated.Tables
+	rec.Attributes = updated.Attributes
+	rec.Predicates = updated.Predicates
+	rec.Aggregates = updated.Aggregates
+	rec.GroupBy = updated.GroupBy
+	rec.Features = updated.Features
+	s.index(rec)
+}

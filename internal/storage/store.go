@@ -33,6 +33,13 @@ type Store struct {
 	bySession     map[int64][]QueryID
 
 	edges []SessionEdge
+	// edgeSet mirrors edges for O(1) duplicate checks: the session detector
+	// re-derives the same edges on every mining pass.
+	edgeSet map[SessionEdge]struct{}
+
+	// hook observes every successful mutation (see SetMutationHook); the WAL
+	// manager uses it to append mutations to the durable log.
+	hook MutationHook
 
 	now func() time.Time
 }
@@ -46,6 +53,7 @@ func NewStore() *Store {
 		byUser:        make(map[string][]QueryID),
 		byFingerprint: make(map[uint64][]QueryID),
 		bySession:     make(map[int64][]QueryID),
+		edgeSet:       make(map[SessionEdge]struct{}),
 		now:           time.Now,
 	}
 }
@@ -69,9 +77,12 @@ func (s *Store) Put(rec *QueryRecord) QueryID {
 		rec.IssuedAt = s.now()
 	}
 	rec.Valid = true
-	s.queries[rec.ID] = rec
-	s.order = append(s.order, rec.ID)
-	s.index(rec)
+	s.insert(rec)
+	if s.hook != nil {
+		// The clone is only needed for the hook; the default in-memory path
+		// skips it on this hot write path.
+		s.emit(&Mutation{Op: OpPut, Record: rec.Clone()})
+	}
 	return rec.ID
 }
 
@@ -272,7 +283,11 @@ func (s *Store) Annotate(id QueryID, p Principal, ann Annotation) error {
 	if ann.Author == "" {
 		ann.Author = p.User
 	}
-	rec.Annotations = append(rec.Annotations, ann)
+	m := &Mutation{Op: OpAnnotate, ID: id, Annotation: &ann}
+	if err := s.applyLocked(m); err != nil {
+		return err
+	}
+	s.emit(m)
 	return nil
 }
 
@@ -288,7 +303,11 @@ func (s *Store) SetVisibility(id QueryID, p Principal, v Visibility) error {
 	if rec.User != p.User && !p.Admin {
 		return fmt.Errorf("%w: only the owner may change visibility of query %d", ErrAccessDenied, id)
 	}
-	rec.Visibility = v
+	m := &Mutation{Op: OpSetVisibility, ID: id, Visibility: v}
+	if err := s.applyLocked(m); err != nil {
+		return err
+	}
+	s.emit(m)
 	return nil
 }
 
@@ -304,14 +323,11 @@ func (s *Store) Delete(id QueryID, p Principal) error {
 	if rec.User != p.User && !p.Admin {
 		return fmt.Errorf("%w: only the owner may delete query %d", ErrAccessDenied, id)
 	}
-	delete(s.queries, id)
-	for i, qid := range s.order {
-		if qid == id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
+	m := &Mutation{Op: OpDelete, ID: id}
+	if err := s.applyLocked(m); err != nil {
+		return err
 	}
-	s.removeFromIndexes(rec)
+	s.emit(m)
 	return nil
 }
 
@@ -342,46 +358,48 @@ func (s *Store) removeFromIndexes(rec *QueryRecord) {
 	for _, e := range s.edges {
 		if e.From != rec.ID && e.To != rec.ID {
 			kept = append(kept, e)
+		} else {
+			delete(s.edgeSet, e)
 		}
 	}
 	s.edges = kept
 }
 
 // AssignSession records the session a query belongs to (set by the miner's
-// session detector).
+// session detector). Re-assigning the same session is a no-op so the periodic
+// mining pass does not flood the mutation log.
 func (s *Store) AssignSession(id QueryID, sessionID int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rec, ok := s.queries[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	rec, err := s.lookup(id)
+	if err != nil {
+		return err
 	}
-	if rec.SessionID != 0 {
-		old := s.bySession[rec.SessionID]
-		kept := old[:0]
-		for _, x := range old {
-			if x != id {
-				kept = append(kept, x)
-			}
-		}
-		s.bySession[rec.SessionID] = kept
+	if rec.SessionID == sessionID {
+		return nil
 	}
-	rec.SessionID = sessionID
-	s.bySession[sessionID] = append(s.bySession[sessionID], id)
+	m := &Mutation{Op: OpAssignSession, ID: id, SessionID: sessionID}
+	if err := s.applyLocked(m); err != nil {
+		return err
+	}
+	s.emit(m)
 	return nil
 }
 
-// AddEdge records a session edge between two logged queries.
+// AddEdge records a session edge between two logged queries. An edge that
+// already exists is a no-op: the session detector re-derives the full edge
+// set on every mining pass.
 func (s *Store) AddEdge(edge SessionEdge) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.queries[edge.From]; !ok {
-		return fmt.Errorf("%w: %d", ErrNotFound, edge.From)
+	if _, dup := s.edgeSet[edge]; dup {
+		return nil
 	}
-	if _, ok := s.queries[edge.To]; !ok {
-		return fmt.Errorf("%w: %d", ErrNotFound, edge.To)
+	m := &Mutation{Op: OpAddEdge, Edge: &edge}
+	if err := s.applyLocked(m); err != nil {
+		return err
 	}
-	s.edges = append(s.edges, edge)
+	s.emit(m)
 	return nil
 }
 
@@ -408,79 +426,34 @@ func (s *Store) EdgesFrom(id QueryID) []SessionEdge {
 // MarkInvalid flags a query as invalidated (e.g. by a schema change) with a
 // reason. Used by the Query Maintenance component.
 func (s *Store) MarkInvalid(id QueryID, reason string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.queries[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNotFound, id)
-	}
-	rec.Valid = false
-	rec.InvalidReason = reason
-	return nil
+	return s.mutate(&Mutation{Op: OpMarkInvalid, ID: id, Reason: reason})
 }
 
 // MarkValid clears the invalid flag (after a successful automatic repair).
 func (s *Store) MarkValid(id QueryID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.queries[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNotFound, id)
-	}
-	rec.Valid = true
-	rec.InvalidReason = ""
-	return nil
+	return s.mutate(&Mutation{Op: OpMarkValid, ID: id})
 }
 
 // MarkStatsStale flags the runtime statistics of a query as outdated.
 func (s *Store) MarkStatsStale(id QueryID, stale bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.queries[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNotFound, id)
-	}
-	rec.StatsStale = stale
-	return nil
+	return s.mutate(&Mutation{Op: OpMarkStale, ID: id, Stale: stale})
 }
 
 // UpdateStats replaces a query's runtime statistics (e.g. after the
 // maintenance component re-executes it) and clears the stale flag.
 func (s *Store) UpdateStats(id QueryID, stats RuntimeStats) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.queries[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNotFound, id)
-	}
-	rec.Stats = stats
-	rec.StatsStale = false
-	return nil
+	return s.mutate(&Mutation{Op: OpUpdateStats, ID: id, Stats: &stats})
 }
 
 // SetSample replaces a query's stored output sample, used when the
 // maintenance component re-executes a query to refresh its statistics.
 func (s *Store) SetSample(id QueryID, sample *OutputSample) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.queries[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNotFound, id)
-	}
-	rec.Sample = sample
-	return nil
+	return s.mutate(&Mutation{Op: OpSetSample, ID: id, Sample: sample})
 }
 
 // SetQuality records a quality score for the query (§4.4).
 func (s *Store) SetQuality(id QueryID, score float64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.queries[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNotFound, id)
-	}
-	rec.QualityScore = score
-	return nil
+	return s.mutate(&Mutation{Op: OpSetQuality, ID: id, Score: score})
 }
 
 // ReplaceText rewrites the query text and canonical forms, used by the
@@ -489,23 +462,28 @@ func (s *Store) SetQuality(id QueryID, score float64) error {
 func (s *Store) ReplaceText(id QueryID, updated *QueryRecord) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rec, ok := s.queries[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	rec := updated
+	if s.hook != nil {
+		// The mutation outlives this call in the hook; don't alias the
+		// caller's record there.
+		rec = updated.Clone()
 	}
-	s.removeFromIndexes(rec)
-	rec.Text = updated.Text
-	rec.Canonical = updated.Canonical
-	rec.Template = updated.Template
-	rec.Fingerprint = updated.Fingerprint
-	rec.ExactHash = updated.ExactHash
-	rec.Tables = updated.Tables
-	rec.Attributes = updated.Attributes
-	rec.Predicates = updated.Predicates
-	rec.Aggregates = updated.Aggregates
-	rec.GroupBy = updated.GroupBy
-	rec.Features = updated.Features
-	s.index(rec)
+	m := &Mutation{Op: OpReplaceText, ID: id, Record: rec}
+	if err := s.applyLocked(m); err != nil {
+		return err
+	}
+	s.emit(m)
+	return nil
+}
+
+// mutate applies a mutation under the write lock and emits it on success.
+func (s *Store) mutate(m *Mutation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.applyLocked(m); err != nil {
+		return err
+	}
+	s.emit(m)
 	return nil
 }
 

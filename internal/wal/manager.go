@@ -1,0 +1,299 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Config is the durability section of the CQMS configuration.
+type Config struct {
+	// Dir is the data directory; empty disables durability.
+	Dir string
+	// SyncPolicy is "always", "interval" or "off".
+	SyncPolicy string
+	// SyncInterval is the flush period under the interval policy.
+	SyncInterval time.Duration
+	// SegmentBytes is the segment rotation threshold.
+	SegmentBytes int64
+	// SnapshotEvery is how often the background scheduler snapshots the
+	// store and compacts the log (0 disables scheduled snapshots).
+	SnapshotEvery time.Duration
+}
+
+// DefaultConfig returns the default durability configuration for a data
+// directory (interval fsync, 8 MiB segments, snapshot every 5 minutes).
+func DefaultConfig(dir string) Config {
+	return Config{
+		Dir:           dir,
+		SyncPolicy:    SyncInterval.String(),
+		SyncInterval:  DefaultSyncInterval,
+		SegmentBytes:  DefaultSegmentBytes,
+		SnapshotEvery: 5 * time.Minute,
+	}
+}
+
+// Enabled reports whether the configuration turns durability on.
+func (c Config) Enabled() bool { return c.Dir != "" }
+
+// RecoveryInfo summarises what Open reconstructed from disk.
+type RecoveryInfo struct {
+	// SnapshotSeq is the log sequence the loaded snapshot covered (0 when no
+	// snapshot existed).
+	SnapshotSeq uint64
+	// Replayed is the number of log records applied after the snapshot.
+	Replayed int
+	// TornTail reports that a partially written final record was discarded.
+	TornTail bool
+	// Queries is the store's record count after recovery.
+	Queries int
+}
+
+// Info describes the current durable state for the admin API and cqmsctl
+// (the HTTP layer maps it onto its own wire DTO).
+type Info struct {
+	Dir                  string
+	SyncPolicy           string
+	LastSeq              uint64
+	SnapshotSeq          uint64
+	AppendsSinceSnapshot int64
+	Segments             []SegmentInfo
+	// AppendError reports a broken durability pipeline (failed append or
+	// background flush): mutations after it are acknowledged but not durable.
+	AppendError string
+}
+
+// Manager binds a storage.Store to a segmented log: it recovers the store
+// from disk on Open, appends every subsequent mutation to the log through the
+// store's mutation hook, and writes snapshots that bound recovery time.
+type Manager struct {
+	store *storage.Store
+	log   *Log
+	cfg   Config
+
+	// lastSeq is the sequence of the last appended mutation. It is written
+	// from the mutation hook (under the store's write lock) and read during
+	// snapshots (under the store's read lock), so a snapshot's sequence is
+	// exactly consistent with its contents.
+	lastSeq atomic.Uint64
+	// appendsSinceSnapshot lets the scheduler skip snapshots of an idle store.
+	appendsSinceSnapshot atomic.Int64
+
+	// snapMu serialises snapshot/compaction runs.
+	snapMu      sync.Mutex
+	snapshotSeq atomic.Uint64
+
+	// appendErr records the first log-append failure; surfaced by Err and
+	// Close rather than failing the in-memory mutation that already happened.
+	errMu     sync.Mutex
+	appendErr error
+}
+
+// Open recovers the store from cfg.Dir (newest snapshot + replay of the log
+// tail) and installs the mutation hook so every future mutation is logged.
+// The store must be empty: recovery replaces its contents.
+func Open(store *storage.Store, cfg Config) (*Manager, *RecoveryInfo, error) {
+	policy, err := ParseSyncPolicy(cfg.SyncPolicy)
+	if err != nil {
+		return nil, nil, err
+	}
+	log, err := OpenLog(Options{
+		Dir:          cfg.Dir,
+		Sync:         policy,
+		SyncInterval: cfg.SyncInterval,
+		SegmentBytes: cfg.SegmentBytes,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &RecoveryInfo{TornTail: log.Truncated()}
+
+	snapSeq, payload, ok, err := LatestSnapshot(cfg.Dir)
+	if err != nil {
+		log.Close()
+		return nil, nil, err
+	}
+	if ok {
+		var st storage.StoreState
+		if err := json.Unmarshal(payload, &st); err != nil {
+			log.Close()
+			return nil, nil, fmt.Errorf("wal: decoding snapshot: %w", err)
+		}
+		store.RestoreState(&st)
+		info.SnapshotSeq = snapSeq
+	}
+	// Compaction deletes segments a snapshot covers, so the surviving log must
+	// begin no later than snapSeq+1. A gap means the snapshot that justified
+	// the deletion is unreadable or missing: recovering anyway would silently
+	// serve a store with a hole in it.
+	if segs, err := log.Segments(); err != nil {
+		log.Close()
+		return nil, nil, err
+	} else if len(segs) > 0 && segs[0].FirstSeq > snapSeq+1 {
+		log.Close()
+		return nil, nil, fmt.Errorf(
+			"wal: log begins at sequence %d but the newest readable snapshot covers only %d: snapshot missing or corrupt",
+			segs[0].FirstSeq, snapSeq)
+	}
+	err = log.Replay(snapSeq, func(seq uint64, payload []byte) error {
+		m, err := storage.DecodeMutation(payload)
+		if err != nil {
+			return fmt.Errorf("wal: record %d: %w", seq, err)
+		}
+		if err := store.Apply(m); err != nil {
+			return fmt.Errorf("wal: replaying record %d (%s): %w", seq, m.Op, err)
+		}
+		info.Replayed++
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, nil, err
+	}
+	info.Queries = store.Count()
+
+	// A crash can leave the WAL tail truncated below a durable snapshot; new
+	// appends must not reuse the snapshot-covered sequences.
+	log.EnsureSeqAtLeast(snapSeq)
+	m := &Manager{store: store, log: log, cfg: cfg}
+	m.lastSeq.Store(log.LastSeq())
+	m.snapshotSeq.Store(snapSeq)
+	store.SetMutationHook(m.appendMutation)
+	return m, info, nil
+}
+
+// appendMutation is the store's mutation hook. It runs under the store's
+// write lock, which keeps log order identical to apply order.
+func (m *Manager) appendMutation(mut *storage.Mutation) {
+	payload, err := mut.Encode()
+	if err != nil {
+		m.recordErr(fmt.Errorf("wal: encoding %s mutation: %w", mut.Op, err))
+		return
+	}
+	seq, err := m.log.Append(payload)
+	if seq != 0 {
+		// Even on a failed fsync the record is in the log; snapshots must
+		// cover it or the next recovery would re-apply it.
+		m.lastSeq.Store(seq)
+		m.appendsSinceSnapshot.Add(1)
+	}
+	if err != nil {
+		m.recordErr(err)
+	}
+}
+
+func (m *Manager) recordErr(err error) {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	if m.appendErr == nil {
+		m.appendErr = err
+	}
+}
+
+// Err returns the first append or background-flush failure, if any.
+// Durability is best-effort after such a failure; the in-memory store
+// remains correct.
+func (m *Manager) Err() error {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	if m.appendErr != nil {
+		return m.appendErr
+	}
+	return m.log.Err()
+}
+
+// Snapshot writes a full-store snapshot and returns its path. The snapshot's
+// sequence is captured under the store lock, so it covers exactly the
+// mutations applied before it and recovery replays exactly the ones after.
+func (m *Manager) Snapshot() (string, uint64, error) {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	return m.snapshotLocked()
+}
+
+func (m *Manager) snapshotLocked() (string, uint64, error) {
+	var seq uint64
+	st := m.store.StateWith(func() { seq = m.lastSeq.Load() })
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return "", 0, fmt.Errorf("wal: encoding snapshot: %w", err)
+	}
+	path, err := WriteSnapshot(m.cfg.Dir, seq, payload)
+	if err != nil {
+		return "", 0, err
+	}
+	m.snapshotSeq.Store(seq)
+	m.appendsSinceSnapshot.Store(0)
+	return path, seq, nil
+}
+
+// Compact snapshots the store, deletes the log segments the snapshot covers
+// and prunes older snapshots. It returns the snapshot path and the number of
+// removed segments.
+func (m *Manager) Compact() (string, uint64, int, error) {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	path, seq, err := m.snapshotLocked()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	removed, err := m.log.RemoveSegmentsCoveredBy(seq)
+	if err != nil {
+		return path, seq, removed, err
+	}
+	if _, err := RemoveSnapshotsBefore(m.cfg.Dir, seq); err != nil {
+		return path, seq, removed, err
+	}
+	return path, seq, removed, nil
+}
+
+// MaybeSnapshot snapshots and compacts only if mutations were appended since
+// the last snapshot; the background scheduler calls it periodically.
+func (m *Manager) MaybeSnapshot() error {
+	if m.appendsSinceSnapshot.Load() == 0 {
+		return nil
+	}
+	_, _, _, err := m.Compact()
+	return err
+}
+
+// Sync flushes any buffered log records to stable storage.
+func (m *Manager) Sync() error { return m.log.Sync() }
+
+// Info reports the durable state.
+func (m *Manager) Info() (Info, error) {
+	segs, err := m.log.Segments()
+	if err != nil {
+		return Info{}, err
+	}
+	info := Info{
+		Dir:                  m.cfg.Dir,
+		SyncPolicy:           m.cfg.SyncPolicy,
+		LastSeq:              m.lastSeq.Load(),
+		SnapshotSeq:          m.snapshotSeq.Load(),
+		AppendsSinceSnapshot: m.appendsSinceSnapshot.Load(),
+		Segments:             segs,
+	}
+	if err := m.Err(); err != nil {
+		info.AppendError = err.Error()
+	}
+	return info, nil
+}
+
+// Config returns the durability configuration the manager was opened with.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Close detaches the hook, flushes the log and closes it. It returns the
+// first append error encountered during the manager's lifetime, if any.
+func (m *Manager) Close() error {
+	m.store.SetMutationHook(nil)
+	err := m.log.Close()
+	if aerr := m.Err(); err == nil {
+		err = aerr
+	}
+	return err
+}

@@ -1,0 +1,143 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A snapshot file holds one CRC-framed record (the same framing as log
+// records) whose sequence is the last log sequence the snapshot covers and
+// whose payload is the serialised store state. Snapshots are written to a
+// temporary file and renamed into place so a crash mid-snapshot leaves the
+// previous snapshot intact.
+
+func snapshotName(seq uint64) string {
+	return seqFileName(snapshotPrefix, seq, snapshotSuffix)
+}
+
+func parseSnapshotName(name string) (uint64, bool) {
+	return parseSeqFileName(name, snapshotPrefix, snapshotSuffix)
+}
+
+// WriteSnapshot durably writes a snapshot covering all log records with
+// sequence <= seq and returns its path.
+func WriteSnapshot(dir string, seq uint64, payload []byte) (string, error) {
+	path := filepath.Join(dir, snapshotName(seq))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	_, werr := f.Write(encodeFrame(seq, payload))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("wal: writing snapshot: %w", werr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	syncDir(dir)
+	return path, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// LatestSnapshot loads the newest readable snapshot in dir. It returns
+// ok=false when no usable snapshot exists; a snapshot that fails its CRC
+// check is skipped in favour of the next older one.
+func LatestSnapshot(dir string) (seq uint64, payload []byte, ok bool, err error) {
+	names, err := listSnapshots(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil, false, nil
+		}
+		return 0, nil, false, err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		seq, payload, err := readSnapshot(filepath.Join(dir, names[i]))
+		if err == nil {
+			return seq, payload, true, nil
+		}
+	}
+	return 0, nil, false, nil
+}
+
+func readSnapshot(path string) (uint64, []byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	seq, payload, _, err := readFrame(r)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: reading snapshot %s: %w", filepath.Base(path), err)
+	}
+	// Anything after the single frame means the file is damaged.
+	if _, err := r.ReadByte(); err != io.EOF {
+		return 0, nil, fmt.Errorf("wal: reading snapshot %s: trailing bytes", filepath.Base(path))
+	}
+	return seq, payload, nil
+}
+
+// RemoveSnapshotsBefore deletes snapshots older than seq, returning how many
+// were removed.
+func RemoveSnapshotsBefore(dir string, seq uint64) (int, error) {
+	names, err := listSnapshots(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, name := range names {
+		s, _ := parseSnapshotName(name)
+		if s >= seq {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return removed, fmt.Errorf("wal: pruning snapshots: %w", err)
+		}
+		removed++
+	}
+	return removed, nil
+}
+
+// listSnapshots returns snapshot file names sorted by ascending sequence.
+func listSnapshots(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := parseSnapshotName(e.Name()); ok {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, _ := parseSnapshotName(out[i])
+		b, _ := parseSnapshotName(out[j])
+		return a < b
+	})
+	return out, nil
+}

@@ -1,0 +1,579 @@
+// Package wal implements durable persistence for the CQMS query log: a
+// segmented append-only write-ahead log of storage mutations plus periodic
+// full-store snapshots. The paper treats the query log as a long-lived,
+// community-owned asset that "grows over time"; this package is what lets it
+// survive a process crash or restart without losing a single logged query.
+//
+// Layout of a data directory:
+//
+//	wal-00000000000000000001.seg   log segment, named by its first sequence
+//	wal-00000000000000004096.seg
+//	snapshot-00000000000003000.snap  full store state as of sequence 3000
+//
+// Every log record is framed as
+//
+//	uint32 payload length | uint32 CRC32(seq,payload) | uint64 seq | payload
+//
+// (little-endian). On open, a torn tail — a partially written final record
+// left by a crash — is detected by the length/CRC check and truncated, so
+// recovery always resumes from the last fully durable record. Recovery loads
+// the newest valid snapshot and replays only the log records with sequence
+// numbers beyond it; compaction deletes segments and snapshots made obsolete
+// by a newer snapshot.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy controls when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+// Sync policies.
+const (
+	// SyncInterval fsyncs from a background flusher every Options.SyncInterval.
+	// A crash can lose at most the last interval of appends.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every append. No acknowledged record is ever
+	// lost, at the cost of one fsync per mutation.
+	SyncAlways
+	// SyncOff never fsyncs explicitly; the OS flushes on its own schedule.
+	SyncOff
+)
+
+// String returns the configuration spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncOff:
+		return "off"
+	default:
+		return "interval"
+	}
+}
+
+// ParseSyncPolicy parses "always", "interval" or "off".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return SyncAlways, nil
+	case "interval", "":
+		return SyncInterval, nil
+	case "off", "never":
+		return SyncOff, nil
+	default:
+		return SyncInterval, fmt.Errorf("wal: unknown sync policy %q (want always, interval or off)", s)
+	}
+}
+
+// Defaults for Options.
+const (
+	DefaultSegmentBytes = 8 << 20 // rotate segments at 8 MiB
+	DefaultSyncInterval = 200 * time.Millisecond
+)
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the data directory holding segments and snapshots.
+	Dir string
+	// Sync is the fsync policy for appends.
+	Sync SyncPolicy
+	// SyncInterval is the background flush period under SyncInterval.
+	SyncInterval time.Duration
+	// SegmentBytes is the size threshold at which the active segment is
+	// rotated.
+	SegmentBytes int64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.SegmentBytes <= 0 {
+		out.SegmentBytes = DefaultSegmentBytes
+	}
+	if out.SyncInterval <= 0 {
+		out.SyncInterval = DefaultSyncInterval
+	}
+	return out
+}
+
+// SegmentInfo describes one on-disk log segment.
+type SegmentInfo struct {
+	Name     string
+	FirstSeq uint64
+	Bytes    int64
+}
+
+// Log is a segmented append-only record log. It is safe for concurrent use.
+type Log struct {
+	mu        sync.Mutex
+	dir       string
+	opts      Options
+	file      *os.File // active segment
+	segStart  uint64   // first sequence of the active segment
+	segBytes  int64
+	lastSeq   uint64 // last appended sequence (0 when the log is empty)
+	dirty     bool   // writes not yet fsynced
+	truncated bool   // a torn tail was cut during open
+	closed    bool
+	bgErr     error // first background-flush failure
+
+	stopFlush chan struct{}
+	flushDone chan struct{}
+}
+
+const (
+	segmentPrefix  = "wal-"
+	segmentSuffix  = ".seg"
+	snapshotPrefix = "snapshot-"
+	snapshotSuffix = ".snap"
+	headerBytes    = 16 // uint32 len + uint32 crc + uint64 seq
+	// maxPayloadBytes bounds a single record so a corrupt length field cannot
+	// trigger a giant allocation during recovery.
+	maxPayloadBytes = 256 << 20
+)
+
+// errTorn marks a partial or corrupt record at the end of a segment.
+var errTorn = errors.New("wal: torn record")
+
+// seqFileName and parseSeqFileName implement the shared <prefix><seq 20
+// digits><suffix> naming of segments and snapshots.
+func seqFileName(prefix string, seq uint64, suffix string) string {
+	return fmt.Sprintf("%s%020d%s", prefix, seq, suffix)
+}
+
+func parseSeqFileName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	var seq uint64
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	if _, err := fmt.Sscanf(digits, "%d", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+func segmentName(firstSeq uint64) string {
+	return seqFileName(segmentPrefix, firstSeq, segmentSuffix)
+}
+
+func parseSegmentName(name string) (uint64, bool) {
+	return parseSeqFileName(name, segmentPrefix, segmentSuffix)
+}
+
+// OpenLog opens (or creates) the segmented log in opts.Dir, truncating any
+// torn tail left in the newest segment by a crash.
+func OpenLog(opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("wal: open: empty directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	l := &Log{dir: opts.Dir, opts: opts}
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := l.openSegment(1); err != nil {
+			return nil, err
+		}
+	} else {
+		last := segs[len(segs)-1]
+		path := filepath.Join(opts.Dir, last.Name)
+		validBytes, lastSeq, torn, err := scanSegment(path)
+		if err != nil {
+			return nil, err
+		}
+		if torn {
+			if err := os.Truncate(path, validBytes); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", last.Name, err)
+			}
+			l.truncated = true
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open: %w", err)
+		}
+		l.file = f
+		l.segStart = last.FirstSeq
+		l.segBytes = validBytes
+		if lastSeq > 0 {
+			l.lastSeq = lastSeq
+		} else {
+			// The newest segment holds no valid records: the log ends just
+			// before the sequence the segment was named for.
+			l.lastSeq = last.FirstSeq - 1
+		}
+	}
+	if opts.Sync == SyncInterval {
+		l.stopFlush = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+func (l *Log) openSegment(firstSeq uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(firstSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	// Persist the directory entry: without this a crash could lose the whole
+	// segment file even though its records were fsynced.
+	syncDir(l.dir)
+	l.file = f
+	l.segStart = firstSeq
+	l.segBytes = 0
+	return nil
+}
+
+func (l *Log) flushLoop() {
+	defer close(l.flushDone)
+	ticker := time.NewTicker(l.opts.SyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stopFlush:
+			return
+		case <-ticker.C:
+			if err := l.Sync(); err != nil {
+				l.mu.Lock()
+				if l.bgErr == nil {
+					l.bgErr = err
+				}
+				l.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Err returns the first background-flush failure, if any. Appends under the
+// interval policy are acknowledged before they reach disk, so a failing
+// flusher must be surfaced out of band.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bgErr
+}
+
+// Append writes one record and returns its sequence number. Under SyncAlways
+// the record is on stable storage when Append returns.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: append on closed log")
+	}
+	seq := l.lastSeq + 1
+	frame := encodeFrame(seq, payload)
+	if l.segBytes > 0 && l.segBytes+int64(len(frame)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(seq); err != nil {
+			return 0, err
+		}
+	}
+	if n, err := l.file.Write(frame); err != nil {
+		if n > 0 {
+			// Cut the partial frame so later appends are not stranded behind
+			// garbage that recovery would truncate away together with them.
+			if terr := l.file.Truncate(l.segBytes); terr != nil {
+				l.closed = true // unrecoverable: refuse further appends
+			}
+		}
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.segBytes += int64(len(frame))
+	l.lastSeq = seq
+	l.dirty = true
+	if l.opts.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			// The record is in the log (it survives if the OS flushes before a
+			// crash), just not yet durable: report the sequence with the error
+			// so bookkeeping — snapshot sequences above all — never
+			// undercounts applied state.
+			return seq, err
+		}
+	}
+	return seq, nil
+}
+
+// rotateLocked closes the active segment (fsyncing it so older segments can
+// never hold torn tails) and starts a new one whose first record will be seq.
+func (l *Log) rotateLocked(seq uint64) error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.file.Close(); err != nil {
+		return fmt.Errorf("wal: rotating segment: %w", err)
+	}
+	return l.openSegment(seq)
+}
+
+// Sync flushes buffered appends to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.file.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+// Close flushes and closes the log. The log cannot be used afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	err := l.syncLocked()
+	if cerr := l.file.Close(); err == nil {
+		err = cerr
+	}
+	stop := l.stopFlush
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.flushDone
+	}
+	return err
+}
+
+// LastSeq returns the sequence of the most recently appended record.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// EnsureSeqAtLeast advances the next-append sequence past seq. Recovery calls
+// this with the loaded snapshot's sequence: a crash can truncate the WAL tail
+// below a durable snapshot, and without the bump new appends would reuse
+// sequences the snapshot already covers — records the next recovery would
+// then silently skip.
+func (l *Log) EnsureSeqAtLeast(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.lastSeq {
+		l.lastSeq = seq
+	}
+}
+
+// Truncated reports whether a torn tail was cut when the log was opened.
+func (l *Log) Truncated() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated
+}
+
+// Dir returns the data directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Segments lists the on-disk segments in sequence order.
+func (l *Log) Segments() ([]SegmentInfo, error) {
+	return listSegments(l.dir)
+}
+
+// Replay streams every record with sequence > after, in order, to fn. A torn
+// tail in the newest segment ends the replay cleanly; corruption anywhere
+// else is an error, as is an error returned by fn.
+func (l *Log) Replay(after uint64, fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for i, seg := range segs {
+		if i+1 < len(segs) && segs[i+1].FirstSeq-1 <= after {
+			continue // every record here is covered by the snapshot
+		}
+		isNewest := i == len(segs)-1
+		err := readSegment(filepath.Join(l.dir, seg.Name), func(seq uint64, payload []byte) error {
+			if seq <= after {
+				return nil
+			}
+			return fn(seq, payload)
+		})
+		if errors.Is(err, errTorn) {
+			if isNewest {
+				return nil
+			}
+			return fmt.Errorf("wal: segment %s: %w", seg.Name, err)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveSegmentsCoveredBy deletes every segment whose records all have
+// sequence <= seq; the active (newest) segment is always kept. It returns the
+// number of segments removed.
+func (l *Log) RemoveSegmentsCoveredBy(seq uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i := 0; i+1 < len(segs); i++ {
+		lastOfSeg := segs[i+1].FirstSeq - 1
+		if lastOfSeg > seq {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segs[i].Name)); err != nil {
+			return removed, fmt.Errorf("wal: compacting: %w", err)
+		}
+		removed++
+	}
+	return removed, nil
+}
+
+// ---------------------------------------------------------------------------
+// Record framing
+// ---------------------------------------------------------------------------
+
+func encodeFrame(seq uint64, payload []byte) []byte {
+	frame := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(frame[8:16], seq)
+	copy(frame[headerBytes:], payload)
+	crc := crc32.NewIEEE()
+	crc.Write(frame[8:])
+	binary.LittleEndian.PutUint32(frame[4:8], crc.Sum32())
+	return frame
+}
+
+// readFrame reads one record. It returns errTorn for a partial or corrupt
+// record and io.EOF at a clean end of segment.
+func readFrame(r *bufio.Reader) (seq uint64, payload []byte, frameLen int64, err error) {
+	header := make([]byte, headerBytes)
+	if _, err := io.ReadFull(r, header); err != nil {
+		if err == io.EOF {
+			return 0, nil, 0, io.EOF
+		}
+		return 0, nil, 0, errTorn // partial header
+	}
+	n := binary.LittleEndian.Uint32(header[0:4])
+	if n > maxPayloadBytes {
+		return 0, nil, 0, errTorn
+	}
+	wantCRC := binary.LittleEndian.Uint32(header[4:8])
+	seq = binary.LittleEndian.Uint64(header[8:16])
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, errTorn // partial payload
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(header[8:16])
+	crc.Write(payload)
+	if crc.Sum32() != wantCRC {
+		return 0, nil, 0, errTorn
+	}
+	return seq, payload, headerBytes + int64(n), nil
+}
+
+// readSegment streams every valid record of one segment file to fn and
+// returns errTorn if the segment ends in a partial or corrupt record.
+func readSegment(path string, fn func(seq uint64, payload []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: reading segment: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		seq, payload, _, err := readFrame(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(seq, payload); err != nil {
+			return err
+		}
+	}
+}
+
+// scanSegment walks a segment validating records. It returns the byte offset
+// of the end of the last valid record, the highest valid sequence, and
+// whether the segment ends in a torn record.
+func scanSegment(path string) (validBytes int64, lastSeq uint64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("wal: scanning segment: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		seq, _, frameLen, err := readFrame(r)
+		if err == io.EOF {
+			return validBytes, lastSeq, false, nil
+		}
+		if errors.Is(err, errTorn) {
+			return validBytes, lastSeq, true, nil
+		}
+		if err != nil {
+			return validBytes, lastSeq, false, err
+		}
+		validBytes += frameLen
+		lastSeq = seq
+	}
+}
+
+func listSegments(dir string) ([]SegmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	var out []SegmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		firstSeq, ok := parseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+		}
+		out = append(out, SegmentInfo{Name: e.Name(), FirstSeq: firstSeq, Bytes: info.Size()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstSeq < out[j].FirstSeq })
+	return out, nil
+}
