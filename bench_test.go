@@ -71,7 +71,7 @@ func benchFixture(b *testing.B) *fixture {
 			store:   sys.Store(),
 			trace:   trace,
 			mining:  mining,
-			records: sys.Store().All(Admin),
+			records: sys.Store().Snapshot().Records(Admin),
 		}
 	})
 	return shared
@@ -521,6 +521,123 @@ func BenchmarkFullMiningPass(b *testing.B) {
 		if res.TransactionCount == 0 {
 			b.Fatal("mined nothing")
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Storage concurrency — the sharded store's scaling claims
+// ---------------------------------------------------------------------------
+
+// runConcurrent splits b.N iterations across g goroutines and waits for all
+// of them, so ns/op reflects wall-clock time per operation under g-way
+// concurrency: if read throughput scales with cores, ns/op drops as g grows
+// instead of staying flat.
+func runConcurrent(b *testing.B, g int, fn func()) {
+	b.Helper()
+	var wg sync.WaitGroup
+	per := b.N / g
+	extra := b.N % g
+	for w := 0; w < g; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				fn()
+			}
+		}(n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkConcurrentMetaQuery measures keyword meta-query throughput over
+// the full log at increasing goroutine counts. With the sharded, zero-clone
+// snapshot store the per-query cost should fall as goroutines are added;
+// under the old single-mutex deep-clone store it stayed flat (every reader
+// serialised on the same lock while copying every record).
+func BenchmarkConcurrentMetaQuery(b *testing.B) {
+	f := benchFixture(b)
+	exec := metaquery.New(f.store)
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			runConcurrent(b, g, func() {
+				if matches := exec.Keyword(Admin, "salinity"); len(matches) == 0 {
+					b.Error("no matches")
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkConcurrentSnapshotScan isolates the storage layer: a full
+// access-controlled scan of the log per operation, no similarity scoring on
+// top.
+func BenchmarkConcurrentSnapshotScan(b *testing.B) {
+	f := benchFixture(b)
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			runConcurrent(b, g, func() {
+				n := 0
+				f.store.Snapshot().Scan(Admin, func(*storage.QueryRecord) bool {
+					n++
+					return true
+				})
+				if n == 0 {
+					b.Error("empty scan")
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkPutUnderReadLoad measures write latency while 1/4/8 reader
+// goroutines continuously scan the store — the paper's concurrent workload of
+// background mining and interactive meta-querying running against live
+// profiler traffic.
+func BenchmarkPutUnderReadLoad(b *testing.B) {
+	f := benchFixture(b)
+	for _, readers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			store := storage.NewStore()
+			for _, rec := range f.records {
+				store.Put(rec.Clone())
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						store.Snapshot().Scan(Admin, func(*storage.QueryRecord) bool { return true })
+					}
+				}()
+			}
+			recs := walBenchRecords(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				store.Put(recs[i%len(recs)].Clone())
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
 	}
 }
 

@@ -82,7 +82,7 @@ func main() {
 
 	// 4. Quality scores let the administrator (and the recommender) prefer
 	//    well-documented, efficient queries.
-	records := sys.Store().All(admin)
+	records := sys.Store().Snapshot().Records(admin)
 	sort.Slice(records, func(i, j int) bool { return records[i].QualityScore > records[j].QualityScore })
 	fmt.Println("\nhighest-quality logged queries:")
 	for i, rec := range records {

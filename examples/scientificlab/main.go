@@ -94,11 +94,12 @@ func main() {
 	// 4. Access control: the astronomy group's queries stay invisible to the
 	//    limnology newcomer, and vice versa.
 	astroQueries := 0
-	for _, rec := range sys.Store().All(cqms.Admin) {
+	sys.Store().Snapshot().Scan(cqms.Admin, func(rec *cqms.QueryRecord) bool {
 		if rec.Group == "astro" {
 			astroQueries++
 		}
-	}
+		return true
+	})
 	visibleAstro := 0
 	for _, m := range sys.Search(newcomer, "Stars") {
 		if m.Record.Group == "astro" {

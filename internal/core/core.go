@@ -228,9 +228,16 @@ func (c *CQMS) SimilarTo(p storage.Principal, queryText string, k int) ([]metaqu
 	return c.executor.KNN(p, queryText, k)
 }
 
-// History returns the visible queries of one user in temporal order.
+// History returns the visible queries of one user in temporal order. The
+// records are the store's shared immutable versions and must be treated as
+// read-only.
 func (c *CQMS) History(p storage.Principal, user string) []*storage.QueryRecord {
-	return c.store.ByUser(user, p)
+	var out []*storage.QueryRecord
+	c.store.Snapshot().ScanByUser(user, p, func(rec *storage.QueryRecord) bool {
+		out = append(out, rec)
+		return true
+	})
+	return out
 }
 
 // Sessions returns summaries of the sessions detected in the last mining

@@ -136,7 +136,7 @@ func E1QueryByFeature(env *Env) (Result, error) {
 	store := env.Sys.Store()
 	// Ground truth: logged queries whose FROM references both relations.
 	truth := make(map[storage.QueryID]bool)
-	for _, rec := range store.All(admin) {
+	store.Snapshot().Scan(admin, func(rec *storage.QueryRecord) bool {
 		hasSal, hasTemp := false, false
 		for _, t := range rec.Tables {
 			if t == "WaterSalinity" {
@@ -149,7 +149,8 @@ func E1QueryByFeature(env *Env) (Result, error) {
 		if hasSal && hasTemp {
 			truth[rec.ID] = true
 		}
-	}
+		return true
+	})
 	meta := `SELECT Q.qid, Q.qText FROM Queries Q, DataSources D1, DataSources D2
 		WHERE Q.qid = D1.qid AND Q.qid = D2.qid
 		AND D1.relName = 'WaterSalinity' AND D2.relName = 'WaterTemp'`
@@ -205,7 +206,7 @@ func E1QueryByFeature(env *Env) (Result, error) {
 // E2SessionDetection measures how well the session detector recovers the
 // generator's ground-truth session boundaries.
 func E2SessionDetection(env *Env) (Result, error) {
-	records := env.Sys.Store().All(admin)
+	records := env.Sys.Store().Snapshot().Records(admin)
 	start := time.Now()
 	detected := session.NewDetector(session.DefaultConfig()).Detect(records, 0)
 	latency := time.Since(start)
@@ -253,7 +254,7 @@ func E2SessionDetection(env *Env) (Result, error) {
 // similar-query retrieval by topic.
 func E3AssistedInteraction(env *Env) (Result, error) {
 	store := env.Sys.Store()
-	records := store.All(admin)
+	records := store.Snapshot().Records(admin)
 
 	exec := metaquery.New(store)
 	contextCfg := recommend.DefaultConfig()
@@ -533,7 +534,7 @@ func E5OutputSampling(env *Env) (Result, error) {
 // E6AssociationMining compares batch Apriori against the incremental miner on
 // runtime and on whether the headline context rule survives.
 func E6AssociationMining(env *Env) (Result, error) {
-	records := env.Sys.Store().All(admin)
+	records := env.Sys.Store().Snapshot().Records(admin)
 	transactions := make([][]string, 0, len(records))
 	for _, r := range records {
 		transactions = append(transactions, r.Features)
@@ -587,7 +588,7 @@ func E6AssociationMining(env *Env) (Result, error) {
 // E7Clustering clusters the log with each similarity measure and scores the
 // clusters against the ground-truth topics.
 func E7Clustering(env *Env) (Result, error) {
-	records := env.Sys.Store().All(admin)
+	records := env.Sys.Store().Snapshot().Records(admin)
 	if len(records) > 400 {
 		records = records[:400]
 	}

@@ -90,7 +90,7 @@ func (m *Maintainer) Scan() (*Report, error) {
 	start := time.Now()
 	report := &Report{}
 	admin := storage.Principal{Admin: true}
-	records := m.store.All(admin)
+	records := m.store.Snapshot().Records(admin)
 	report.Checked = len(records)
 
 	schemas := m.eng.Catalog().Schemas()

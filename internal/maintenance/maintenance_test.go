@@ -59,7 +59,7 @@ func TestScanAllValid(t *testing.T) {
 		t.Errorf("quality scored = %d, want 4", report.QualityScored)
 	}
 	// Quality scores persisted.
-	for _, rec := range store.All(admin) {
+	for _, rec := range store.Snapshot().Records(admin) {
 		if rec.QualityScore <= 0 {
 			t.Errorf("query %d has no quality score", rec.ID)
 		}
@@ -125,7 +125,7 @@ func TestScanRepairsRenamedColumn(t *testing.T) {
 			t.Errorf("repaired query does not execute: %v", err)
 		}
 	}
-	for _, rec := range store.All(admin) {
+	for _, rec := range store.Snapshot().Records(admin) {
 		if !rec.Valid {
 			t.Errorf("query %d should be valid after repair", rec.ID)
 		}
@@ -228,7 +228,7 @@ func TestStaleStatsFlaggingAndRefresh(t *testing.T) {
 		t.Fatalf("no stats refreshed")
 	}
 	// The refreshed statistics reflect the new data.
-	for _, rec := range store.All(admin) {
+	for _, rec := range store.Snapshot().Records(admin) {
 		if rec.Tables[0] == "WaterTemp" && len(rec.Tables) == 1 && strings.Contains(rec.Text, "ORDER BY") {
 			if rec.Stats.ResultRows != 12 {
 				t.Errorf("refreshed cardinality = %d, want 12", rec.Stats.ResultRows)

@@ -31,7 +31,9 @@ import (
 var ErrNoQIDColumn = errors.New("metaquery: meta-query result has no qid column")
 
 // Match is one meta-query result: a stored query, a relevance score in
-// [0, 1] and a short explanation of why it matched.
+// [0, 1] and a short explanation of why it matched. The record is the
+// store's shared immutable version and must be treated as read-only; use
+// Record.Clone for an owned copy.
 type Match struct {
 	Record *storage.QueryRecord
 	Score  float64
@@ -69,14 +71,17 @@ func (x *Executor) Keyword(p storage.Principal, keywords ...string) []Match {
 		lowered[i] = strings.ToLower(k)
 	}
 	var out []Match
-	for _, rec := range x.store.All(p) {
-		text := strings.ToLower(rec.Text)
-		var annText strings.Builder
-		for _, a := range rec.Annotations {
-			annText.WriteString(strings.ToLower(a.Text))
-			annText.WriteString(" ")
+	x.store.Snapshot().Scan(p, func(rec *storage.QueryRecord) bool {
+		text := rec.LowerText()
+		var ann string
+		if len(rec.Annotations) > 0 {
+			var annText strings.Builder
+			for _, a := range rec.Annotations {
+				annText.WriteString(strings.ToLower(a.Text))
+				annText.WriteString(" ")
+			}
+			ann = annText.String()
 		}
-		ann := annText.String()
 		matched := 0
 		annotationHits := 0
 		for _, k := range lowered {
@@ -90,11 +95,12 @@ func (x *Executor) Keyword(p storage.Principal, keywords ...string) []Match {
 			}
 		}
 		if matched != len(lowered) {
-			continue
+			return true
 		}
 		score := 0.8 + 0.2*float64(annotationHits)/float64(len(lowered))
 		out = append(out, Match{Record: rec, Score: score, Why: "keywords: " + strings.Join(keywords, ", ")})
-	}
+		return true
+	})
 	sortMatches(out)
 	return out
 }
@@ -104,12 +110,13 @@ func (x *Executor) Keyword(p storage.Principal, keywords ...string) []Match {
 func (x *Executor) Substring(p storage.Principal, substr string) []Match {
 	needle := strings.ToLower(substr)
 	var out []Match
-	for _, rec := range x.store.All(p) {
-		if strings.Contains(strings.ToLower(rec.Canonical), needle) ||
-			strings.Contains(strings.ToLower(rec.Text), needle) {
+	x.store.Snapshot().Scan(p, func(rec *storage.QueryRecord) bool {
+		if strings.Contains(rec.LowerCanonical(), needle) ||
+			strings.Contains(rec.LowerText(), needle) {
 			out = append(out, Match{Record: rec, Score: 1, Why: "substring: " + substr})
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -142,6 +149,7 @@ func (x *Executor) SQLMetaQuery(p storage.Principal, metaSQL string) (*engine.Re
 	}
 	seen := make(map[storage.QueryID]bool)
 	var matches []Match
+	view := x.store.Snapshot()
 	for _, row := range res.Rows {
 		v := row[qidCol]
 		if v.Type != engine.TypeInt {
@@ -152,7 +160,7 @@ func (x *Executor) SQLMetaQuery(p storage.Principal, metaSQL string) (*engine.Re
 			continue
 		}
 		seen[id] = true
-		rec, err := x.store.Get(id, p)
+		rec, err := view.Get(id, p)
 		if err != nil {
 			continue
 		}
@@ -304,12 +312,13 @@ type StructuralCondition struct {
 // ByStructure returns the visible queries satisfying every condition.
 func (x *Executor) ByStructure(p storage.Principal, cond StructuralCondition) []Match {
 	var out []Match
-	for _, rec := range x.store.All(p) {
+	x.store.Snapshot().Scan(p, func(rec *storage.QueryRecord) bool {
 		why, ok := matchStructure(rec, cond)
 		if ok {
 			out = append(out, Match{Record: rec, Score: 1, Why: why})
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -431,32 +440,24 @@ func matchStructure(rec *storage.QueryRecord, cond StructuralCondition) (string,
 // examples. Queries without output samples never match.
 func (x *Executor) ByData(p storage.Principal, include, exclude []string) []Match {
 	var out []Match
-	for _, rec := range x.store.All(p) {
+	x.store.Snapshot().Scan(p, func(rec *storage.QueryRecord) bool {
 		if rec.Sample == nil {
-			continue
+			return true
 		}
-		ok := true
 		for _, want := range include {
 			if !sampleContains(rec.Sample, want) {
-				ok = false
-				break
+				return true
 			}
-		}
-		if !ok {
-			continue
 		}
 		for _, not := range exclude {
 			if sampleContains(rec.Sample, not) {
-				ok = false
-				break
+				return true
 			}
-		}
-		if !ok {
-			continue
 		}
 		why := fmt.Sprintf("output includes %v, excludes %v", include, exclude)
 		out = append(out, Match{Record: rec, Score: 1, Why: why})
-	}
+		return true
+	})
 	return out
 }
 
@@ -495,16 +496,17 @@ func (x *Executor) KNNExcluding(p storage.Principal, probe *storage.QueryRecord,
 
 func (x *Executor) knnRecord(p storage.Principal, probe *storage.QueryRecord, k int, exclude storage.QueryID) []Match {
 	var out []Match
-	for _, rec := range x.store.All(p) {
+	x.store.Snapshot().Scan(p, func(rec *storage.QueryRecord) bool {
 		if rec.ID == exclude {
-			continue
+			return true
 		}
 		score := miner.CompositeSimilarity(x.weights, probe, rec)
 		if score <= 0 {
-			continue
+			return true
 		}
 		out = append(out, Match{Record: rec, Score: score, Why: "similar query"})
-	}
+		return true
+	})
 	sortMatches(out)
 	if k > 0 && len(out) > k {
 		out = out[:k]

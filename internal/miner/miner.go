@@ -81,7 +81,7 @@ func New(cfg Config) *Miner {
 // Run performs a full mining pass over every query in the store (admin view):
 // association rules, clustering, edit patterns and popularity counts.
 func (m *Miner) Run(store *storage.Store) *Result {
-	records := store.All(storage.Principal{Admin: true})
+	records := store.Snapshot().Records(storage.Principal{Admin: true})
 	res := &Result{TransactionCount: len(records)}
 
 	// Association rules over feature transactions.

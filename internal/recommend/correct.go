@@ -111,6 +111,7 @@ func (r *Recommender) EmptyResultSuggestions(p storage.Principal, querySQL strin
 		count int
 	}
 	var out []Correction
+	view := r.store.Snapshot()
 	for _, pred := range analysis.Predicates {
 		if pred.IsJoin {
 			continue
@@ -120,13 +121,9 @@ func (r *Recommender) EmptyResultSuggestions(p storage.Principal, querySQL strin
 			original = pred.Table + "." + original
 		}
 		counts := make(map[string]int)
-		records := r.store.All(p)
-		if pred.Table != "" {
-			records = r.store.ByTable(pred.Table, p)
-		}
-		for _, rec := range records {
+		collect := func(rec *storage.QueryRecord) bool {
 			if rec.Stats.ResultRows == 0 {
-				continue
+				return true
 			}
 			for _, pr := range rec.Predicates {
 				if pr.IsJoin || !strings.EqualFold(pr.Attr, pred.Column) {
@@ -145,6 +142,12 @@ func (r *Recommender) EmptyResultSuggestions(p storage.Principal, querySQL strin
 				}
 				counts[text]++
 			}
+			return true
+		}
+		if pred.Table != "" {
+			view.ScanByTable(pred.Table, p, collect)
+		} else {
+			view.Scan(p, collect)
 		}
 		var cands []candidate
 		for text, c := range counts {

@@ -331,8 +331,9 @@ func (r *Recommender) SuggestColumns(p storage.Principal, partialSQL string, k i
 	}
 
 	counts := make(map[string]int)
+	view := r.store.Snapshot()
 	for _, t := range ctx.tables {
-		for _, rec := range r.store.ByTable(t, p) {
+		view.ScanByTable(t, p, func(rec *storage.QueryRecord) bool {
 			for _, attr := range rec.Attributes {
 				if attr.Rel != "" && !tables[strings.ToLower(attr.Rel)] {
 					continue
@@ -343,7 +344,8 @@ func (r *Recommender) SuggestColumns(p storage.Principal, partialSQL string, k i
 				}
 				counts[name]++
 			}
-		}
+			return true
+		})
 	}
 	var out []Completion
 	maxCount := 1
@@ -407,8 +409,9 @@ func (r *Recommender) SuggestPredicates(p storage.Principal, partialSQL string, 
 	// Count concrete predicates (with constants) so the suggestion is
 	// immediately usable, as in Figure 3's drop-down.
 	counts := make(map[string]int)
+	view := r.store.Snapshot()
 	for _, t := range ctx.tables {
-		for _, rec := range r.store.ByTable(t, p) {
+		view.ScanByTable(t, p, func(rec *storage.QueryRecord) bool {
 			for _, pr := range rec.Predicates {
 				if pr.IsJoin {
 					continue
@@ -423,7 +426,8 @@ func (r *Recommender) SuggestPredicates(p storage.Principal, partialSQL string, 
 				text := col + " " + pr.Op + " " + pr.Const
 				counts[text]++
 			}
-		}
+			return true
+		})
 	}
 	existing := r.existingPredicates(partialSQL)
 	var out []Completion
@@ -485,8 +489,9 @@ func (r *Recommender) SuggestJoins(p storage.Principal, partialSQL string, k int
 		tables[strings.ToLower(t)] = true
 	}
 	counts := make(map[string]int)
+	view := r.store.Snapshot()
 	for _, t := range ctx.tables {
-		for _, rec := range r.store.ByTable(t, p) {
+		view.ScanByTable(t, p, func(rec *storage.QueryRecord) bool {
 			for _, pr := range rec.Predicates {
 				if !pr.IsJoin {
 					continue
@@ -497,7 +502,8 @@ func (r *Recommender) SuggestJoins(p storage.Principal, partialSQL string, k int
 				text := pr.Rel + "." + pr.Attr + " " + pr.Op + " " + pr.RightRel + "." + pr.RightAttr
 				counts[canonicalJoinText(text, pr)]++
 			}
-		}
+			return true
+		})
 	}
 	var out []Completion
 	maxCount := 1

@@ -47,7 +47,7 @@ func fixture(t testing.TB) (*Recommender, *storage.Store) {
 	put("SELECT AVG(temp) FROM WaterTemp GROUP BY lake", 3)
 
 	// Annotate one correlation query (shows up in the Figure 3 pane).
-	ids := store.All(admin)
+	ids := store.Snapshot().Records(admin)
 	for _, rec := range ids {
 		if strings.Contains(rec.Text, "WaterSalinity.loc_x = WaterTemp.loc_x") {
 			if err := store.Annotate(rec.ID, storage.Principal{User: "alice"}, storage.Annotation{

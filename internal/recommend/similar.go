@@ -31,9 +31,10 @@ func (r *Recommender) SimilarQueries(p storage.Principal, querySQL string, k int
 
 	mined := r.miningSnapshot()
 	popByFingerprint := make(map[uint64]int)
-	for _, rec := range r.store.All(p) {
+	r.store.Snapshot().Scan(p, func(rec *storage.QueryRecord) bool {
 		popByFingerprint[rec.Fingerprint]++
-	}
+		return true
+	})
 	maxPop := 1
 	for _, c := range popByFingerprint {
 		if c > maxPop {
@@ -126,10 +127,15 @@ func (r *Recommender) Tutorial(p storage.Principal, queriesPerTable int) []Tutor
 	}
 	mined := r.miningSnapshot()
 	schemas := r.schemaSnapshot()
+	view := r.store.Snapshot()
 	var steps []TutorialStep
 	for _, pop := range mined.TablePopularity {
 		table := pop.Item
-		records := r.store.ByTable(table, p)
+		var records []*storage.QueryRecord
+		view.ScanByTable(table, p, func(rec *storage.QueryRecord) bool {
+			records = append(records, rec)
+			return true
+		})
 		if len(records) == 0 {
 			continue
 		}

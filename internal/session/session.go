@@ -126,7 +126,7 @@ func (d *Detector) Detect(records []*storage.QueryRecord, startID int64) []Sessi
 // assigned session IDs and edges back into the store and returns the detected
 // sessions. It is invoked by the Query Miner's background pass.
 func (d *Detector) Apply(store *storage.Store) ([]Session, error) {
-	records := store.All(storage.Principal{Admin: true})
+	records := store.Snapshot().Records(storage.Principal{Admin: true})
 	sessions := d.Detect(records, 0)
 	for _, sess := range sessions {
 		for _, q := range sess.Queries {

@@ -50,7 +50,7 @@ func TestDetectSingleSession(t *testing.T) {
 	figure2Trace(t, store, "nodira", base)
 
 	d := NewDetector(DefaultConfig())
-	sessions := d.Detect(store.All(admin), 0)
+	sessions := d.Detect(store.Snapshot().Records(admin), 0)
 	if len(sessions) != 1 {
 		t.Fatalf("sessions = %d, want 1", len(sessions))
 	}
@@ -75,7 +75,7 @@ func TestDetectSplitsOnLongGap(t *testing.T) {
 	makeRecord(t, store, "alice", "SELECT city FROM CityLocations WHERE state = 'WA'", base.Add(2*time.Hour))
 	makeRecord(t, store, "alice", "SELECT city FROM CityLocations WHERE pop > 10000", base.Add(2*time.Hour+time.Minute))
 
-	sessions := NewDetector(DefaultConfig()).Detect(store.All(admin), 0)
+	sessions := NewDetector(DefaultConfig()).Detect(store.Snapshot().Records(admin), 0)
 	if len(sessions) != 2 {
 		t.Fatalf("sessions = %d, want 2", len(sessions))
 	}
@@ -92,7 +92,7 @@ func TestDetectSplitsOnTopicChangeAfterSoftGap(t *testing.T) {
 	// different topic: new session.
 	makeRecord(t, store, "alice", "SELECT ra, dec FROM Stars WHERE magnitude < 6", base.Add(10*time.Minute))
 
-	sessions := NewDetector(DefaultConfig()).Detect(store.All(admin), 0)
+	sessions := NewDetector(DefaultConfig()).Detect(store.Snapshot().Records(admin), 0)
 	if len(sessions) != 2 {
 		t.Fatalf("sessions = %d, want 2", len(sessions))
 	}
@@ -105,7 +105,7 @@ func TestDetectKeepsSimilarQueryAcrossSoftGap(t *testing.T) {
 	// 10 minutes later but clearly the same exploration: stays in session.
 	makeRecord(t, store, "alice", "SELECT * FROM WaterTemp WHERE temp < 16", base.Add(10*time.Minute))
 
-	sessions := NewDetector(DefaultConfig()).Detect(store.All(admin), 0)
+	sessions := NewDetector(DefaultConfig()).Detect(store.Snapshot().Records(admin), 0)
 	if len(sessions) != 1 {
 		t.Fatalf("sessions = %d, want 1", len(sessions))
 	}
@@ -118,7 +118,7 @@ func TestDetectSeparatesUsers(t *testing.T) {
 	makeRecord(t, store, "bob", "SELECT * FROM WaterTemp WHERE temp < 17", base.Add(time.Minute))
 	makeRecord(t, store, "alice", "SELECT * FROM WaterTemp WHERE temp < 16", base.Add(2*time.Minute))
 
-	sessions := NewDetector(DefaultConfig()).Detect(store.All(admin), 0)
+	sessions := NewDetector(DefaultConfig()).Detect(store.Snapshot().Records(admin), 0)
 	if len(sessions) != 2 {
 		t.Fatalf("sessions = %d, want 2 (one per user)", len(sessions))
 	}
@@ -135,7 +135,7 @@ func TestEdgeLabelsMatchFigure2(t *testing.T) {
 	store := storage.NewStore()
 	base := time.Date(2009, 1, 5, 14, 30, 0, 0, time.UTC)
 	figure2Trace(t, store, "nodira", base)
-	sessions := NewDetector(DefaultConfig()).Detect(store.All(admin), 0)
+	sessions := NewDetector(DefaultConfig()).Detect(store.Snapshot().Records(admin), 0)
 	if len(sessions) != 1 {
 		t.Fatalf("sessions = %d, want 1", len(sessions))
 	}
@@ -195,7 +195,7 @@ func TestRenderFigure2(t *testing.T) {
 	store := storage.NewStore()
 	base := time.Date(2009, 1, 5, 14, 30, 0, 0, time.UTC)
 	figure2Trace(t, store, "nodira", base)
-	sessions := NewDetector(DefaultConfig()).Detect(store.All(admin), 0)
+	sessions := NewDetector(DefaultConfig()).Detect(store.Snapshot().Records(admin), 0)
 	out := Render(&sessions[0])
 	for _, want := range []string{
 		"Session 1", "nodira", "6 queries",
@@ -223,7 +223,7 @@ func TestSummarize(t *testing.T) {
 	store := storage.NewStore()
 	base := time.Date(2009, 1, 5, 14, 30, 0, 0, time.UTC)
 	figure2Trace(t, store, "nodira", base)
-	sessions := NewDetector(DefaultConfig()).Detect(store.All(admin), 0)
+	sessions := NewDetector(DefaultConfig()).Detect(store.Snapshot().Records(admin), 0)
 	sum := Summarize(&sessions[0])
 	if sum.QueryCount != 6 || sum.User != "nodira" {
 		t.Errorf("summary = %+v", sum)
@@ -258,7 +258,7 @@ func TestFeatureSimilarity(t *testing.T) {
 func TestDetectStartIDOffset(t *testing.T) {
 	store := storage.NewStore()
 	makeRecord(t, store, "alice", "SELECT * FROM WaterTemp", time.Now())
-	sessions := NewDetector(DefaultConfig()).Detect(store.All(admin), 100)
+	sessions := NewDetector(DefaultConfig()).Detect(store.Snapshot().Records(admin), 100)
 	if len(sessions) != 1 || sessions[0].ID != 101 {
 		t.Errorf("session ID = %d, want 101", sessions[0].ID)
 	}

@@ -48,9 +48,8 @@ func (s *Store) MaterializeFeatureRelations(p Principal) (*engine.Engine, error)
 	}
 
 	cat := eng.Catalog()
-	records := s.All(p)
 	var queriesRows, sourcesRows, attrsRows, predsRows, statsRows, annRows []engine.Row
-	for _, rec := range records {
+	s.Snapshot().Scan(p, func(rec *QueryRecord) bool {
 		qid := engine.NewInt(int64(rec.ID))
 		queriesRows = append(queriesRows, engine.Row{
 			qid, engine.NewText(rec.Text), engine.NewText(rec.User), engine.NewText(rec.Group),
@@ -85,7 +84,8 @@ func (s *Store) MaterializeFeatureRelations(p Principal) (*engine.Engine, error)
 		for _, ann := range rec.Annotations {
 			annRows = append(annRows, engine.Row{qid, engine.NewText(ann.Author), engine.NewText(ann.Text)})
 		}
-	}
+		return true
+	})
 	inserts := []struct {
 		table string
 		rows  []engine.Row

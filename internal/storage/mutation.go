@@ -67,19 +67,19 @@ func DecodeMutation(b []byte) (*Mutation, error) {
 	return &m, nil
 }
 
-// MutationHook observes every successful mutation, invoked while the store
-// lock is held so hooks see mutations in exactly their apply order. The WAL
+// MutationHook observes every successful mutation, invoked under the store's
+// commit lock so hooks see mutations in exactly their apply order. The WAL
 // manager installs a hook that appends the encoded mutation to the log.
 type MutationHook func(*Mutation)
 
 // SetMutationHook installs the mutation observer (nil disables it).
 func (s *Store) SetMutationHook(h MutationHook) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	s.hook = h
 }
 
-// emit forwards a mutation to the hook. Callers must hold the write lock.
+// emit forwards a mutation to the hook. Callers must hold the commit lock.
 func (s *Store) emit(m *Mutation) {
 	if s.hook != nil {
 		s.hook(m)
@@ -89,18 +89,20 @@ func (s *Store) emit(m *Mutation) {
 // Apply replays one mutation against the store without emitting it to the
 // hook. It is the recovery path: live operations and Apply share the same
 // internal state transitions, so a store rebuilt by replaying a mutation
-// stream is identical — contents and inverted indexes — to the store that
-// emitted the stream. Apply takes ownership of the mutation and its record:
-// replay hands over freshly decoded values.
+// stream is identical — contents, shard placement and inverted indexes — to
+// the store that emitted the stream. Apply takes ownership of the mutation
+// and its record: replay hands over freshly decoded values.
 func (s *Store) Apply(m *Mutation) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.applyLocked(m)
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	return s.apply(m)
 }
 
-// applyLocked dispatches a mutation to the shared state-transition helpers.
-// Callers must hold the write lock.
-func (s *Store) applyLocked(m *Mutation) error {
+// apply dispatches a mutation to the shared state-transition helpers. Every
+// transition is copy-on-write: the current record version stays untouched
+// for concurrent readers and an updated copy replaces it in its shard.
+// Callers must hold the commit lock.
+func (s *Store) apply(m *Mutation) error {
 	switch m.Op {
 	case OpPut:
 		if m.Record == nil {
@@ -112,19 +114,13 @@ func (s *Store) applyLocked(m *Mutation) error {
 		if m.Annotation == nil {
 			return fmt.Errorf("storage: apply %s: missing annotation", m.Op)
 		}
-		rec, err := s.lookup(m.ID)
-		if err != nil {
-			return err
-		}
-		rec.Annotations = append(rec.Annotations, *m.Annotation)
-		return nil
+		return s.update(m.ID, func(next, old *QueryRecord) {
+			next.Annotations = append(append([]Annotation(nil), old.Annotations...), *m.Annotation)
+		})
 	case OpSetVisibility:
-		rec, err := s.lookup(m.ID)
-		if err != nil {
-			return err
-		}
-		rec.Visibility = m.Visibility
-		return nil
+		return s.update(m.ID, func(next, _ *QueryRecord) {
+			next.Visibility = m.Visibility
+		})
 	case OpDelete:
 		rec, err := s.lookup(m.ID)
 		if err != nil {
@@ -152,57 +148,42 @@ func (s *Store) applyLocked(m *Mutation) error {
 		if _, dup := s.edgeSet[*m.Edge]; dup {
 			return nil // replayed logs may hold duplicates
 		}
-		s.edges = append(s.edges, *m.Edge)
 		s.edgeSet[*m.Edge] = struct{}{}
+		s.idx.Lock()
+		s.idx.edges = append(s.idx.edges, *m.Edge)
+		s.idx.edgesFrom[m.Edge.From] = append(s.idx.edgesFrom[m.Edge.From], *m.Edge)
+		s.idx.Unlock()
 		return nil
 	case OpMarkInvalid:
-		rec, err := s.lookup(m.ID)
-		if err != nil {
-			return err
-		}
-		rec.Valid = false
-		rec.InvalidReason = m.Reason
-		return nil
+		return s.update(m.ID, func(next, _ *QueryRecord) {
+			next.Valid = false
+			next.InvalidReason = m.Reason
+		})
 	case OpMarkValid:
-		rec, err := s.lookup(m.ID)
-		if err != nil {
-			return err
-		}
-		rec.Valid = true
-		rec.InvalidReason = ""
-		return nil
+		return s.update(m.ID, func(next, _ *QueryRecord) {
+			next.Valid = true
+			next.InvalidReason = ""
+		})
 	case OpMarkStale:
-		rec, err := s.lookup(m.ID)
-		if err != nil {
-			return err
-		}
-		rec.StatsStale = m.Stale
-		return nil
+		return s.update(m.ID, func(next, _ *QueryRecord) {
+			next.StatsStale = m.Stale
+		})
 	case OpUpdateStats:
 		if m.Stats == nil {
 			return fmt.Errorf("storage: apply %s: missing stats", m.Op)
 		}
-		rec, err := s.lookup(m.ID)
-		if err != nil {
-			return err
-		}
-		rec.Stats = *m.Stats
-		rec.StatsStale = false
-		return nil
+		return s.update(m.ID, func(next, _ *QueryRecord) {
+			next.Stats = *m.Stats
+			next.StatsStale = false
+		})
 	case OpSetSample:
-		rec, err := s.lookup(m.ID)
-		if err != nil {
-			return err
-		}
-		rec.Sample = m.Sample
-		return nil
+		return s.update(m.ID, func(next, _ *QueryRecord) {
+			next.Sample = m.Sample
+		})
 	case OpSetQuality:
-		rec, err := s.lookup(m.ID)
-		if err != nil {
-			return err
-		}
-		rec.QualityScore = m.Score
-		return nil
+		return s.update(m.ID, func(next, _ *QueryRecord) {
+			next.QualityScore = m.Score
+		})
 	case OpReplaceText:
 		if m.Record == nil {
 			return fmt.Errorf("storage: apply %s: missing record", m.Op)
@@ -218,75 +199,110 @@ func (s *Store) applyLocked(m *Mutation) error {
 	}
 }
 
-// lookup returns the live record for an ID. Callers must hold a lock.
+// lookup returns the current version of a record. Callers must hold the
+// commit lock (mutation paths use it to read-modify-write).
 func (s *Store) lookup(id QueryID) (*QueryRecord, error) {
-	rec, ok := s.queries[id]
+	rec, ok := s.loadRecord(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
 	return rec, nil
 }
 
-// insert places a record with an already-assigned ID into the store and all
+// update performs one copy-on-write field mutation: it shallow-copies the
+// current record version, lets mutate replace the fields it changes, and
+// publishes the copy. Callers must hold the commit lock.
+func (s *Store) update(id QueryID, mutate func(next, old *QueryRecord)) error {
+	rec, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	next := rec.shallowCopy()
+	mutate(next, rec)
+	s.storeRecord(next)
+	return nil
+}
+
+// insert places a record with an already-assigned ID into its shard and all
 // inverted indexes. It is shared by the live Put path and WAL replay; replay
 // of a Put whose ID already exists (a snapshot/segment overlap) replaces the
-// older copy so recovery stays idempotent. Callers must hold the write lock.
+// older copy so recovery stays idempotent. The record becomes visible to
+// scans only once its ID is published to the insertion order, which happens
+// after the shard holds the record. Callers must hold the commit lock.
 func (s *Store) insert(rec *QueryRecord) {
-	if old, ok := s.queries[rec.ID]; ok {
+	if old, ok := s.loadRecord(rec.ID); ok {
 		s.remove(old)
 	}
-	s.queries[rec.ID] = rec
-	s.order = append(s.order, rec.ID)
-	s.index(rec)
-	if rec.ID > s.nextID {
-		s.nextID = rec.ID
+	rec.prepare()
+	s.storeRecord(rec)
+	s.count.Add(1)
+	s.idx.Lock()
+	s.idx.order = append(s.idx.order, rec.ID)
+	s.indexLocked(rec)
+	s.idx.Unlock()
+	if int64(rec.ID) > s.nextID.Load() {
+		s.nextID.Store(int64(rec.ID))
 	}
 }
 
-// remove deletes a record from the store, its indexes and the edge relation.
-// Callers must hold the write lock.
+// remove deletes a record from the indexes, the edge relation and its shard.
+// The ID disappears from the insertion order first, so a scan that still
+// resolves the record observes its last committed version. Callers must hold
+// the commit lock.
 func (s *Store) remove(rec *QueryRecord) {
-	delete(s.queries, rec.ID)
-	for i, qid := range s.order {
-		if qid == rec.ID {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
+	s.idx.Lock()
+	order := make([]QueryID, 0, len(s.idx.order)-1)
+	for _, qid := range s.idx.order {
+		if qid != rec.ID {
+			order = append(order, qid)
 		}
 	}
-	s.removeFromIndexes(rec)
+	s.idx.order = order
+	s.removeFromIndexesLocked(rec)
+	s.removeEdgesLocked(rec)
+	s.idx.Unlock()
+	s.deleteRecord(rec.ID)
+	s.count.Add(-1)
 }
 
-// reassignSession moves a record between session index buckets. Callers must
-// hold the write lock.
+// reassignSession moves a record between session index buckets and publishes
+// an updated record version. Callers must hold the commit lock.
 func (s *Store) reassignSession(rec *QueryRecord, sessionID int64) {
+	next := rec.shallowCopy()
+	next.SessionID = sessionID
+	s.storeRecord(next)
+	s.idx.Lock()
 	if rec.SessionID != 0 {
-		old := s.bySession[rec.SessionID]
-		kept := old[:0]
-		for _, x := range old {
-			if x != rec.ID {
-				kept = append(kept, x)
-			}
-		}
-		s.bySession[rec.SessionID] = kept
+		removeFromBucket(s.idx.bySession, rec.SessionID, rec.ID)
 	}
-	rec.SessionID = sessionID
-	s.bySession[sessionID] = append(s.bySession[sessionID], rec.ID)
+	if sessionID != 0 {
+		s.idx.bySession[sessionID] = append(s.idx.bySession[sessionID], rec.ID)
+	}
+	s.idx.Unlock()
 }
 
-// replaceText rewrites the record's text and feature relations from the
-// update, re-indexing it. Callers must hold the write lock.
+// replaceText publishes a record version with the text and feature relations
+// of the update, re-indexing it. The record's session edges survive: a text
+// repair does not unlink the query from its session history. De-indexing and
+// re-indexing happen in one idx critical section so an indexed scan never
+// misses the record mid-replacement. Callers must hold the commit lock.
 func (s *Store) replaceText(rec, updated *QueryRecord) {
-	s.removeFromIndexes(rec)
-	rec.Text = updated.Text
-	rec.Canonical = updated.Canonical
-	rec.Template = updated.Template
-	rec.Fingerprint = updated.Fingerprint
-	rec.ExactHash = updated.ExactHash
-	rec.Tables = updated.Tables
-	rec.Attributes = updated.Attributes
-	rec.Predicates = updated.Predicates
-	rec.Aggregates = updated.Aggregates
-	rec.GroupBy = updated.GroupBy
-	rec.Features = updated.Features
-	s.index(rec)
+	next := rec.shallowCopy()
+	next.Text = updated.Text
+	next.Canonical = updated.Canonical
+	next.Template = updated.Template
+	next.Fingerprint = updated.Fingerprint
+	next.ExactHash = updated.ExactHash
+	next.Tables = updated.Tables
+	next.Attributes = updated.Attributes
+	next.Predicates = updated.Predicates
+	next.Aggregates = updated.Aggregates
+	next.GroupBy = updated.GroupBy
+	next.Features = updated.Features
+	next.prepare()
+	s.storeRecord(next)
+	s.idx.Lock()
+	s.removeFromIndexesLocked(rec)
+	s.indexLocked(next)
+	s.idx.Unlock()
 }

@@ -3,8 +3,8 @@ package storage
 // StoreState is the full serialisable state of a Store: every record in
 // insertion order, the session edge relation and the ID counter. It is what
 // the WAL subsystem writes as a snapshot and what recovery loads before
-// replaying the log tail; the inverted indexes are derived state and are
-// rebuilt on restore.
+// replaying the log tail; the shard placement and inverted indexes are
+// derived state and are rebuilt on restore.
 type StoreState struct {
 	NextID  QueryID        `json:"nextId"`
 	Records []*QueryRecord `json:"records"`
@@ -17,52 +17,69 @@ func (s *Store) State() *StoreState {
 }
 
 // StateWith returns a deep copy of the store's state and, while still holding
-// the lock, invokes capture. The WAL manager uses capture to record the last
-// appended log sequence atomically with the snapshot contents: because the
-// mutation hook runs under the write lock, no mutation can slip between the
-// captured sequence and the copied state.
+// the commit lock, invokes capture. The WAL manager uses capture to record
+// the last appended log sequence atomically with the snapshot contents:
+// because the mutation hook runs under the commit lock, no mutation can slip
+// between the captured sequence and the copied state.
 func (s *Store) StateWith(capture func()) *StoreState {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	if capture != nil {
 		capture()
 	}
+	s.idx.RLock()
+	order := s.idx.order
+	edges := append([]SessionEdge(nil), s.idx.edges...)
+	s.idx.RUnlock()
 	st := &StoreState{
-		NextID:  s.nextID,
-		Records: make([]*QueryRecord, 0, len(s.order)),
-		Edges:   append([]SessionEdge(nil), s.edges...),
+		NextID:  QueryID(s.nextID.Load()),
+		Records: make([]*QueryRecord, 0, len(order)),
+		Edges:   edges,
 	}
-	for _, id := range s.order {
-		st.Records = append(st.Records, s.queries[id].Clone())
+	for _, id := range order {
+		if rec, ok := s.loadRecord(id); ok {
+			st.Records = append(st.Records, rec.Clone())
+		}
 	}
 	return st
 }
 
 // RestoreState replaces the store's entire contents with the snapshot,
-// rebuilding every inverted index through the same insert path used by live
-// operations and replay. The mutation hook is not invoked. RestoreState takes
-// ownership of st and its records — recovery hands over a freshly decoded
-// state, and cloning ~100k records a second time would double restart cost.
+// rebuilding the shard placement and every inverted index through the same
+// insert path used by live operations and replay. The mutation hook is not
+// invoked. RestoreState takes ownership of st and its records — recovery
+// hands over a freshly decoded state, and cloning ~100k records a second
+// time would double restart cost.
 func (s *Store) RestoreState(st *StoreState) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.queries = make(map[QueryID]*QueryRecord, len(st.Records))
-	s.order = s.order[:0]
-	s.nextID = 0
-	s.byTable = make(map[string][]QueryID)
-	s.byAttribute = make(map[string][]QueryID)
-	s.byUser = make(map[string][]QueryID)
-	s.byFingerprint = make(map[uint64][]QueryID)
-	s.bySession = make(map[int64][]QueryID)
-	s.edges = append(s.edges[:0], st.Edges...)
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.recs = make(map[QueryID]*QueryRecord)
+		sh.mu.Unlock()
+	}
+	s.count.Store(0)
+	s.nextID.Store(0)
 	s.edgeSet = make(map[SessionEdge]struct{}, len(st.Edges))
+	s.idx.Lock()
+	s.idx.order = nil
+	s.idx.byTable = make(map[string][]QueryID)
+	s.idx.byAttribute = make(map[string][]QueryID)
+	s.idx.byUser = make(map[string][]QueryID)
+	s.idx.byFingerprint = make(map[uint64][]QueryID)
+	s.idx.bySession = make(map[int64][]QueryID)
+	s.idx.edges = append([]SessionEdge(nil), st.Edges...)
+	s.idx.edgesFrom = make(map[QueryID][]SessionEdge)
 	for _, e := range st.Edges {
 		s.edgeSet[e] = struct{}{}
+		s.idx.edgesFrom[e.From] = append(s.idx.edgesFrom[e.From], e)
 	}
+	s.idx.Unlock()
 	for _, rec := range st.Records {
 		s.insert(rec)
 	}
-	if st.NextID > s.nextID {
-		s.nextID = st.NextID
+	if int64(st.NextID) > s.nextID.Load() {
+		s.nextID.Store(int64(st.NextID))
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,78 +19,158 @@ var (
 	ErrAccessDenied = errors.New("storage: access denied")
 )
 
+const (
+	shardBits = 5
+	// shardCount is the number of lock stripes the record map is spread
+	// over. Concurrent readers and writers on different records only contend
+	// when their QueryIDs hash to the same stripe.
+	shardCount = 1 << shardBits
+)
+
+// shard is one lock stripe of the record map. Records inside a shard are
+// immutable: every mutation replaces the record pointer with an updated copy
+// (copy-on-write), so a reader holding a record can never observe a
+// half-applied mutation and scans never need defensive deep copies.
+type shard struct {
+	mu   sync.RWMutex
+	recs map[QueryID]*QueryRecord
+}
+
 // Store is the Query Storage component. It is safe for concurrent use.
+//
+// Concurrency design: records live in lock-striped shards (hashed by
+// QueryID) and are immutable once stored. Writers serialise on commitMu,
+// mutate by swapping one record pointer inside one shard and updating the
+// derived indexes; readers take a Snapshot and iterate without cloning, so
+// read throughput scales with cores instead of serialising on one store-wide
+// mutex while deep-copying the log.
 type Store struct {
-	mu      sync.RWMutex
-	queries map[QueryID]*QueryRecord
-	order   []QueryID
-	nextID  QueryID
+	// commitMu serialises every mutation (live operations and WAL replay).
+	// It establishes the total mutation order the WAL hook records, and lets
+	// StateWith capture a snapshot no mutation can slip into. Readers never
+	// take it.
+	commitMu sync.Mutex
+	hook     MutationHook     // guarded by commitMu
+	now      func() time.Time // guarded by commitMu
 
-	// Inverted indexes for interactive meta-querying.
-	byTable       map[string][]QueryID // lower-cased table name
-	byAttribute   map[string][]QueryID // lower-cased "rel.attr"
-	byUser        map[string][]QueryID
-	byFingerprint map[uint64][]QueryID
-	bySession     map[int64][]QueryID
+	// nextID is the ID high-water mark. Written only under commitMu; read
+	// atomically by Snapshot, which uses it to exclude records inserted
+	// after the snapshot from indexed scans.
+	nextID atomic.Int64
 
-	edges []SessionEdge
-	// edgeSet mirrors edges for O(1) duplicate checks: the session detector
-	// re-derives the same edges on every mining pass.
+	// edgeSet mirrors the edge relation for O(1) duplicate checks; only
+	// mutation paths touch it, so commitMu guards it.
 	edgeSet map[SessionEdge]struct{}
 
-	// hook observes every successful mutation (see SetMutationHook); the WAL
-	// manager uses it to append mutations to the durable log.
-	hook MutationHook
+	count atomic.Int64
 
-	now func() time.Time
+	shards [shardCount]shard
+
+	// idx guards the derived read structures: insertion order, the inverted
+	// indexes and the session edge relation. Every slice reachable from idx
+	// is copy-on-write: writers append in place (readers only look at
+	// indexes below their captured length) and build a fresh slice on
+	// removal, so a reader may capture a slice header under RLock and keep
+	// iterating it after releasing the lock.
+	idx struct {
+		sync.RWMutex
+		order         []QueryID
+		byTable       map[string][]QueryID // lower-cased table name
+		byAttribute   map[string][]QueryID // lower-cased "rel.attr"
+		byUser        map[string][]QueryID
+		byFingerprint map[uint64][]QueryID
+		bySession     map[int64][]QueryID
+
+		edges []SessionEdge
+		// edgesFrom indexes the edge relation by source query so EdgesFrom
+		// is O(degree) instead of O(E).
+		edgesFrom map[QueryID][]SessionEdge
+	}
 }
 
 // NewStore returns an empty query store.
 func NewStore() *Store {
-	return &Store{
-		queries:       make(map[QueryID]*QueryRecord),
-		byTable:       make(map[string][]QueryID),
-		byAttribute:   make(map[string][]QueryID),
-		byUser:        make(map[string][]QueryID),
-		byFingerprint: make(map[uint64][]QueryID),
-		bySession:     make(map[int64][]QueryID),
-		edgeSet:       make(map[SessionEdge]struct{}),
-		now:           time.Now,
+	s := &Store{
+		edgeSet: make(map[SessionEdge]struct{}),
+		now:     time.Now,
 	}
+	for i := range s.shards {
+		s.shards[i].recs = make(map[QueryID]*QueryRecord)
+	}
+	s.idx.byTable = make(map[string][]QueryID)
+	s.idx.byAttribute = make(map[string][]QueryID)
+	s.idx.byUser = make(map[string][]QueryID)
+	s.idx.byFingerprint = make(map[uint64][]QueryID)
+	s.idx.bySession = make(map[int64][]QueryID)
+	s.idx.edgesFrom = make(map[QueryID][]SessionEdge)
+	return s
+}
+
+// shardFor maps a query ID onto its lock stripe.
+func (s *Store) shardFor(id QueryID) *shard {
+	return &s.shards[(uint64(id)*0x9e3779b97f4a7c15)>>(64-shardBits)]
+}
+
+// loadRecord returns the current immutable version of a record.
+func (s *Store) loadRecord(id QueryID) (*QueryRecord, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	rec, ok := sh.recs[id]
+	sh.mu.RUnlock()
+	return rec, ok
+}
+
+// storeRecord publishes a (new or updated) immutable record version.
+func (s *Store) storeRecord(rec *QueryRecord) {
+	sh := s.shardFor(rec.ID)
+	sh.mu.Lock()
+	sh.recs[rec.ID] = rec
+	sh.mu.Unlock()
+}
+
+// deleteRecord drops a record from its shard.
+func (s *Store) deleteRecord(id QueryID) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	delete(sh.recs, id)
+	sh.mu.Unlock()
 }
 
 // SetClock overrides the store's time source (used by tests and the workload
 // generator).
 func (s *Store) SetClock(now func() time.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	s.now = now
 }
 
 // Put inserts a record and assigns it an ID. The record's IssuedAt is set to
-// the current time if zero. Put returns the assigned ID.
+// the current time if zero. Put returns the assigned ID. Put takes ownership
+// of the record: the caller must not mutate it afterwards, because readers
+// receive it without cloning.
 func (s *Store) Put(rec *QueryRecord) QueryID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextID++
-	rec.ID = s.nextID
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	rec.ID = QueryID(s.nextID.Load() + 1)
 	if rec.IssuedAt.IsZero() {
 		rec.IssuedAt = s.now()
 	}
 	rec.Valid = true
 	s.insert(rec)
 	if s.hook != nil {
-		// The clone is only needed for the hook; the default in-memory path
-		// skips it on this hot write path.
-		s.emit(&Mutation{Op: OpPut, Record: rec.Clone()})
+		// Stored records are immutable, so the hook can reference the record
+		// directly without a defensive clone.
+		s.emit(&Mutation{Op: OpPut, Record: rec})
 	}
 	return rec.ID
 }
 
-func (s *Store) index(rec *QueryRecord) {
+// indexLocked adds a record to every inverted index. Callers must hold the
+// idx write lock.
+func (s *Store) indexLocked(rec *QueryRecord) {
 	for _, t := range rec.Tables {
 		key := strings.ToLower(t)
-		s.byTable[key] = append(s.byTable[key], rec.ID)
+		s.idx.byTable[key] = append(s.idx.byTable[key], rec.ID)
 	}
 	seenAttr := make(map[string]bool)
 	for _, a := range rec.Attributes {
@@ -98,21 +179,19 @@ func (s *Store) index(rec *QueryRecord) {
 			continue
 		}
 		seenAttr[key] = true
-		s.byAttribute[key] = append(s.byAttribute[key], rec.ID)
+		s.idx.byAttribute[key] = append(s.idx.byAttribute[key], rec.ID)
 	}
-	s.byUser[rec.User] = append(s.byUser[rec.User], rec.ID)
-	s.byFingerprint[rec.Fingerprint] = append(s.byFingerprint[rec.Fingerprint], rec.ID)
+	s.idx.byUser[rec.User] = append(s.idx.byUser[rec.User], rec.ID)
+	s.idx.byFingerprint[rec.Fingerprint] = append(s.idx.byFingerprint[rec.Fingerprint], rec.ID)
 	if rec.SessionID != 0 {
-		s.bySession[rec.SessionID] = append(s.bySession[rec.SessionID], rec.ID)
+		s.idx.bySession[rec.SessionID] = append(s.idx.bySession[rec.SessionID], rec.ID)
 	}
 }
 
 // Get returns a copy of the record with the given ID, enforcing visibility
-// for the principal.
+// for the principal. Use View.Get for the zero-clone variant.
 func (s *Store) Get(id QueryID, p Principal) (*QueryRecord, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, ok := s.queries[id]
+	rec, ok := s.loadRecord(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
@@ -125,132 +204,134 @@ func (s *Store) Get(id QueryID, p Principal) (*QueryRecord, error) {
 // Count returns the total number of stored queries (regardless of
 // visibility).
 func (s *Store) Count() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.queries)
+	return int(s.count.Load())
 }
 
 // All returns copies of every record visible to the principal, in insertion
 // (temporal) order.
+//
+// Deprecated-for-hot-paths: All deep-copies every visible record. Scanning
+// consumers should use Snapshot and the View iterator API instead; All
+// remains as a compatibility wrapper for callers that want owned copies.
 func (s *Store) All(p Principal) []*QueryRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*QueryRecord, 0, len(s.order))
-	for _, id := range s.order {
-		rec := s.queries[id]
-		if rec.VisibleTo(p) {
-			out = append(out, rec.Clone())
-		}
-	}
+	var out []*QueryRecord
+	s.Snapshot().Scan(p, func(rec *QueryRecord) bool {
+		out = append(out, rec.Clone())
+		return true
+	})
 	return out
 }
 
-// ByUser returns the queries submitted by the given user that are visible to
-// the principal, in temporal order.
+// ByUser returns copies of the queries submitted by the given user that are
+// visible to the principal, in temporal order. Compatibility wrapper over
+// View.ScanByUser.
 func (s *Store) ByUser(user string, p Principal) []*QueryRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := s.byUser[user]
-	out := make([]*QueryRecord, 0, len(ids))
-	for _, id := range ids {
-		rec := s.queries[id]
-		if rec.VisibleTo(p) {
-			out = append(out, rec.Clone())
-		}
-	}
+	var out []*QueryRecord
+	s.Snapshot().ScanByUser(user, p, func(rec *QueryRecord) bool {
+		out = append(out, rec.Clone())
+		return true
+	})
 	return out
 }
 
-// ByTable returns visible queries whose FROM clause references the table.
+// ByTable returns copies of the visible queries whose FROM clause references
+// the table. Compatibility wrapper over View.ScanByTable.
 func (s *Store) ByTable(table string, p Principal) []*QueryRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.cloneVisible(s.byTable[strings.ToLower(table)], p)
+	var out []*QueryRecord
+	s.Snapshot().ScanByTable(table, p, func(rec *QueryRecord) bool {
+		out = append(out, rec.Clone())
+		return true
+	})
+	return out
 }
 
-// ByAttribute returns visible queries that reference relName.attrName.
+// ByAttribute returns copies of the visible queries that reference
+// relName.attrName. Compatibility wrapper over View.ScanByAttribute.
 func (s *Store) ByAttribute(rel, attr string, p Principal) []*QueryRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.cloneVisible(s.byAttribute[strings.ToLower(rel+"."+attr)], p)
+	var out []*QueryRecord
+	s.Snapshot().ScanByAttribute(rel, attr, p, func(rec *QueryRecord) bool {
+		out = append(out, rec.Clone())
+		return true
+	})
+	return out
 }
 
-// ByFingerprint returns visible queries with the given template fingerprint.
+// ByFingerprint returns copies of the visible queries with the given template
+// fingerprint. Compatibility wrapper over View.ScanByFingerprint.
 func (s *Store) ByFingerprint(fp uint64, p Principal) []*QueryRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.cloneVisible(s.byFingerprint[fp], p)
+	var out []*QueryRecord
+	s.Snapshot().ScanByFingerprint(fp, p, func(rec *QueryRecord) bool {
+		out = append(out, rec.Clone())
+		return true
+	})
+	return out
 }
 
-// BySession returns the visible queries of one session in temporal order.
+// BySession returns copies of the visible queries of one session in temporal
+// order. Compatibility wrapper over View.ScanBySession.
 func (s *Store) BySession(sessionID int64, p Principal) []*QueryRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := append([]QueryID(nil), s.bySession[sessionID]...)
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return s.cloneVisible(ids, p)
+	var out []*QueryRecord
+	s.Snapshot().ScanBySession(sessionID, p, func(rec *QueryRecord) bool {
+		out = append(out, rec.Clone())
+		return true
+	})
+	return out
 }
 
 // SessionIDs returns all session identifiers present in the store, sorted.
 func (s *Store) SessionIDs() []int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]int64, 0, len(s.bySession))
-	for id := range s.bySession {
+	s.idx.RLock()
+	out := make([]int64, 0, len(s.idx.bySession))
+	for id := range s.idx.bySession {
 		out = append(out, id)
 	}
+	s.idx.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-func (s *Store) cloneVisible(ids []QueryID, p Principal) []*QueryRecord {
-	out := make([]*QueryRecord, 0, len(ids))
-	for _, id := range ids {
-		rec, ok := s.queries[id]
-		if ok && rec.VisibleTo(p) {
-			out = append(out, rec.Clone())
-		}
-	}
 	return out
 }
 
 // Users returns the distinct users that have logged queries, sorted.
 func (s *Store) Users() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.byUser))
-	for u := range s.byUser {
+	s.idx.RLock()
+	out := make([]string, 0, len(s.idx.byUser))
+	for u := range s.idx.byUser {
 		out = append(out, u)
 	}
+	s.idx.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
-// Tables returns the distinct table names referenced across all logged
-// queries along with how many queries reference each, sorted by descending
-// count then name. The recommender uses these as global popularity priors.
+// TableCount pairs a table name with how many queries reference it. The
+// recommender uses these as global popularity priors.
 type TableCount struct {
 	Table string
 	Count int
 }
 
-// TableCounts returns per-table reference counts.
+// TableCounts returns per-table reference counts, sorted by descending count
+// then name.
 func (s *Store) TableCounts() []TableCount {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]TableCount, 0, len(s.byTable))
-	nameOf := make(map[string]string)
-	for _, rec := range s.queries {
+	s.idx.RLock()
+	counts := make(map[string]int, len(s.idx.byTable))
+	for key, ids := range s.idx.byTable {
+		counts[key] = len(ids)
+	}
+	s.idx.RUnlock()
+	nameOf := make(map[string]string, len(counts))
+	s.Snapshot().scanAll(func(rec *QueryRecord) bool {
 		for _, t := range rec.Tables {
 			nameOf[strings.ToLower(t)] = t
 		}
-	}
-	for key, ids := range s.byTable {
+		return true
+	})
+	out := make([]TableCount, 0, len(counts))
+	for key, count := range counts {
 		name := nameOf[key]
 		if name == "" {
 			name = key
 		}
-		out = append(out, TableCount{Table: name, Count: len(ids)})
+		out = append(out, TableCount{Table: name, Count: count})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -268,11 +349,11 @@ func (s *Store) TableCounts() []TableCount {
 // Annotate appends an annotation to the query. Only the owner, a member of
 // the owning group, or an admin may annotate.
 func (s *Store) Annotate(id QueryID, p Principal, ann Annotation) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.queries[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	rec, err := s.lookup(id)
+	if err != nil {
+		return err
 	}
 	if !rec.VisibleTo(p) {
 		return fmt.Errorf("%w: query %d", ErrAccessDenied, id)
@@ -284,7 +365,7 @@ func (s *Store) Annotate(id QueryID, p Principal, ann Annotation) error {
 		ann.Author = p.User
 	}
 	m := &Mutation{Op: OpAnnotate, ID: id, Annotation: &ann}
-	if err := s.applyLocked(m); err != nil {
+	if err := s.apply(m); err != nil {
 		return err
 	}
 	s.emit(m)
@@ -294,17 +375,17 @@ func (s *Store) Annotate(id QueryID, p Principal, ann Annotation) error {
 // SetVisibility changes who can see the query. Only the owner or an admin
 // may change visibility (User Administrative Interaction Mode).
 func (s *Store) SetVisibility(id QueryID, p Principal, v Visibility) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.queries[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	rec, err := s.lookup(id)
+	if err != nil {
+		return err
 	}
 	if rec.User != p.User && !p.Admin {
 		return fmt.Errorf("%w: only the owner may change visibility of query %d", ErrAccessDenied, id)
 	}
 	m := &Mutation{Op: OpSetVisibility, ID: id, Visibility: v}
-	if err := s.applyLocked(m); err != nil {
+	if err := s.apply(m); err != nil {
 		return err
 	}
 	s.emit(m)
@@ -314,63 +395,100 @@ func (s *Store) SetVisibility(id QueryID, p Principal, v Visibility) error {
 // Delete removes a query from the store. Only the owner or an admin may
 // delete (§2.4 "Users will need the ability to delete old queries").
 func (s *Store) Delete(id QueryID, p Principal) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.queries[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	rec, err := s.lookup(id)
+	if err != nil {
+		return err
 	}
 	if rec.User != p.User && !p.Admin {
 		return fmt.Errorf("%w: only the owner may delete query %d", ErrAccessDenied, id)
 	}
 	m := &Mutation{Op: OpDelete, ID: id}
-	if err := s.applyLocked(m); err != nil {
+	if err := s.apply(m); err != nil {
 		return err
 	}
 	s.emit(m)
 	return nil
 }
 
-func (s *Store) removeFromIndexes(rec *QueryRecord) {
-	removeID := func(list []QueryID, id QueryID) []QueryID {
-		out := list[:0]
-		for _, x := range list {
-			if x != id {
-				out = append(out, x)
-			}
+// removeFromBucket removes one element from a copy-on-write index bucket and
+// deletes the key once the bucket empties, so removals do not leak empty
+// slices and stale map keys. A bucket not containing the element is left
+// untouched.
+func removeFromBucket[K, E comparable](m map[K][]E, key K, elem E) {
+	old := m[key]
+	found := false
+	for _, x := range old {
+		if x == elem {
+			found = true
+			break
 		}
-		return out
 	}
+	if !found {
+		return
+	}
+	if len(old) == 1 {
+		delete(m, key)
+		return
+	}
+	out := make([]E, 0, len(old)-1)
+	for _, x := range old {
+		if x != elem {
+			out = append(out, x)
+		}
+	}
+	m[key] = out
+}
+
+// removeFromIndexesLocked strips a record from every inverted index. Callers
+// must hold commitMu and the idx write lock.
+func (s *Store) removeFromIndexesLocked(rec *QueryRecord) {
 	for _, t := range rec.Tables {
-		key := strings.ToLower(t)
-		s.byTable[key] = removeID(s.byTable[key], rec.ID)
+		removeFromBucket(s.idx.byTable, strings.ToLower(t), rec.ID)
 	}
 	for _, a := range rec.Attributes {
-		key := strings.ToLower(a.Rel + "." + a.Attr)
-		s.byAttribute[key] = removeID(s.byAttribute[key], rec.ID)
+		removeFromBucket(s.idx.byAttribute, strings.ToLower(a.Rel+"."+a.Attr), rec.ID)
 	}
-	s.byUser[rec.User] = removeID(s.byUser[rec.User], rec.ID)
-	s.byFingerprint[rec.Fingerprint] = removeID(s.byFingerprint[rec.Fingerprint], rec.ID)
+	removeFromBucket(s.idx.byUser, rec.User, rec.ID)
+	removeFromBucket(s.idx.byFingerprint, rec.Fingerprint, rec.ID)
 	if rec.SessionID != 0 {
-		s.bySession[rec.SessionID] = removeID(s.bySession[rec.SessionID], rec.ID)
+		removeFromBucket(s.idx.bySession, rec.SessionID, rec.ID)
 	}
-	kept := s.edges[:0]
-	for _, e := range s.edges {
-		if e.From != rec.ID && e.To != rec.ID {
-			kept = append(kept, e)
-		} else {
-			delete(s.edgeSet, e)
+}
+
+// removeEdgesLocked drops every session edge touching the record, from the
+// edge relation, the duplicate set and the by-source index. Callers must hold
+// commitMu and the idx write lock.
+func (s *Store) removeEdgesLocked(rec *QueryRecord) {
+	var removed []SessionEdge
+	for _, e := range s.idx.edges {
+		if e.From == rec.ID || e.To == rec.ID {
+			removed = append(removed, e)
 		}
 	}
-	s.edges = kept
+	if len(removed) == 0 {
+		return
+	}
+	kept := make([]SessionEdge, 0, len(s.idx.edges)-len(removed))
+	for _, e := range s.idx.edges {
+		if e.From != rec.ID && e.To != rec.ID {
+			kept = append(kept, e)
+		}
+	}
+	s.idx.edges = kept
+	for _, e := range removed {
+		delete(s.edgeSet, e)
+		removeFromBucket(s.idx.edgesFrom, e.From, e)
+	}
 }
 
 // AssignSession records the session a query belongs to (set by the miner's
 // session detector). Re-assigning the same session is a no-op so the periodic
 // mining pass does not flood the mutation log.
 func (s *Store) AssignSession(id QueryID, sessionID int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	rec, err := s.lookup(id)
 	if err != nil {
 		return err
@@ -379,7 +497,7 @@ func (s *Store) AssignSession(id QueryID, sessionID int64) error {
 		return nil
 	}
 	m := &Mutation{Op: OpAssignSession, ID: id, SessionID: sessionID}
-	if err := s.applyLocked(m); err != nil {
+	if err := s.apply(m); err != nil {
 		return err
 	}
 	s.emit(m)
@@ -390,13 +508,13 @@ func (s *Store) AssignSession(id QueryID, sessionID int64) error {
 // already exists is a no-op: the session detector re-derives the full edge
 // set on every mining pass.
 func (s *Store) AddEdge(edge SessionEdge) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	if _, dup := s.edgeSet[edge]; dup {
 		return nil
 	}
 	m := &Mutation{Op: OpAddEdge, Edge: &edge}
-	if err := s.applyLocked(m); err != nil {
+	if err := s.apply(m); err != nil {
 		return err
 	}
 	s.emit(m)
@@ -405,22 +523,22 @@ func (s *Store) AddEdge(edge SessionEdge) error {
 
 // Edges returns a copy of the session edge relation.
 func (s *Store) Edges() []SessionEdge {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]SessionEdge(nil), s.edges...)
+	s.idx.RLock()
+	edges := s.idx.edges
+	s.idx.RUnlock()
+	return append([]SessionEdge(nil), edges...)
 }
 
-// EdgesFrom returns the edges leaving the given query.
+// EdgesFrom returns the edges leaving the given query, via the by-source
+// index (O(degree) instead of a scan of the whole edge relation).
 func (s *Store) EdgesFrom(id QueryID) []SessionEdge {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []SessionEdge
-	for _, e := range s.edges {
-		if e.From == id {
-			out = append(out, e)
-		}
+	s.idx.RLock()
+	edges := s.idx.edgesFrom[id]
+	s.idx.RUnlock()
+	if len(edges) == 0 {
+		return nil
 	}
-	return out
+	return append([]SessionEdge(nil), edges...)
 }
 
 // MarkInvalid flags a query as invalidated (e.g. by a schema change) with a
@@ -458,29 +576,17 @@ func (s *Store) SetQuality(id QueryID, score float64) error {
 
 // ReplaceText rewrites the query text and canonical forms, used by the
 // maintenance component's automatic repair. Features must be re-extracted by
-// the caller and passed in.
+// the caller and passed in. ReplaceText takes ownership of the updated
+// record.
 func (s *Store) ReplaceText(id QueryID, updated *QueryRecord) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec := updated
-	if s.hook != nil {
-		// The mutation outlives this call in the hook; don't alias the
-		// caller's record there.
-		rec = updated.Clone()
-	}
-	m := &Mutation{Op: OpReplaceText, ID: id, Record: rec}
-	if err := s.applyLocked(m); err != nil {
-		return err
-	}
-	s.emit(m)
-	return nil
+	return s.mutate(&Mutation{Op: OpReplaceText, ID: id, Record: updated})
 }
 
-// mutate applies a mutation under the write lock and emits it on success.
+// mutate applies a mutation under the commit lock and emits it on success.
 func (s *Store) mutate(m *Mutation) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.applyLocked(m); err != nil {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if err := s.apply(m); err != nil {
 		return err
 	}
 	s.emit(m)
@@ -489,26 +595,24 @@ func (s *Store) mutate(m *Mutation) error {
 
 // InvalidQueries returns the IDs of all queries currently flagged invalid.
 func (s *Store) InvalidQueries() []QueryID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []QueryID
-	for _, id := range s.order {
-		if !s.queries[id].Valid {
-			out = append(out, id)
+	s.Snapshot().scanAll(func(rec *QueryRecord) bool {
+		if !rec.Valid {
+			out = append(out, rec.ID)
 		}
-	}
+		return true
+	})
 	return out
 }
 
 // StaleQueries returns the IDs of all queries whose statistics are stale.
 func (s *Store) StaleQueries() []QueryID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []QueryID
-	for _, id := range s.order {
-		if s.queries[id].StatsStale {
-			out = append(out, id)
+	s.Snapshot().scanAll(func(rec *QueryRecord) bool {
+		if rec.StatsStale {
+			out = append(out, rec.ID)
 		}
-	}
+		return true
+	})
 	return out
 }

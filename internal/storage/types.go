@@ -12,6 +12,7 @@
 package storage
 
 import (
+	"strings"
 	"time"
 )
 
@@ -191,6 +192,49 @@ type QueryRecord struct {
 	InvalidReason string
 	StatsStale    bool
 	QualityScore  float64
+
+	// lowerText and lowerCanonical cache strings.ToLower of Text and
+	// Canonical so keyword and substring search do not re-lower every
+	// record's full text on every scan. They are unexported so they stay out
+	// of the WAL/snapshot JSON; the store recomputes them whenever a record
+	// enters it (Put, replay, restore, text replacement).
+	lowerText      string
+	lowerCanonical string
+}
+
+// prepare computes the derived lower-cased search cache. The store calls it
+// before a record becomes visible to readers; records are immutable after
+// that point.
+func (q *QueryRecord) prepare() {
+	q.lowerText = strings.ToLower(q.Text)
+	q.lowerCanonical = strings.ToLower(q.Canonical)
+}
+
+// LowerText returns the lower-cased query text, cached at insert time.
+// Records that never passed through a store fall back to lowering on the fly.
+func (q *QueryRecord) LowerText() string {
+	if q.lowerText == "" && q.Text != "" {
+		return strings.ToLower(q.Text)
+	}
+	return q.lowerText
+}
+
+// LowerCanonical returns the lower-cased canonical text, cached at insert
+// time.
+func (q *QueryRecord) LowerCanonical() string {
+	if q.lowerCanonical == "" && q.Canonical != "" {
+		return strings.ToLower(q.Canonical)
+	}
+	return q.lowerCanonical
+}
+
+// shallowCopy returns a copy sharing every slice and pointer field with the
+// original. The store's copy-on-write mutations start from a shallow copy and
+// replace only the fields they change, so concurrent readers holding the old
+// version keep a fully consistent record.
+func (q *QueryRecord) shallowCopy() *QueryRecord {
+	out := *q
+	return &out
 }
 
 // Clone returns a deep copy of the record so callers can mutate the result

@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// View is a zero-clone read view over the store, created by Store.Snapshot.
+//
+// Consistency contract:
+//
+//   - Record-level atomicity: records are immutable; a scan observes each
+//     record either entirely before or entirely after any mutation, never a
+//     half-applied one.
+//   - Membership: Scan visits exactly the queries that were logged when the
+//     snapshot was taken, in insertion order — queries inserted afterwards
+//     are not visited, queries deleted afterwards are skipped.
+//   - Freshness: record contents are resolved at read time, so a long-lived
+//     view observes the latest committed version of each record (not the
+//     version that was current at snapshot time).
+//   - The indexed variants (ScanByTable, ...) resolve the index bucket when
+//     they are called, restricted to the snapshot's membership.
+//
+// Records handed to scan callbacks are shared and MUST NOT be mutated; use
+// QueryRecord.Clone for an owned copy. All scans enforce the storage layer's
+// access-control rules for the given principal.
+type View struct {
+	store *Store
+	ids   []QueryID
+	// limit is the ID high-water mark at snapshot time: indexed scans skip
+	// IDs above it so queries inserted after the snapshot stay invisible
+	// (IDs are assigned monotonically and never reused).
+	limit QueryID
+}
+
+// Snapshot captures a consistent read view of the store. It is cheap — a
+// slice-header capture under a short read lock, with no copying of records —
+// so callers should take a fresh snapshot per logical read operation.
+func (s *Store) Snapshot() *View {
+	limit := QueryID(s.nextID.Load())
+	s.idx.RLock()
+	ids := s.idx.order
+	s.idx.RUnlock()
+	return &View{store: s, ids: ids, limit: limit}
+}
+
+// Len returns the number of queries the snapshot captured (including any
+// deleted since, which scans skip).
+func (v *View) Len() int { return len(v.ids) }
+
+// Get returns the current version of a visible record without cloning it.
+// The record must be treated as read-only. Queries deleted since the
+// snapshot report ErrNotFound.
+func (v *View) Get(id QueryID, p Principal) (*QueryRecord, error) {
+	rec, ok := v.store.loadRecord(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if !rec.VisibleTo(p) {
+		return nil, fmt.Errorf("%w: query %d", ErrAccessDenied, id)
+	}
+	return rec, nil
+}
+
+// scanIDs drives a scan over an explicit ID list, skipping deleted records
+// and records invisible to the principal. The callback returns false to stop.
+func (v *View) scanIDs(ids []QueryID, p Principal, fn func(*QueryRecord) bool) {
+	for _, id := range ids {
+		if id > v.limit {
+			continue
+		}
+		rec, ok := v.store.loadRecord(id)
+		if !ok || !rec.VisibleTo(p) {
+			continue
+		}
+		if !fn(rec) {
+			return
+		}
+	}
+}
+
+// Scan visits every visible record in insertion (temporal) order. Return
+// false from fn to stop early.
+func (v *View) Scan(p Principal, fn func(*QueryRecord) bool) {
+	v.scanIDs(v.ids, p, fn)
+}
+
+// scanAll visits every record in the snapshot regardless of visibility; it
+// backs store-internal maintenance helpers (admin-equivalent scans).
+func (v *View) scanAll(fn func(*QueryRecord) bool) {
+	v.scanIDs(v.ids, Principal{Admin: true}, fn)
+}
+
+// Records collects the visible records in insertion order, without cloning.
+// The returned records are shared and must be treated as read-only.
+func (v *View) Records(p Principal) []*QueryRecord {
+	out := make([]*QueryRecord, 0, len(v.ids))
+	v.Scan(p, func(rec *QueryRecord) bool {
+		out = append(out, rec)
+		return true
+	})
+	return out
+}
+
+// ScanByTable visits the visible queries whose FROM clause references the
+// table (case-insensitive).
+func (v *View) ScanByTable(table string, p Principal, fn func(*QueryRecord) bool) {
+	v.scanIDs(v.store.indexTable(strings.ToLower(table)), p, fn)
+}
+
+// ScanByAttribute visits the visible queries that reference relName.attrName
+// (case-insensitive).
+func (v *View) ScanByAttribute(rel, attr string, p Principal, fn func(*QueryRecord) bool) {
+	v.scanIDs(v.store.indexAttribute(strings.ToLower(rel+"."+attr)), p, fn)
+}
+
+// ScanByUser visits the visible queries submitted by the given user, in
+// temporal order.
+func (v *View) ScanByUser(user string, p Principal, fn func(*QueryRecord) bool) {
+	v.scanIDs(v.store.indexUser(user), p, fn)
+}
+
+// ScanByFingerprint visits the visible queries with the given template
+// fingerprint.
+func (v *View) ScanByFingerprint(fp uint64, p Principal, fn func(*QueryRecord) bool) {
+	v.scanIDs(v.store.indexFingerprint(fp), p, fn)
+}
+
+// ScanBySession visits the visible queries of one session in temporal order.
+func (v *View) ScanBySession(sessionID int64, p Principal, fn func(*QueryRecord) bool) {
+	ids := v.store.indexSession(sessionID)
+	sorted := append([]QueryID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	v.scanIDs(sorted, p, fn)
+}
+
+// The index accessors capture a copy-on-write bucket header under a short
+// read lock; the caller may iterate it lock-free (see the idx field docs).
+
+func (s *Store) indexTable(key string) []QueryID {
+	s.idx.RLock()
+	defer s.idx.RUnlock()
+	return s.idx.byTable[key]
+}
+
+func (s *Store) indexAttribute(key string) []QueryID {
+	s.idx.RLock()
+	defer s.idx.RUnlock()
+	return s.idx.byAttribute[key]
+}
+
+func (s *Store) indexUser(user string) []QueryID {
+	s.idx.RLock()
+	defer s.idx.RUnlock()
+	return s.idx.byUser[user]
+}
+
+func (s *Store) indexFingerprint(fp uint64) []QueryID {
+	s.idx.RLock()
+	defer s.idx.RUnlock()
+	return s.idx.byFingerprint[fp]
+}
+
+func (s *Store) indexSession(sessionID int64) []QueryID {
+	s.idx.RLock()
+	defer s.idx.RUnlock()
+	return s.idx.bySession[sessionID]
+}
