@@ -13,18 +13,22 @@ package cqms
 //
 //	go test -bench=. -benchmem
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/engine"
 	"repro/internal/maintenance"
 	"repro/internal/metaquery"
 	"repro/internal/miner"
 	"repro/internal/profiler"
 	"repro/internal/recommend"
+	"repro/internal/server"
 	"repro/internal/session"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -94,7 +98,7 @@ func BenchmarkE1QueryByFeature(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, matches, err := f.sys.MetaQuery(Admin, figure1MetaQuery)
+		_, matches, err := f.sys.MetaQuery(context.Background(), Admin, figure1MetaQuery)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,8 +116,14 @@ func BenchmarkE1RawTextScan(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a := exec.Substring(Admin, "WaterSalinity")
-		bm := exec.Substring(Admin, "WaterTemp")
+		a, err := exec.Substring(context.Background(), Admin, "WaterSalinity")
+		if err != nil {
+			b.Fatal(err)
+		}
+		bm, err := exec.Substring(context.Background(), Admin, "WaterTemp")
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(a) == 0 || len(bm) == 0 {
 			b.Fatal("substring scan found nothing")
 		}
@@ -125,7 +135,7 @@ func BenchmarkE1AutoMetaQuery(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		matches, err := f.sys.SearchByPartialQuery(Admin, "SELECT FROM WaterSalinity, WaterTemp")
+		matches, err := f.sys.SearchByPartialQuery(context.Background(), Admin, "SELECT FROM WaterSalinity, WaterTemp")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +184,10 @@ func BenchmarkE3Completion(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		got := f.sys.SuggestTables(Admin, "SELECT * FROM WaterSalinity", 5)
+		got, err := f.sys.SuggestTables(context.Background(), Admin, "SELECT * FROM WaterSalinity", 5)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(got) == 0 {
 			b.Fatal("no suggestions")
 		}
@@ -192,7 +205,7 @@ func BenchmarkE3CompletionPopularityOnly(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		got := rec.SuggestTables(Admin, "SELECT * FROM WaterSalinity", 5)
+		got := rec.SuggestTables(context.Background(), Admin, "SELECT * FROM WaterSalinity", 5)
 		if len(got) == 0 {
 			b.Fatal("no suggestions")
 		}
@@ -205,7 +218,7 @@ func BenchmarkE3SimilarQueries(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		got, err := f.sys.SimilarQueries(Admin, probe, 5)
+		got, err := f.sys.SimilarQueries(context.Background(), Admin, probe, 5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -220,7 +233,10 @@ func BenchmarkE3Corrections(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		got := f.sys.Corrections(Admin, "SELECT tmep FROM WaterTemps WHERE tmep < 18")
+		got, err := f.sys.Corrections(context.Background(), Admin, "SELECT tmep FROM WaterTemps WHERE tmep < 18")
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(got) == 0 {
 			b.Fatal("no corrections")
 		}
@@ -284,7 +300,10 @@ func BenchmarkE4MetaQueryLatency(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		matches := exec.Keyword(Admin, "salinity")
+		matches, err := exec.Keyword(context.Background(), Admin, "salinity")
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(matches) == 0 {
 			b.Fatal("no matches")
 		}
@@ -297,7 +316,7 @@ func BenchmarkE4KNNLatency(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		matches, err := exec.KNN(Admin, e4Query, 10)
+		matches, err := exec.KNN(context.Background(), Admin, e4Query, 10)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -503,7 +522,7 @@ func BenchmarkE9QueryByData(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// The paper's example: output includes Lake Washington but not Lake
 		// Union.
-		_ = exec.ByData(Admin, []string{"Lake Washington"}, []string{"Lake Union"})
+		_, _ = exec.ByData(context.Background(), Admin, []string{"Lake Washington"}, []string{"Lake Union"})
 	}
 }
 
@@ -569,7 +588,7 @@ func BenchmarkConcurrentMetaQuery(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			runConcurrent(b, g, func() {
-				if matches := exec.Keyword(Admin, "salinity"); len(matches) == 0 {
+				if matches, err := exec.Keyword(context.Background(), Admin, "salinity"); err != nil || len(matches) == 0 {
 					b.Error("no matches")
 				}
 			})
@@ -822,5 +841,84 @@ func TestBenchFixtureShape(t *testing.T) {
 	}
 	if elapsed == 0 {
 		t.Errorf("no runtime statistics recorded")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HTTP serving path — the v1 API end to end (router, middleware, principal
+// headers, JSON codec, pagination) over the shared fixture.
+// ---------------------------------------------------------------------------
+
+// httpFixture starts an httptest server over the shared benchfixture CQMS.
+func httpFixture(b *testing.B) (*httptest.Server, *client.Client) {
+	b.Helper()
+	f := benchFixture(b)
+	ts := httptest.NewServer(server.New(f.sys).Handler())
+	b.Cleanup(ts.Close)
+	return ts, client.New(ts.URL, client.WithUser("bench"), client.WithAdmin())
+}
+
+// BenchmarkHTTPSearchKeyword measures one keyword-search round trip over the
+// v1 API: request decode, header principal, ctx-aware scan, pagination and
+// response encode.
+func BenchmarkHTTPSearchKeyword(b *testing.B) {
+	ts, c := httpFixture(b)
+	_ = ts
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matches, err := c.SearchKeyword(ctx, "salinity").All()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(matches) == 0 {
+			b.Fatal("no matches over HTTP")
+		}
+	}
+}
+
+// BenchmarkHTTPSubmitSingle vs BenchmarkHTTPSubmitBatch shows what the batch
+// endpoint buys: one round trip and one commit-lock acquisition per
+// batchSize queries instead of per query. ns/op is per query in both.
+const httpBatchSize = 50
+
+func BenchmarkHTTPSubmitSingle(b *testing.B) {
+	ts, c := httpFixture(b)
+	_ = ts
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := c.Submit(ctx, "SELECT Stations.name FROM Stations ORDER BY Stations.name")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.QueryID == 0 {
+			b.Fatal("no query id")
+		}
+	}
+}
+
+func BenchmarkHTTPSubmitBatch(b *testing.B) {
+	ts, c := httpFixture(b)
+	_ = ts
+	ctx := context.Background()
+	queries := make([]server.SubmitParams, httpBatchSize)
+	for i := range queries {
+		queries[i] = server.SubmitParams{SQL: "SELECT Stations.name FROM Stations ORDER BY Stations.name"}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for submitted := 0; submitted < b.N; submitted += httpBatchSize {
+		resp, err := c.SubmitBatch(ctx, queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range resp.Results {
+			if res.Error != nil {
+				b.Fatalf("batch item failed: %v", res.Error)
+			}
+		}
 	}
 }

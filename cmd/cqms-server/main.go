@@ -36,17 +36,22 @@ import (
 
 func main() {
 	var (
-		addr             = flag.String("addr", ":8080", "listen address")
-		rows             = flag.Int("rows", 2000, "rows per measurement table in the synthetic database")
-		seed             = flag.Int64("seed", 1, "random seed for data and trace generation")
-		replayUsers      = flag.Int("replay-users", 10, "number of synthetic users to replay at startup (0 disables)")
-		replaySessions   = flag.Int("replay-sessions", 5, "sessions per synthetic user to replay at startup")
-		miningInterval   = flag.Duration("mine-every", time.Minute, "background mining interval")
-		maintainInterval = flag.Duration("maintain-every", 5*time.Minute, "background maintenance interval")
-		dataDir          = flag.String("data-dir", "", "directory for the durable query log (empty: in-memory only)")
-		syncPolicy       = flag.String("sync", "interval", "WAL fsync policy: always, interval or off")
-		segmentBytes     = flag.Int64("segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation threshold")
-		snapshotEvery    = flag.Duration("snapshot-every", 5*time.Minute, "background snapshot/compaction interval")
+		addr              = flag.String("addr", ":8080", "listen address")
+		rows              = flag.Int("rows", 2000, "rows per measurement table in the synthetic database")
+		seed              = flag.Int64("seed", 1, "random seed for data and trace generation")
+		replayUsers       = flag.Int("replay-users", 10, "number of synthetic users to replay at startup (0 disables)")
+		replaySessions    = flag.Int("replay-sessions", 5, "sessions per synthetic user to replay at startup")
+		miningInterval    = flag.Duration("mine-every", time.Minute, "background mining interval")
+		maintainInterval  = flag.Duration("maintain-every", 5*time.Minute, "background maintenance interval")
+		dataDir           = flag.String("data-dir", "", "directory for the durable query log (empty: in-memory only)")
+		syncPolicy        = flag.String("sync", "interval", "WAL fsync policy: always, interval or off")
+		segmentBytes      = flag.Int64("segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation threshold")
+		snapshotEvery     = flag.Duration("snapshot-every", 5*time.Minute, "background snapshot/compaction interval")
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "HTTP read-header timeout")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
+		writeTimeout      = flag.Duration("write-timeout", time.Minute, "HTTP write timeout (bounds slow scans)")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
+		accessLog         = flag.Bool("access-log", true, "log one line per request")
 	)
 	flag.Parse()
 
@@ -107,7 +112,20 @@ func main() {
 	defer stop()
 	cqms.StartBackground(ctx)
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(cqms).Handler()}
+	// The middleware chain (request IDs, panic recovery, access logging)
+	// lives in the server package; the timeouts guard the listener itself.
+	var srvOpts []server.Option
+	if *accessLog {
+		srvOpts = append(srvOpts, server.WithLogger(log.Default()))
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(cqms, srvOpts...).Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

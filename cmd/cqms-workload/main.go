@@ -1,29 +1,39 @@
 // Command cqms-workload generates the synthetic multi-user exploratory query
 // traces used by the experiments and prints either a summary or the full
-// trace. It exists so the workload substrate can be inspected independently
-// of the CQMS itself.
+// trace. With -server it replays the trace against a running cqms-server
+// through the v1 batch-submit endpoint, so the serving path can be loaded
+// from the outside.
 //
 // Usage:
 //
 //	cqms-workload -users 20 -sessions 10 -summary
 //	cqms-workload -users 5 -sessions 2 -dump
+//	cqms-workload -users 5 -sessions 2 -server http://localhost:8080 -batch 100
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
+	"os"
+	"os/signal"
 	"sort"
 
+	"repro/internal/client"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		users    = flag.Int("users", 20, "number of synthetic users")
-		sessions = flag.Int("sessions", 10, "sessions per user")
-		seed     = flag.Int64("seed", 42, "random seed")
-		dump     = flag.Bool("dump", false, "print every generated query")
-		summary  = flag.Bool("summary", true, "print a workload summary")
+		users     = flag.Int("users", 20, "number of synthetic users")
+		sessions  = flag.Int("sessions", 10, "sessions per user")
+		seed      = flag.Int64("seed", 42, "random seed")
+		dump      = flag.Bool("dump", false, "print every generated query")
+		summary   = flag.Bool("summary", true, "print a workload summary")
+		serverURL = flag.String("server", "", "replay the trace against this CQMS server over the v1 API")
+		batchSize = flag.Int("batch", 100, "queries per batch-submit round trip when replaying")
 	)
 	flag.Parse()
 
@@ -33,6 +43,12 @@ func main() {
 	cfg.Seed = *seed
 	trace := workload.Generate(cfg)
 
+	if *serverURL != "" {
+		if err := replayOverHTTP(trace, *serverURL, *batchSize); err != nil {
+			log.Fatalf("cqms-workload: replaying to %s: %v", *serverURL, err)
+		}
+	}
+
 	if *dump {
 		for _, q := range trace.Queries {
 			fmt.Printf("%s\t%s\tsession=%d\ttopic=%s\t%s\n",
@@ -40,24 +56,77 @@ func main() {
 		}
 	}
 	if *summary {
-		topics := map[string]int{}
-		usersSeen := map[string]int{}
-		for _, q := range trace.Queries {
-			topics[q.Topic]++
-			usersSeen[q.User]++
+		printSummary(trace)
+	}
+}
+
+// replayOverHTTP pushes the trace through a running server's batch-submit
+// endpoint, one client per user so the principal headers carry the right
+// identity, batching batchSize queries per round trip.
+func replayOverHTTP(trace *workload.Trace, serverURL string, batchSize int) error {
+	if batchSize <= 0 {
+		batchSize = 100
+	}
+	if batchSize > server.MaxBatchQueries {
+		batchSize = server.MaxBatchQueries
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Group the trace by user, preserving per-user temporal order.
+	byUser := make(map[string][]server.SubmitParams)
+	groupOf := make(map[string]string)
+	var order []string
+	for _, q := range trace.Queries {
+		if _, seen := byUser[q.User]; !seen {
+			order = append(order, q.User)
+			groupOf[q.User] = q.Group
 		}
-		fmt.Printf("queries:  %d\n", len(trace.Queries))
-		fmt.Printf("users:    %d\n", len(trace.Users))
-		fmt.Printf("sessions: %d (mean length %.1f queries)\n",
-			trace.Sessions, float64(len(trace.Queries))/float64(trace.Sessions))
-		fmt.Println("queries per topic:")
-		var names []string
-		for t := range topics {
-			names = append(names, t)
+		byUser[q.User] = append(byUser[q.User], server.SubmitParams{
+			SQL: q.SQL, Group: q.Group, Visibility: "group",
+		})
+	}
+	var submitted, failed int
+	for _, user := range order {
+		c := client.New(serverURL, client.WithUser(user, groupOf[user]))
+		queries := byUser[user]
+		for start := 0; start < len(queries); start += batchSize {
+			end := start + batchSize
+			if end > len(queries) {
+				end = len(queries)
+			}
+			resp, err := c.SubmitBatch(ctx, queries[start:end])
+			if err != nil {
+				return err
+			}
+			for _, res := range resp.Results {
+				if res.Error != nil || (res.Result != nil && res.Result.ExecError != "") {
+					failed++
+				}
+				submitted++
+			}
 		}
-		sort.Strings(names)
-		for _, t := range names {
-			fmt.Printf("  %-24s %d\n", t, topics[t])
-		}
+	}
+	fmt.Printf("replayed %d queries over %s (%d failed)\n", submitted, serverURL, failed)
+	return nil
+}
+
+func printSummary(trace *workload.Trace) {
+	topics := map[string]int{}
+	for _, q := range trace.Queries {
+		topics[q.Topic]++
+	}
+	fmt.Printf("queries:  %d\n", len(trace.Queries))
+	fmt.Printf("users:    %d\n", len(trace.Users))
+	fmt.Printf("sessions: %d (mean length %.1f queries)\n",
+		trace.Sessions, float64(len(trace.Queries))/float64(trace.Sessions))
+	fmt.Println("queries per topic:")
+	var names []string
+	for t := range topics {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		fmt.Printf("  %-24s %d\n", t, topics[t])
 	}
 }

@@ -1,6 +1,6 @@
 // Command cqmsctl is the command-line CQMS client: it talks to a running
-// cqms-server and exposes the four interaction modes of the paper from the
-// shell.
+// cqms-server over the v1 API and exposes the four interaction modes of the
+// paper from the shell.
 //
 // Usage:
 //
@@ -9,7 +9,9 @@
 // Commands:
 //
 //	query <sql>                       run a SQL query through the CQMS (Traditional mode)
+//	batch <sql>;<sql>;...             submit many queries in one round trip
 //	annotate <id> <text>              attach an annotation to a logged query
+//	show <id>                         fetch one logged query
 //	search <keyword>...               keyword search over the query log
 //	metaquery <sql>                   run a SQL meta-query over the feature relations (Figure 1)
 //	partial <partial sql>             find queries matching a partially written query
@@ -32,14 +34,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"repro/internal/client"
+	"repro/internal/server"
 )
 
 func main() {
@@ -60,54 +65,67 @@ func main() {
 	if *groups != "" {
 		groupList = strings.Split(*groups, ",")
 	}
-	c := client.New(*serverURL, *user, groupList, *admin)
+	opts := []client.Option{client.WithUser(*user, groupList...)}
+	if *admin {
+		opts = append(opts, client.WithAdmin())
+	}
+	c := client.New(*serverURL, opts...)
+
+	// Ctrl-C cancels the request context; the server aborts the in-flight
+	// scan instead of finishing work nobody is waiting for.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cmd, rest := args[0], args[1:]
-	if err := run(c, cmd, rest, *k); err != nil {
+	if err := run(ctx, c, cmd, rest, *k); err != nil {
 		log.Fatalf("cqmsctl %s: %v", cmd, err)
 	}
 }
 
-func run(c *client.Client, cmd string, args []string, k int) error {
+func run(ctx context.Context, c *client.Client, cmd string, args []string, k int) error {
 	switch cmd {
 	case "query":
-		return cmdQuery(c, args)
+		return cmdQuery(ctx, c, args)
+	case "batch":
+		return cmdBatch(ctx, c, args)
 	case "annotate":
-		return cmdAnnotate(c, args)
+		return cmdAnnotate(ctx, c, args)
+	case "show":
+		return cmdShow(ctx, c, args)
 	case "search":
-		return cmdSearch(c, args)
+		return cmdSearch(ctx, c, args)
 	case "metaquery":
-		return cmdMetaQuery(c, args)
+		return cmdMetaQuery(ctx, c, args)
 	case "partial":
-		return cmdPartial(c, args)
+		return cmdPartial(ctx, c, args)
 	case "bydata":
-		return cmdByData(c, args)
+		return cmdByData(ctx, c, args)
 	case "similar":
-		return cmdSimilar(c, args, k)
+		return cmdSimilar(ctx, c, args, k)
 	case "history":
-		return cmdHistory(c, args)
+		return cmdHistory(ctx, c, args)
 	case "sessions":
-		return cmdSessions(c)
+		return cmdSessions(ctx, c)
 	case "graph":
-		return cmdGraph(c, args)
+		return cmdGraph(ctx, c, args)
 	case "complete":
-		return cmdComplete(c, args, k)
+		return cmdComplete(ctx, c, args, k)
 	case "corrections":
-		return cmdCorrections(c, args)
+		return cmdCorrections(ctx, c, args)
 	case "recommend":
-		return cmdRecommend(c, args, k)
+		return cmdRecommend(ctx, c, args, k)
 	case "publish":
-		return cmdPublish(c, args)
+		return cmdPublish(ctx, c, args)
 	case "delete":
-		return cmdDelete(c, args)
+		return cmdDelete(ctx, c, args)
 	case "mine":
-		return cmdMine(c)
+		return cmdMine(ctx, c)
 	case "maintain":
-		return cmdMaintain(c)
+		return cmdMaintain(ctx, c)
 	case "log":
-		return cmdLog(c, args)
+		return cmdLog(ctx, c, args)
 	case "stats":
-		return cmdStats(c)
+		return cmdStats(ctx, c)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -115,17 +133,10 @@ func run(c *client.Client, cmd string, args []string, k int) error {
 
 func joined(args []string) string { return strings.Join(args, " ") }
 
-func cmdQuery(c *client.Client, args []string) error {
-	if len(args) == 0 {
-		return fmt.Errorf("usage: query <sql>")
-	}
-	resp, err := c.Submit(joined(args), "", "group")
-	if err != nil {
-		return err
-	}
+func printSubmitResponse(resp *server.SubmitResponse) {
 	if resp.ExecError != "" {
 		fmt.Printf("execution error: %s (logged as query %d)\n", resp.ExecError, resp.QueryID)
-		return nil
+		return
 	}
 	fmt.Printf("query %d: %d rows in %.2f ms\n", resp.QueryID, resp.RowCount, resp.ExecMillis)
 	if len(resp.Columns) > 0 {
@@ -140,10 +151,52 @@ func cmdQuery(c *client.Client, args []string) error {
 	if resp.SuggestAnnotation {
 		fmt.Printf("hint: this query is complex — consider `cqmsctl annotate %d \"...\"`\n", resp.QueryID)
 	}
+}
+
+func cmdQuery(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: query <sql>")
+	}
+	resp, err := c.Submit(ctx, joined(args), client.Visibility("group"))
+	if err != nil {
+		return err
+	}
+	printSubmitResponse(resp)
 	return nil
 }
 
-func cmdAnnotate(c *client.Client, args []string) error {
+func cmdBatch(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: batch <sql>;<sql>;...")
+	}
+	var queries []server.SubmitParams
+	for _, stmt := range strings.Split(joined(args), ";") {
+		if stmt = strings.TrimSpace(stmt); stmt != "" {
+			queries = append(queries, server.SubmitParams{SQL: stmt, Visibility: "group"})
+		}
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("usage: batch <sql>;<sql>;...")
+	}
+	resp, err := c.SubmitBatch(ctx, queries)
+	if err != nil {
+		return err
+	}
+	for i, res := range resp.Results {
+		if res.Error != nil {
+			fmt.Printf("[%d] error %s: %s\n", i, res.Error.Code, res.Error.Message)
+			continue
+		}
+		if res.Result.ExecError != "" {
+			fmt.Printf("[%d] query %d: execution error: %s\n", i, res.Result.QueryID, res.Result.ExecError)
+			continue
+		}
+		fmt.Printf("[%d] query %d: %d rows in %.2f ms\n", i, res.Result.QueryID, res.Result.RowCount, res.Result.ExecMillis)
+	}
+	return nil
+}
+
+func cmdAnnotate(ctx context.Context, c *client.Client, args []string) error {
 	if len(args) < 2 {
 		return fmt.Errorf("usage: annotate <query id> <text>")
 	}
@@ -151,58 +204,69 @@ func cmdAnnotate(c *client.Client, args []string) error {
 	if err != nil {
 		return fmt.Errorf("invalid query id %q", args[0])
 	}
-	return c.Annotate(id, joined(args[1:]))
+	return c.Annotate(ctx, id, joined(args[1:]))
 }
 
-func cmdSearch(c *client.Client, args []string) error {
+func cmdShow(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: show <query id>")
+	}
+	id, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("invalid query id %q", args[0])
+	}
+	q, err := c.GetQuery(ctx, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query %d by %s at %s\n%s\n", q.ID, q.User, q.IssuedAt.Format("2006-01-02 15:04"), q.Text)
+	for _, a := range q.Annotations {
+		fmt.Printf("  note: %s\n", a)
+	}
+	return nil
+}
+
+func printMatches(it *client.Iter[server.MatchDTO], notes bool) error {
+	n := 0
+	for it.Next() {
+		m := it.Item()
+		fmt.Printf("[q%-4d %-8s] %s\n", m.Query.ID, m.Query.User, m.Query.Text)
+		if notes {
+			for _, a := range m.Query.Annotations {
+				fmt.Printf("      note: %s\n", a)
+			}
+		}
+		n++
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%d matching queries\n", n)
+	return nil
+}
+
+func cmdSearch(ctx context.Context, c *client.Client, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: search <keyword>...")
 	}
-	matches, err := c.SearchKeyword(args...)
-	if err != nil {
-		return err
-	}
-	for _, m := range matches {
-		fmt.Printf("[q%-4d %-8s] %s\n", m.Query.ID, m.Query.User, m.Query.Text)
-		for _, a := range m.Query.Annotations {
-			fmt.Printf("      note: %s\n", a)
-		}
-	}
-	fmt.Printf("%d matching queries\n", len(matches))
-	return nil
+	return printMatches(c.SearchKeyword(ctx, args...), true)
 }
 
-func cmdMetaQuery(c *client.Client, args []string) error {
+func cmdMetaQuery(ctx context.Context, c *client.Client, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: metaquery <sql over Queries/DataSources/Attributes/Predicates>")
 	}
-	matches, err := c.MetaQuery(joined(args))
-	if err != nil {
-		return err
-	}
-	for _, m := range matches {
-		fmt.Printf("[q%-4d %-8s] %s\n", m.Query.ID, m.Query.User, m.Query.Text)
-	}
-	fmt.Printf("%d matching queries\n", len(matches))
-	return nil
+	return printMatches(c.MetaQuery(ctx, joined(args)), false)
 }
 
-func cmdPartial(c *client.Client, args []string) error {
+func cmdPartial(ctx context.Context, c *client.Client, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: partial <partial sql>")
 	}
-	matches, err := c.SearchPartial(joined(args))
-	if err != nil {
-		return err
-	}
-	for _, m := range matches {
-		fmt.Printf("[q%-4d %-8s] %s\n", m.Query.ID, m.Query.User, m.Query.Text)
-	}
-	fmt.Printf("%d matching queries\n", len(matches))
-	return nil
+	return printMatches(c.SearchPartial(ctx, joined(args)), false)
 }
 
-func cmdByData(c *client.Client, args []string) error {
+func cmdByData(ctx context.Context, c *client.Client, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: bydata <must-include value> [must-exclude value]")
 	}
@@ -211,41 +275,29 @@ func cmdByData(c *client.Client, args []string) error {
 	if len(args) > 1 {
 		exclude = []string{args[1]}
 	}
-	matches, err := c.SearchByData(include, exclude)
-	if err != nil {
-		return err
-	}
-	for _, m := range matches {
-		fmt.Printf("[q%-4d %-8s] %s\n", m.Query.ID, m.Query.User, m.Query.Text)
-	}
-	fmt.Printf("%d matching queries\n", len(matches))
-	return nil
+	return printMatches(c.SearchByData(ctx, include, exclude), false)
 }
 
-func cmdSimilar(c *client.Client, args []string, k int) error {
+func cmdSimilar(ctx context.Context, c *client.Client, args []string, k int) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: similar <sql>")
 	}
-	matches, err := c.Similar(joined(args), k)
-	if err != nil {
-		return err
-	}
-	for _, m := range matches {
+	it := c.Similar(ctx, joined(args), k)
+	for it.Next() {
+		m := it.Item()
 		fmt.Printf("[%3.0f%%] [q%-4d %-8s] %s\n", m.Score*100, m.Query.ID, m.Query.User, m.Query.Text)
 	}
-	return nil
+	return it.Err()
 }
 
-func cmdHistory(c *client.Client, args []string) error {
+func cmdHistory(ctx context.Context, c *client.Client, args []string) error {
 	of := ""
 	if len(args) > 0 {
 		of = args[0]
 	}
-	matches, err := c.History(of)
-	if err != nil {
-		return err
-	}
-	for _, m := range matches {
+	it := c.History(ctx, of)
+	for it.Next() {
+		m := it.Item()
 		valid := ""
 		if !m.Query.Valid {
 			valid = " [INVALID]"
@@ -254,25 +306,28 @@ func cmdHistory(c *client.Client, args []string) error {
 			m.Query.ID, m.Query.IssuedAt.Format("2006-01-02 15:04"), valid,
 			m.Query.Text, m.Query.ResultRows, m.Query.ExecMillis)
 	}
-	return nil
+	return it.Err()
 }
 
-func cmdSessions(c *client.Client) error {
-	sessions, err := c.Sessions()
-	if err != nil {
-		return err
-	}
-	for _, s := range sessions {
+func cmdSessions(ctx context.Context, c *client.Client) error {
+	it := c.Sessions(ctx)
+	n := 0
+	for it.Next() {
+		s := it.Item()
 		fmt.Printf("session %-4d %-10s %2d queries  %s — %s  tables: %s\n",
 			s.ID, s.User, s.QueryCount,
 			s.Start.Format("15:04"), s.End.Format("15:04"),
 			strings.Join(s.Tables, ", "))
+		n++
 	}
-	fmt.Printf("%d sessions\n", len(sessions))
+	if err := it.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%d sessions\n", n)
 	return nil
 }
 
-func cmdGraph(c *client.Client, args []string) error {
+func cmdGraph(ctx context.Context, c *client.Client, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: graph <session id>")
 	}
@@ -280,7 +335,7 @@ func cmdGraph(c *client.Client, args []string) error {
 	if err != nil {
 		return fmt.Errorf("invalid session id %q", args[0])
 	}
-	graph, err := c.SessionGraph(id)
+	graph, err := c.SessionGraph(ctx, id)
 	if err != nil {
 		return err
 	}
@@ -288,11 +343,11 @@ func cmdGraph(c *client.Client, args []string) error {
 	return nil
 }
 
-func cmdComplete(c *client.Client, args []string, k int) error {
+func cmdComplete(ctx context.Context, c *client.Client, args []string, k int) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: complete <partial sql>")
 	}
-	completions, err := c.Complete(joined(args), k)
+	completions, err := c.Complete(ctx, joined(args), k)
 	if err != nil {
 		return err
 	}
@@ -302,11 +357,11 @@ func cmdComplete(c *client.Client, args []string, k int) error {
 	return nil
 }
 
-func cmdCorrections(c *client.Client, args []string) error {
+func cmdCorrections(ctx context.Context, c *client.Client, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: corrections <sql>")
 	}
-	corrections, err := c.Corrections(joined(args))
+	corrections, err := c.Corrections(ctx, joined(args))
 	if err != nil {
 		return err
 	}
@@ -320,11 +375,11 @@ func cmdCorrections(c *client.Client, args []string) error {
 	return nil
 }
 
-func cmdRecommend(c *client.Client, args []string, k int) error {
+func cmdRecommend(ctx context.Context, c *client.Client, args []string, k int) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: recommend <sql>")
 	}
-	similar, err := c.SimilarQueries(joined(args), k)
+	similar, err := c.SimilarQueries(ctx, joined(args), k)
 	if err != nil {
 		return err
 	}
@@ -339,7 +394,7 @@ func cmdRecommend(c *client.Client, args []string, k int) error {
 	return nil
 }
 
-func cmdPublish(c *client.Client, args []string) error {
+func cmdPublish(ctx context.Context, c *client.Client, args []string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("usage: publish <query id> <private|group|public>")
 	}
@@ -347,10 +402,10 @@ func cmdPublish(c *client.Client, args []string) error {
 	if err != nil {
 		return fmt.Errorf("invalid query id %q", args[0])
 	}
-	return c.SetVisibility(id, args[1])
+	return c.SetVisibility(ctx, id, args[1])
 }
 
-func cmdDelete(c *client.Client, args []string) error {
+func cmdDelete(ctx context.Context, c *client.Client, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: delete <query id>")
 	}
@@ -358,11 +413,11 @@ func cmdDelete(c *client.Client, args []string) error {
 	if err != nil {
 		return fmt.Errorf("invalid query id %q", args[0])
 	}
-	return c.DeleteQuery(id)
+	return c.DeleteQuery(ctx, id)
 }
 
-func cmdMine(c *client.Client) error {
-	resp, err := c.Mine()
+func cmdMine(ctx context.Context, c *client.Client) error {
+	resp, err := c.Mine(ctx)
 	if err != nil {
 		return err
 	}
@@ -371,8 +426,8 @@ func cmdMine(c *client.Client) error {
 	return nil
 }
 
-func cmdMaintain(c *client.Client) error {
-	resp, err := c.Maintain()
+func cmdMaintain(ctx context.Context, c *client.Client) error {
+	resp, err := c.Maintain(ctx)
 	if err != nil {
 		return err
 	}
@@ -387,13 +442,13 @@ func cmdMaintain(c *client.Client) error {
 	return nil
 }
 
-func cmdLog(c *client.Client, args []string) error {
+func cmdLog(ctx context.Context, c *client.Client, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: log <info|backup|compact>")
 	}
 	switch args[0] {
 	case "info":
-		info, err := c.LogInfo()
+		info, err := c.LogInfo(ctx)
 		if err != nil {
 			return err
 		}
@@ -416,14 +471,14 @@ func cmdLog(c *client.Client, args []string) error {
 		fmt.Printf("%d segments, %d bytes\n", len(info.Segments), total)
 		return nil
 	case "backup":
-		resp, err := c.LogBackup()
+		resp, err := c.LogBackup(ctx)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("snapshot covering sequence %d written to %s\n", resp.Seq, resp.Path)
 		return nil
 	case "compact":
-		resp, err := c.LogCompact()
+		resp, err := c.LogCompact(ctx)
 		if err != nil {
 			return err
 		}
@@ -435,8 +490,8 @@ func cmdLog(c *client.Client, args []string) error {
 	}
 }
 
-func cmdStats(c *client.Client) error {
-	stats, err := c.Stats()
+func cmdStats(ctx context.Context, c *client.Client) error {
+	stats, err := c.Stats(ctx)
 	if err != nil {
 		return err
 	}

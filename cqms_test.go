@@ -1,6 +1,7 @@
 package cqms
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -39,10 +40,11 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Errorf("mining transactions = %d", mining.TransactionCount)
 	}
 
-	if matches := sys.Search(alice, "salinity"); len(matches) != 1 {
-		t.Errorf("keyword matches = %d, want 1", len(matches))
+	ctx := context.Background()
+	if matches, err := sys.Search(ctx, alice, "salinity"); err != nil || len(matches) != 1 {
+		t.Errorf("keyword matches = %d, want 1 (err %v)", len(matches), err)
 	}
-	_, matches, err := sys.MetaQuery(alice, `SELECT Q.qid FROM Queries Q, DataSources D
+	_, matches, err := sys.MetaQuery(ctx, alice, `SELECT Q.qid FROM Queries Q, DataSources D
 		WHERE Q.qid = D.qid AND D.relName = 'WaterSalinity'`)
 	if err != nil {
 		t.Fatalf("MetaQuery: %v", err)
@@ -50,8 +52,8 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if len(matches) != 1 {
 		t.Errorf("meta-query matches = %d, want 1", len(matches))
 	}
-	if got := sys.SuggestTables(alice, "SELECT * FROM WaterSalinity", 3); len(got) == 0 {
-		t.Errorf("no table suggestions")
+	if got, err := sys.SuggestTables(ctx, alice, "SELECT * FROM WaterSalinity", 3); err != nil || len(got) == 0 {
+		t.Errorf("no table suggestions (err %v)", err)
 	}
 	if report, err := sys.RunMaintenance(); err != nil || report.Checked != 2 {
 		t.Errorf("maintenance report = %+v, err %v", report, err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	sys := cqms.New(cqms.DefaultConfig())
 	if err := cqms.PopulateScientificDB(sys.Engine(), 600, 3); err != nil {
 		log.Fatalf("populating database: %v", err)
@@ -42,7 +44,11 @@ func main() {
 	partial := "SELECT * FROM WaterSalinity"
 	fmt.Printf("typed so far:  %s\n", partial)
 	fmt.Println("table suggestions:")
-	for _, c := range sys.SuggestTables(user, partial, 3) {
+	tableSuggestions, err := sys.SuggestTables(ctx, user, partial, 3)
+	if err != nil {
+		log.Fatalf("suggest tables: %v", err)
+	}
+	for _, c := range tableSuggestions {
 		fmt.Printf("  %-15s %.2f  %s\n", c.Text, c.Score, c.Reason)
 	}
 
@@ -51,7 +57,11 @@ func main() {
 	partial = "SELECT * FROM WaterSalinity, WaterTemp WHERE "
 	fmt.Printf("\ntyped so far:  %s\n", partial)
 	fmt.Println("completions:")
-	for _, c := range sys.Complete(user, partial, 2) {
+	completions, err := sys.Complete(ctx, user, partial, 2)
+	if err != nil {
+		log.Fatalf("complete: %v", err)
+	}
+	for _, c := range completions {
 		fmt.Printf("  [%-9s] %s\n", c.Kind, c.Text)
 	}
 
@@ -59,7 +69,11 @@ func main() {
 	// like a spell checker.
 	misspelled := "SELECT tmep FROM WaterTemp WHERE tmep < 18"
 	fmt.Printf("\nsubmitted with a typo:  %s\n", misspelled)
-	for _, corr := range sys.Corrections(user, misspelled) {
+	corrections, err := sys.Corrections(ctx, user, misspelled)
+	if err != nil {
+		log.Fatalf("corrections: %v", err)
+	}
+	for _, corr := range corrections {
 		fmt.Printf("  correction [%s]: %s -> %s (%s)\n", corr.Kind, corr.Original, corr.Suggestion, corr.Reason)
 	}
 
@@ -71,7 +85,7 @@ func main() {
 		log.Fatalf("submit: %v", err)
 	}
 	fmt.Printf("\nran %q: %d rows\n", empty, out.Result.Cardinality())
-	suggestions, err := sys.EmptyResultSuggestions(user, empty, 3)
+	suggestions, err := sys.EmptyResultSuggestions(ctx, user, empty, 3)
 	if err != nil {
 		log.Fatalf("empty-result suggestions: %v", err)
 	}
@@ -81,7 +95,7 @@ func main() {
 
 	// Step 5: the full Figure 3 pane for the query being composed.
 	final := "SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x AND WaterTemp.temp < 18"
-	pane, err := sys.AssistPane(user, final, 3)
+	pane, err := sys.AssistPane(ctx, user, final, 3)
 	if err != nil {
 		log.Fatalf("assist pane: %v", err)
 	}

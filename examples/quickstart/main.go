@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,6 +22,7 @@ func main() {
 		log.Fatalf("populating database: %v", err)
 	}
 
+	ctx := context.Background()
 	alice := cqms.Principal{User: "alice", Groups: []string{"limnology"}}
 
 	// 2. Traditional Interaction Mode: run queries; the CQMS logs them
@@ -54,11 +56,15 @@ func main() {
 	// 5. Search & Browse Interaction Mode: keyword search and the Figure 1
 	//    meta-query.
 	fmt.Println("\nkeyword search for 'salinity':")
-	for _, m := range sys.Search(alice, "salinity") {
+	searchMatches, err := sys.Search(ctx, alice, "salinity")
+	if err != nil {
+		log.Fatalf("search: %v", err)
+	}
+	for _, m := range searchMatches {
 		fmt.Printf("  [q%d] %s\n", m.Record.ID, m.Record.Canonical)
 	}
 
-	_, matches, err := sys.MetaQuery(alice, `SELECT Q.qid, Q.qText
+	_, matches, err := sys.MetaQuery(ctx, alice, `SELECT Q.qid, Q.qText
 		FROM Queries Q, DataSources D1, DataSources D2
 		WHERE Q.qid = D1.qid AND Q.qid = D2.qid
 		AND D1.relName = 'WaterSalinity' AND D2.relName = 'WaterTemp'`)
@@ -73,11 +79,15 @@ func main() {
 	// 6. Assisted Interaction Mode: ask for completions while composing a new
 	//    query, and for the Figure 3 similar-queries pane.
 	fmt.Println("\ncompletions for 'SELECT * FROM WaterSalinity':")
-	for _, c := range sys.SuggestTables(alice, "SELECT * FROM WaterSalinity", 3) {
+	suggestions, err := sys.SuggestTables(ctx, alice, "SELECT * FROM WaterSalinity", 3)
+	if err != nil {
+		log.Fatalf("suggest tables: %v", err)
+	}
+	for _, c := range suggestions {
 		fmt.Printf("  add table %-15s (%s)\n", c.Text, c.Reason)
 	}
 
-	pane, err := sys.AssistPane(alice, "SELECT * FROM WaterSalinity, WaterTemp WHERE ", 3)
+	pane, err := sys.AssistPane(ctx, alice, "SELECT * FROM WaterSalinity, WaterTemp WHERE ", 3)
 	if err != nil {
 		log.Fatalf("assist pane: %v", err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	sys := cqms.New(cqms.DefaultConfig())
 	if err := cqms.PopulateScientificDB(sys.Engine(), 800, 7); err != nil {
 		log.Fatalf("populating database: %v", err)
@@ -38,15 +40,19 @@ func main() {
 		log.Fatalf("replaying trace: %v", err)
 	}
 	mining := sys.RunMiner()
+	allSessions, err := sys.Sessions(ctx, cqms.Admin)
+	if err != nil {
+		log.Fatalf("sessions: %v", err)
+	}
 	fmt.Printf("replayed %d queries from %d users; mined %d rules, %d sessions detected\n",
-		sys.Store().Count(), len(trace.Users), len(mining.Rules), len(sys.Sessions(cqms.Admin)))
+		sys.Store().Count(), len(trace.Users), len(mining.Rules), len(allSessions))
 
 	// A new limnologist joins the lab.
 	newcomer := cqms.Principal{User: "newcomer", Groups: []string{"limnology"}}
 
 	// 1. "Has anyone already correlated salinity with temperature?" — the
 	//    Figure 1 meta-query answers from the group's query log.
-	_, matches, err := sys.MetaQuery(newcomer, `SELECT Q.qid, Q.qText
+	_, matches, err := sys.MetaQuery(ctx, newcomer, `SELECT Q.qid, Q.qText
 		FROM Queries Q, DataSources D1, DataSources D2
 		WHERE Q.qid = D1.qid AND Q.qid = D2.qid
 		AND D1.relName = 'WaterSalinity' AND D2.relName = 'WaterTemp'`)
@@ -62,7 +68,10 @@ func main() {
 	}
 
 	// 2. Browse one colleague's exploration as a Figure 2 session window.
-	sessions := sys.Sessions(newcomer)
+	sessions, err := sys.Sessions(ctx, newcomer)
+	if err != nil {
+		log.Fatalf("sessions: %v", err)
+	}
 	if len(sessions) > 0 {
 		target := sessions[0]
 		for _, s := range sessions {
@@ -70,7 +79,7 @@ func main() {
 				target = s
 			}
 		}
-		graph, err := sys.SessionGraph(newcomer, target.ID)
+		graph, err := sys.SessionGraph(ctx, newcomer, target.ID)
 		if err != nil {
 			log.Fatalf("session graph: %v", err)
 		}
@@ -80,7 +89,10 @@ func main() {
 	// 3. The auto-generated tutorial introduces the data set through its most
 	//    popular queries (§2.3).
 	fmt.Println("auto-generated tutorial for the newcomer:")
-	steps := sys.Tutorial(newcomer, 2)
+	steps, err := sys.Tutorial(ctx, newcomer, 2)
+	if err != nil {
+		log.Fatalf("tutorial: %v", err)
+	}
 	for i, step := range steps {
 		if i == 3 {
 			break
@@ -101,7 +113,11 @@ func main() {
 		return true
 	})
 	visibleAstro := 0
-	for _, m := range sys.Search(newcomer, "Stars") {
+	starMatches, err := sys.Search(ctx, newcomer, "Stars")
+	if err != nil {
+		log.Fatalf("search: %v", err)
+	}
+	for _, m := range starMatches {
 		if m.Record.Group == "astro" {
 			visibleAstro++
 		}

@@ -1,10 +1,18 @@
-// Package client is a Go client for the CQMS HTTP API (internal/server). It
-// is what cmd/cqmsctl and the integration tests use to talk to a running
-// CQMS server, playing the role of the paper's CQMS client.
+// Package client is the Go client for the CQMS v1 HTTP API
+// (internal/server). It is what cmd/cqmsctl, cmd/cqms-workload and the
+// integration tests use to talk to a running CQMS server, playing the role
+// of the paper's CQMS client.
+//
+// The client follows the v1 contract end to end: every method takes a
+// context.Context (cancelling it aborts the server-side scan), the acting
+// principal travels in the X-CQMS-* headers, failures surface the server's
+// structured error envelope as *client.Error, and list endpoints return
+// auto-paginating iterators that follow nextCursor transparently.
 package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -16,77 +24,236 @@ import (
 	"repro/internal/server"
 )
 
+// defaultPageSize is the page size the iterators request — the server's
+// maximum, because every search page re-runs the scan server-side, so a full
+// drain (Iter.All) should take as few round trips as the server permits.
+// Tune with WithPageSize for interactive consumers that stop early.
+const defaultPageSize = 500
+
 // Client talks to a CQMS server.
 type Client struct {
 	base       string
 	httpClient *http.Client
-	principal  server.PrincipalDTO
+	user       string
+	groups     []string
+	admin      bool
+	pageSize   int
 }
 
-// New returns a client for the server at baseURL acting as the given user.
-func New(baseURL, user string, groups []string, admin bool) *Client {
-	return &Client{
+// Option configures a Client.
+type Option func(*Client)
+
+// WithUser sets the acting user and its groups.
+func WithUser(user string, groups ...string) Option {
+	return func(c *Client) { c.user, c.groups = user, groups }
+}
+
+// WithAdmin marks the client as acting with administrative rights.
+func WithAdmin() Option {
+	return func(c *Client) { c.admin = true }
+}
+
+// WithHTTPClient replaces the underlying *http.Client (timeouts, transport).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.httpClient = hc }
+}
+
+// WithPageSize sets the page size the auto-paginating iterators request.
+func WithPageSize(n int) Option {
+	return func(c *Client) { c.pageSize = n }
+}
+
+// New returns a client for the server at baseURL. Without options it acts as
+// the anonymous principal.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
 		base:       strings.TrimRight(baseURL, "/"),
 		httpClient: &http.Client{Timeout: 30 * time.Second},
-		principal:  server.PrincipalDTO{User: user, Groups: groups, Admin: admin},
+		pageSize:   defaultPageSize,
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
-// Principal returns the identity the client acts as.
-func (c *Client) Principal() server.PrincipalDTO { return c.principal }
+// User returns the user the client acts as.
+func (c *Client) User() string { return c.user }
 
-func (c *Client) post(path string, req, resp interface{}) error {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return fmt.Errorf("client: encoding request: %w", err)
-	}
-	httpResp, err := c.httpClient.Post(c.base+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("client: POST %s: %w", path, err)
-	}
-	defer httpResp.Body.Close()
-	return decodeResponse(path, httpResp, resp)
+// Error is a failed API call: the HTTP status and the server's structured
+// error envelope.
+type Error struct {
+	Status int
+	Path   string
+	API    server.APIError
 }
 
-func (c *Client) get(path string, params url.Values, resp interface{}) error {
-	params.Set("user", c.principal.User)
-	if len(c.principal.Groups) > 0 {
-		params.Set("groups", strings.Join(c.principal.Groups, ","))
-	}
-	if c.principal.Admin {
-		params.Set("admin", "true")
-	}
-	httpResp, err := c.httpClient.Get(c.base + path + "?" + params.Encode())
-	if err != nil {
-		return fmt.Errorf("client: GET %s: %w", path, err)
-	}
-	defer httpResp.Body.Close()
-	return decodeResponse(path, httpResp, resp)
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("client: %s: %s: %s (status %d)", e.Path, e.API.Code, e.API.Message, e.Status)
 }
 
-func decodeResponse(path string, httpResp *http.Response, resp interface{}) error {
-	if httpResp.StatusCode >= 400 {
-		var e server.ErrorResponse
-		if err := json.NewDecoder(httpResp.Body).Decode(&e); err == nil && e.Error != "" {
-			return fmt.Errorf("client: %s: %s (status %d)", path, e.Error, httpResp.StatusCode)
+// Code returns the machine-readable error code, the field clients should
+// branch on.
+func (e *Error) Code() server.ErrorCode { return e.API.Code }
+
+// do performs one request against the v1 API: principal headers, JSON body
+// in, JSON body out, envelope errors decoded into *Error.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out interface{}) error {
+	var reader *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
 		}
-		return fmt.Errorf("client: %s: status %d", path, httpResp.StatusCode)
+		reader = bytes.NewReader(b)
+	} else {
+		reader = bytes.NewReader(nil)
 	}
-	if resp == nil {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, reader)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.user != "" {
+		req.Header.Set(server.HeaderUser, c.user)
+	}
+	if len(c.groups) > 0 {
+		req.Header.Set(server.HeaderGroups, strings.Join(c.groups, ","))
+	}
+	if c.admin {
+		req.Header.Set(server.HeaderAdmin, "true")
+	}
+	resp, err := c.httpClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var envelope server.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error.Code == "" {
+			envelope.Error = server.APIError{Code: server.CodeInternal, Message: "unparsable error response"}
+		}
+		return &Error{Status: resp.StatusCode, Path: path, API: envelope.Error}
+	}
+	if out == nil {
 		return nil
 	}
-	if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("client: decoding %s response: %w", path, err)
 	}
 	return nil
 }
 
+// ---------------------------------------------------------------------------
+// Auto-paginating iterators
+// ---------------------------------------------------------------------------
+
+// Iter walks a paginated listing, fetching pages on demand. Use Next/Item to
+// stream, All to collect the remainder, and Err after Next returns false.
+type Iter[T any] struct {
+	ctx   context.Context
+	fetch func(ctx context.Context, cursor string) ([]T, string, error)
+	buf   []T
+	pos   int
+	next  string
+	done  bool
+	err   error
+}
+
+func newIter[T any](ctx context.Context, fetch func(context.Context, string) ([]T, string, error)) *Iter[T] {
+	return &Iter[T]{ctx: ctx, fetch: fetch}
+}
+
+// Next advances to the next item, fetching the next page when the buffered
+// one is exhausted. It returns false at the end of the listing or on error.
+func (it *Iter[T]) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	for it.pos >= len(it.buf) {
+		if it.done {
+			return false
+		}
+		items, next, err := it.fetch(it.ctx, it.next)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.buf, it.pos, it.next = items, 0, next
+		it.done = next == ""
+	}
+	it.pos++
+	return true
+}
+
+// Item returns the current item. Valid only after Next returned true.
+func (it *Iter[T]) Item() T { return it.buf[it.pos-1] }
+
+// Err returns the error that stopped iteration, if any.
+func (it *Iter[T]) Err() error { return it.err }
+
+// All drains the iterator and returns every remaining item.
+func (it *Iter[T]) All() ([]T, error) {
+	var out []T
+	for it.Next() {
+		out = append(out, it.Item())
+	}
+	return out, it.Err()
+}
+
+// ---------------------------------------------------------------------------
+// Traditional mode
+// ---------------------------------------------------------------------------
+
+// SubmitOption configures one submission.
+type SubmitOption func(*server.SubmitParams)
+
+// Group attributes the query to a group.
+func Group(group string) SubmitOption {
+	return func(p *server.SubmitParams) { p.Group = group }
+}
+
+// Visibility sets the logged query's visibility: private, group or public.
+func Visibility(v string) SubmitOption {
+	return func(p *server.SubmitParams) { p.Visibility = v }
+}
+
 // Submit runs a SQL query through the CQMS (Traditional mode).
-func (c *Client) Submit(sqlText, group, visibility string) (*server.SubmitResponse, error) {
+func (c *Client) Submit(ctx context.Context, sqlText string, opts ...SubmitOption) (*server.SubmitResponse, error) {
+	params := server.SubmitParams{SQL: sqlText}
+	for _, opt := range opts {
+		opt(&params)
+	}
 	var resp server.SubmitResponse
-	err := c.post("/api/query", server.SubmitRequest{
-		Principal: c.principal, Group: group, Visibility: visibility, SQL: sqlText,
-	}, &resp)
+	if err := c.do(ctx, http.MethodPost, "/v1/queries", nil, params, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SubmitBatch submits many queries in one round trip. Results mirror the
+// input order; per-query failures are reported per item, not as a call
+// error.
+func (c *Client) SubmitBatch(ctx context.Context, queries []server.SubmitParams) (*server.BatchSubmitResponse, error) {
+	var resp server.BatchSubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/queries:batch", nil, server.BatchSubmitRequest{Queries: queries}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// GetQuery fetches one logged query.
+func (c *Client) GetQuery(ctx context.Context, queryID int64) (*server.QueryDTO, error) {
+	var resp server.QueryDTO
+	err := c.do(ctx, http.MethodGet, "/v1/queries/"+strconv.FormatInt(queryID, 10), nil, nil, &resp)
 	if err != nil {
 		return nil, err
 	}
@@ -94,133 +261,182 @@ func (c *Client) Submit(sqlText, group, visibility string) (*server.SubmitRespon
 }
 
 // Annotate attaches an annotation to a logged query.
-func (c *Client) Annotate(queryID int64, text string) error {
-	return c.post("/api/annotate", server.AnnotateRequest{
-		Principal: c.principal, QueryID: queryID, Text: text,
-	}, nil)
+func (c *Client) Annotate(ctx context.Context, queryID int64, text string) error {
+	return c.do(ctx, http.MethodPost,
+		"/v1/queries/"+strconv.FormatInt(queryID, 10)+"/annotations",
+		nil, server.AnnotateParams{Text: text}, nil)
 }
 
-// SearchKeyword performs keyword search.
-func (c *Client) SearchKeyword(keywords ...string) ([]server.MatchDTO, error) {
-	var resp server.SearchResponse
-	err := c.post("/api/search/keyword", server.SearchRequest{Principal: c.principal, Keywords: keywords}, &resp)
-	return resp.Matches, err
+// DeleteQuery removes a logged query.
+func (c *Client) DeleteQuery(ctx context.Context, queryID int64) error {
+	return c.do(ctx, http.MethodDelete, "/v1/queries/"+strconv.FormatInt(queryID, 10), nil, nil, nil)
+}
+
+// SetVisibility changes a logged query's visibility.
+func (c *Client) SetVisibility(ctx context.Context, queryID int64, visibility string) error {
+	return c.do(ctx, http.MethodPut,
+		"/v1/queries/"+strconv.FormatInt(queryID, 10)+"/visibility",
+		nil, server.VisibilityParams{Visibility: visibility}, nil)
+}
+
+// ---------------------------------------------------------------------------
+// Search & browse mode
+// ---------------------------------------------------------------------------
+
+// searchIter pages one search kind through POST /v1/search/{kind}.
+func (c *Client) searchIter(ctx context.Context, kind string, params server.SearchParams) *Iter[server.MatchDTO] {
+	params.Limit = c.pageSize
+	return newIter(ctx, func(ctx context.Context, cursor string) ([]server.MatchDTO, string, error) {
+		p := params
+		p.Cursor = cursor
+		var resp server.SearchResponse
+		if err := c.do(ctx, http.MethodPost, "/v1/search/"+kind, nil, p, &resp); err != nil {
+			return nil, "", err
+		}
+		return resp.Matches, resp.NextCursor, nil
+	})
+}
+
+// SearchKeyword performs keyword search over the visible query log.
+func (c *Client) SearchKeyword(ctx context.Context, keywords ...string) *Iter[server.MatchDTO] {
+	return c.searchIter(ctx, "keyword", server.SearchParams{Keywords: keywords})
+}
+
+// SearchSubstring performs substring search over the visible query log.
+func (c *Client) SearchSubstring(ctx context.Context, substring string) *Iter[server.MatchDTO] {
+	return c.searchIter(ctx, "substring", server.SearchParams{Substring: substring})
 }
 
 // MetaQuery runs a SQL meta-query over the feature relations.
-func (c *Client) MetaQuery(metaSQL string) ([]server.MatchDTO, error) {
-	var resp server.SearchResponse
-	err := c.post("/api/search/metaquery", server.SearchRequest{Principal: c.principal, MetaSQL: metaSQL}, &resp)
-	return resp.Matches, err
+func (c *Client) MetaQuery(ctx context.Context, metaSQL string) *Iter[server.MatchDTO] {
+	return c.searchIter(ctx, "metaquery", server.SearchParams{MetaSQL: metaSQL})
 }
 
 // SearchPartial runs the auto-generated feature meta-query for a partial
 // query.
-func (c *Client) SearchPartial(partial string) ([]server.MatchDTO, error) {
-	var resp server.SearchResponse
-	err := c.post("/api/search/partial", server.SearchRequest{Principal: c.principal, Partial: partial}, &resp)
-	return resp.Matches, err
+func (c *Client) SearchPartial(ctx context.Context, partial string) *Iter[server.MatchDTO] {
+	return c.searchIter(ctx, "partial", server.SearchParams{Partial: partial})
 }
 
 // SearchByData runs a query-by-data search.
-func (c *Client) SearchByData(include, exclude []string) ([]server.MatchDTO, error) {
-	var resp server.SearchResponse
-	err := c.post("/api/search/bydata", server.SearchRequest{Principal: c.principal, Include: include, Exclude: exclude}, &resp)
-	return resp.Matches, err
+func (c *Client) SearchByData(ctx context.Context, include, exclude []string) *Iter[server.MatchDTO] {
+	return c.searchIter(ctx, "bydata", server.SearchParams{Include: include, Exclude: exclude})
 }
 
-// Similar returns the k most similar logged queries to the given SQL.
-func (c *Client) Similar(sqlText string, k int) ([]server.MatchDTO, error) {
-	var resp server.SearchResponse
-	err := c.post("/api/search/similar", server.SearchRequest{Principal: c.principal, SQL: sqlText, K: k}, &resp)
-	return resp.Matches, err
+// Similar returns the k most similar logged queries to the given SQL (k <= 0
+// ranks the whole visible log).
+func (c *Client) Similar(ctx context.Context, sqlText string, k int) *Iter[server.MatchDTO] {
+	return c.searchIter(ctx, "similar", server.SearchParams{SQL: sqlText, K: k})
 }
 
-// History returns the caller's (or another user's) query history.
-func (c *Client) History(of string) ([]server.MatchDTO, error) {
-	var resp server.SearchResponse
-	params := url.Values{}
-	if of != "" {
-		params.Set("of", of)
-	}
-	err := c.get("/api/history", params, &resp)
-	return resp.Matches, err
+// History returns the caller's (or another user's) query history in temporal
+// order.
+func (c *Client) History(ctx context.Context, of string) *Iter[server.MatchDTO] {
+	return newIter(ctx, func(ctx context.Context, cursor string) ([]server.MatchDTO, string, error) {
+		query := url.Values{}
+		if of != "" {
+			query.Set("of", of)
+		}
+		query.Set("limit", strconv.Itoa(c.pageSize))
+		if cursor != "" {
+			query.Set("cursor", cursor)
+		}
+		var resp server.SearchResponse
+		if err := c.do(ctx, http.MethodGet, "/v1/history", query, nil, &resp); err != nil {
+			return nil, "", err
+		}
+		return resp.Matches, resp.NextCursor, nil
+	})
 }
 
 // Sessions lists detected sessions visible to the caller.
-func (c *Client) Sessions() ([]server.SessionDTO, error) {
-	var resp server.SessionsResponse
-	err := c.get("/api/sessions", url.Values{}, &resp)
-	return resp.Sessions, err
+func (c *Client) Sessions(ctx context.Context) *Iter[server.SessionDTO] {
+	return newIter(ctx, func(ctx context.Context, cursor string) ([]server.SessionDTO, string, error) {
+		query := url.Values{}
+		query.Set("limit", strconv.Itoa(c.pageSize))
+		if cursor != "" {
+			query.Set("cursor", cursor)
+		}
+		var resp server.SessionsResponse
+		if err := c.do(ctx, http.MethodGet, "/v1/sessions", query, nil, &resp); err != nil {
+			return nil, "", err
+		}
+		return resp.Sessions, resp.NextCursor, nil
+	})
 }
 
 // SessionGraph fetches the rendered Figure 2 graph of one session.
-func (c *Client) SessionGraph(id int64) (string, error) {
+func (c *Client) SessionGraph(ctx context.Context, id int64) (string, error) {
 	var resp server.GraphResponse
-	params := url.Values{}
-	params.Set("id", strconv.FormatInt(id, 10))
-	err := c.get("/api/sessions/graph", params, &resp)
-	return resp.Graph, err
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+strconv.FormatInt(id, 10)+"/graph", nil, nil, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.Graph, nil
 }
 
+// ---------------------------------------------------------------------------
+// Assisted mode
+// ---------------------------------------------------------------------------
+
 // Complete requests completion suggestions for a partial query.
-func (c *Client) Complete(partial string, k int) ([]server.CompletionDTO, error) {
+func (c *Client) Complete(ctx context.Context, partial string, k int) ([]server.CompletionDTO, error) {
 	var resp server.AssistResponse
-	err := c.post("/api/assist/complete", server.CompleteRequest{Principal: c.principal, Partial: partial, K: k}, &resp)
+	err := c.do(ctx, http.MethodPost, "/v1/assist/complete", nil, server.CompleteParams{Partial: partial, K: k}, &resp)
 	return resp.Completions, err
 }
 
 // Corrections requests correction suggestions for a query.
-func (c *Client) Corrections(queryText string) ([]server.CorrectionDTO, error) {
+func (c *Client) Corrections(ctx context.Context, queryText string) ([]server.CorrectionDTO, error) {
 	var resp server.AssistResponse
-	err := c.post("/api/assist/corrections", server.CompleteRequest{Principal: c.principal, Partial: queryText}, &resp)
+	err := c.do(ctx, http.MethodPost, "/v1/assist/corrections", nil, server.CompleteParams{Partial: queryText}, &resp)
 	return resp.Corrections, err
 }
 
 // SimilarQueries requests the Figure 3 similar-queries pane.
-func (c *Client) SimilarQueries(queryText string, k int) ([]server.SimilarQueryDTO, error) {
+func (c *Client) SimilarQueries(ctx context.Context, queryText string, k int) ([]server.SimilarQueryDTO, error) {
 	var resp server.AssistResponse
-	err := c.post("/api/assist/similar", server.CompleteRequest{Principal: c.principal, Partial: queryText, K: k}, &resp)
+	err := c.do(ctx, http.MethodPost, "/v1/assist/similar", nil, server.CompleteParams{Partial: queryText, K: k}, &resp)
 	return resp.Similar, err
 }
 
-// SetVisibility changes a logged query's visibility.
-func (c *Client) SetVisibility(queryID int64, visibility string) error {
-	return c.post("/api/admin/visibility", server.VisibilityRequest{
-		Principal: c.principal, QueryID: queryID, Visibility: visibility,
-	}, nil)
+// Tutorial fetches the generated data-set tutorial.
+func (c *Client) Tutorial(ctx context.Context, perTable int) ([]server.TutorialStepDTO, error) {
+	query := url.Values{}
+	if perTable > 0 {
+		query.Set("per_table", strconv.Itoa(perTable))
+	}
+	var resp []server.TutorialStepDTO
+	err := c.do(ctx, http.MethodGet, "/v1/assist/tutorial", query, nil, &resp)
+	return resp, err
 }
 
-// DeleteQuery removes a logged query.
-func (c *Client) DeleteQuery(queryID int64) error {
-	return c.post("/api/admin/delete", server.DeleteRequest{Principal: c.principal, QueryID: queryID}, nil)
-}
+// ---------------------------------------------------------------------------
+// Administrative mode
+// ---------------------------------------------------------------------------
 
 // Mine triggers a mining pass on the server.
-func (c *Client) Mine() (*server.MineResponse, error) {
+func (c *Client) Mine(ctx context.Context) (*server.MineResponse, error) {
 	var resp server.MineResponse
-	err := c.post("/api/admin/mine", struct{}{}, &resp)
-	if err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/admin/mine", nil, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
 // Maintain triggers a maintenance scan on the server.
-func (c *Client) Maintain() (*server.MaintainResponse, error) {
+func (c *Client) Maintain(ctx context.Context) (*server.MaintainResponse, error) {
 	var resp server.MaintainResponse
-	err := c.post("/api/admin/maintain", struct{}{}, &resp)
-	if err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/admin/maintain", nil, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
 // LogInfo reports the server's durable query-log state.
-func (c *Client) LogInfo() (*server.LogInfoResponse, error) {
+func (c *Client) LogInfo(ctx context.Context) (*server.LogInfoResponse, error) {
 	var resp server.LogInfoResponse
-	err := c.get("/api/admin/log/info", url.Values{}, &resp)
-	if err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/admin/log", nil, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -228,10 +444,9 @@ func (c *Client) LogInfo() (*server.LogInfoResponse, error) {
 
 // LogBackup forces a full-store snapshot (a consistent point-in-time backup
 // on the server) and returns its location.
-func (c *Client) LogBackup() (*server.LogSnapshotResponse, error) {
+func (c *Client) LogBackup(ctx context.Context) (*server.LogSnapshotResponse, error) {
 	var resp server.LogSnapshotResponse
-	err := c.post("/api/admin/log/snapshot", struct{}{}, &resp)
-	if err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/admin/log/snapshot", nil, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -239,20 +454,18 @@ func (c *Client) LogBackup() (*server.LogSnapshotResponse, error) {
 
 // LogCompact snapshots the store and removes the WAL segments the snapshot
 // covers.
-func (c *Client) LogCompact() (*server.LogSnapshotResponse, error) {
+func (c *Client) LogCompact(ctx context.Context) (*server.LogSnapshotResponse, error) {
 	var resp server.LogSnapshotResponse
-	err := c.post("/api/admin/log/compact", struct{}{}, &resp)
-	if err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/admin/log/compact", nil, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
 // Stats fetches server-wide counters.
-func (c *Client) Stats() (*server.StatsResponse, error) {
+func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
 	var resp server.StatsResponse
-	err := c.get("/api/stats", url.Values{}, &resp)
-	if err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -11,8 +12,10 @@ import (
 	"repro/internal/workload"
 )
 
+var ctx = context.Background()
+
 // newServer spins up a CQMS HTTP server over a small populated database and
-// returns a client for alice plus the test server for extra clients.
+// returns the test server plus the CQMS for extra assertions.
 func newServer(t *testing.T, cfg core.Config) (*httptest.Server, *core.CQMS) {
 	t.Helper()
 	eng := engine.New()
@@ -35,9 +38,10 @@ func newServer(t *testing.T, cfg core.Config) (*httptest.Server, *core.CQMS) {
 
 func TestClientSubmitSearchAnnotateRoundTrip(t *testing.T) {
 	ts, _ := newServer(t, core.DefaultConfig())
-	alice := New(ts.URL, "alice", []string{"limnology"}, false)
+	alice := New(ts.URL, WithUser("alice", "limnology"))
 
-	resp, err := alice.Submit("SELECT WaterTemp.lake, WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 15", "limnology", "group")
+	resp, err := alice.Submit(ctx, "SELECT WaterTemp.lake, WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 15",
+		Group("limnology"), Visibility("group"))
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -51,11 +55,11 @@ func TestClientSubmitSearchAnnotateRoundTrip(t *testing.T) {
 		t.Fatal("Submit returned no columns")
 	}
 
-	if err := alice.Annotate(resp.QueryID, "cold lakes only"); err != nil {
+	if err := alice.Annotate(ctx, resp.QueryID, "cold lakes only"); err != nil {
 		t.Fatalf("Annotate: %v", err)
 	}
 
-	matches, err := alice.SearchKeyword("watertemp")
+	matches, err := alice.SearchKeyword(ctx, "watertemp").All()
 	if err != nil {
 		t.Fatalf("SearchKeyword: %v", err)
 	}
@@ -70,43 +74,61 @@ func TestClientSubmitSearchAnnotateRoundTrip(t *testing.T) {
 		t.Fatalf("annotations on match = %v", got.Annotations)
 	}
 
-	history, err := alice.History("")
+	history, err := alice.History(ctx, "").All()
 	if err != nil {
 		t.Fatalf("History: %v", err)
 	}
 	if len(history) != 1 || history[0].Query.ID != resp.QueryID {
 		t.Fatalf("history = %+v", history)
 	}
+
+	// GetQuery fetches the same record by ID.
+	q, err := alice.GetQuery(ctx, resp.QueryID)
+	if err != nil {
+		t.Fatalf("GetQuery: %v", err)
+	}
+	if q.ID != resp.QueryID || q.User != "alice" {
+		t.Fatalf("GetQuery = %+v", q)
+	}
 }
 
 func TestClientVisibilityEnforcedAcrossUsers(t *testing.T) {
 	ts, _ := newServer(t, core.DefaultConfig())
-	alice := New(ts.URL, "alice", []string{"limnology"}, false)
-	mallory := New(ts.URL, "mallory", nil, false)
+	alice := New(ts.URL, WithUser("alice", "limnology"))
+	mallory := New(ts.URL, WithUser("mallory"))
 
-	resp, err := alice.Submit("SELECT WaterSalinity.lake FROM WaterSalinity", "limnology", "private")
+	resp, err := alice.Submit(ctx, "SELECT WaterSalinity.lake FROM WaterSalinity",
+		Group("limnology"), Visibility("private"))
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
 	// A stranger cannot see or annotate the private query.
-	if matches, err := mallory.SearchKeyword("watersalinity"); err != nil || len(matches) != 0 {
+	if matches, err := mallory.SearchKeyword(ctx, "watersalinity").All(); err != nil || len(matches) != 0 {
 		t.Fatalf("stranger saw %d private matches (err %v)", len(matches), err)
 	}
-	if err := mallory.Annotate(resp.QueryID, "sneaky"); err == nil {
+	if err := mallory.Annotate(ctx, resp.QueryID, "sneaky"); err == nil {
 		t.Fatal("stranger annotated a private query")
 	}
-	if err := mallory.SetVisibility(resp.QueryID, "public"); err == nil {
+	if err := mallory.SetVisibility(ctx, resp.QueryID, "public"); err == nil {
 		t.Fatal("stranger changed visibility of a private query")
 	}
+	// The stranger's failures carry machine-readable codes.
+	if cerr, ok := asClientError(mallory.SetVisibility(ctx, resp.QueryID, "public")); ok {
+		if cerr.Code() != server.CodePermissionDenied {
+			t.Fatalf("stranger visibility change code = %s, want %s", cerr.Code(), server.CodePermissionDenied)
+		}
+	} else {
+		t.Fatal("expected a *client.Error from the denied visibility change")
+	}
 	// The owner publishes it; now everyone finds it.
-	if err := alice.SetVisibility(resp.QueryID, "public"); err != nil {
+	if err := alice.SetVisibility(ctx, resp.QueryID, "public"); err != nil {
 		t.Fatalf("owner SetVisibility: %v", err)
 	}
-	if matches, err := mallory.SearchKeyword("watersalinity"); err != nil || len(matches) != 1 {
+	if matches, err := mallory.SearchKeyword(ctx, "watersalinity").All(); err != nil || len(matches) != 1 {
 		t.Fatalf("stranger found %d public matches (err %v)", len(matches), err)
 	}
 
-	stats, err := alice.Stats()
+	stats, err := alice.Stats(ctx)
 	if err != nil {
 		t.Fatalf("Stats: %v", err)
 	}
@@ -115,18 +137,59 @@ func TestClientVisibilityEnforcedAcrossUsers(t *testing.T) {
 	}
 }
 
+// asClientError unwraps a *client.Error for code assertions.
+func asClientError(e error) (*Error, bool) {
+	cerr, ok := e.(*Error)
+	return cerr, ok
+}
+
+func TestClientBatchSubmit(t *testing.T) {
+	ts, cqms := newServer(t, core.DefaultConfig())
+	alice := New(ts.URL, WithUser("alice", "limnology"))
+
+	resp, err := alice.SubmitBatch(ctx, []server.SubmitParams{
+		{SQL: "SELECT lake FROM WaterTemp", Visibility: "group"},
+		{SQL: "SELEKT broken"},
+		{SQL: "SELECT salinity FROM WaterSalinity", Visibility: "group"},
+	})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("batch results = %d, want 3", len(resp.Results))
+	}
+	if resp.Results[0].Error != nil || resp.Results[0].Result == nil {
+		t.Fatalf("first result = %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == nil || resp.Results[1].Error.Code != server.CodeInvalidArgument {
+		t.Fatalf("parse failure result = %+v", resp.Results[1])
+	}
+	if resp.Results[2].Result == nil {
+		t.Fatalf("third result = %+v", resp.Results[2])
+	}
+	// IDs are consecutive (single commit batch) and only parsed queries
+	// are logged.
+	if got := cqms.Store().Count(); got != 2 {
+		t.Fatalf("store holds %d queries, want 2", got)
+	}
+	if resp.Results[2].Result.QueryID != resp.Results[0].Result.QueryID+1 {
+		t.Fatalf("batch IDs not consecutive: %d then %d",
+			resp.Results[0].Result.QueryID, resp.Results[2].Result.QueryID)
+	}
+}
+
 func TestClientLogEndpoints(t *testing.T) {
 	// In-memory server: log info reports durability disabled and backup fails.
 	ts, _ := newServer(t, core.DefaultConfig())
-	c := New(ts.URL, "admin", nil, true)
-	info, err := c.LogInfo()
+	c := New(ts.URL, WithUser("admin"), WithAdmin())
+	info, err := c.LogInfo(ctx)
 	if err != nil {
 		t.Fatalf("LogInfo: %v", err)
 	}
 	if info.Enabled {
 		t.Fatal("in-memory server reported durability enabled")
 	}
-	if _, err := c.LogBackup(); err == nil || !strings.Contains(err.Error(), "disabled") {
+	if _, err := c.LogBackup(ctx); err == nil || !strings.Contains(err.Error(), "disabled") {
 		t.Fatalf("LogBackup on in-memory server: %v", err)
 	}
 
@@ -135,32 +198,32 @@ func TestClientLogEndpoints(t *testing.T) {
 	cfg.Durability.Dir = t.TempDir()
 	cfg.Durability.SyncPolicy = "off"
 	tsd, _ := newServer(t, cfg)
-	cd := New(tsd.URL, "alice", []string{"limnology"}, false)
-	if _, err := cd.Submit("SELECT WaterTemp.lake FROM WaterTemp", "limnology", "group"); err != nil {
+	cd := New(tsd.URL, WithUser("alice", "limnology"))
+	if _, err := cd.Submit(ctx, "SELECT WaterTemp.lake FROM WaterTemp", Group("limnology")); err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
-	dinfo, err := cd.LogInfo()
+	dinfo, err := cd.LogInfo(ctx)
 	if err != nil {
 		t.Fatalf("LogInfo: %v", err)
 	}
 	if !dinfo.Enabled || dinfo.LastSeq == 0 || len(dinfo.Segments) == 0 {
 		t.Fatalf("durable log info = %+v", dinfo)
 	}
-	backup, err := cd.LogBackup()
+	backup, err := cd.LogBackup(ctx)
 	if err != nil {
 		t.Fatalf("LogBackup: %v", err)
 	}
 	if backup.Seq != dinfo.LastSeq || backup.Path == "" {
 		t.Fatalf("backup = %+v, want seq %d", backup, dinfo.LastSeq)
 	}
-	compacted, err := cd.LogCompact()
+	compacted, err := cd.LogCompact(ctx)
 	if err != nil {
 		t.Fatalf("LogCompact: %v", err)
 	}
 	if compacted.Seq < backup.Seq {
 		t.Fatalf("compact seq %d went backwards from %d", compacted.Seq, backup.Seq)
 	}
-	after, err := cd.LogInfo()
+	after, err := cd.LogInfo(ctx)
 	if err != nil {
 		t.Fatalf("LogInfo after compact: %v", err)
 	}

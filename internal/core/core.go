@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -175,6 +176,22 @@ func (c *CQMS) Submit(sub profiler.Submission) (*profiler.Outcome, error) {
 	return out, nil
 }
 
+// SubmitBatch executes many submissions in one call and commits every
+// successfully parsed query to the store under a single commit-lock
+// acquisition (storage.PutBatch), amortising the per-write lock round trip
+// and WAL ordering cost across the batch. outs[i]/errs[i] mirror Submit's
+// return values for subs[i]: a parse error leaves outs[i] nil with errs[i]
+// set, while execution errors are reported in-band in the Outcome. A context
+// already cancelled on entry aborts before anything executes or commits.
+func (c *CQMS) SubmitBatch(ctx context.Context, subs []profiler.Submission) ([]*profiler.Outcome, []error, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	outs, errs := c.profiler.SubmitBatch(subs)
+	c.syncSchemas()
+	return outs, errs, nil
+}
+
 // ExecuteUnprofiled runs a query directly against the DBMS without logging;
 // it exists for the profiling-overhead experiment and for data loading.
 func (c *CQMS) ExecuteUnprofiled(query string) (*engine.Result, error) {
@@ -190,64 +207,123 @@ func (c *CQMS) Annotate(id storage.QueryID, p storage.Principal, ann storage.Ann
 // Search & Browse Interaction Mode (§2.2)
 // ---------------------------------------------------------------------------
 
-// Search performs keyword search over the visible query log.
-func (c *CQMS) Search(p storage.Principal, keywords ...string) []metaquery.Match {
-	return c.executor.Keyword(p, keywords...)
+// Search performs keyword search over the visible query log. A cancelled
+// context aborts the underlying scan.
+func (c *CQMS) Search(ctx context.Context, p storage.Principal, keywords ...string) ([]metaquery.Match, error) {
+	return c.executor.Keyword(ctx, p, keywords...)
 }
 
 // SearchSubstring performs substring search over the visible query log.
-func (c *CQMS) SearchSubstring(p storage.Principal, substr string) []metaquery.Match {
-	return c.executor.Substring(p, substr)
+func (c *CQMS) SearchSubstring(ctx context.Context, p storage.Principal, substr string) ([]metaquery.Match, error) {
+	return c.executor.Substring(ctx, p, substr)
 }
 
 // MetaQuery executes a SQL meta-query over the feature relations (Figure 1).
-func (c *CQMS) MetaQuery(p storage.Principal, metaSQL string) (*engine.Result, []metaquery.Match, error) {
-	return c.executor.SQLMetaQuery(p, metaSQL)
+func (c *CQMS) MetaQuery(ctx context.Context, p storage.Principal, metaSQL string) (*engine.Result, []metaquery.Match, error) {
+	return c.executor.SQLMetaQuery(ctx, p, metaSQL)
 }
 
 // SearchByPartialQuery auto-generates and runs a feature meta-query from a
 // partially written query.
-func (c *CQMS) SearchByPartialQuery(p storage.Principal, partialSQL string) ([]metaquery.Match, error) {
-	return c.executor.ByPartialQuery(p, partialSQL)
+func (c *CQMS) SearchByPartialQuery(ctx context.Context, p storage.Principal, partialSQL string) ([]metaquery.Match, error) {
+	return c.executor.ByPartialQuery(ctx, p, partialSQL)
 }
 
 // SearchByStructure runs a query-by-parse-tree search.
-func (c *CQMS) SearchByStructure(p storage.Principal, cond metaquery.StructuralCondition) []metaquery.Match {
-	return c.executor.ByStructure(p, cond)
+func (c *CQMS) SearchByStructure(ctx context.Context, p storage.Principal, cond metaquery.StructuralCondition) ([]metaquery.Match, error) {
+	return c.executor.ByStructure(ctx, p, cond)
 }
 
 // SearchByData runs a query-by-data search with positive and negative example
 // values.
-func (c *CQMS) SearchByData(p storage.Principal, include, exclude []string) []metaquery.Match {
-	return c.executor.ByData(p, include, exclude)
+func (c *CQMS) SearchByData(ctx context.Context, p storage.Principal, include, exclude []string) ([]metaquery.Match, error) {
+	return c.executor.ByData(ctx, p, include, exclude)
 }
 
 // SimilarTo returns the k logged queries most similar to the given query
 // text.
-func (c *CQMS) SimilarTo(p storage.Principal, queryText string, k int) ([]metaquery.Match, error) {
-	return c.executor.KNN(p, queryText, k)
+func (c *CQMS) SimilarTo(ctx context.Context, p storage.Principal, queryText string, k int) ([]metaquery.Match, error) {
+	return c.executor.KNN(ctx, p, queryText, k)
+}
+
+// GetQuery returns the current version of one visible logged query without
+// cloning it; the record must be treated as read-only.
+func (c *CQMS) GetQuery(ctx context.Context, p storage.Principal, id storage.QueryID) (*storage.QueryRecord, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.store.Snapshot().Get(id, p)
 }
 
 // History returns the visible queries of one user in temporal order. The
 // records are the store's shared immutable versions and must be treated as
 // read-only.
-func (c *CQMS) History(p storage.Principal, user string) []*storage.QueryRecord {
+func (c *CQMS) History(ctx context.Context, p storage.Principal, user string) ([]*storage.QueryRecord, error) {
+	recs, _, err := c.HistoryPage(ctx, p, user, HistoryCursor{}, 0)
+	return recs, err
+}
+
+// HistoryCursor pins one logical history listing: At is the membership
+// high-water mark shared by every page, After the last query ID already
+// returned. The zero value starts a new listing at the current high-water
+// mark.
+type HistoryCursor struct {
+	At    storage.QueryID
+	After storage.QueryID
+}
+
+// HistoryPage returns one page (at most limit records; limit <= 0 means
+// unbounded) of a user's visible history and the cursor for the next page.
+// Pages are served from views pinned at the first page's high-water mark, so
+// paginating to exhaustion yields exactly that snapshot's membership — no
+// duplicates or gaps under concurrent inserts — at O(log n + page) per page.
+func (c *CQMS) HistoryPage(ctx context.Context, p storage.Principal, user string, cur HistoryCursor, limit int) ([]*storage.QueryRecord, HistoryCursor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, cur, err
+	}
+	var view *storage.View
+	if cur.At == 0 {
+		view = c.store.Snapshot()
+		cur.At = view.Limit()
+	} else {
+		view = c.store.SnapshotAt(cur.At)
+	}
 	var out []*storage.QueryRecord
-	c.store.Snapshot().ScanByUser(user, p, func(rec *storage.QueryRecord) bool {
+	view.ScanByUserAfter(user, cur.After, p, storage.ScanWithContext(ctx, func(rec *storage.QueryRecord) bool {
 		out = append(out, rec)
-		return true
-	})
-	return out
+		return limit <= 0 || len(out) < limit
+	}))
+	if err := ctx.Err(); err != nil {
+		return nil, cur, err
+	}
+	if len(out) > 0 {
+		cur.After = out[len(out)-1].ID
+	}
+	return out, cur, nil
 }
 
 // Sessions returns summaries of the sessions detected in the last mining
 // pass, restricted to those whose queries are visible to the principal.
-func (c *CQMS) Sessions(p storage.Principal) []session.Summary {
+func (c *CQMS) Sessions(ctx context.Context, p storage.Principal) ([]session.Summary, error) {
+	return c.SessionsPage(ctx, p, 0, 0)
+}
+
+// SessionsPage returns at most limit visible session summaries (limit <= 0
+// means unbounded) with ID strictly greater than after, in ascending ID
+// order. The session set only changes on a mining pass, so (after, limit)
+// pagination is stable between passes.
+func (c *CQMS) SessionsPage(ctx context.Context, p storage.Principal, after int64, limit int) ([]session.Summary, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var out []session.Summary
 	for i := range c.lastSessions {
 		s := &c.lastSessions[i]
+		if s.ID <= after {
+			continue
+		}
 		visible := true
 		for _, q := range s.Queries {
 			if !q.VisibleTo(p) {
@@ -259,11 +335,20 @@ func (c *CQMS) Sessions(p storage.Principal) []session.Summary {
 			out = append(out, session.Summarize(s))
 		}
 	}
-	return out
+	// Ascending ID order makes the after-cursor well defined regardless of
+	// the detector's internal ordering.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
 }
 
 // SessionGraph renders the Figure 2 session window for a detected session.
-func (c *CQMS) SessionGraph(p storage.Principal, sessionID int64) (string, error) {
+func (c *CQMS) SessionGraph(ctx context.Context, p storage.Principal, sessionID int64) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	for i := range c.lastSessions {
@@ -287,36 +372,51 @@ func (c *CQMS) SessionGraph(p storage.Principal, sessionID int64) (string, error
 
 // Complete returns completion suggestions (tables, columns, predicates,
 // joins) for a partially written query.
-func (c *CQMS) Complete(p storage.Principal, partialSQL string, k int) []recommend.Completion {
-	return c.recommender.Complete(p, partialSQL, k)
+func (c *CQMS) Complete(ctx context.Context, p storage.Principal, partialSQL string, k int) ([]recommend.Completion, error) {
+	out := c.recommender.Complete(ctx, p, partialSQL, k)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // SuggestTables returns table suggestions only.
-func (c *CQMS) SuggestTables(p storage.Principal, partialSQL string, k int) []recommend.Completion {
-	return c.recommender.SuggestTables(p, partialSQL, k)
+func (c *CQMS) SuggestTables(ctx context.Context, p storage.Principal, partialSQL string, k int) ([]recommend.Completion, error) {
+	out := c.recommender.SuggestTables(ctx, p, partialSQL, k)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Corrections returns spelling corrections for table and column names.
-func (c *CQMS) Corrections(p storage.Principal, querySQL string) []recommend.Correction {
-	return c.recommender.Corrections(p, querySQL)
+func (c *CQMS) Corrections(ctx context.Context, p storage.Principal, querySQL string) ([]recommend.Correction, error) {
+	out := c.recommender.Corrections(ctx, p, querySQL)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // EmptyResultSuggestions suggests alternative predicates for a query that
 // returned no rows.
-func (c *CQMS) EmptyResultSuggestions(p storage.Principal, querySQL string, k int) ([]recommend.Correction, error) {
-	return c.recommender.EmptyResultSuggestions(p, querySQL, k)
+func (c *CQMS) EmptyResultSuggestions(ctx context.Context, p storage.Principal, querySQL string, k int) ([]recommend.Correction, error) {
+	return c.recommender.EmptyResultSuggestions(ctx, p, querySQL, k)
 }
 
 // SimilarQueries returns the Figure 3 similar-queries pane for a query.
-func (c *CQMS) SimilarQueries(p storage.Principal, querySQL string, k int) ([]recommend.SimilarQuery, error) {
-	return c.recommender.SimilarQueries(p, querySQL, k)
+func (c *CQMS) SimilarQueries(ctx context.Context, p storage.Principal, querySQL string, k int) ([]recommend.SimilarQuery, error) {
+	return c.recommender.SimilarQueries(ctx, p, querySQL, k)
 }
 
 // AssistPane renders the full Figure 3 pane (completions + similar queries)
 // for a partial query.
-func (c *CQMS) AssistPane(p storage.Principal, partialSQL string, k int) (string, error) {
-	completions := c.recommender.Complete(p, partialSQL, k)
-	similar, err := c.recommender.SimilarQueries(p, partialSQL, k)
+func (c *CQMS) AssistPane(ctx context.Context, p storage.Principal, partialSQL string, k int) (string, error) {
+	completions, err := c.Complete(ctx, p, partialSQL, k)
+	if err != nil {
+		return "", err
+	}
+	similar, err := c.recommender.SimilarQueries(ctx, p, partialSQL, k)
 	if err != nil {
 		return "", err
 	}
@@ -324,8 +424,12 @@ func (c *CQMS) AssistPane(p storage.Principal, partialSQL string, k int) (string
 }
 
 // Tutorial generates the data-set tutorial of §2.3.
-func (c *CQMS) Tutorial(p storage.Principal, queriesPerTable int) []recommend.TutorialStep {
-	return c.recommender.Tutorial(p, queriesPerTable)
+func (c *CQMS) Tutorial(ctx context.Context, p storage.Principal, queriesPerTable int) ([]recommend.TutorialStep, error) {
+	out := c.recommender.Tutorial(ctx, p, queriesPerTable)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------

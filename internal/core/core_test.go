@@ -79,11 +79,12 @@ func TestSearchAndBrowseMode(t *testing.T) {
 	submit(t, c, "bob", "limnology", "SELECT city FROM CityLocations WHERE state = 'WA'", base.Add(3*time.Hour))
 
 	// Keyword search.
-	if got := c.Search(admin, "WaterSalinity"); len(got) != 4 {
+	ctx := context.Background()
+	if got, err := c.Search(ctx, admin, "WaterSalinity"); err != nil || len(got) != 4 {
 		t.Errorf("keyword matches = %d, want 4", len(got))
 	}
 	// Figure 1 meta-query through the public API.
-	_, matches, err := c.MetaQuery(admin, `SELECT Q.qid FROM Queries Q, Attributes A1, Attributes A2
+	_, matches, err := c.MetaQuery(ctx, admin, `SELECT Q.qid FROM Queries Q, Attributes A1, Attributes A2
 		WHERE Q.qid = A1.qid AND Q.qid = A2.qid AND A1.relName = 'WaterTemp' AND A1.attrName = 'temp'
 		AND A2.relName = 'WaterSalinity' AND A2.attrName = 'loc_x'`)
 	if err != nil {
@@ -93,11 +94,11 @@ func TestSearchAndBrowseMode(t *testing.T) {
 		t.Errorf("meta-query found nothing")
 	}
 	// Structure search.
-	if got := c.SearchByStructure(admin, metaquery.StructuralCondition{MinTables: 3}); len(got) != 1 {
+	if got, err := c.SearchByStructure(ctx, admin, metaquery.StructuralCondition{MinTables: 3}); err != nil || len(got) != 1 {
 		t.Errorf("structural matches = %d, want 1", len(got))
 	}
 	// Partial-query search.
-	got, err := c.SearchByPartialQuery(admin, "SELECT FROM WaterTemp, WaterSalinity")
+	got, err := c.SearchByPartialQuery(ctx, admin, "SELECT FROM WaterTemp, WaterSalinity")
 	if err != nil {
 		t.Fatalf("SearchByPartialQuery: %v", err)
 	}
@@ -105,11 +106,11 @@ func TestSearchAndBrowseMode(t *testing.T) {
 		t.Errorf("partial matches = %d, want 4", len(got))
 	}
 	// History.
-	if h := c.History(admin, "alice"); len(h) != 5 {
+	if h, err := c.History(ctx, admin, "alice"); err != nil || len(h) != 5 {
 		t.Errorf("history = %d, want 5", len(h))
 	}
 	// kNN.
-	knn, err := c.SimilarTo(admin, "SELECT * FROM WaterTemp WHERE temp < 20", 3)
+	knn, err := c.SimilarTo(ctx, admin, "SELECT * FROM WaterTemp WHERE temp < 20", 3)
 	if err != nil || len(knn) == 0 {
 		t.Errorf("SimilarTo: %v, %d results", err, len(knn))
 	}
@@ -125,27 +126,31 @@ func TestSessionsAfterMining(t *testing.T) {
 	if res == nil || res.TransactionCount != 6 {
 		t.Fatalf("mining result = %+v", res)
 	}
-	sessions := c.Sessions(admin)
+	ctx := context.Background()
+	sessions, err := c.Sessions(ctx, admin)
+	if err != nil {
+		t.Fatalf("Sessions: %v", err)
+	}
 	if len(sessions) != 2 {
 		t.Fatalf("sessions = %d, want 2", len(sessions))
 	}
-	graph, err := c.SessionGraph(admin, sessions[0].ID)
+	graph, err := c.SessionGraph(ctx, admin, sessions[0].ID)
 	if err != nil {
 		t.Fatalf("SessionGraph: %v", err)
 	}
 	if !strings.Contains(graph, "+table WaterSalinity") {
 		t.Errorf("session graph missing Figure 2 edge label:\n%s", graph)
 	}
-	if _, err := c.SessionGraph(admin, 9999); !errors.Is(err, storage.ErrNotFound) {
+	if _, err := c.SessionGraph(ctx, admin, 9999); !errors.Is(err, storage.ErrNotFound) {
 		t.Errorf("missing session error = %v", err)
 	}
 	// Access control on session graphs: a stranger cannot view alice's
 	// group-visible session.
 	stranger := storage.Principal{User: "eve", Groups: []string{"other"}}
-	if _, err := c.SessionGraph(stranger, sessions[0].ID); !errors.Is(err, storage.ErrAccessDenied) {
+	if _, err := c.SessionGraph(ctx, stranger, sessions[0].ID); !errors.Is(err, storage.ErrAccessDenied) {
 		t.Errorf("stranger session access = %v, want ErrAccessDenied", err)
 	}
-	if got := c.Sessions(stranger); len(got) != 0 {
+	if got, err := c.Sessions(ctx, stranger); err != nil || len(got) != 0 {
 		t.Errorf("stranger sees %d sessions, want 0", len(got))
 	}
 	if c.MiningResult() == nil {
@@ -169,22 +174,32 @@ func TestAssistedMode(t *testing.T) {
 	c.RunMiner()
 
 	// Context-aware table completion (§2.3 example).
-	got := c.SuggestTables(alice, "SELECT * FROM WaterSalinity", 3)
+	ctx := context.Background()
+	got, err := c.SuggestTables(ctx, alice, "SELECT * FROM WaterSalinity", 3)
+	if err != nil {
+		t.Fatalf("SuggestTables: %v", err)
+	}
 	if len(got) == 0 || got[0].Text != "WaterTemp" {
 		t.Errorf("table suggestions = %+v, want WaterTemp first", got)
 	}
 	// Full completion list has several kinds.
-	all := c.Complete(alice, "SELECT * FROM WaterSalinity, WaterTemp WHERE ", 3)
+	all, err := c.Complete(ctx, alice, "SELECT * FROM WaterSalinity, WaterTemp WHERE ", 3)
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
 	if len(all) == 0 {
 		t.Errorf("no completions")
 	}
 	// Corrections.
-	corr := c.Corrections(alice, "SELECT tmep FROM WaterTemp")
+	corr, err := c.Corrections(ctx, alice, "SELECT tmep FROM WaterTemp")
+	if err != nil {
+		t.Fatalf("Corrections: %v", err)
+	}
 	if len(corr) == 0 {
 		t.Errorf("no corrections for misspelled column")
 	}
 	// Empty-result suggestions.
-	sugg, err := c.EmptyResultSuggestions(alice, "SELECT * FROM WaterTemp WHERE temp < -100", 3)
+	sugg, err := c.EmptyResultSuggestions(ctx, alice, "SELECT * FROM WaterTemp WHERE temp < -100", 3)
 	if err != nil {
 		t.Fatalf("EmptyResultSuggestions: %v", err)
 	}
@@ -192,19 +207,22 @@ func TestAssistedMode(t *testing.T) {
 		t.Errorf("no empty-result suggestions")
 	}
 	// Similar queries and the rendered pane.
-	pane, err := c.AssistPane(alice, "SELECT * FROM WaterSalinity, WaterTemp WHERE ", 3)
+	pane, err := c.AssistPane(ctx, alice, "SELECT * FROM WaterSalinity, WaterTemp WHERE ", 3)
 	if err != nil {
 		t.Fatalf("AssistPane: %v", err)
 	}
 	if !strings.Contains(pane, "Similar Queries") {
 		t.Errorf("pane missing similar queries:\n%s", pane)
 	}
-	sim, err := c.SimilarQueries(alice, "SELECT WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 20", 3)
+	sim, err := c.SimilarQueries(ctx, alice, "SELECT WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 20", 3)
 	if err != nil || len(sim) == 0 {
 		t.Errorf("SimilarQueries: %v, %d", err, len(sim))
 	}
 	// Tutorial.
-	steps := c.Tutorial(alice, 2)
+	steps, err := c.Tutorial(ctx, alice, 2)
+	if err != nil {
+		t.Fatalf("Tutorial: %v", err)
+	}
 	if len(steps) == 0 {
 		t.Errorf("no tutorial steps")
 	}
@@ -292,5 +310,103 @@ func TestDefaultConfigSane(t *testing.T) {
 	c := New(cfg)
 	if c.Engine() == nil || c.Store() == nil {
 		t.Errorf("New returned incomplete system")
+	}
+}
+
+// TestCancelledContextPropagates pins the v1 contract at the core layer: a
+// cancelled request context makes every read/search method fail with
+// context.Canceled instead of returning partial results, and batch submits
+// refuse to start.
+func TestCancelledContextPropagates(t *testing.T) {
+	c := newSystem(t)
+	base := time.Date(2009, 1, 5, 9, 0, 0, 0, time.UTC)
+	loadFigure2Session(t, c, "alice", base)
+	c.RunMiner()
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := c.Search(cancelled, admin, "watertemp"); !errors.Is(err, context.Canceled) {
+		t.Errorf("Search: err = %v, want context.Canceled", err)
+	}
+	if _, err := c.SearchSubstring(cancelled, admin, "watertemp"); !errors.Is(err, context.Canceled) {
+		t.Errorf("SearchSubstring: err = %v", err)
+	}
+	if _, _, err := c.MetaQuery(cancelled, admin, "SELECT qid FROM Queries"); !errors.Is(err, context.Canceled) {
+		t.Errorf("MetaQuery: err = %v", err)
+	}
+	if _, err := c.History(cancelled, admin, "alice"); !errors.Is(err, context.Canceled) {
+		t.Errorf("History: err = %v", err)
+	}
+	if _, _, err := c.HistoryPage(cancelled, admin, "alice", HistoryCursor{}, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("HistoryPage: err = %v", err)
+	}
+	if _, err := c.Sessions(cancelled, admin); !errors.Is(err, context.Canceled) {
+		t.Errorf("Sessions: err = %v", err)
+	}
+	if _, err := c.SessionGraph(cancelled, admin, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("SessionGraph: err = %v", err)
+	}
+	if _, err := c.Complete(cancelled, admin, "SELECT * FROM WaterTemp", 3); !errors.Is(err, context.Canceled) {
+		t.Errorf("Complete: err = %v", err)
+	}
+	if _, err := c.SimilarTo(cancelled, admin, "SELECT * FROM WaterTemp", 3); !errors.Is(err, context.Canceled) {
+		t.Errorf("SimilarTo: err = %v", err)
+	}
+	if _, err := c.Tutorial(cancelled, admin, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("Tutorial: err = %v", err)
+	}
+	if _, err := c.GetQuery(cancelled, admin, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("GetQuery: err = %v", err)
+	}
+	if _, _, err := c.SubmitBatch(cancelled, []profiler.Submission{{User: "alice", SQL: "SELECT lake FROM WaterTemp"}}); !errors.Is(err, context.Canceled) {
+		t.Errorf("SubmitBatch: err = %v", err)
+	}
+	before := c.Store().Count()
+	if got := c.Store().Count(); got != before {
+		t.Errorf("cancelled batch mutated the store: %d -> %d", before, got)
+	}
+}
+
+// TestHistoryPagePinsSnapshot paginates a user's history while new queries
+// arrive between pages; the listing must stay exactly the first page's
+// membership.
+func TestHistoryPagePinsSnapshot(t *testing.T) {
+	c := newSystem(t)
+	base := time.Date(2009, 1, 5, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		submit(t, c, "alice", "limnology", "SELECT lake FROM WaterTemp", base.Add(time.Duration(i)*time.Minute))
+	}
+	ctx := context.Background()
+
+	var all []storage.QueryID
+	cur := HistoryCursor{}
+	for {
+		recs, next, err := c.HistoryPage(ctx, admin, "alice", cur, 3)
+		if err != nil {
+			t.Fatalf("HistoryPage: %v", err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		for _, rec := range recs {
+			all = append(all, rec.ID)
+		}
+		cur = next
+		// Interleave writes between pages: they must stay invisible.
+		submit(t, c, "alice", "limnology", "SELECT salinity FROM WaterSalinity", base.Add(time.Hour))
+	}
+	if len(all) != 10 {
+		t.Fatalf("paginated %d records, want the 10 pre-listing ones: %v", len(all), all)
+	}
+	seen := map[storage.QueryID]bool{}
+	for i, id := range all {
+		if seen[id] {
+			t.Fatalf("duplicate query %d in pagination", id)
+		}
+		seen[id] = true
+		if i > 0 && id <= all[i-1] {
+			t.Fatalf("pagination out of order: %v", all)
+		}
 	}
 }

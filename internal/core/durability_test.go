@@ -60,7 +60,7 @@ func TestDurableSubmitSurvivesRestart(t *testing.T) {
 	if len(got.Annotations) != 1 || got.Annotations[0].Text != "cold lakes" {
 		t.Fatalf("recovered annotations = %+v", got.Annotations)
 	}
-	if matches := c2.Search(admin, "watertemp"); len(matches) != 1 {
+	if matches, err := c2.Search(context.Background(), admin, "watertemp"); err != nil || len(matches) != 1 {
 		t.Fatalf("keyword search over recovered log found %d matches, want 1", len(matches))
 	}
 	// The log keeps growing after recovery.

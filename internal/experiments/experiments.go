@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -155,7 +156,7 @@ func E1QueryByFeature(env *Env) (Result, error) {
 		WHERE Q.qid = D1.qid AND Q.qid = D2.qid
 		AND D1.relName = 'WaterSalinity' AND D2.relName = 'WaterTemp'`
 	start := time.Now()
-	_, matches, err := env.Sys.MetaQuery(admin, meta)
+	_, matches, err := env.Sys.MetaQuery(context.Background(), admin, meta)
 	if err != nil {
 		return Result{}, err
 	}
@@ -173,7 +174,10 @@ func E1QueryByFeature(env *Env) (Result, error) {
 	// Baseline: substring scan over raw text.
 	exec := metaquery.New(store)
 	start = time.Now()
-	sub := exec.Substring(admin, "WaterSalinity")
+	sub, err := exec.Substring(context.Background(), admin, "WaterSalinity")
+	if err != nil {
+		return Result{}, err
+	}
 	textMatches := 0
 	for _, m := range sub {
 		if strings.Contains(m.Record.Text, "WaterTemp") {
@@ -306,8 +310,8 @@ func E3AssistedInteraction(env *Env) (Result, error) {
 			}
 			partial := "SELECT * FROM " + strings.Join(kept, ", ")
 			trials++
-			ctxHit := hitInTopK(contextRec.SuggestTables(admin, partial, k), heldOut)
-			popHit := hitInTopK(popRec.SuggestTables(admin, partial, k), heldOut)
+			ctxHit := hitInTopK(contextRec.SuggestTables(context.Background(), admin, partial, k), heldOut)
+			popHit := hitInTopK(popRec.SuggestTables(context.Background(), admin, partial, k), heldOut)
 			if ctxHit {
 				contextHits++
 			}
@@ -351,7 +355,7 @@ func E3AssistedInteraction(env *Env) (Result, error) {
 			continue
 		}
 		seenTopic[q.Topic] = true
-		similar, err := contextRec.SimilarQueries(admin, q.SQL, 5)
+		similar, err := contextRec.SimilarQueries(context.Background(), admin, q.SQL, 5)
 		if err != nil {
 			continue
 		}
@@ -446,10 +450,10 @@ func E4ProfilerOverhead(env *Env) (Result, error) {
 	// Interactive meta-query latency over the full log.
 	exec := metaquery.New(env.Sys.Store())
 	start = time.Now()
-	_ = exec.Keyword(admin, "salinity")
+	_, _ = exec.Keyword(context.Background(), admin, "salinity")
 	keywordLatency := time.Since(start)
 	start = time.Now()
-	if _, err := exec.KNN(admin, queries[0], 10); err != nil {
+	if _, err := exec.KNN(context.Background(), admin, queries[0], 10); err != nil {
 		return Result{}, err
 	}
 	knnLatency := time.Since(start)
@@ -694,7 +698,10 @@ func E8Maintenance(env *Env) (Result, error) {
 func E9QueryByData(env *Env) (Result, error) {
 	exec := metaquery.New(env.Sys.Store())
 	start := time.Now()
-	matches := exec.ByData(admin, []string{"Lake Washington"}, []string{"Lake Union"})
+	matches, err := exec.ByData(context.Background(), admin, []string{"Lake Washington"}, []string{"Lake Union"})
+	if err != nil {
+		return Result{}, err
+	}
 	elapsed := time.Since(start)
 
 	// Check the matches against their own samples (consistency).

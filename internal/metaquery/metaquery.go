@@ -15,6 +15,7 @@
 package metaquery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -55,23 +56,31 @@ func New(store *storage.Store) *Executor {
 // SetWeights overrides the composite similarity weights used by KNN.
 func (x *Executor) SetWeights(w miner.CompositeWeights) { x.weights = w }
 
+// withCtx makes a scan callback abort soon after the requesting client goes
+// away; see storage.ScanWithContext. Callers inspect ctx.Err() afterwards to
+// distinguish an aborted scan from an exhausted one.
+func withCtx(ctx context.Context, fn func(*storage.QueryRecord) bool) func(*storage.QueryRecord) bool {
+	return storage.ScanWithContext(ctx, fn)
+}
+
 // ---------------------------------------------------------------------------
 // Keyword and substring search
 // ---------------------------------------------------------------------------
 
 // Keyword returns the visible queries whose text or annotations contain every
 // given keyword (case-insensitive). The score is the fraction of matched
-// keywords weighted towards annotation hits.
-func (x *Executor) Keyword(p storage.Principal, keywords ...string) []Match {
+// keywords weighted towards annotation hits. A cancelled context aborts the
+// scan and returns ctx.Err().
+func (x *Executor) Keyword(ctx context.Context, p storage.Principal, keywords ...string) ([]Match, error) {
 	if len(keywords) == 0 {
-		return nil
+		return nil, nil
 	}
 	lowered := make([]string, len(keywords))
 	for i, k := range keywords {
 		lowered[i] = strings.ToLower(k)
 	}
 	var out []Match
-	x.store.Snapshot().Scan(p, func(rec *storage.QueryRecord) bool {
+	x.store.Snapshot().Scan(p, withCtx(ctx, func(rec *storage.QueryRecord) bool {
 		text := rec.LowerText()
 		var ann string
 		if len(rec.Annotations) > 0 {
@@ -100,24 +109,30 @@ func (x *Executor) Keyword(p storage.Principal, keywords ...string) []Match {
 		score := 0.8 + 0.2*float64(annotationHits)/float64(len(lowered))
 		out = append(out, Match{Record: rec, Score: score, Why: "keywords: " + strings.Join(keywords, ", ")})
 		return true
-	})
-	sortMatches(out)
-	return out
+	}))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	SortMatches(out)
+	return out, nil
 }
 
 // Substring returns the visible queries whose canonical text contains the
-// given substring (case-insensitive).
-func (x *Executor) Substring(p storage.Principal, substr string) []Match {
+// given substring (case-insensitive), in insertion order.
+func (x *Executor) Substring(ctx context.Context, p storage.Principal, substr string) ([]Match, error) {
 	needle := strings.ToLower(substr)
 	var out []Match
-	x.store.Snapshot().Scan(p, func(rec *storage.QueryRecord) bool {
+	x.store.Snapshot().Scan(p, withCtx(ctx, func(rec *storage.QueryRecord) bool {
 		if strings.Contains(rec.LowerCanonical(), needle) ||
 			strings.Contains(rec.LowerText(), needle) {
 			out = append(out, Match{Record: rec, Score: 1, Why: "substring: " + substr})
 		}
 		return true
-	})
-	return out
+	}))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -128,9 +143,12 @@ func (x *Executor) Substring(p storage.Principal, substr string) []Match {
 // and executes the given SQL meta-query (e.g. the query of Figure 1) against
 // them. If the result contains a qid column, the corresponding stored
 // queries are returned as matches alongside the raw result.
-func (x *Executor) SQLMetaQuery(p storage.Principal, metaSQL string) (*engine.Result, []Match, error) {
+func (x *Executor) SQLMetaQuery(ctx context.Context, p storage.Principal, metaSQL string) (*engine.Result, []Match, error) {
 	eng, err := x.store.MaterializeFeatureRelations(p)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	res, err := eng.Execute(metaSQL)
@@ -264,12 +282,12 @@ func extractPartialFeatures(partial string) (tables, attrs []string) {
 
 // ByPartialQuery auto-generates a feature meta-query from the partial query
 // text and executes it, returning the matching stored queries.
-func (x *Executor) ByPartialQuery(p storage.Principal, partialSQL string) ([]Match, error) {
+func (x *Executor) ByPartialQuery(ctx context.Context, p storage.Principal, partialSQL string) ([]Match, error) {
 	meta, err := GenerateMetaQuery(partialSQL)
 	if err != nil {
 		return nil, err
 	}
-	_, matches, err := x.SQLMetaQuery(p, meta)
+	_, matches, err := x.SQLMetaQuery(ctx, p, meta)
 	if err != nil && !errors.Is(err, ErrNoQIDColumn) {
 		return nil, err
 	}
@@ -310,16 +328,19 @@ type StructuralCondition struct {
 }
 
 // ByStructure returns the visible queries satisfying every condition.
-func (x *Executor) ByStructure(p storage.Principal, cond StructuralCondition) []Match {
+func (x *Executor) ByStructure(ctx context.Context, p storage.Principal, cond StructuralCondition) ([]Match, error) {
 	var out []Match
-	x.store.Snapshot().Scan(p, func(rec *storage.QueryRecord) bool {
+	x.store.Snapshot().Scan(p, withCtx(ctx, func(rec *storage.QueryRecord) bool {
 		why, ok := matchStructure(rec, cond)
 		if ok {
 			out = append(out, Match{Record: rec, Score: 1, Why: why})
 		}
 		return true
-	})
-	return out
+	}))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func matchStructure(rec *storage.QueryRecord, cond StructuralCondition) (string, bool) {
@@ -438,9 +459,9 @@ func matchStructure(rec *storage.QueryRecord, cond StructuralCondition) (string,
 // that should appear (include) and not appear (exclude) in a query's output;
 // the executor returns logged queries whose output samples separate those
 // examples. Queries without output samples never match.
-func (x *Executor) ByData(p storage.Principal, include, exclude []string) []Match {
+func (x *Executor) ByData(ctx context.Context, p storage.Principal, include, exclude []string) ([]Match, error) {
 	var out []Match
-	x.store.Snapshot().Scan(p, func(rec *storage.QueryRecord) bool {
+	x.store.Snapshot().Scan(p, withCtx(ctx, func(rec *storage.QueryRecord) bool {
 		if rec.Sample == nil {
 			return true
 		}
@@ -457,8 +478,11 @@ func (x *Executor) ByData(p storage.Principal, include, exclude []string) []Matc
 		why := fmt.Sprintf("output includes %v, excludes %v", include, exclude)
 		out = append(out, Match{Record: rec, Score: 1, Why: why})
 		return true
-	})
-	return out
+	}))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func sampleContains(s *storage.OutputSample, value string) bool {
@@ -480,23 +504,23 @@ func sampleContains(s *storage.OutputSample, value string) bool {
 // KNN returns the k logged queries most similar to the given query text under
 // the executor's composite similarity, visible to the principal. The query
 // text must parse.
-func (x *Executor) KNN(p storage.Principal, queryText string, k int) ([]Match, error) {
+func (x *Executor) KNN(ctx context.Context, p storage.Principal, queryText string, k int) ([]Match, error) {
 	probe, err := storage.NewRecordFromSQL(queryText)
 	if err != nil {
 		return nil, err
 	}
-	return x.knnRecord(p, probe, k, 0), nil
+	return x.knnRecord(ctx, p, probe, k, 0)
 }
 
 // KNNExcluding is KNN but skips the query with the given ID (used when
 // recommending similar queries to one already logged).
-func (x *Executor) KNNExcluding(p storage.Principal, probe *storage.QueryRecord, k int, exclude storage.QueryID) []Match {
-	return x.knnRecord(p, probe, k, exclude)
+func (x *Executor) KNNExcluding(ctx context.Context, p storage.Principal, probe *storage.QueryRecord, k int, exclude storage.QueryID) ([]Match, error) {
+	return x.knnRecord(ctx, p, probe, k, exclude)
 }
 
-func (x *Executor) knnRecord(p storage.Principal, probe *storage.QueryRecord, k int, exclude storage.QueryID) []Match {
+func (x *Executor) knnRecord(ctx context.Context, p storage.Principal, probe *storage.QueryRecord, k int, exclude storage.QueryID) ([]Match, error) {
 	var out []Match
-	x.store.Snapshot().Scan(p, func(rec *storage.QueryRecord) bool {
+	x.store.Snapshot().Scan(p, withCtx(ctx, func(rec *storage.QueryRecord) bool {
 		if rec.ID == exclude {
 			return true
 		}
@@ -506,17 +530,21 @@ func (x *Executor) knnRecord(p storage.Principal, probe *storage.QueryRecord, k 
 		}
 		out = append(out, Match{Record: rec, Score: score, Why: "similar query"})
 		return true
-	})
-	sortMatches(out)
+	}))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	SortMatches(out)
 	if k > 0 && len(out) > k {
 		out = out[:k]
 	}
-	return out
+	return out, nil
 }
 
-// sortMatches sorts by descending score, breaking ties by ascending query ID
-// for determinism.
-func sortMatches(matches []Match) {
+// SortMatches sorts by descending score, breaking ties by ascending query ID.
+// The order is deterministic, which the HTTP layer relies on for stable
+// cursor pagination over ranked results.
+func SortMatches(matches []Match) {
 	sort.SliceStable(matches, func(i, j int) bool {
 		if matches[i].Score != matches[j].Score {
 			return matches[i].Score > matches[j].Score

@@ -1,6 +1,7 @@
 package metaquery
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -8,6 +9,21 @@ import (
 
 	"repro/internal/storage"
 )
+
+// testCtx is the context every call in these tests runs under.
+var testCtx = context.Background()
+
+// must returns an unwrapper for two-valued search results that fails the
+// test on error, so call sites stay one-liners.
+func must(t *testing.T) func([]Match, error) []Match {
+	return func(matches []Match, err error) []Match {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("search: %v", err)
+		}
+		return matches
+	}
+}
 
 var (
 	admin = storage.Principal{Admin: true}
@@ -62,7 +78,7 @@ func matchIDs(matches []Match) map[storage.QueryID]bool {
 
 func TestKeywordSearch(t *testing.T) {
 	x, _, ids := newFixture(t)
-	matches := x.Keyword(admin, "salinity")
+	matches := must(t)(x.Keyword(testCtx, admin, "salinity"))
 	got := matchIDs(matches)
 	if !got[ids["correlate"]] || !got[ids["correlate2"]] {
 		t.Errorf("keyword search missing correlation queries: %v", got)
@@ -71,24 +87,24 @@ func TestKeywordSearch(t *testing.T) {
 		t.Errorf("keyword search should not match the cities query")
 	}
 	// Multiple keywords must all match; annotations count.
-	matches = x.Keyword(admin, "Seattle", "salinity")
+	matches = must(t)(x.Keyword(testCtx, admin, "Seattle", "salinity"))
 	got = matchIDs(matches)
 	if len(got) != 1 || !got[ids["correlate"]] {
 		t.Errorf("annotation keyword search = %v, want only the annotated query", got)
 	}
 	// Annotation hits rank higher than text-only hits.
-	matches = x.Keyword(admin, "salinity")
+	matches = must(t)(x.Keyword(testCtx, admin, "salinity"))
 	if matches[0].Record.ID != ids["correlate"] {
 		t.Errorf("annotated query should rank first, got %d", matches[0].Record.ID)
 	}
-	if len(x.Keyword(admin)) != 0 {
+	if len(must(t)(x.Keyword(testCtx, admin))) != 0 {
 		t.Errorf("no keywords should return no matches")
 	}
 }
 
 func TestSubstringSearch(t *testing.T) {
 	x, _, ids := newFixture(t)
-	matches := x.Substring(admin, "state = 'wa'")
+	matches := must(t)(x.Substring(testCtx, admin, "state = 'wa'"))
 	got := matchIDs(matches)
 	if len(got) != 1 || !got[ids["cities"]] {
 		t.Errorf("substring search = %v", got)
@@ -97,11 +113,11 @@ func TestSubstringSearch(t *testing.T) {
 
 func TestSearchRespectsAccessControl(t *testing.T) {
 	x, _, ids := newFixture(t)
-	matches := x.Keyword(carol, "secret")
+	matches := must(t)(x.Keyword(testCtx, carol, "secret"))
 	if len(matches) != 0 {
 		t.Errorf("carol should not find alice's private query")
 	}
-	matches = x.Keyword(alice, "secret")
+	matches = must(t)(x.Keyword(testCtx, alice, "secret"))
 	if got := matchIDs(matches); !got[ids["private"]] {
 		t.Errorf("alice should find her own private query")
 	}
@@ -114,7 +130,7 @@ func TestSQLMetaQueryFigure1(t *testing.T) {
 		WHERE Q.qid = A1.qid AND Q.qid = A2.qid
 		AND A1.attrName = 'salinity' AND A1.relName = 'WaterSalinity'
 		AND A2.attrName = 'temp' AND A2.relName = 'WaterTemp'`
-	res, matches, err := x.SQLMetaQuery(admin, metaSQL)
+	res, matches, err := x.SQLMetaQuery(testCtx, admin, metaSQL)
 	if err != nil {
 		t.Fatalf("SQLMetaQuery: %v", err)
 	}
@@ -129,7 +145,7 @@ func TestSQLMetaQueryFigure1(t *testing.T) {
 
 func TestSQLMetaQueryWithoutQID(t *testing.T) {
 	x, _, _ := newFixture(t)
-	res, matches, err := x.SQLMetaQuery(admin, "SELECT COUNT(*) FROM Queries")
+	res, matches, err := x.SQLMetaQuery(testCtx, admin, "SELECT COUNT(*) FROM Queries")
 	if !errors.Is(err, ErrNoQIDColumn) {
 		t.Fatalf("err = %v, want ErrNoQIDColumn", err)
 	}
@@ -143,7 +159,7 @@ func TestSQLMetaQueryWithoutQID(t *testing.T) {
 
 func TestSQLMetaQueryInvalidSQL(t *testing.T) {
 	x, _, _ := newFixture(t)
-	if _, _, err := x.SQLMetaQuery(admin, "SELEKT garbage"); err == nil {
+	if _, _, err := x.SQLMetaQuery(testCtx, admin, "SELEKT garbage"); err == nil {
 		t.Error("expected error for invalid meta-query")
 	}
 }
@@ -169,7 +185,7 @@ func TestGenerateMetaQueryEmpty(t *testing.T) {
 
 func TestByPartialQueryEndToEnd(t *testing.T) {
 	x, _, ids := newFixture(t)
-	matches, err := x.ByPartialQuery(admin, "SELECT FROM WaterSalinity, WaterTemp")
+	matches, err := x.ByPartialQuery(testCtx, admin, "SELECT FROM WaterSalinity, WaterTemp")
 	if err != nil {
 		t.Fatalf("ByPartialQuery: %v", err)
 	}
@@ -186,42 +202,42 @@ func TestByStructure(t *testing.T) {
 	x, _, ids := newFixture(t)
 
 	// Queries joining WaterSalinity and WaterTemp.
-	matches := x.ByStructure(admin, StructuralCondition{RequireJoinBetween: [2]string{"WaterSalinity", "WaterTemp"}})
+	matches := must(t)(x.ByStructure(testCtx, admin, StructuralCondition{RequireJoinBetween: [2]string{"WaterSalinity", "WaterTemp"}}))
 	got := matchIDs(matches)
 	if len(got) != 2 || !got[ids["correlate"]] || !got[ids["correlate2"]] {
 		t.Errorf("join condition = %v", got)
 	}
 
 	// Queries with a selection predicate on temp.
-	matches = x.ByStructure(admin, StructuralCondition{RequirePredicateOn: [2]string{"WaterTemp", "temp"}})
+	matches = must(t)(x.ByStructure(testCtx, admin, StructuralCondition{RequirePredicateOn: [2]string{"WaterTemp", "temp"}}))
 	got = matchIDs(matches)
 	if !got[ids["correlate"]] || !got[ids["tempOnly"]] {
 		t.Errorf("predicate condition = %v", got)
 	}
 
 	// Aggregate + group-by condition.
-	matches = x.ByStructure(admin, StructuralCondition{RequireAggregate: "AVG", RequireGroupBy: "lake"})
+	matches = must(t)(x.ByStructure(testCtx, admin, StructuralCondition{RequireAggregate: "AVG", RequireGroupBy: "lake"}))
 	got = matchIDs(matches)
 	if len(got) != 1 || !got[ids["agg"]] {
 		t.Errorf("aggregate condition = %v", got)
 	}
 
 	// Nested queries.
-	matches = x.ByStructure(admin, StructuralCondition{RequireNested: true})
+	matches = must(t)(x.ByStructure(testCtx, admin, StructuralCondition{RequireNested: true}))
 	got = matchIDs(matches)
 	if len(got) != 1 || !got[ids["nested"]] {
 		t.Errorf("nested condition = %v", got)
 	}
 
 	// Minimum table count.
-	matches = x.ByStructure(admin, StructuralCondition{MinTables: 2})
+	matches = must(t)(x.ByStructure(testCtx, admin, StructuralCondition{MinTables: 2}))
 	got = matchIDs(matches)
 	if !got[ids["correlate"]] || got[ids["tempOnly"]] {
 		t.Errorf("min-tables condition = %v", got)
 	}
 
 	// Required tables.
-	matches = x.ByStructure(admin, StructuralCondition{RequireTables: []string{"CityLocations"}})
+	matches = must(t)(x.ByStructure(testCtx, admin, StructuralCondition{RequireTables: []string{"CityLocations"}}))
 	got = matchIDs(matches)
 	if len(got) != 1 || !got[ids["cities"]] {
 		t.Errorf("require-tables condition = %v", got)
@@ -236,7 +252,7 @@ func TestByStructureRuntimeConditions(t *testing.T) {
 	if err := s.UpdateStats(ids["cities"], storage.RuntimeStats{ExecTime: 900 * time.Millisecond, ResultRows: 100000}); err != nil {
 		t.Fatal(err)
 	}
-	matches := x.ByStructure(admin, StructuralCondition{MaxResultRows: 10, MaxExecTimeMillis: 10})
+	matches := must(t)(x.ByStructure(testCtx, admin, StructuralCondition{MaxResultRows: 10, MaxExecTimeMillis: 10}))
 	got := matchIDs(matches)
 	if !got[ids["tempOnly"]] {
 		t.Errorf("fast small query should match: %v", got)
@@ -255,7 +271,7 @@ func TestByData(t *testing.T) {
 	attachSample(t, s, coldID, [][]string{{"Lake Washington"}, {"Lake Sammamish"}})
 	attachSample(t, s, warmID, [][]string{{"Lake Washington"}, {"Lake Union"}, {"Lake Sammamish"}})
 
-	matches := x.ByData(admin, []string{"Lake Washington"}, []string{"Lake Union"})
+	matches := must(t)(x.ByData(testCtx, admin, []string{"Lake Washington"}, []string{"Lake Union"}))
 	got := matchIDs(matches)
 	if !got[coldID] {
 		t.Errorf("query separating the examples should match")
@@ -281,7 +297,7 @@ func attachSample(t testing.TB, s *storage.Store, id storage.QueryID, rows [][]s
 
 func TestKNN(t *testing.T) {
 	x, _, ids := newFixture(t)
-	matches, err := x.KNN(admin, "SELECT temp FROM WaterTemp WHERE temp > 15", 3)
+	matches, err := x.KNN(testCtx, admin, "SELECT temp FROM WaterTemp WHERE temp > 15", 3)
 	if err != nil {
 		t.Fatalf("KNN: %v", err)
 	}
@@ -305,7 +321,7 @@ func TestKNN(t *testing.T) {
 
 func TestKNNInvalidQuery(t *testing.T) {
 	x, _, _ := newFixture(t)
-	if _, err := x.KNN(admin, "SELEKT broken", 3); err == nil {
+	if _, err := x.KNN(testCtx, admin, "SELEKT broken", 3); err == nil {
 		t.Error("expected parse error")
 	}
 }
@@ -316,7 +332,7 @@ func TestKNNExcluding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	matches := x.KNNExcluding(admin, probe, 5, ids["tempOnly"])
+	matches := must(t)(x.KNNExcluding(testCtx, admin, probe, 5, ids["tempOnly"]))
 	for _, m := range matches {
 		if m.Record.ID == ids["tempOnly"] {
 			t.Errorf("excluded query returned")
@@ -326,7 +342,7 @@ func TestKNNExcluding(t *testing.T) {
 
 func TestKNNAccessControl(t *testing.T) {
 	x, _, ids := newFixture(t)
-	matches, err := x.KNN(carol, "SELECT secret FROM PrivateNotes", 5)
+	matches, err := x.KNN(testCtx, carol, "SELECT secret FROM PrivateNotes", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,5 +350,71 @@ func TestKNNAccessControl(t *testing.T) {
 		if m.Record.ID == ids["private"] {
 			t.Errorf("private query leaked to carol via KNN")
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Context cancellation
+// ---------------------------------------------------------------------------
+
+// cancelAfterCtx is a context whose Err flips to Canceled after the first
+// call, making mid-scan abort deterministic to observe.
+type cancelAfterCtx struct {
+	context.Context
+	calls int
+}
+
+func (c *cancelAfterCtx) Err() error {
+	c.calls++
+	return context.Canceled
+}
+
+func TestCancelledContextAbortsInFlightScan(t *testing.T) {
+	store := storage.NewStore()
+	const total = 10 * storage.ScanCheckEvery
+	for i := 0; i < total; i++ {
+		rec, err := storage.NewRecordFromSQL("SELECT lake FROM WaterTemp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.User = "alice"
+		rec.Visibility = storage.VisibilityPublic
+		store.Put(rec)
+	}
+
+	// White box: the periodic check stops the scan at the first check
+	// boundary, long before the log is exhausted.
+	ctx := &cancelAfterCtx{Context: context.Background()}
+	visited := 0
+	store.Snapshot().Scan(admin, withCtx(ctx, func(*storage.QueryRecord) bool {
+		visited++
+		return true
+	}))
+	if visited >= total {
+		t.Fatalf("scan visited all %d records despite cancellation", visited)
+	}
+	if visited > storage.ScanCheckEvery {
+		t.Fatalf("scan visited %d records, want <= %d (one check interval)", visited, storage.ScanCheckEvery)
+	}
+
+	// Black box: every search method reports the cancellation instead of a
+	// partial result.
+	x := New(store)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := x.Keyword(cancelled, admin, "lake"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Keyword on cancelled ctx: err = %v", err)
+	}
+	if _, err := x.Substring(cancelled, admin, "watertemp"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Substring on cancelled ctx: err = %v", err)
+	}
+	if _, err := x.KNN(cancelled, admin, "SELECT lake FROM WaterTemp", 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("KNN on cancelled ctx: err = %v", err)
+	}
+	if _, err := x.ByData(cancelled, admin, []string{"x"}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ByData on cancelled ctx: err = %v", err)
+	}
+	if _, _, err := x.SQLMetaQuery(cancelled, admin, "SELECT qid FROM Queries"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SQLMetaQuery on cancelled ctx: err = %v", err)
 	}
 }

@@ -175,6 +175,61 @@ func (p *Profiler) Submit(sub Submission) (*Outcome, error) {
 	return out, nil
 }
 
+// SubmitBatch executes many submissions and logs every successfully parsed
+// one under a single storage commit-lock acquisition (storage.PutBatch),
+// amortising the per-write lock round trip that Submit pays once per query.
+// outs[i] and errs[i] mirror Submit's return values for subs[i]: a parse
+// error leaves outs[i] nil with errs[i] set; execution errors are reported
+// in-band in the Outcome and still logged. Queries execute in slice order, so
+// DDL earlier in the batch is visible to later entries.
+func (p *Profiler) SubmitBatch(subs []Submission) (outs []*Outcome, errs []error) {
+	outs = make([]*Outcome, len(subs))
+	errs = make([]error, len(subs))
+	recs := make([]*storage.QueryRecord, 0, len(subs))
+	logged := make([]int, 0, len(subs)) // recs[j] belongs to subs[logged[j]]
+	for i, sub := range subs {
+		rec, err := storage.NewRecordFromSQL(sub.SQL)
+		if err != nil {
+			errs[i] = fmt.Errorf("profiler: %w", err)
+			continue
+		}
+		rec.User = sub.User
+		rec.Group = sub.Group
+		rec.Visibility = sub.Visibility
+		if !sub.IssuedAt.IsZero() {
+			rec.IssuedAt = sub.IssuedAt
+		} else {
+			rec.IssuedAt = p.clock()
+		}
+		res, execErr := p.eng.Execute(sub.SQL)
+		stats := storage.RuntimeStats{
+			SchemaVersion: p.eng.Catalog().Version(),
+			ExecutedAt:    rec.IssuedAt,
+		}
+		if execErr != nil {
+			stats.Error = execErr.Error()
+		} else {
+			stats.ExecTime = res.Elapsed
+			stats.ResultRows = res.Cardinality()
+			stats.ResultColumns = len(res.Columns)
+			rec.Sample = p.sampleOutput(res)
+		}
+		rec.Stats = stats
+		outs[i] = &Outcome{
+			Result:            res,
+			SuggestAnnotation: p.shouldSuggestAnnotation(sub.SQL, rec),
+			ExecError:         execErr,
+		}
+		recs = append(recs, rec)
+		logged = append(logged, i)
+	}
+	ids := p.store.PutBatch(recs)
+	for j, id := range ids {
+		outs[logged[j]].QueryID = id
+	}
+	return outs, errs
+}
+
 // ExecuteUnprofiled runs the query directly against the engine without any
 // logging. It is the baseline for the profiling-overhead experiment (E4).
 func (p *Profiler) ExecuteUnprofiled(query string) (*engine.Result, error) {

@@ -1,6 +1,7 @@
 package recommend
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,8 +14,8 @@ import (
 // in the spirit of a spell checker (§2.3): unknown relation or attribute
 // names are matched against the schema catalog and the names seen in the
 // query log, and the closest candidates are proposed.
-func (r *Recommender) Corrections(p storage.Principal, querySQL string) []Correction {
-	ctx := r.contextOf(querySQL)
+func (r *Recommender) Corrections(ctx context.Context, p storage.Principal, querySQL string) []Correction {
+	qc := r.contextOf(querySQL)
 	schemas := r.schemaSnapshot()
 	mined := r.miningSnapshot()
 
@@ -54,7 +55,7 @@ func (r *Recommender) Corrections(p storage.Principal, querySQL string) []Correc
 		seen[key] = true
 		out = append(out, c)
 	}
-	for _, t := range ctx.tables {
+	for _, t := range qc.tables {
 		if _, ok := knownTables[strings.ToLower(t)]; ok {
 			continue
 		}
@@ -66,7 +67,7 @@ func (r *Recommender) Corrections(p storage.Principal, querySQL string) []Correc
 			})
 		}
 	}
-	for _, c := range ctx.columns {
+	for _, c := range qc.columns {
 		bare := c
 		if idx := strings.LastIndex(c, "."); idx >= 0 {
 			bare = c[idx+1:]
@@ -92,7 +93,7 @@ func (r *Recommender) Corrections(p storage.Principal, querySQL string) []Correc
 // predicate of the query, it finds logged queries with a predicate on the
 // same column whose recorded result cardinality was positive, and suggests
 // those predicate instances.
-func (r *Recommender) EmptyResultSuggestions(p storage.Principal, querySQL string, k int) ([]Correction, error) {
+func (r *Recommender) EmptyResultSuggestions(ctx context.Context, p storage.Principal, querySQL string, k int) ([]Correction, error) {
 	if k <= 0 {
 		k = r.cfg.MaxSuggestions
 	}
@@ -145,9 +146,12 @@ func (r *Recommender) EmptyResultSuggestions(p storage.Principal, querySQL strin
 			return true
 		}
 		if pred.Table != "" {
-			view.ScanByTable(pred.Table, p, collect)
+			view.ScanByTable(pred.Table, p, scanCtx(ctx, collect))
 		} else {
-			view.Scan(p, collect)
+			view.Scan(p, scanCtx(ctx, collect))
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		var cands []candidate
 		for text, c := range counts {

@@ -11,6 +11,7 @@
 package recommend
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,6 +22,14 @@ import (
 	"repro/internal/sql"
 	"repro/internal/storage"
 )
+
+// scanCtx makes a store-scan callback abort soon after the requesting client
+// goes away; see storage.ScanWithContext. Callers inspect ctx.Err()
+// afterwards; a partial result from an aborted scan is discarded by the core
+// layer.
+func scanCtx(ctx context.Context, fn func(*storage.QueryRecord) bool) func(*storage.QueryRecord) bool {
+	return storage.ScanWithContext(ctx, fn)
+}
 
 // CompletionKind classifies a completion suggestion.
 type CompletionKind int
@@ -169,34 +178,34 @@ type queryContext struct {
 }
 
 func (r *Recommender) contextOf(partialSQL string) queryContext {
-	ctx := queryContext{}
+	qc := queryContext{}
 	// Prefer a full parse; fall back to token-level extraction for partial
 	// queries.
 	if stmt, err := sql.Parse(partialSQL); err == nil {
 		if sel, ok := stmt.(*sql.SelectStmt); ok {
 			a := sql.Analyze(sel)
-			ctx.tables = a.Tables
+			qc.tables = a.Tables
 			for _, c := range a.Columns {
 				name := c.Column
 				if c.Table != "" {
 					name = c.Table + "." + c.Column
 				}
-				ctx.columns = append(ctx.columns, name)
+				qc.columns = append(qc.columns, name)
 			}
-			ctx.features = a.FeatureSet()
-			return ctx
+			qc.features = a.FeatureSet()
+			return qc
 		}
 	}
 	tables, attrs := partialFeatures(partialSQL)
-	ctx.tables = tables
-	ctx.columns = attrs
+	qc.tables = tables
+	qc.columns = attrs
 	for _, t := range tables {
-		ctx.features = append(ctx.features, "table:"+t)
+		qc.features = append(qc.features, "table:"+t)
 	}
 	for _, a := range attrs {
-		ctx.features = append(ctx.features, "col:"+a)
+		qc.features = append(qc.features, "col:"+a)
 	}
-	return ctx
+	return qc
 }
 
 // partialFeatures tokenises an incomplete query to find table and column
@@ -255,14 +264,14 @@ func partialFeatures(partial string) (tables, attrs []string) {
 // written query. Context-aware suggestions from association rules rank above
 // global popularity (the §2.3 example: given WaterSalinity, suggest WaterTemp
 // over the globally more popular CityLocations).
-func (r *Recommender) SuggestTables(p storage.Principal, partialSQL string, k int) []Completion {
+func (r *Recommender) SuggestTables(ctx context.Context, p storage.Principal, partialSQL string, k int) []Completion {
 	if k <= 0 {
 		k = r.cfg.MaxSuggestions
 	}
-	ctx := r.contextOf(partialSQL)
+	qc := r.contextOf(partialSQL)
 	mined := r.miningSnapshot()
 	have := make(map[string]bool)
-	for _, t := range ctx.tables {
+	for _, t := range qc.tables {
 		have[strings.ToLower(t)] = true
 	}
 
@@ -277,8 +286,8 @@ func (r *Recommender) SuggestTables(p storage.Principal, partialSQL string, k in
 		out = append(out, Completion{Kind: CompleteTable, Text: table, Score: score, Reason: reason})
 	}
 
-	if r.cfg.ContextAware && len(ctx.features) > 0 {
-		for _, rule := range miner.TopRulesFor(mined.Rules, ctx.features, 0) {
+	if r.cfg.ContextAware && len(qc.features) > 0 {
+		for _, rule := range miner.TopRulesFor(mined.Rules, qc.features, 0) {
 			if !strings.HasPrefix(rule.Consequent, "table:") {
 				continue
 			}
@@ -313,27 +322,27 @@ func (r *Recommender) SuggestTables(p storage.Principal, partialSQL string, k in
 // SuggestColumns suggests columns for the tables already referenced by the
 // partial query, ranked by how often they are used in logged queries over
 // those tables.
-func (r *Recommender) SuggestColumns(p storage.Principal, partialSQL string, k int) []Completion {
+func (r *Recommender) SuggestColumns(ctx context.Context, p storage.Principal, partialSQL string, k int) []Completion {
 	if k <= 0 {
 		k = r.cfg.MaxSuggestions
 	}
-	ctx := r.contextOf(partialSQL)
+	qc := r.contextOf(partialSQL)
 	have := make(map[string]bool)
-	for _, c := range ctx.columns {
+	for _, c := range qc.columns {
 		have[strings.ToLower(c)] = true
 		if idx := strings.LastIndex(c, "."); idx >= 0 {
 			have[strings.ToLower(c[idx+1:])] = true
 		}
 	}
 	tables := make(map[string]bool)
-	for _, t := range ctx.tables {
+	for _, t := range qc.tables {
 		tables[strings.ToLower(t)] = true
 	}
 
 	counts := make(map[string]int)
 	view := r.store.Snapshot()
-	for _, t := range ctx.tables {
-		view.ScanByTable(t, p, func(rec *storage.QueryRecord) bool {
+	for _, t := range qc.tables {
+		view.ScanByTable(t, p, scanCtx(ctx, func(rec *storage.QueryRecord) bool {
 			for _, attr := range rec.Attributes {
 				if attr.Rel != "" && !tables[strings.ToLower(attr.Rel)] {
 					continue
@@ -345,7 +354,7 @@ func (r *Recommender) SuggestColumns(p storage.Principal, partialSQL string, k i
 				counts[name]++
 			}
 			return true
-		})
+		}))
 	}
 	var out []Completion
 	maxCount := 1
@@ -370,7 +379,7 @@ func (r *Recommender) SuggestColumns(p storage.Principal, partialSQL string, k i
 	}
 	// Schema columns as a cold-start fallback.
 	schemas := r.schemaSnapshot()
-	for _, t := range ctx.tables {
+	for _, t := range qc.tables {
 		for _, col := range schemas[t] {
 			full := t + "." + col
 			if have[strings.ToLower(full)] || have[strings.ToLower(col)] {
@@ -397,21 +406,21 @@ func (r *Recommender) SuggestColumns(p storage.Principal, partialSQL string, k i
 
 // SuggestPredicates suggests WHERE predicates for the partial query from the
 // predicate templates most frequently applied to the referenced tables.
-func (r *Recommender) SuggestPredicates(p storage.Principal, partialSQL string, k int) []Completion {
+func (r *Recommender) SuggestPredicates(ctx context.Context, p storage.Principal, partialSQL string, k int) []Completion {
 	if k <= 0 {
 		k = r.cfg.MaxSuggestions
 	}
-	ctx := r.contextOf(partialSQL)
+	qc := r.contextOf(partialSQL)
 	tables := make(map[string]bool)
-	for _, t := range ctx.tables {
+	for _, t := range qc.tables {
 		tables[strings.ToLower(t)] = true
 	}
 	// Count concrete predicates (with constants) so the suggestion is
 	// immediately usable, as in Figure 3's drop-down.
 	counts := make(map[string]int)
 	view := r.store.Snapshot()
-	for _, t := range ctx.tables {
-		view.ScanByTable(t, p, func(rec *storage.QueryRecord) bool {
+	for _, t := range qc.tables {
+		view.ScanByTable(t, p, scanCtx(ctx, func(rec *storage.QueryRecord) bool {
 			for _, pr := range rec.Predicates {
 				if pr.IsJoin {
 					continue
@@ -427,7 +436,7 @@ func (r *Recommender) SuggestPredicates(p storage.Principal, partialSQL string, 
 				counts[text]++
 			}
 			return true
-		})
+		}))
 	}
 	existing := r.existingPredicates(partialSQL)
 	var out []Completion
@@ -476,22 +485,22 @@ func (r *Recommender) existingPredicates(partialSQL string) map[string]bool {
 
 // SuggestJoins suggests join conditions connecting the tables referenced by
 // the partial query, taken from the join predicates of logged queries.
-func (r *Recommender) SuggestJoins(p storage.Principal, partialSQL string, k int) []Completion {
+func (r *Recommender) SuggestJoins(ctx context.Context, p storage.Principal, partialSQL string, k int) []Completion {
 	if k <= 0 {
 		k = r.cfg.MaxSuggestions
 	}
-	ctx := r.contextOf(partialSQL)
-	if len(ctx.tables) < 2 {
+	qc := r.contextOf(partialSQL)
+	if len(qc.tables) < 2 {
 		return nil
 	}
 	tables := make(map[string]bool)
-	for _, t := range ctx.tables {
+	for _, t := range qc.tables {
 		tables[strings.ToLower(t)] = true
 	}
 	counts := make(map[string]int)
 	view := r.store.Snapshot()
-	for _, t := range ctx.tables {
-		view.ScanByTable(t, p, func(rec *storage.QueryRecord) bool {
+	for _, t := range qc.tables {
+		view.ScanByTable(t, p, scanCtx(ctx, func(rec *storage.QueryRecord) bool {
 			for _, pr := range rec.Predicates {
 				if !pr.IsJoin {
 					continue
@@ -503,7 +512,7 @@ func (r *Recommender) SuggestJoins(p storage.Principal, partialSQL string, k int
 				counts[canonicalJoinText(text, pr)]++
 			}
 			return true
-		})
+		}))
 	}
 	var out []Completion
 	maxCount := 1
@@ -542,12 +551,12 @@ func canonicalJoinText(text string, pr storage.PredicateRow) string {
 
 // Complete merges table, column, predicate and join suggestions for the
 // partial query, capped at k entries per kind.
-func (r *Recommender) Complete(p storage.Principal, partialSQL string, k int) []Completion {
+func (r *Recommender) Complete(ctx context.Context, p storage.Principal, partialSQL string, k int) []Completion {
 	var out []Completion
-	out = append(out, r.SuggestTables(p, partialSQL, k)...)
-	out = append(out, r.SuggestColumns(p, partialSQL, k)...)
-	out = append(out, r.SuggestPredicates(p, partialSQL, k)...)
-	out = append(out, r.SuggestJoins(p, partialSQL, k)...)
+	out = append(out, r.SuggestTables(ctx, p, partialSQL, k)...)
+	out = append(out, r.SuggestColumns(ctx, p, partialSQL, k)...)
+	out = append(out, r.SuggestPredicates(ctx, p, partialSQL, k)...)
+	out = append(out, r.SuggestJoins(ctx, p, partialSQL, k)...)
 	return out
 }
 

@@ -1,6 +1,7 @@
 package recommend
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -79,7 +80,7 @@ func TestSuggestTablesContextAware(t *testing.T) {
 	// The paper's example: the user has already included WaterSalinity, so
 	// WaterTemp must be suggested above CityLocations even though the latter
 	// is globally more popular.
-	got := r.SuggestTables(admin, "SELECT * FROM WaterSalinity", 3)
+	got := r.SuggestTables(context.Background(), admin, "SELECT * FROM WaterSalinity", 3)
 	if len(got) == 0 {
 		t.Fatal("no suggestions")
 	}
@@ -104,7 +105,7 @@ func TestSuggestTablesGlobalPopularityWithoutContext(t *testing.T) {
 	r, _ := fixture(t)
 	// An empty query has no context: the globally most popular table
 	// (CityLocations) is suggested first.
-	got := r.SuggestTables(admin, "SELECT ", 3)
+	got := r.SuggestTables(context.Background(), admin, "SELECT ", 3)
 	if len(got) == 0 {
 		t.Fatal("no suggestions")
 	}
@@ -119,7 +120,7 @@ func TestSuggestTablesContextAwareDisabled(t *testing.T) {
 	cfg.ContextAware = false
 	r2 := New(store, metaquery.New(store), cfg)
 	r2.UpdateMining(r.miningSnapshot())
-	got := r2.SuggestTables(admin, "SELECT * FROM WaterSalinity", 3)
+	got := r2.SuggestTables(context.Background(), admin, "SELECT * FROM WaterSalinity", 3)
 	if len(got) == 0 {
 		t.Fatal("no suggestions")
 	}
@@ -132,7 +133,7 @@ func TestSuggestTablesContextAwareDisabled(t *testing.T) {
 
 func TestSuggestColumns(t *testing.T) {
 	r, _ := fixture(t)
-	got := r.SuggestColumns(admin, "SELECT FROM WaterTemp", 5)
+	got := r.SuggestColumns(context.Background(), admin, "SELECT FROM WaterTemp", 5)
 	if len(got) == 0 {
 		t.Fatal("no column suggestions")
 	}
@@ -146,7 +147,7 @@ func TestSuggestColumns(t *testing.T) {
 		t.Errorf("temp should be suggested for WaterTemp: %+v", got)
 	}
 	// Already-referenced columns are not suggested.
-	got = r.SuggestColumns(admin, "SELECT temp FROM WaterTemp", 5)
+	got = r.SuggestColumns(context.Background(), admin, "SELECT temp FROM WaterTemp", 5)
 	for _, c := range got {
 		if c.Text == "WaterTemp.temp" || c.Text == "temp" {
 			t.Errorf("already-present column suggested: %+v", c)
@@ -156,7 +157,7 @@ func TestSuggestColumns(t *testing.T) {
 
 func TestSuggestPredicates(t *testing.T) {
 	r, _ := fixture(t)
-	got := r.SuggestPredicates(admin, "SELECT temp FROM WaterTemp WHERE ", 5)
+	got := r.SuggestPredicates(context.Background(), admin, "SELECT temp FROM WaterTemp WHERE ", 5)
 	if len(got) == 0 {
 		t.Fatal("no predicate suggestions")
 	}
@@ -166,7 +167,7 @@ func TestSuggestPredicates(t *testing.T) {
 		t.Errorf("top predicate = %q, want temp < 18", got[0].Text)
 	}
 	// An existing predicate is not re-suggested.
-	got = r.SuggestPredicates(admin, "SELECT temp FROM WaterTemp WHERE WaterTemp.temp < 18", 5)
+	got = r.SuggestPredicates(context.Background(), admin, "SELECT temp FROM WaterTemp WHERE WaterTemp.temp < 18", 5)
 	for _, c := range got {
 		if strings.Contains(c.Text, "temp < 18") {
 			t.Errorf("existing predicate suggested again: %+v", c)
@@ -176,7 +177,7 @@ func TestSuggestPredicates(t *testing.T) {
 
 func TestSuggestJoins(t *testing.T) {
 	r, _ := fixture(t)
-	got := r.SuggestJoins(admin, "SELECT * FROM WaterSalinity, WaterTemp", 5)
+	got := r.SuggestJoins(context.Background(), admin, "SELECT * FROM WaterSalinity, WaterTemp", 5)
 	if len(got) == 0 {
 		t.Fatal("no join suggestions")
 	}
@@ -184,14 +185,14 @@ func TestSuggestJoins(t *testing.T) {
 		t.Errorf("top join = %q, want the loc_x equi-join", got[0].Text)
 	}
 	// A single-table query yields no join suggestions.
-	if got := r.SuggestJoins(admin, "SELECT * FROM WaterTemp", 5); got != nil {
+	if got := r.SuggestJoins(context.Background(), admin, "SELECT * FROM WaterTemp", 5); got != nil {
 		t.Errorf("join suggestions for single table = %+v, want none", got)
 	}
 }
 
 func TestCompleteMergesKinds(t *testing.T) {
 	r, _ := fixture(t)
-	got := r.Complete(admin, "SELECT * FROM WaterSalinity, WaterTemp WHERE ", 3)
+	got := r.Complete(context.Background(), admin, "SELECT * FROM WaterSalinity, WaterTemp WHERE ", 3)
 	kinds := map[CompletionKind]bool{}
 	for _, c := range got {
 		kinds[c.Kind] = true
@@ -213,7 +214,7 @@ func TestCompletionKindString(t *testing.T) {
 
 func TestCorrectionsMisspelledNames(t *testing.T) {
 	r, _ := fixture(t)
-	got := r.Corrections(admin, "SELECT tmep FROM WaterTemps WHERE tmep < 18")
+	got := r.Corrections(context.Background(), admin, "SELECT tmep FROM WaterTemps WHERE tmep < 18")
 	var tableFix, colFix bool
 	for _, c := range got {
 		if c.Kind == "table" && c.Original == "WaterTemps" && c.Suggestion == "WaterTemp" {
@@ -235,7 +236,7 @@ func TestCorrectionsDeduplicated(t *testing.T) {
 	r, _ := fixture(t)
 	// The same typo appears in SELECT and WHERE; only one correction should
 	// be emitted.
-	got := r.Corrections(admin, "SELECT tmep FROM WaterTemp WHERE tmep < 18")
+	got := r.Corrections(context.Background(), admin, "SELECT tmep FROM WaterTemp WHERE tmep < 18")
 	seen := map[string]int{}
 	for _, c := range got {
 		seen[c.Kind+"|"+c.Original+"|"+c.Suggestion]++
@@ -249,7 +250,7 @@ func TestCorrectionsDeduplicated(t *testing.T) {
 
 func TestCorrectionsNoFalsePositives(t *testing.T) {
 	r, _ := fixture(t)
-	got := r.Corrections(admin, "SELECT temp FROM WaterTemp WHERE temp < 18")
+	got := r.Corrections(context.Background(), admin, "SELECT temp FROM WaterTemp WHERE temp < 18")
 	if len(got) != 0 {
 		t.Errorf("correct query should produce no corrections: %+v", got)
 	}
@@ -259,7 +260,7 @@ func TestEmptyResultSuggestions(t *testing.T) {
 	r, _ := fixture(t)
 	// 'temp > 30' returned the empty set in the log; the assistant suggests
 	// previously issued predicates on temp that returned data.
-	got, err := r.EmptyResultSuggestions(admin, "SELECT lake, temp FROM WaterTemp WHERE temp > 30", 3)
+	got, err := r.EmptyResultSuggestions(context.Background(), admin, "SELECT lake, temp FROM WaterTemp WHERE temp > 30", 3)
 	if err != nil {
 		t.Fatalf("EmptyResultSuggestions: %v", err)
 	}
@@ -282,17 +283,17 @@ func TestEmptyResultSuggestions(t *testing.T) {
 
 func TestEmptyResultSuggestionsErrors(t *testing.T) {
 	r, _ := fixture(t)
-	if _, err := r.EmptyResultSuggestions(admin, "not sql", 3); err == nil {
+	if _, err := r.EmptyResultSuggestions(context.Background(), admin, "not sql", 3); err == nil {
 		t.Error("expected parse error")
 	}
-	if _, err := r.EmptyResultSuggestions(admin, "DELETE FROM WaterTemp", 3); err == nil {
+	if _, err := r.EmptyResultSuggestions(context.Background(), admin, "DELETE FROM WaterTemp", 3); err == nil {
 		t.Error("expected error for non-SELECT")
 	}
 }
 
 func TestSimilarQueriesRankingAndColumns(t *testing.T) {
 	r, _ := fixture(t)
-	got, err := r.SimilarQueries(admin, "SELECT temp FROM WaterTemp WHERE temp < 20", 3)
+	got, err := r.SimilarQueries(context.Background(), admin, "SELECT temp FROM WaterTemp WHERE temp < 20", 3)
 	if err != nil {
 		t.Fatalf("SimilarQueries: %v", err)
 	}
@@ -320,7 +321,7 @@ func TestSimilarQueriesRankingAndColumns(t *testing.T) {
 func TestSimilarQueriesFromPartial(t *testing.T) {
 	r, _ := fixture(t)
 	// An unparsable partial query falls back to feature matching.
-	got, err := r.SimilarQueries(admin, "SELECT FROM WaterSalinity, WaterTemp WHERE", 5)
+	got, err := r.SimilarQueries(context.Background(), admin, "SELECT FROM WaterSalinity, WaterTemp WHERE", 5)
 	if err != nil {
 		t.Fatalf("SimilarQueries(partial): %v", err)
 	}
@@ -336,7 +337,7 @@ func TestSimilarQueriesFromPartial(t *testing.T) {
 
 func TestSimilarQueriesIncludeAnnotations(t *testing.T) {
 	r, _ := fixture(t)
-	got, err := r.SimilarQueries(admin, "SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x", 5)
+	got, err := r.SimilarQueries(context.Background(), admin, "SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +356,7 @@ func TestSimilarQueriesIncludeAnnotations(t *testing.T) {
 
 func TestTutorial(t *testing.T) {
 	r, _ := fixture(t)
-	steps := r.Tutorial(admin, 2)
+	steps := r.Tutorial(context.Background(), admin, 2)
 	if len(steps) == 0 {
 		t.Fatal("no tutorial steps")
 	}
@@ -380,8 +381,8 @@ func TestTutorial(t *testing.T) {
 func TestRenderAssistPane(t *testing.T) {
 	r, _ := fixture(t)
 	partial := "SELECT * FROM WaterSalinity, WaterTemp WHERE "
-	completions := r.Complete(admin, partial, 2)
-	similar, err := r.SimilarQueries(admin, partial, 3)
+	completions := r.Complete(context.Background(), admin, partial, 2)
+	similar, err := r.SimilarQueries(context.Background(), admin, partial, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package recommend
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,7 +16,7 @@ import (
 // a composite score, the structural diff relative to the user's query and
 // its annotations. The composite ranking combines kNN similarity with query
 // popularity, runtime efficiency and result-cardinality preferences (§2.3).
-func (r *Recommender) SimilarQueries(p storage.Principal, querySQL string, k int) ([]SimilarQuery, error) {
+func (r *Recommender) SimilarQueries(ctx context.Context, p storage.Principal, querySQL string, k int) ([]SimilarQuery, error) {
 	if k <= 0 {
 		k = r.cfg.MaxSuggestions
 	}
@@ -23,18 +24,24 @@ func (r *Recommender) SimilarQueries(p storage.Principal, querySQL string, k int
 	if err != nil {
 		// Fall back to the longest parsable prefix: partial queries are the
 		// norm in assisted mode, so degrade to a feature-based search.
-		return r.similarFromPartial(p, querySQL, k)
+		return r.similarFromPartial(ctx, p, querySQL, k)
 	}
 	// Over-fetch neighbours, then re-rank with the composite function.
-	neighbours := r.exec.KNNExcluding(p, probe, k*4, 0)
+	neighbours, err := r.exec.KNNExcluding(ctx, p, probe, k*4, 0)
+	if err != nil {
+		return nil, err
+	}
 	probeAnalysis := probe.Analysis()
 
 	mined := r.miningSnapshot()
 	popByFingerprint := make(map[uint64]int)
-	r.store.Snapshot().Scan(p, func(rec *storage.QueryRecord) bool {
+	r.store.Snapshot().Scan(p, scanCtx(ctx, func(rec *storage.QueryRecord) bool {
 		popByFingerprint[rec.Fingerprint]++
 		return true
-	})
+	}))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	maxPop := 1
 	for _, c := range popByFingerprint {
 		if c > maxPop {
@@ -67,8 +74,8 @@ func (r *Recommender) SimilarQueries(p storage.Principal, querySQL string, k int
 
 // similarFromPartial handles unparsable partial queries by matching on the
 // tables and attributes typed so far.
-func (r *Recommender) similarFromPartial(p storage.Principal, partialSQL string, k int) ([]SimilarQuery, error) {
-	matches, err := r.exec.ByPartialQuery(p, partialSQL)
+func (r *Recommender) similarFromPartial(ctx context.Context, p storage.Principal, partialSQL string, k int) ([]SimilarQuery, error) {
+	matches, err := r.exec.ByPartialQuery(ctx, p, partialSQL)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +128,7 @@ type TutorialStep struct {
 // relation with the most popular queries that include it (§2.3: "the system
 // could introduce each relation and its schema by showing the user the most
 // popular queries that include the relation").
-func (r *Recommender) Tutorial(p storage.Principal, queriesPerTable int) []TutorialStep {
+func (r *Recommender) Tutorial(ctx context.Context, p storage.Principal, queriesPerTable int) []TutorialStep {
 	if queriesPerTable <= 0 {
 		queriesPerTable = 3
 	}
@@ -130,12 +137,15 @@ func (r *Recommender) Tutorial(p storage.Principal, queriesPerTable int) []Tutor
 	view := r.store.Snapshot()
 	var steps []TutorialStep
 	for _, pop := range mined.TablePopularity {
+		if ctx.Err() != nil {
+			return nil
+		}
 		table := pop.Item
 		var records []*storage.QueryRecord
-		view.ScanByTable(table, p, func(rec *storage.QueryRecord) bool {
+		view.ScanByTable(table, p, scanCtx(ctx, func(rec *storage.QueryRecord) bool {
 			records = append(records, rec)
 			return true
-		})
+		}))
 		if len(records) == 0 {
 			continue
 		}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Middleware wraps an http.Handler with cross-cutting behaviour.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies the middlewares to h so that the first one listed is the
+// outermost (first to see the request).
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+type ctxKey int
+
+const (
+	ctxKeyPrincipal ctxKey = iota
+	ctxKeyRequestID
+)
+
+// WithPrincipal stashes the request's authenticated-as-declared principal in
+// the context (see the package comment: authentication proper is out of
+// scope, identity is declared).
+func WithPrincipal(ctx context.Context, p storage.Principal) context.Context {
+	return context.WithValue(ctx, ctxKeyPrincipal, p)
+}
+
+// PrincipalFrom returns the principal installed by WithPrincipal, or the
+// zero (anonymous) principal.
+func PrincipalFrom(ctx context.Context) storage.Principal {
+	p, _ := ctx.Value(ctxKeyPrincipal).(storage.Principal)
+	return p
+}
+
+// Principal headers of the v1 API. The caller's identity travels in headers
+// on every request — never in query parameters or request bodies.
+const (
+	HeaderUser      = "X-CQMS-User"
+	HeaderGroups    = "X-CQMS-Groups"
+	HeaderAdmin     = "X-CQMS-Admin"
+	HeaderRequestID = "X-Request-Id"
+)
+
+// principalFromHeaders builds the principal from the X-CQMS-* request
+// headers: user name, comma-separated groups, and an admin flag ("true" or
+// "1").
+func principalFromHeaders(r *http.Request) storage.Principal {
+	p := storage.Principal{User: strings.TrimSpace(r.Header.Get(HeaderUser))}
+	if g := r.Header.Get(HeaderGroups); g != "" {
+		for _, group := range strings.Split(g, ",") {
+			if group = strings.TrimSpace(group); group != "" {
+				p.Groups = append(p.Groups, group)
+			}
+		}
+	}
+	switch strings.ToLower(strings.TrimSpace(r.Header.Get(HeaderAdmin))) {
+	case "true", "1":
+		p.Admin = true
+	}
+	return p
+}
+
+// HeaderPrincipal installs the X-CQMS-* header principal into the request
+// context for every v1 handler.
+func HeaderPrincipal() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			next.ServeHTTP(w, r.WithContext(WithPrincipal(r.Context(), principalFromHeaders(r))))
+		})
+	}
+}
+
+// RequestID echoes the client's X-Request-Id (or generates one) on the
+// response and the request context, so one ID ties a client retry, the
+// access log line and any error report together.
+func RequestID() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get(HeaderRequestID)
+			if id == "" {
+				var buf [8]byte
+				if _, err := rand.Read(buf[:]); err == nil {
+					id = hex.EncodeToString(buf[:])
+				}
+			}
+			if id != "" {
+				w.Header().Set(HeaderRequestID, id)
+				r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// requestIDFrom returns the request ID installed by RequestID, or "".
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// Recover converts handler panics into an internal-error envelope instead of
+// tearing down the connection, and logs the panic when a logger is set.
+func Recover(logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if logger != nil {
+						logger.Printf("panic serving %s %s (request %s): %v",
+							r.Method, r.URL.Path, requestIDFrom(r.Context()), rec)
+					}
+					// Best effort: if the handler already wrote a status the
+					// envelope below is appended garbage, but the connection
+					// survives either way.
+					writeError(w, Errorf(CodeInternal, "internal server error"))
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// AccessLog writes one line per request: method, path, status, bytes,
+// duration, principal and request ID. A nil logger disables it.
+func AccessLog(logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		if logger == nil {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			logger.Printf("%s %s %d %dB %s user=%q request=%s",
+				r.Method, r.URL.RequestURI(), sw.status, sw.bytes,
+				time.Since(start).Round(time.Microsecond),
+				principalFromHeaders(r).User, requestIDFrom(r.Context()))
+		})
+	}
+}

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metaquery"
 	"repro/internal/profiler"
+	"repro/internal/session"
 	"repro/internal/storage"
 )
 
@@ -19,46 +22,143 @@ import (
 // shared-data-center setting.
 const maxInlineRows = 100
 
-// Server is the CQMS HTTP server.
+// Request-body caps: malformed or hostile payloads fail loudly instead of
+// half-applying. The batch endpoint gets a larger budget because it carries
+// many queries per round trip.
+const (
+	maxBodyBytes      = 1 << 20 // 1 MiB
+	maxBatchBodyBytes = 8 << 20 // 8 MiB
+)
+
+// MaxBatchQueries is the most queries one POST /v1/queries:batch may carry;
+// larger batches are rejected whole with invalid_argument. Exported so
+// clients can clamp before sending.
+const MaxBatchQueries = 500
+
+// Server is the CQMS HTTP server: the versioned /v1/ API plus thin legacy
+// /api/ compatibility shims over the same handler logic.
 type Server struct {
-	cqms *core.CQMS
-	mux  *http.ServeMux
+	cqms    *core.CQMS
+	mux     *http.ServeMux
+	logger  *log.Logger
+	handler http.Handler
 }
 
-// New returns a server over the given CQMS instance.
-func New(c *core.CQMS) *Server {
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger enables access logging and panic reporting on the given logger.
+func WithLogger(logger *log.Logger) Option {
+	return func(s *Server) { s.logger = logger }
+}
+
+// New returns a server over the given CQMS instance with the standard
+// middleware chain installed: request IDs, panic recovery and (when a logger
+// is configured) access logging.
+func New(c *core.CQMS, opts ...Option) *Server {
 	s := &Server{cqms: c, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.routes()
+	s.handler = Chain(jsonFallback(s.mux),
+		RequestID(),
+		AccessLog(s.logger),
+		Recover(s.logger),
+		HeaderPrincipal(),
+	)
 	return s
 }
 
-// Handler returns the http.Handler for the server.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the http.Handler for the server (middleware included).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("/api/query", s.handleSubmit)
-	s.mux.HandleFunc("/api/annotate", s.handleAnnotate)
-	s.mux.HandleFunc("/api/search/keyword", s.handleKeyword)
-	s.mux.HandleFunc("/api/search/substring", s.handleSubstring)
-	s.mux.HandleFunc("/api/search/metaquery", s.handleMetaQuery)
-	s.mux.HandleFunc("/api/search/partial", s.handlePartial)
-	s.mux.HandleFunc("/api/search/bydata", s.handleByData)
-	s.mux.HandleFunc("/api/search/similar", s.handleSimilarSearch)
-	s.mux.HandleFunc("/api/history", s.handleHistory)
-	s.mux.HandleFunc("/api/sessions", s.handleSessions)
-	s.mux.HandleFunc("/api/sessions/graph", s.handleSessionGraph)
-	s.mux.HandleFunc("/api/assist/complete", s.handleComplete)
-	s.mux.HandleFunc("/api/assist/corrections", s.handleCorrections)
-	s.mux.HandleFunc("/api/assist/similar", s.handleSimilarQueries)
-	s.mux.HandleFunc("/api/assist/tutorial", s.handleTutorial)
-	s.mux.HandleFunc("/api/admin/visibility", s.handleVisibility)
-	s.mux.HandleFunc("/api/admin/delete", s.handleDelete)
-	s.mux.HandleFunc("/api/admin/mine", s.handleMine)
-	s.mux.HandleFunc("/api/admin/maintain", s.handleMaintain)
-	s.mux.HandleFunc("/api/admin/log/info", s.handleLogInfo)
-	s.mux.HandleFunc("/api/admin/log/snapshot", s.handleLogSnapshot)
-	s.mux.HandleFunc("/api/admin/log/compact", s.handleLogCompact)
-	s.mux.HandleFunc("/api/stats", s.handleStats)
+	// Versioned v1 API: method-pattern routing, principal in X-CQMS-*
+	// headers, cursor pagination on list endpoints.
+	s.mux.HandleFunc("POST /v1/queries", s.handleV1Submit)
+	s.mux.HandleFunc("POST /v1/queries:batch", s.handleV1SubmitBatch)
+	s.mux.HandleFunc("GET /v1/queries/{id}", s.handleV1GetQuery)
+	s.mux.HandleFunc("DELETE /v1/queries/{id}", s.handleV1DeleteQuery)
+	s.mux.HandleFunc("POST /v1/queries/{id}/annotations", s.handleV1Annotate)
+	s.mux.HandleFunc("PUT /v1/queries/{id}/visibility", s.handleV1Visibility)
+	s.mux.HandleFunc("GET /v1/history", s.handleV1History)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleV1Sessions)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/graph", s.handleV1SessionGraph)
+	s.mux.HandleFunc("POST /v1/search/keyword", s.handleV1Search("keyword"))
+	s.mux.HandleFunc("POST /v1/search/substring", s.handleV1Search("substring"))
+	s.mux.HandleFunc("POST /v1/search/metaquery", s.handleV1Search("metaquery"))
+	s.mux.HandleFunc("POST /v1/search/partial", s.handleV1Search("partial"))
+	s.mux.HandleFunc("POST /v1/search/bydata", s.handleV1Search("bydata"))
+	s.mux.HandleFunc("POST /v1/search/similar", s.handleV1Search("similar"))
+	s.mux.HandleFunc("POST /v1/assist/complete", s.handleV1Complete)
+	s.mux.HandleFunc("POST /v1/assist/corrections", s.handleV1Corrections)
+	s.mux.HandleFunc("POST /v1/assist/similar", s.handleV1SimilarQueries)
+	s.mux.HandleFunc("GET /v1/assist/tutorial", s.handleV1Tutorial)
+	s.mux.HandleFunc("POST /v1/admin/mine", s.handleV1Mine)
+	s.mux.HandleFunc("POST /v1/admin/maintain", s.handleV1Maintain)
+	s.mux.HandleFunc("GET /v1/admin/log", s.handleV1LogInfo)
+	s.mux.HandleFunc("POST /v1/admin/log/snapshot", s.handleV1LogSnapshot)
+	s.mux.HandleFunc("POST /v1/admin/log/compact", s.handleV1LogCompact)
+	s.mux.HandleFunc("GET /v1/stats", s.handleV1Stats)
+
+	// Legacy unversioned routes: kept as thin shims over the same handler
+	// logic. They still accept the principal in the request body (POST) or
+	// query parameters (GET) and return full, unpaginated arrays.
+	s.mux.HandleFunc("POST /api/query", s.handleLegacySubmit)
+	s.mux.HandleFunc("POST /api/annotate", s.handleLegacyAnnotate)
+	s.mux.HandleFunc("POST /api/search/keyword", s.handleLegacySearch("keyword"))
+	s.mux.HandleFunc("POST /api/search/substring", s.handleLegacySearch("substring"))
+	s.mux.HandleFunc("POST /api/search/metaquery", s.handleLegacySearch("metaquery"))
+	s.mux.HandleFunc("POST /api/search/partial", s.handleLegacySearch("partial"))
+	s.mux.HandleFunc("POST /api/search/bydata", s.handleLegacySearch("bydata"))
+	s.mux.HandleFunc("POST /api/search/similar", s.handleLegacySearch("similar"))
+	s.mux.HandleFunc("GET /api/history", s.handleLegacyHistory)
+	s.mux.HandleFunc("GET /api/sessions", s.handleLegacySessions)
+	s.mux.HandleFunc("GET /api/sessions/graph", s.handleLegacySessionGraph)
+	s.mux.HandleFunc("POST /api/assist/complete", s.handleLegacyComplete)
+	s.mux.HandleFunc("POST /api/assist/corrections", s.handleLegacyCorrections)
+	s.mux.HandleFunc("POST /api/assist/similar", s.handleLegacySimilarQueries)
+	s.mux.HandleFunc("GET /api/assist/tutorial", s.handleLegacyTutorial)
+	s.mux.HandleFunc("POST /api/admin/visibility", s.handleLegacyVisibility)
+	s.mux.HandleFunc("POST /api/admin/delete", s.handleLegacyDelete)
+	s.mux.HandleFunc("POST /api/admin/mine", s.handleV1Mine)
+	s.mux.HandleFunc("POST /api/admin/maintain", s.handleV1Maintain)
+	s.mux.HandleFunc("GET /api/admin/log/info", s.handleV1LogInfo)
+	s.mux.HandleFunc("POST /api/admin/log/snapshot", s.handleV1LogSnapshot)
+	s.mux.HandleFunc("POST /api/admin/log/compact", s.handleV1LogCompact)
+	s.mux.HandleFunc("GET /api/stats", s.handleV1Stats)
+}
+
+// jsonFallback wraps the mux so that unmatched requests produce the JSON
+// error envelope instead of net/http's plain-text defaults: unknown routes
+// get a 404 envelope, method mismatches a 405 envelope with the Allow header
+// listing the methods the path does support.
+func jsonFallback(mux *http.ServeMux) http.Handler {
+	probeMethods := []string{
+		http.MethodGet, http.MethodPost, http.MethodPut,
+		http.MethodPatch, http.MethodDelete,
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pattern := mux.Handler(r); pattern != "" {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		var allowed []string
+		for _, m := range probeMethods {
+			probe := &http.Request{Method: m, URL: r.URL, Host: r.Host}
+			if _, pattern := mux.Handler(probe); pattern != "" {
+				allowed = append(allowed, m)
+			}
+		}
+		if len(allowed) > 0 {
+			w.Header().Set("Allow", strings.Join(allowed, ", "))
+			writeError(w, Errorf(CodeMethodNotAllowed,
+				"method %s not allowed for %s", r.Method, r.URL.Path))
+			return
+		}
+		writeError(w, Errorf(CodeNotFound, "no route for %s", r.URL.Path))
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -71,34 +171,48 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, storage.ErrNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, storage.ErrAccessDenied):
-		status = http.StatusForbidden
-	case errors.Is(err, errBadRequest):
-		status = http.StatusBadRequest
-	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+// decode parses a JSON request body. Unknown fields and oversized bodies are
+// rejected so malformed client payloads fail loudly instead of half-applying.
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) error {
+	return decodeCapped(w, r, v, maxBodyBytes)
 }
 
-var errBadRequest = errors.New("bad request")
-
-func decode(r *http.Request, v interface{}) error {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		return fmt.Errorf("%w: %v", errBadRequest, err)
+func decodeCapped(w http.ResponseWriter, r *http.Request, v interface{}, cap int64) error {
+	body := http.MaxBytesReader(w, r.Body, cap)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return err // coerced to payload_too_large by writeError
+		}
+		return Errorf(CodeInvalidArgument, "decoding request body: %v", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return Errorf(CodeInvalidArgument, "request body holds more than one JSON value")
 	}
 	return nil
 }
 
-func requirePost(w http.ResponseWriter, r *http.Request) bool {
-	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "method not allowed"})
-		return false
+// asInvalidArgument maps a user-input error onto the invalid_argument code,
+// letting cancellation and typed envelope errors keep their own codes.
+func asInvalidArgument(err error) error {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, storage.ErrNotFound) || errors.Is(err, storage.ErrAccessDenied) {
+		return err
 	}
-	return true
+	return Errorf(CodeInvalidArgument, "%v", err)
+}
+
+// pathID parses the {id} path segment.
+func pathID(r *http.Request) (int64, error) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return 0, Errorf(CodeInvalidArgument, "invalid id %q", r.PathValue("id"))
+	}
+	return id, nil
 }
 
 func matchesToDTO(matches []metaquery.Match) []MatchDTO {
@@ -109,8 +223,8 @@ func matchesToDTO(matches []metaquery.Match) []MatchDTO {
 	return out
 }
 
-// principalFromQuery builds a principal from URL query parameters (used by
-// GET endpoints).
+// principalFromQuery builds a principal from URL query parameters (legacy
+// GET endpoints only; v1 uses the X-CQMS-* headers).
 func principalFromQuery(r *http.Request) storage.Principal {
 	p := storage.Principal{User: r.URL.Query().Get("user")}
 	if g := r.URL.Query().Get("groups"); g != "" {
@@ -121,36 +235,36 @@ func principalFromQuery(r *http.Request) storage.Principal {
 }
 
 // ---------------------------------------------------------------------------
-// Traditional Interaction Mode
+// Shared handler logic: the v1 handlers and the legacy shims both call these.
 // ---------------------------------------------------------------------------
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
-	var req SubmitRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
+func (s *Server) doSubmit(ctx context.Context, p storage.Principal, req SubmitParams) (*SubmitResponse, error) {
 	if strings.TrimSpace(req.SQL) == "" {
-		writeError(w, fmt.Errorf("%w: sql is required", errBadRequest))
-		return
+		return nil, Errorf(CodeInvalidArgument, "sql is required")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	group := req.Group
-	if group == "" && len(req.Principal.Groups) > 0 {
-		group = req.Principal.Groups[0]
+	if group == "" && len(p.Groups) > 0 {
+		group = p.Groups[0]
 	}
 	out, err := s.cqms.Submit(profiler.Submission{
-		User:       req.Principal.User,
+		User:       p.User,
 		Group:      group,
 		Visibility: parseVisibility(req.Visibility),
 		SQL:        req.SQL,
 	})
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
-		return
+		return nil, asInvalidArgument(err)
 	}
+	resp := submitResponse(out)
+	return &resp, nil
+}
+
+// submitResponse converts a profiler outcome into the wire response,
+// truncating inline rows at maxInlineRows.
+func submitResponse(out *profiler.Outcome) SubmitResponse {
 	resp := SubmitResponse{
 		QueryID:           int64(out.QueryID),
 		SuggestAnnotation: out.SuggestAnnotation,
@@ -169,20 +283,94 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			resp.Rows = append(resp.Rows, out.Result.Rows[i].Strings())
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
-func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
+// runSearch dispatches one search kind. The returned matches are unpaged;
+// the v1 handler pages them, the legacy shims return them whole.
+func (s *Server) runSearch(ctx context.Context, p storage.Principal, kind string, req SearchParams) ([]metaquery.Match, error) {
+	switch kind {
+	case "keyword":
+		return s.cqms.Search(ctx, p, req.Keywords...)
+	case "substring":
+		return s.cqms.SearchSubstring(ctx, p, req.Substring)
+	case "metaquery":
+		_, matches, err := s.cqms.MetaQuery(ctx, p, req.MetaSQL)
+		if err != nil && !errors.Is(err, metaquery.ErrNoQIDColumn) {
+			return nil, asInvalidArgument(err)
+		}
+		return matches, nil
+	case "partial":
+		matches, err := s.cqms.SearchByPartialQuery(ctx, p, req.Partial)
+		if err != nil {
+			return nil, asInvalidArgument(err)
+		}
+		return matches, nil
+	case "bydata":
+		return s.cqms.SearchByData(ctx, p, req.Include, req.Exclude)
+	case "similar":
+		k := req.K
+		if k < 0 {
+			k = 0
+		}
+		matches, err := s.cqms.SimilarTo(ctx, p, req.SQL, k)
+		if err != nil {
+			return nil, asInvalidArgument(err)
+		}
+		return matches, nil
+	default:
+		return nil, Errorf(CodeInternal, "unknown search kind %q", kind)
 	}
-	var req AnnotateRequest
-	if err := decode(r, &req); err != nil {
+}
+
+func (s *Server) doAnnotate(ctx context.Context, p storage.Principal, id int64, req AnnotateParams) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.cqms.Annotate(storage.QueryID(id), p, storage.Annotation{
+		Author: p.User, Text: req.Text, Fragment: req.Fragment,
+	})
+}
+
+func (s *Server) sessionDTOs(sums []session.Summary) []SessionDTO {
+	out := make([]SessionDTO, 0, len(sums))
+	for _, sum := range sums {
+		out = append(out, SessionDTO{
+			ID: sum.ID, User: sum.User, QueryCount: sum.QueryCount,
+			Start: sum.Start, End: sum.End, Tables: sum.Tables,
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Legacy /api/ shims
+// ---------------------------------------------------------------------------
+
+func (s *Server) handleLegacySubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := decode(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
-	err := s.cqms.Annotate(storage.QueryID(req.QueryID), req.Principal.principal(), storage.Annotation{
-		Author: req.Principal.User, Text: req.Text, Fragment: req.Fragment,
+	resp, err := s.doSubmit(r.Context(), req.Principal.principal(), SubmitParams{
+		SQL: req.SQL, Group: req.Group, Visibility: req.Visibility,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLegacyAnnotate(w http.ResponseWriter, r *http.Request) {
+	var req AnnotateRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	err := s.doAnnotate(r.Context(), req.Principal.principal(), req.QueryID, AnnotateParams{
+		Text: req.Text, Fragment: req.Fragment,
 	})
 	if err != nil {
 		writeError(w, err)
@@ -191,111 +379,43 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
-// ---------------------------------------------------------------------------
-// Search & Browse Interaction Mode
-// ---------------------------------------------------------------------------
-
-func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
+// handleLegacySearch adapts one search kind to the legacy contract: the
+// principal rides in the body and the full match list is returned.
+func (s *Server) handleLegacySearch(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req SearchRequest
+		if err := decode(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		params := SearchParams{
+			Keywords: req.Keywords, Substring: req.Substring, MetaSQL: req.MetaSQL,
+			Partial: req.Partial, Include: req.Include, Exclude: req.Exclude,
+			K: req.K, SQL: req.SQL,
+		}
+		if kind == "similar" && params.K <= 0 {
+			params.K = 5 // historical default
+		}
+		matches, err := s.runSearch(r.Context(), req.Principal.principal(), kind, params)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, SearchResponse{Matches: matchesToDTO(matches)})
 	}
-	var req SearchRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	matches := s.cqms.Search(req.Principal.principal(), req.Keywords...)
-	writeJSON(w, http.StatusOK, SearchResponse{Matches: matchesToDTO(matches)})
 }
 
-func (s *Server) handleSubstring(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
-	var req SearchRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	matches := s.cqms.SearchSubstring(req.Principal.principal(), req.Substring)
-	writeJSON(w, http.StatusOK, SearchResponse{Matches: matchesToDTO(matches)})
-}
-
-func (s *Server) handleMetaQuery(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
-	var req SearchRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	_, matches, err := s.cqms.MetaQuery(req.Principal.principal(), req.MetaSQL)
-	if err != nil && !errors.Is(err, metaquery.ErrNoQIDColumn) {
-		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
-		return
-	}
-	writeJSON(w, http.StatusOK, SearchResponse{Matches: matchesToDTO(matches)})
-}
-
-func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
-	var req SearchRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	matches, err := s.cqms.SearchByPartialQuery(req.Principal.principal(), req.Partial)
-	if err != nil {
-		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
-		return
-	}
-	writeJSON(w, http.StatusOK, SearchResponse{Matches: matchesToDTO(matches)})
-}
-
-func (s *Server) handleByData(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
-	var req SearchRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	matches := s.cqms.SearchByData(req.Principal.principal(), req.Include, req.Exclude)
-	writeJSON(w, http.StatusOK, SearchResponse{Matches: matchesToDTO(matches)})
-}
-
-func (s *Server) handleSimilarSearch(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
-	var req SearchRequest
-	if err := decode(r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	k := req.K
-	if k <= 0 {
-		k = 5
-	}
-	matches, err := s.cqms.SimilarTo(req.Principal.principal(), req.SQL, k)
-	if err != nil {
-		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
-		return
-	}
-	writeJSON(w, http.StatusOK, SearchResponse{Matches: matchesToDTO(matches)})
-}
-
-func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLegacyHistory(w http.ResponseWriter, r *http.Request) {
 	p := principalFromQuery(r)
 	user := r.URL.Query().Get("of")
 	if user == "" {
 		user = p.User
 	}
-	records := s.cqms.History(p, user)
+	records, err := s.cqms.History(r.Context(), p, user)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	matches := make([]MatchDTO, 0, len(records))
 	for _, rec := range records {
 		matches = append(matches, MatchDTO{Query: queryDTO(rec), Score: 1})
@@ -303,27 +423,23 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SearchResponse{Matches: matches})
 }
 
-func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
-	p := principalFromQuery(r)
-	summaries := s.cqms.Sessions(p)
-	resp := SessionsResponse{}
-	for _, sum := range summaries {
-		resp.Sessions = append(resp.Sessions, SessionDTO{
-			ID: sum.ID, User: sum.User, QueryCount: sum.QueryCount,
-			Start: sum.Start, End: sum.End, Tables: sum.Tables,
-		})
+func (s *Server) handleLegacySessions(w http.ResponseWriter, r *http.Request) {
+	summaries, err := s.cqms.Sessions(r.Context(), principalFromQuery(r))
+	if err != nil {
+		writeError(w, err)
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, SessionsResponse{Sessions: s.sessionDTOs(summaries)})
 }
 
-func (s *Server) handleSessionGraph(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLegacySessionGraph(w http.ResponseWriter, r *http.Request) {
 	p := principalFromQuery(r)
 	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: invalid session id", errBadRequest))
+		writeError(w, Errorf(CodeInvalidArgument, "invalid session id"))
 		return
 	}
-	graph, err := s.cqms.SessionGraph(p, id)
+	graph, err := s.cqms.SessionGraph(r.Context(), p, id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -331,102 +447,40 @@ func (s *Server) handleSessionGraph(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, GraphResponse{Graph: graph})
 }
 
-// ---------------------------------------------------------------------------
-// Assisted Interaction Mode
-// ---------------------------------------------------------------------------
-
-func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
+func (s *Server) handleLegacyComplete(w http.ResponseWriter, r *http.Request) {
 	var req CompleteRequest
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
-	p := req.Principal.principal()
-	resp := AssistResponse{}
-	for _, c := range s.cqms.Complete(p, req.Partial, req.K) {
-		resp.Completions = append(resp.Completions, CompletionDTO{
-			Kind: c.Kind.String(), Text: c.Text, Score: c.Score, Reason: c.Reason,
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
+	s.serveComplete(w, r, req.Principal.principal(), CompleteParams{Partial: req.Partial, K: req.K})
 }
 
-func (s *Server) handleCorrections(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
+func (s *Server) handleLegacyCorrections(w http.ResponseWriter, r *http.Request) {
 	var req CompleteRequest
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
-	p := req.Principal.principal()
-	resp := AssistResponse{}
-	for _, c := range s.cqms.Corrections(p, req.Partial) {
-		resp.Corrections = append(resp.Corrections, CorrectionDTO{
-			Kind: c.Kind, Original: c.Original, Suggestion: c.Suggestion,
-			Reason: c.Reason, Confidence: c.Confidence,
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
+	s.serveCorrections(w, r, req.Principal.principal(), CompleteParams{Partial: req.Partial})
 }
 
-func (s *Server) handleSimilarQueries(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
+func (s *Server) handleLegacySimilarQueries(w http.ResponseWriter, r *http.Request) {
 	var req CompleteRequest
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
-	p := req.Principal.principal()
-	similar, err := s.cqms.SimilarQueries(p, req.Partial, req.K)
-	if err != nil {
-		writeError(w, fmt.Errorf("%w: %v", errBadRequest, err))
-		return
-	}
-	resp := AssistResponse{}
-	for _, sim := range similar {
-		resp.Similar = append(resp.Similar, SimilarQueryDTO{
-			Query: queryDTO(sim.Record), Score: sim.Score, Diff: sim.Diff, Annotations: sim.Annotations,
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
+	s.serveSimilarQueries(w, r, req.Principal.principal(), CompleteParams{Partial: req.Partial, K: req.K})
 }
 
-func (s *Server) handleTutorial(w http.ResponseWriter, r *http.Request) {
-	p := principalFromQuery(r)
-	steps := s.cqms.Tutorial(p, 3)
-	type stepDTO struct {
-		Table   string   `json:"table"`
-		Columns []string `json:"columns,omitempty"`
-		Queries []string `json:"queries,omitempty"`
-	}
-	out := make([]stepDTO, 0, len(steps))
-	for _, step := range steps {
-		dto := stepDTO{Table: step.Table, Columns: step.Columns}
-		for _, q := range step.PopularQueries {
-			dto.Queries = append(dto.Queries, q.Canonical)
-		}
-		out = append(out, dto)
-	}
-	writeJSON(w, http.StatusOK, out)
+func (s *Server) handleLegacyTutorial(w http.ResponseWriter, r *http.Request) {
+	s.serveTutorial(w, r, principalFromQuery(r), 3)
 }
 
-// ---------------------------------------------------------------------------
-// Administrative Interaction Mode
-// ---------------------------------------------------------------------------
-
-func (s *Server) handleVisibility(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
+func (s *Server) handleLegacyVisibility(w http.ResponseWriter, r *http.Request) {
 	var req VisibilityRequest
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -438,12 +492,9 @@ func (s *Server) handleVisibility(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
-func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
+func (s *Server) handleLegacyDelete(w http.ResponseWriter, r *http.Request) {
 	var req DeleteRequest
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -452,112 +503,4 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
-}
-
-func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
-	res := s.cqms.RunMiner()
-	writeJSON(w, http.StatusOK, MineResponse{
-		Transactions: res.TransactionCount,
-		Rules:        len(res.Rules),
-		Clusters:     len(res.Clusters),
-		Sessions:     len(s.cqms.Sessions(storage.Principal{Admin: true})),
-	})
-}
-
-func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
-	report, err := s.cqms.RunMaintenance()
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	resp := MaintainResponse{Checked: report.Checked, StatsRefreshed: len(report.StatsRefreshed)}
-	for _, inv := range report.Invalidated {
-		resp.Invalidated = append(resp.Invalidated, fmt.Sprintf("q%d: %s", inv.ID, inv.Reason))
-	}
-	for _, rep := range report.Repaired {
-		resp.Repaired = append(resp.Repaired, fmt.Sprintf("q%d: %s", rep.ID, rep.Change))
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleLogInfo(w http.ResponseWriter, r *http.Request) {
-	mgr := s.cqms.Durability()
-	if mgr == nil {
-		writeJSON(w, http.StatusOK, LogInfoResponse{Enabled: false})
-		return
-	}
-	info, err := mgr.Info()
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	resp := LogInfoResponse{
-		Enabled:              true,
-		Dir:                  info.Dir,
-		SyncPolicy:           info.SyncPolicy,
-		LastSeq:              info.LastSeq,
-		SnapshotSeq:          info.SnapshotSeq,
-		AppendsSinceSnapshot: info.AppendsSinceSnapshot,
-		AppendError:          info.AppendError,
-	}
-	for _, seg := range info.Segments {
-		resp.Segments = append(resp.Segments, LogSegmentDTO{
-			Name: seg.Name, FirstSeq: seg.FirstSeq, Bytes: seg.Bytes,
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleLogSnapshot(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
-	mgr := s.cqms.Durability()
-	if mgr == nil {
-		writeError(w, fmt.Errorf("%w: durability is disabled (start the server with -data-dir)", errBadRequest))
-		return
-	}
-	path, seq, err := mgr.Snapshot()
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, LogSnapshotResponse{Path: path, Seq: seq})
-}
-
-func (s *Server) handleLogCompact(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
-	mgr := s.cqms.Durability()
-	if mgr == nil {
-		writeError(w, fmt.Errorf("%w: durability is disabled (start the server with -data-dir)", errBadRequest))
-		return
-	}
-	path, seq, removed, err := mgr.Compact()
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, LogSnapshotResponse{Path: path, Seq: seq, RemovedSegments: removed})
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	store := s.cqms.Store()
-	var tables []string
-	for _, tc := range store.TableCounts() {
-		tables = append(tables, tc.Table)
-	}
-	writeJSON(w, http.StatusOK, StatsResponse{
-		Queries:  store.Count(),
-		Users:    store.Users(),
-		Tables:   tables,
-		Sessions: len(store.SessionIDs()),
-	})
 }

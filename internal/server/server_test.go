@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -11,6 +12,8 @@ import (
 	"repro/internal/server"
 	"repro/internal/workload"
 )
+
+var ctx = context.Background()
 
 // newTestServer starts an httptest server over a populated CQMS and returns
 // clients for a limnologist, an astronomer and an admin.
@@ -23,15 +26,16 @@ func newTestServer(t testing.TB) (*httptest.Server, *client.Client, *client.Clie
 	cqms := core.NewWithEngine(eng, core.DefaultConfig())
 	ts := httptest.NewServer(server.New(cqms).Handler())
 	t.Cleanup(ts.Close)
-	alice := client.New(ts.URL, "alice", []string{"limnology"}, false)
-	carol := client.New(ts.URL, "carol", []string{"astro"}, false)
-	admin := client.New(ts.URL, "root", nil, true)
+	alice := client.New(ts.URL, client.WithUser("alice", "limnology"))
+	carol := client.New(ts.URL, client.WithUser("carol", "astro"))
+	admin := client.New(ts.URL, client.WithUser("root"), client.WithAdmin())
 	return ts, alice, carol, admin
 }
 
 func TestSubmitAndHistoryOverHTTP(t *testing.T) {
 	_, alice, _, _ := newTestServer(t)
-	resp, err := alice.Submit("SELECT lake, temp FROM WaterTemp WHERE temp < 18", "limnology", "group")
+	resp, err := alice.Submit(ctx, "SELECT lake, temp FROM WaterTemp WHERE temp < 18",
+		client.Group("limnology"), client.Visibility("group"))
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -41,7 +45,7 @@ func TestSubmitAndHistoryOverHTTP(t *testing.T) {
 	if resp.ExecError != "" {
 		t.Errorf("unexpected exec error %q", resp.ExecError)
 	}
-	hist, err := alice.History("")
+	hist, err := alice.History(ctx, "").All()
 	if err != nil {
 		t.Fatalf("History: %v", err)
 	}
@@ -52,14 +56,14 @@ func TestSubmitAndHistoryOverHTTP(t *testing.T) {
 
 func TestSubmitInvalidSQLOverHTTP(t *testing.T) {
 	_, alice, _, _ := newTestServer(t)
-	if _, err := alice.Submit("SELEKT nonsense", "limnology", "group"); err == nil {
+	if _, err := alice.Submit(ctx, "SELEKT nonsense", client.Group("limnology")); err == nil {
 		t.Error("expected an error for unparsable SQL")
 	}
-	if _, err := alice.Submit("", "limnology", "group"); err == nil {
+	if _, err := alice.Submit(ctx, "", client.Group("limnology")); err == nil {
 		t.Error("expected an error for empty SQL")
 	}
 	// Execution errors (valid SQL, missing table) are reported in-band.
-	resp, err := alice.Submit("SELECT * FROM NoSuchTable", "limnology", "group")
+	resp, err := alice.Submit(ctx, "SELECT * FROM NoSuchTable", client.Group("limnology"))
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -70,14 +74,15 @@ func TestSubmitInvalidSQLOverHTTP(t *testing.T) {
 
 func TestAnnotateAndKeywordSearchOverHTTP(t *testing.T) {
 	_, alice, _, _ := newTestServer(t)
-	resp, err := alice.Submit("SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x", "limnology", "group")
+	resp, err := alice.Submit(ctx, "SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x",
+		client.Group("limnology"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.Annotate(resp.QueryID, "Seattle lakes correlation"); err != nil {
+	if err := alice.Annotate(ctx, resp.QueryID, "Seattle lakes correlation"); err != nil {
 		t.Fatalf("Annotate: %v", err)
 	}
-	matches, err := alice.SearchKeyword("Seattle", "salinity")
+	matches, err := alice.SearchKeyword(ctx, "Seattle", "salinity").All()
 	if err != nil {
 		t.Fatalf("SearchKeyword: %v", err)
 	}
@@ -91,14 +96,16 @@ func TestAnnotateAndKeywordSearchOverHTTP(t *testing.T) {
 
 func TestMetaQueryOverHTTP(t *testing.T) {
 	_, alice, _, admin := newTestServer(t)
-	if _, err := alice.Submit("SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x", "limnology", "public"); err != nil {
+	if _, err := alice.Submit(ctx, "SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x",
+		client.Group("limnology"), client.Visibility("public")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := alice.Submit("SELECT city FROM CityLocations", "limnology", "public"); err != nil {
+	if _, err := alice.Submit(ctx, "SELECT city FROM CityLocations",
+		client.Group("limnology"), client.Visibility("public")); err != nil {
 		t.Fatal(err)
 	}
-	matches, err := admin.MetaQuery(`SELECT Q.qid FROM Queries Q, DataSources D1, DataSources D2
-		WHERE Q.qid = D1.qid AND Q.qid = D2.qid AND D1.relName = 'WaterSalinity' AND D2.relName = 'WaterTemp'`)
+	matches, err := admin.MetaQuery(ctx, `SELECT Q.qid FROM Queries Q, DataSources D1, DataSources D2
+		WHERE Q.qid = D1.qid AND Q.qid = D2.qid AND D1.relName = 'WaterSalinity' AND D2.relName = 'WaterTemp'`).All()
 	if err != nil {
 		t.Fatalf("MetaQuery: %v", err)
 	}
@@ -106,19 +113,20 @@ func TestMetaQueryOverHTTP(t *testing.T) {
 		t.Errorf("meta-query matches = %d, want 1", len(matches))
 	}
 	// Invalid meta-SQL is a client error.
-	if _, err := admin.MetaQuery("SELEKT"); err == nil {
+	if _, err := admin.MetaQuery(ctx, "SELEKT").All(); err == nil {
 		t.Error("expected error for invalid meta-query")
 	}
 }
 
 func TestAccessControlOverHTTP(t *testing.T) {
 	_, alice, carol, _ := newTestServer(t)
-	resp, err := alice.Submit("SELECT temp FROM WaterTemp WHERE temp < 18", "limnology", "group")
+	resp, err := alice.Submit(ctx, "SELECT temp FROM WaterTemp WHERE temp < 18",
+		client.Group("limnology"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Carol (different group) cannot see alice's query via keyword search.
-	matches, err := carol.SearchKeyword("WaterTemp")
+	matches, err := carol.SearchKeyword(ctx, "WaterTemp").All()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,14 +134,14 @@ func TestAccessControlOverHTTP(t *testing.T) {
 		t.Errorf("carol sees %d of alice's group queries, want 0", len(matches))
 	}
 	// Carol cannot change its visibility either.
-	if err := carol.SetVisibility(resp.QueryID, "public"); err == nil {
+	if err := carol.SetVisibility(ctx, resp.QueryID, "public"); err == nil {
 		t.Error("expected forbidden error")
 	}
 	// Alice can.
-	if err := alice.SetVisibility(resp.QueryID, "public"); err != nil {
+	if err := alice.SetVisibility(ctx, resp.QueryID, "public"); err != nil {
 		t.Errorf("owner SetVisibility: %v", err)
 	}
-	matches, err = carol.SearchKeyword("WaterTemp")
+	matches, err = carol.SearchKeyword(ctx, "WaterTemp").All()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,14 +153,15 @@ func TestAccessControlOverHTTP(t *testing.T) {
 func TestAssistEndpointsOverHTTP(t *testing.T) {
 	_, alice, _, admin := newTestServer(t)
 	for i := 0; i < 5; i++ {
-		if _, err := alice.Submit("SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x AND WaterTemp.temp < 18", "limnology", "group"); err != nil {
+		if _, err := alice.Submit(ctx, "SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x AND WaterTemp.temp < 18",
+			client.Group("limnology")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := admin.Mine(); err != nil {
+	if _, err := admin.Mine(ctx); err != nil {
 		t.Fatalf("Mine: %v", err)
 	}
-	completions, err := alice.Complete("SELECT * FROM WaterSalinity", 3)
+	completions, err := alice.Complete(ctx, "SELECT * FROM WaterSalinity", 3)
 	if err != nil {
 		t.Fatalf("Complete: %v", err)
 	}
@@ -165,14 +174,14 @@ func TestAssistEndpointsOverHTTP(t *testing.T) {
 	if !foundWaterTemp {
 		t.Errorf("completions = %+v, want WaterTemp table suggestion", completions)
 	}
-	corrections, err := alice.Corrections("SELECT tmep FROM WaterTemp")
+	corrections, err := alice.Corrections(ctx, "SELECT tmep FROM WaterTemp")
 	if err != nil {
 		t.Fatalf("Corrections: %v", err)
 	}
 	if len(corrections) == 0 {
 		t.Errorf("no corrections over HTTP")
 	}
-	similar, err := alice.SimilarQueries("SELECT WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 20", 3)
+	similar, err := alice.SimilarQueries(ctx, "SELECT WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 20", 3)
 	if err != nil {
 		t.Fatalf("SimilarQueries: %v", err)
 	}
@@ -192,48 +201,50 @@ func TestSessionsAndGraphOverHTTP(t *testing.T) {
 		"SELECT * FROM WaterTemp, WaterSalinity WHERE WaterTemp.loc_x = WaterSalinity.loc_x AND WaterTemp.temp < 18",
 	}
 	for _, q := range queries {
-		if _, err := alice.Submit(q, "limnology", "group"); err != nil {
+		if _, err := alice.Submit(ctx, q, client.Group("limnology")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := admin.Mine(); err != nil {
+	if _, err := admin.Mine(ctx); err != nil {
 		t.Fatal(err)
 	}
-	sessions, err := alice.Sessions()
+	sessions, err := alice.Sessions(ctx).All()
 	if err != nil {
 		t.Fatalf("Sessions: %v", err)
 	}
 	if len(sessions) != 1 || sessions[0].QueryCount != 3 {
 		t.Fatalf("sessions = %+v", sessions)
 	}
-	graph, err := alice.SessionGraph(sessions[0].ID)
+	graph, err := alice.SessionGraph(ctx, sessions[0].ID)
 	if err != nil {
 		t.Fatalf("SessionGraph: %v", err)
 	}
 	if !strings.Contains(graph, "+table WaterSalinity") {
 		t.Errorf("graph missing edge label:\n%s", graph)
 	}
-	if _, err := alice.SessionGraph(99999); err == nil {
+	if _, err := alice.SessionGraph(ctx, 99999); err == nil {
 		t.Error("expected not-found error")
 	}
 }
 
 func TestMaintainAndStatsOverHTTP(t *testing.T) {
 	_, alice, _, admin := newTestServer(t)
-	if _, err := alice.Submit("SELECT temp FROM WaterTemp WHERE temp < 18", "limnology", "group"); err != nil {
+	if _, err := alice.Submit(ctx, "SELECT temp FROM WaterTemp WHERE temp < 18",
+		client.Group("limnology")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := alice.Submit("ALTER TABLE WaterTemp RENAME COLUMN temp TO temperature", "limnology", "group"); err != nil {
+	if _, err := alice.Submit(ctx, "ALTER TABLE WaterTemp RENAME COLUMN temp TO temperature",
+		client.Group("limnology")); err != nil {
 		t.Fatal(err)
 	}
-	report, err := admin.Maintain()
+	report, err := admin.Maintain(ctx)
 	if err != nil {
 		t.Fatalf("Maintain: %v", err)
 	}
 	if len(report.Repaired) != 1 {
 		t.Errorf("repaired = %+v, want one repair", report.Repaired)
 	}
-	stats, err := admin.Stats()
+	stats, err := admin.Stats(ctx)
 	if err != nil {
 		t.Fatalf("Stats: %v", err)
 	}
@@ -244,17 +255,17 @@ func TestMaintainAndStatsOverHTTP(t *testing.T) {
 
 func TestDeleteOverHTTP(t *testing.T) {
 	_, alice, carol, _ := newTestServer(t)
-	resp, err := alice.Submit("SELECT temp FROM WaterTemp", "limnology", "group")
+	resp, err := alice.Submit(ctx, "SELECT temp FROM WaterTemp", client.Group("limnology"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := carol.DeleteQuery(resp.QueryID); err == nil {
+	if err := carol.DeleteQuery(ctx, resp.QueryID); err == nil {
 		t.Error("non-owner delete should fail")
 	}
-	if err := alice.DeleteQuery(resp.QueryID); err != nil {
+	if err := alice.DeleteQuery(ctx, resp.QueryID); err != nil {
 		t.Errorf("owner delete: %v", err)
 	}
-	if err := alice.DeleteQuery(99999); err == nil {
+	if err := alice.DeleteQuery(ctx, 99999); err == nil {
 		t.Error("deleting a missing query should fail")
 	}
 }
@@ -268,5 +279,8 @@ func TestMethodNotAllowed(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != 405 {
 		t.Errorf("GET /api/query status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "POST") {
+		t.Errorf("Allow header = %q, want POST listed", allow)
 	}
 }

@@ -4,6 +4,13 @@
 // endpoint) and meta-queries (the Search & Browse and Assisted mode
 // endpoints), plus the administrative endpoints of §2.4.
 //
+// The service contract is the versioned /v1/ API (see API.md): Go 1.22
+// method-pattern routing, the caller's principal in X-CQMS-* headers, a
+// structured error envelope with machine-readable codes, cursor pagination
+// on every list endpoint, and a batch submit endpoint that amortises the
+// store's commit lock. The unversioned /api/ routes remain as thin
+// compatibility shims over the same handler logic.
+//
 // Authentication is out of scope for the paper and for this reproduction:
 // each request declares its principal (user, groups, admin flag), and the
 // storage layer enforces the visibility rules on that declared identity.
@@ -26,12 +33,39 @@ func (p PrincipalDTO) principal() storage.Principal {
 	return storage.Principal{User: p.User, Groups: p.Groups, Admin: p.Admin}
 }
 
-// SubmitRequest is the Traditional-mode request: run a SQL query.
+// SubmitRequest is the legacy Traditional-mode request: run a SQL query,
+// principal in the body.
 type SubmitRequest struct {
 	Principal  PrincipalDTO `json:"principal"`
 	Group      string       `json:"group,omitempty"`
 	Visibility string       `json:"visibility,omitempty"` // private, group, public
 	SQL        string       `json:"sql"`
+}
+
+// SubmitParams is the v1 Traditional-mode request body (POST /v1/queries);
+// the principal travels in the X-CQMS-* headers.
+type SubmitParams struct {
+	SQL        string `json:"sql"`
+	Group      string `json:"group,omitempty"`
+	Visibility string `json:"visibility,omitempty"` // private, group, public
+}
+
+// BatchSubmitRequest submits many queries in one round trip
+// (POST /v1/queries:batch), amortising the store's commit lock.
+type BatchSubmitRequest struct {
+	Queries []SubmitParams `json:"queries"`
+}
+
+// BatchItemResult is one entry of a batch response: exactly one of Result
+// and Error is set, in the order the queries were submitted.
+type BatchItemResult struct {
+	Result *SubmitResponse `json:"result,omitempty"`
+	Error  *APIError       `json:"error,omitempty"`
+}
+
+// BatchSubmitResponse mirrors BatchSubmitRequest.Queries index by index.
+type BatchSubmitResponse struct {
+	Results []BatchItemResult `json:"results"`
 }
 
 // SubmitResponse returns the execution result and logging metadata.
@@ -45,7 +79,7 @@ type SubmitResponse struct {
 	SuggestAnnotation bool       `json:"suggestAnnotation"`
 }
 
-// AnnotateRequest attaches an annotation to a logged query.
+// AnnotateRequest attaches an annotation to a logged query (legacy).
 type AnnotateRequest struct {
 	Principal PrincipalDTO `json:"principal"`
 	QueryID   int64        `json:"queryId"`
@@ -53,9 +87,22 @@ type AnnotateRequest struct {
 	Fragment  string       `json:"fragment,omitempty"`
 }
 
-// SearchRequest covers keyword, substring, meta-query, partial-query and
-// query-by-data searches; exactly one of the payload fields is used per
-// endpoint.
+// AnnotateParams is the v1 annotation body
+// (POST /v1/queries/{id}/annotations); the query ID rides in the path.
+type AnnotateParams struct {
+	Text     string `json:"text"`
+	Fragment string `json:"fragment,omitempty"`
+}
+
+// VisibilityParams is the v1 visibility body
+// (PUT /v1/queries/{id}/visibility).
+type VisibilityParams struct {
+	Visibility string `json:"visibility"`
+}
+
+// SearchRequest covers the legacy keyword, substring, meta-query,
+// partial-query and query-by-data searches; exactly one of the payload
+// fields is used per endpoint.
 type SearchRequest struct {
 	Principal PrincipalDTO `json:"principal"`
 	Keywords  []string     `json:"keywords,omitempty"`
@@ -66,6 +113,23 @@ type SearchRequest struct {
 	Exclude   []string     `json:"exclude,omitempty"`
 	K         int          `json:"k,omitempty"`
 	SQL       string       `json:"sql,omitempty"`
+}
+
+// SearchParams is the v1 search body (POST /v1/search/{kind}): the payload
+// fields of SearchRequest minus the principal, plus pagination controls.
+type SearchParams struct {
+	Keywords  []string `json:"keywords,omitempty"`
+	Substring string   `json:"substring,omitempty"`
+	MetaSQL   string   `json:"metaSql,omitempty"`
+	Partial   string   `json:"partial,omitempty"`
+	Include   []string `json:"include,omitempty"`
+	Exclude   []string `json:"exclude,omitempty"`
+	K         int      `json:"k,omitempty"`
+	SQL       string   `json:"sql,omitempty"`
+	// Limit caps the page size (default 50, max 500); Cursor resumes a
+	// previous listing. The response's nextCursor feeds the next request.
+	Limit  int    `json:"limit,omitempty"`
+	Cursor string `json:"cursor,omitempty"`
 }
 
 // QueryDTO is the wire representation of a logged query.
@@ -91,17 +155,25 @@ type MatchDTO struct {
 	Why   string   `json:"why,omitempty"`
 }
 
-// SearchResponse carries search results.
+// SearchResponse carries search results. NextCursor is set on paginated v1
+// responses when another page exists; pass it back as the cursor to resume.
 type SearchResponse struct {
-	Matches []MatchDTO `json:"matches"`
+	Matches    []MatchDTO `json:"matches"`
+	NextCursor string     `json:"nextCursor,omitempty"`
 }
 
 // CompleteRequest asks for completions / corrections / similar queries for a
-// (partial) query.
+// (partial) query (legacy: principal in the body).
 type CompleteRequest struct {
 	Principal PrincipalDTO `json:"principal"`
 	Partial   string       `json:"partial"`
 	K         int          `json:"k,omitempty"`
+}
+
+// CompleteParams is the v1 assist body (POST /v1/assist/*).
+type CompleteParams struct {
+	Partial string `json:"partial"`
+	K       int    `json:"k,omitempty"`
 }
 
 // CompletionDTO is one completion suggestion.
@@ -147,9 +219,18 @@ type SessionDTO struct {
 	Tables     []string  `json:"tables,omitempty"`
 }
 
-// SessionsResponse lists sessions.
+// SessionsResponse lists sessions. NextCursor is set on paginated v1
+// responses when another page exists.
 type SessionsResponse struct {
-	Sessions []SessionDTO `json:"sessions"`
+	Sessions   []SessionDTO `json:"sessions"`
+	NextCursor string       `json:"nextCursor,omitempty"`
+}
+
+// TutorialStepDTO is one step of the generated data-set tutorial.
+type TutorialStepDTO struct {
+	Table   string   `json:"table"`
+	Columns []string `json:"columns,omitempty"`
+	Queries []string `json:"queries,omitempty"`
 }
 
 // GraphResponse carries the rendered Figure 2 session graph.
@@ -220,11 +301,6 @@ type LogSnapshotResponse struct {
 	Path            string `json:"path"`
 	Seq             uint64 `json:"seq"`
 	RemovedSegments int    `json:"removedSegments,omitempty"`
-}
-
-// ErrorResponse is returned for every failed request.
-type ErrorResponse struct {
-	Error string `json:"error"`
 }
 
 // parseVisibility maps the wire value onto the storage constant, defaulting

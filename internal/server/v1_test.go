@@ -1,0 +1,435 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// doRaw sends a raw request and decodes the JSON body into out (when out is
+// non-nil), returning the response for header/status assertions.
+func doRaw(t *testing.T, method, url string, headers map[string]string, body string, out interface{}) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding body: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+func decodeEnvelope(t *testing.T, resp *http.Response) server.ErrorResponse {
+	t.Helper()
+	var envelope server.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatalf("decoding error envelope: %v", err)
+	}
+	return envelope
+}
+
+func TestV1ErrorEnvelopeCodes(t *testing.T) {
+	ts, alice, _, _ := newTestServer(t)
+	aliceHeaders := map[string]string{server.HeaderUser: "alice", server.HeaderGroups: "limnology"}
+
+	// Unknown route: 404 with a JSON envelope, not net/http's HTML.
+	resp := doRaw(t, http.MethodGet, ts.URL+"/v1/nope", nil, "", nil)
+	if resp.StatusCode != 404 || !strings.Contains(resp.Header.Get("Content-Type"), "json") {
+		t.Fatalf("unknown route: status %d content-type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if env := decodeEnvelope(t, resp); env.Error.Code != server.CodeNotFound {
+		t.Fatalf("unknown route code = %q", env.Error.Code)
+	}
+
+	// Method mismatch: 405 envelope with the Allow header set.
+	resp = doRaw(t, http.MethodGet, ts.URL+"/v1/queries", nil, "", nil)
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET /v1/queries status = %d", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "POST") {
+		t.Fatalf("Allow = %q", allow)
+	}
+	if env := decodeEnvelope(t, resp); env.Error.Code != server.CodeMethodNotAllowed {
+		t.Fatalf("405 code = %q", env.Error.Code)
+	}
+
+	// Missing query: not_found.
+	resp = doRaw(t, http.MethodGet, ts.URL+"/v1/queries/99999", aliceHeaders, "", nil)
+	if resp.StatusCode != 404 {
+		t.Fatalf("missing query status = %d", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, resp); env.Error.Code != server.CodeNotFound {
+		t.Fatalf("missing query code = %q", env.Error.Code)
+	}
+
+	// Unparsable SQL: invalid_argument.
+	resp = doRaw(t, http.MethodPost, ts.URL+"/v1/queries", aliceHeaders, `{"sql":"SELEKT"}`, nil)
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad SQL status = %d", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, resp); env.Error.Code != server.CodeInvalidArgument {
+		t.Fatalf("bad SQL code = %q", env.Error.Code)
+	}
+
+	// Foreign visibility change: permission_denied.
+	sub, err := alice.Submit(ctx, "SELECT lake FROM WaterTemp", client.Group("limnology"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = doRaw(t, http.MethodPut, fmt.Sprintf("%s/v1/queries/%d/visibility", ts.URL, sub.QueryID),
+		map[string]string{server.HeaderUser: "mallory"}, `{"visibility":"public"}`, nil)
+	if resp.StatusCode != 403 {
+		t.Fatalf("foreign visibility status = %d", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, resp); env.Error.Code != server.CodePermissionDenied {
+		t.Fatalf("foreign visibility code = %q", env.Error.Code)
+	}
+
+	// Malformed cursor: invalid_argument.
+	resp = doRaw(t, http.MethodGet, ts.URL+"/v1/history?cursor=%21%21garbage", aliceHeaders, "", nil)
+	if env := decodeEnvelope(t, resp); resp.StatusCode != 400 || env.Error.Code != server.CodeInvalidArgument {
+		t.Fatalf("garbage cursor: status %d code %q", resp.StatusCode, env.Error.Code)
+	}
+
+	// A cursor minted by another endpoint family is rejected.
+	if _, err := alice.Submit(ctx, "SELECT temp FROM WaterTemp", client.Group("limnology")); err != nil {
+		t.Fatal(err)
+	}
+	var page server.SearchResponse
+	resp = doRaw(t, http.MethodPost, ts.URL+"/v1/search/keyword", aliceHeaders, `{"keywords":["watertemp"],"limit":1}`, &page)
+	if resp.StatusCode != 200 {
+		t.Fatalf("search status = %d", resp.StatusCode)
+	}
+	if page.NextCursor == "" {
+		t.Fatal("two matches with limit 1 must mint a next cursor")
+	}
+	resp = doRaw(t, http.MethodGet, ts.URL+"/v1/history?cursor="+page.NextCursor, aliceHeaders, "", nil)
+	if env := decodeEnvelope(t, resp); resp.StatusCode != 400 || env.Error.Code != server.CodeInvalidArgument {
+		t.Fatalf("cross-endpoint cursor: status %d code %q", resp.StatusCode, env.Error.Code)
+	}
+}
+
+func TestV1DecodeHardening(t *testing.T) {
+	ts, _, _, _ := newTestServer(t)
+	headers := map[string]string{server.HeaderUser: "alice"}
+
+	// Unknown fields fail loudly instead of being silently dropped.
+	resp := doRaw(t, http.MethodPost, ts.URL+"/v1/queries", headers,
+		`{"sql":"SELECT lake FROM WaterTemp","nonsense":true}`, nil)
+	if env := decodeEnvelope(t, resp); resp.StatusCode != 400 || env.Error.Code != server.CodeInvalidArgument {
+		t.Fatalf("unknown field: status %d code %q", resp.StatusCode, env.Error.Code)
+	}
+
+	// Trailing garbage after the JSON value is rejected.
+	resp = doRaw(t, http.MethodPost, ts.URL+"/v1/queries", headers,
+		`{"sql":"SELECT lake FROM WaterTemp"}{"again":1}`, nil)
+	if env := decodeEnvelope(t, resp); resp.StatusCode != 400 || env.Error.Code != server.CodeInvalidArgument {
+		t.Fatalf("trailing garbage: status %d code %q", resp.StatusCode, env.Error.Code)
+	}
+
+	// Oversized bodies map to payload_too_large.
+	huge := `{"sql":"` + strings.Repeat("x", 2<<20) + `"}`
+	resp = doRaw(t, http.MethodPost, ts.URL+"/v1/queries", headers, huge, nil)
+	if env := decodeEnvelope(t, resp); resp.StatusCode != http.StatusRequestEntityTooLarge ||
+		env.Error.Code != server.CodePayloadTooLarge {
+		t.Fatalf("oversized body: status %d code %q", resp.StatusCode, env.Error.Code)
+	}
+}
+
+func TestV1HeaderPrincipalParsing(t *testing.T) {
+	ts, _, _, _ := newTestServer(t)
+
+	// Submit a group-visible query as alice.
+	resp := doRaw(t, http.MethodPost, ts.URL+"/v1/queries",
+		map[string]string{server.HeaderUser: "alice", server.HeaderGroups: " limnology , fieldwork "},
+		`{"sql":"SELECT lake FROM WaterTemp","visibility":"group"}`, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+
+	// A member of the same group (messy header spacing) sees it.
+	var found server.SearchResponse
+	resp = doRaw(t, http.MethodPost, ts.URL+"/v1/search/keyword",
+		map[string]string{server.HeaderUser: "bob", server.HeaderGroups: "limnology"},
+		`{"keywords":["watertemp"]}`, &found)
+	if resp.StatusCode != 200 || len(found.Matches) != 1 {
+		t.Fatalf("group member search: status %d matches %d", resp.StatusCode, len(found.Matches))
+	}
+
+	// A stranger does not.
+	var hidden server.SearchResponse
+	doRaw(t, http.MethodPost, ts.URL+"/v1/search/keyword",
+		map[string]string{server.HeaderUser: "mallory"},
+		`{"keywords":["watertemp"]}`, &hidden)
+	if len(hidden.Matches) != 0 {
+		t.Fatalf("stranger sees %d matches", len(hidden.Matches))
+	}
+
+	// X-CQMS-Admin: 1 grants the admin bypass.
+	var asAdmin server.SearchResponse
+	doRaw(t, http.MethodPost, ts.URL+"/v1/search/keyword",
+		map[string]string{server.HeaderUser: "ops", server.HeaderAdmin: "1"},
+		`{"keywords":["watertemp"]}`, &asAdmin)
+	if len(asAdmin.Matches) != 1 {
+		t.Fatalf("admin header ignored: %d matches", len(asAdmin.Matches))
+	}
+}
+
+// TestV1SearchPaginationStable pages a keyword search one item at a time
+// while new matching queries are submitted between pages: the listing must
+// return exactly the first page's snapshot membership, no duplicates, no
+// gaps.
+func TestV1SearchPaginationStable(t *testing.T) {
+	ts, alice, _, _ := newTestServer(t)
+	const initial = 9
+	for i := 0; i < initial; i++ {
+		if _, err := alice.Submit(ctx, "SELECT lake FROM WaterTemp", client.Group("limnology")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	headers := map[string]string{server.HeaderUser: "alice", server.HeaderGroups: "limnology"}
+
+	seen := map[int64]bool{}
+	cursor := ""
+	pages := 0
+	for {
+		body := `{"keywords":["watertemp"],"limit":2`
+		if cursor != "" {
+			body += `,"cursor":"` + cursor + `"`
+		}
+		body += `}`
+		var page server.SearchResponse
+		resp := doRaw(t, http.MethodPost, ts.URL+"/v1/search/keyword", headers, body, &page)
+		if resp.StatusCode != 200 {
+			t.Fatalf("page status = %d", resp.StatusCode)
+		}
+		if len(page.Matches) > 2 {
+			t.Fatalf("page holds %d matches, limit was 2", len(page.Matches))
+		}
+		for _, m := range page.Matches {
+			if seen[m.Query.ID] {
+				t.Fatalf("duplicate query %d across pages", m.Query.ID)
+			}
+			seen[m.Query.ID] = true
+		}
+		// New queries between pages must not leak into this listing.
+		if _, err := alice.Submit(ctx, "SELECT lake FROM WaterTemp", client.Group("limnology")); err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		if pages > 50 {
+			t.Fatal("pagination never terminated")
+		}
+		cursor = page.NextCursor
+	}
+	if len(seen) != initial {
+		t.Fatalf("paginated %d distinct matches, want %d", len(seen), initial)
+	}
+}
+
+// TestLegacyShimEquivalence issues the same logical requests through a
+// legacy /api/ route (principal in body/query) and the v1 route (principal
+// in headers) and requires identical results.
+func TestLegacyShimEquivalence(t *testing.T) {
+	ts, alice, _, _ := newTestServer(t)
+	sub, err := alice.Submit(ctx, "SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x",
+		client.Group("limnology"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Annotate(ctx, sub.QueryID, "note"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keyword search: legacy body-principal vs v1 header-principal.
+	var legacy server.SearchResponse
+	resp := doRaw(t, http.MethodPost, ts.URL+"/api/search/keyword", nil,
+		`{"principal":{"user":"alice","groups":["limnology"]},"keywords":["salinity"]}`, &legacy)
+	if resp.StatusCode != 200 {
+		t.Fatalf("legacy search status = %d", resp.StatusCode)
+	}
+	v1, err := alice.SearchKeyword(ctx, "salinity").All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy.Matches) != len(v1) {
+		t.Fatalf("legacy %d matches, v1 %d", len(legacy.Matches), len(v1))
+	}
+	for i := range v1 {
+		if legacy.Matches[i].Query.ID != v1[i].Query.ID || legacy.Matches[i].Score != v1[i].Score {
+			t.Fatalf("match %d differs: legacy %+v vs v1 %+v", i, legacy.Matches[i], v1[i])
+		}
+	}
+
+	// History: legacy query-param principal vs v1 headers.
+	var legacyHist server.SearchResponse
+	doRaw(t, http.MethodGet, ts.URL+"/api/history?user=alice&groups=limnology", nil, "", &legacyHist)
+	v1Hist, err := alice.History(ctx, "").All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacyHist.Matches) != len(v1Hist) {
+		t.Fatalf("legacy history %d, v1 %d", len(legacyHist.Matches), len(v1Hist))
+	}
+
+	// Legacy submit still works and returns the same response shape.
+	var legacySub server.SubmitResponse
+	resp = doRaw(t, http.MethodPost, ts.URL+"/api/query", nil,
+		`{"principal":{"user":"alice","groups":["limnology"]},"group":"limnology","visibility":"group","sql":"SELECT lake FROM WaterTemp"}`, &legacySub)
+	if resp.StatusCode != 200 || legacySub.QueryID == 0 {
+		t.Fatalf("legacy submit: status %d resp %+v", resp.StatusCode, legacySub)
+	}
+
+	// Legacy errors use the structured envelope too.
+	resp = doRaw(t, http.MethodPost, ts.URL+"/api/query", nil,
+		`{"principal":{"user":"alice"},"sql":""}`, nil)
+	if env := decodeEnvelope(t, resp); resp.StatusCode != 400 || env.Error.Code != server.CodeInvalidArgument {
+		t.Fatalf("legacy error envelope: status %d code %q", resp.StatusCode, env.Error.Code)
+	}
+}
+
+func TestV1RequestIDEcho(t *testing.T) {
+	ts, _, _, _ := newTestServer(t)
+	resp := doRaw(t, http.MethodGet, ts.URL+"/v1/stats",
+		map[string]string{server.HeaderRequestID: "my-trace-42"}, "", nil)
+	if got := resp.Header.Get(server.HeaderRequestID); got != "my-trace-42" {
+		t.Fatalf("request id echo = %q", got)
+	}
+	resp = doRaw(t, http.MethodGet, ts.URL+"/v1/stats", nil, "", nil)
+	if got := resp.Header.Get(server.HeaderRequestID); got == "" {
+		t.Fatal("no generated request id")
+	}
+}
+
+func TestV1SessionsPagination(t *testing.T) {
+	ts, alice, _, admin := newTestServer(t)
+	// Three sessions: bursts separated by > the session gap.
+	base := []string{
+		"SELECT lake FROM WaterTemp",
+		"SELECT salinity FROM WaterSalinity",
+		"SELECT city FROM CityLocations",
+	}
+	for _, q := range base {
+		if _, err := alice.Submit(ctx, q, client.Group("limnology")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := admin.Mine(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Page sessions one at a time through the raw endpoint.
+	headers := map[string]string{server.HeaderUser: "root", server.HeaderAdmin: "true"}
+	var (
+		cursor string
+		total  int
+		lastID int64 = -1
+	)
+	for {
+		url := ts.URL + "/v1/sessions?limit=1"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		var page server.SessionsResponse
+		resp := doRaw(t, http.MethodGet, url, headers, "", &page)
+		if resp.StatusCode != 200 {
+			t.Fatalf("sessions page status = %d", resp.StatusCode)
+		}
+		for _, s := range page.Sessions {
+			if s.ID <= lastID {
+				t.Fatalf("session order regressed: %d after %d", s.ID, lastID)
+			}
+			lastID = s.ID
+			total++
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if total == 0 {
+		t.Fatal("no sessions paginated")
+	}
+}
+
+func TestV1NoUnboundedArrays(t *testing.T) {
+	ts, alice, _, _ := newTestServer(t)
+	for i := 0; i < 60; i++ {
+		if _, err := alice.Submit(ctx, "SELECT lake FROM WaterTemp", client.Group("limnology")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	headers := map[string]string{server.HeaderUser: "alice", server.HeaderGroups: "limnology"}
+	// Default limit bounds the page even when the client asks for nothing.
+	var page server.SearchResponse
+	doRaw(t, http.MethodPost, ts.URL+"/v1/search/keyword", headers, `{"keywords":["watertemp"]}`, &page)
+	if len(page.Matches) > 50 {
+		t.Fatalf("default page holds %d matches, want <= 50", len(page.Matches))
+	}
+	if page.NextCursor == "" {
+		t.Fatal("60 matches with default limit must produce a next cursor")
+	}
+	var hist server.SearchResponse
+	doRaw(t, http.MethodGet, ts.URL+"/v1/history", headers, "", &hist)
+	if len(hist.Matches) > 50 || hist.NextCursor == "" {
+		t.Fatalf("history page: %d matches, cursor %q", len(hist.Matches), hist.NextCursor)
+	}
+}
+
+// TestV1SimilarPaginationCapsTotal: the similar search's k caps the listing
+// across pages (carried in the cursor), while limit sizes each page.
+func TestV1SimilarPaginationCapsTotal(t *testing.T) {
+	ts, alice, _, _ := newTestServer(t)
+	for i := 0; i < 6; i++ {
+		if _, err := alice.Submit(ctx, "SELECT lake, temp FROM WaterTemp WHERE temp < 18", client.Group("limnology")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	headers := map[string]string{server.HeaderUser: "alice", server.HeaderGroups: "limnology"}
+	body := `{"sql":"SELECT lake, temp FROM WaterTemp WHERE temp < 20","k":4,"limit":2}`
+	var total int
+	cursor := ""
+	for pages := 0; ; pages++ {
+		b := body
+		if cursor != "" {
+			b = strings.TrimSuffix(body, "}") + `,"cursor":"` + cursor + `"}`
+		}
+		var page server.SearchResponse
+		resp := doRaw(t, http.MethodPost, ts.URL+"/v1/search/similar", headers, b, &page)
+		if resp.StatusCode != 200 {
+			t.Fatalf("similar page status = %d", resp.StatusCode)
+		}
+		total += len(page.Matches)
+		if page.NextCursor == "" {
+			break
+		}
+		if pages > 10 {
+			t.Fatal("similar pagination never terminated")
+		}
+		cursor = page.NextCursor
+	}
+	if total != 4 {
+		t.Fatalf("similar listing returned %d matches across pages, want k=4", total)
+	}
+}

@@ -276,7 +276,7 @@ func (s *Store) reassignSession(rec *QueryRecord, sessionID int64) {
 		removeFromBucket(s.idx.bySession, rec.SessionID, rec.ID)
 	}
 	if sessionID != 0 {
-		s.idx.bySession[sessionID] = append(s.idx.bySession[sessionID], rec.ID)
+		insertIntoBucket(s.idx.bySession, sessionID, rec.ID)
 	}
 	s.idx.Unlock()
 }

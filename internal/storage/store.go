@@ -165,12 +165,62 @@ func (s *Store) Put(rec *QueryRecord) QueryID {
 	return rec.ID
 }
 
+// PutBatch inserts many records under a single commit-lock acquisition,
+// assigning consecutive IDs in slice order. It is the amortised write path
+// behind the batch-submit API: one lock round trip (and one contiguous run of
+// WAL hook emissions) instead of one per query. Like Put, it takes ownership
+// of every record.
+func (s *Store) PutBatch(recs []*QueryRecord) []QueryID {
+	if len(recs) == 0 {
+		return nil
+	}
+	ids := make([]QueryID, len(recs))
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	for i, rec := range recs {
+		rec.ID = QueryID(s.nextID.Load() + 1)
+		if rec.IssuedAt.IsZero() {
+			rec.IssuedAt = s.now()
+		}
+		rec.Valid = true
+		s.insert(rec)
+		if s.hook != nil {
+			s.emit(&Mutation{Op: OpPut, Record: rec})
+		}
+		ids[i] = rec.ID
+	}
+	return ids
+}
+
+// insertIntoBucket adds an ID to a copy-on-write index bucket, preserving
+// the ascending-ID invariant that the cursor scans (ScanAfter,
+// ScanByUserAfter) binary-search on. Fresh inserts always carry the highest
+// ID so the in-place append fast path applies; re-indexing an existing
+// record (the ReplaceText repair path) rebuilds the bucket sorted, building
+// a fresh slice like removal does so concurrent readers holding the old
+// header stay consistent.
+func insertIntoBucket[K comparable](m map[K][]QueryID, key K, id QueryID) {
+	old := m[key]
+	if n := len(old); n == 0 || old[n-1] < id {
+		m[key] = append(old, id)
+		return
+	}
+	i := sort.Search(len(old), func(i int) bool { return old[i] >= id })
+	if i < len(old) && old[i] == id {
+		return // already indexed
+	}
+	out := make([]QueryID, 0, len(old)+1)
+	out = append(out, old[:i]...)
+	out = append(out, id)
+	out = append(out, old[i:]...)
+	m[key] = out
+}
+
 // indexLocked adds a record to every inverted index. Callers must hold the
 // idx write lock.
 func (s *Store) indexLocked(rec *QueryRecord) {
 	for _, t := range rec.Tables {
-		key := strings.ToLower(t)
-		s.idx.byTable[key] = append(s.idx.byTable[key], rec.ID)
+		insertIntoBucket(s.idx.byTable, strings.ToLower(t), rec.ID)
 	}
 	seenAttr := make(map[string]bool)
 	for _, a := range rec.Attributes {
@@ -179,12 +229,12 @@ func (s *Store) indexLocked(rec *QueryRecord) {
 			continue
 		}
 		seenAttr[key] = true
-		s.idx.byAttribute[key] = append(s.idx.byAttribute[key], rec.ID)
+		insertIntoBucket(s.idx.byAttribute, key, rec.ID)
 	}
-	s.idx.byUser[rec.User] = append(s.idx.byUser[rec.User], rec.ID)
-	s.idx.byFingerprint[rec.Fingerprint] = append(s.idx.byFingerprint[rec.Fingerprint], rec.ID)
+	insertIntoBucket(s.idx.byUser, rec.User, rec.ID)
+	insertIntoBucket(s.idx.byFingerprint, rec.Fingerprint, rec.ID)
 	if rec.SessionID != 0 {
-		s.idx.bySession[rec.SessionID] = append(s.idx.bySession[rec.SessionID], rec.ID)
+		insertIntoBucket(s.idx.bySession, rec.SessionID, rec.ID)
 	}
 }
 

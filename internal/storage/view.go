@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -45,6 +46,51 @@ func (s *Store) Snapshot() *View {
 	return &View{store: s, ids: ids, limit: limit}
 }
 
+// SnapshotAt captures a read view whose membership is pinned at an earlier
+// high-water mark (a View.Limit from a previous Snapshot). Queries inserted
+// after that mark are invisible; queries deleted since are skipped. It is the
+// primitive behind cursor pagination: every page of one logical listing is
+// served from views pinned at the same mark, so paginating to exhaustion
+// yields exactly the first page's membership regardless of concurrent
+// inserts.
+func (s *Store) SnapshotAt(limit QueryID) *View {
+	if current := QueryID(s.nextID.Load()); limit > current {
+		limit = current
+	}
+	s.idx.RLock()
+	ids := s.idx.order
+	s.idx.RUnlock()
+	return &View{store: s, ids: ids, limit: limit}
+}
+
+// HighWater returns the current ID high-water mark: every stored query has
+// ID <= HighWater(), and IDs are assigned monotonically and never reused.
+func (s *Store) HighWater() QueryID { return QueryID(s.nextID.Load()) }
+
+// Limit returns the view's ID high-water mark (the membership boundary).
+// Pass it to SnapshotAt to build later views pinned at the same membership.
+func (v *View) Limit() QueryID { return v.limit }
+
+// ScanCheckEvery is how many records a context-aware scan visits between
+// context checks: a power of two so the check compiles to a mask, small
+// enough that a cancelled request stops a scan within microseconds.
+const ScanCheckEvery = 64
+
+// ScanWithContext wraps a scan callback with a periodic context check so
+// that a long scan over the query log aborts soon after the caller goes away
+// (client disconnect, request timeout). Callers must inspect ctx.Err()
+// afterwards to distinguish an aborted scan from an exhausted one; partial
+// results from an aborted scan are discarded by the serving layers.
+func ScanWithContext(ctx context.Context, fn func(*QueryRecord) bool) func(*QueryRecord) bool {
+	n := 0
+	return func(rec *QueryRecord) bool {
+		if n++; n&(ScanCheckEvery-1) == 0 && ctx.Err() != nil {
+			return false
+		}
+		return fn(rec)
+	}
+}
+
 // Len returns the number of queries the snapshot captured (including any
 // deleted since, which scans skip).
 func (v *View) Len() int { return len(v.ids) }
@@ -84,6 +130,28 @@ func (v *View) scanIDs(ids []QueryID, p Principal, fn func(*QueryRecord) bool) {
 // false from fn to stop early.
 func (v *View) Scan(p Principal, fn func(*QueryRecord) bool) {
 	v.scanIDs(v.ids, p, fn)
+}
+
+// after narrows an ascending ID list to the suffix strictly greater than the
+// cursor ID. IDs are assigned monotonically under the commit lock and both
+// the insertion order and the per-key index buckets append in commit order,
+// so the lists are sorted and a binary search finds the resume point: a page
+// costs O(log n + page) instead of rescanning the prefix.
+func after(ids []QueryID, cursor QueryID) []QueryID {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] > cursor })
+	return ids[i:]
+}
+
+// ScanAfter is Scan resuming strictly after the given query ID. With a view
+// pinned by SnapshotAt, repeated ScanAfter calls paginate the snapshot's
+// membership without duplicates or gaps under concurrent inserts.
+func (v *View) ScanAfter(cursor QueryID, p Principal, fn func(*QueryRecord) bool) {
+	v.scanIDs(after(v.ids, cursor), p, fn)
+}
+
+// ScanByUserAfter is ScanByUser resuming strictly after the given query ID.
+func (v *View) ScanByUserAfter(user string, cursor QueryID, p Principal, fn func(*QueryRecord) bool) {
+	v.scanIDs(after(v.store.indexUser(user), cursor), p, fn)
 }
 
 // scanAll visits every record in the snapshot regardless of visibility; it
@@ -127,12 +195,10 @@ func (v *View) ScanByFingerprint(fp uint64, p Principal, fn func(*QueryRecord) b
 	v.scanIDs(v.store.indexFingerprint(fp), p, fn)
 }
 
-// ScanBySession visits the visible queries of one session in temporal order.
+// ScanBySession visits the visible queries of one session in temporal order
+// (index buckets maintain ascending ID order; see insertIntoBucket).
 func (v *View) ScanBySession(sessionID int64, p Principal, fn func(*QueryRecord) bool) {
-	ids := v.store.indexSession(sessionID)
-	sorted := append([]QueryID(nil), ids...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	v.scanIDs(sorted, p, fn)
+	v.scanIDs(v.store.indexSession(sessionID), p, fn)
 }
 
 // The index accessors capture a copy-on-write bucket header under a short

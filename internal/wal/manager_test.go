@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -146,8 +147,14 @@ func assertStoresEqual(t *testing.T, want, got *storage.Store) {
 
 	// Keyword search runs on the recovered indexes through the meta-query
 	// executor, the paper's interactive search path.
-	wantMatches := metaquery.New(want).Keyword(admin, "watertemp")
-	gotMatches := metaquery.New(got).Keyword(admin, "watertemp")
+	wantMatches, err := metaquery.New(want).Keyword(context.Background(), admin, "watertemp")
+	if err != nil {
+		t.Fatalf("Keyword(want): %v", err)
+	}
+	gotMatches, err := metaquery.New(got).Keyword(context.Background(), admin, "watertemp")
+	if err != nil {
+		t.Fatalf("Keyword(got): %v", err)
+	}
 	if len(wantMatches) == 0 || len(wantMatches) != len(gotMatches) {
 		t.Fatalf("keyword search: want %d matches, got %d", len(wantMatches), len(gotMatches))
 	}
