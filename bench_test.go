@@ -30,6 +30,7 @@ import (
 	"repro/internal/recommend"
 	"repro/internal/server"
 	"repro/internal/session"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/wal"
 	"repro/internal/workload"
@@ -209,6 +210,88 @@ func BenchmarkE3CompletionPopularityOnly(b *testing.B) {
 		if len(got) == 0 {
 			b.Fatal("no suggestions")
 		}
+	}
+}
+
+// completionBenchStore builds a store with n logged queries drawn from a
+// small vocabulary of tables, attributes, predicates and joins (constants
+// varied so the predicate space is realistic), with the incremental stats
+// tracker attached.
+func completionBenchStore(b *testing.B, n int) (*storage.Store, *stats.Tracker) {
+	b.Helper()
+	var vocab []*storage.QueryRecord
+	for i := 0; i < 10; i++ {
+		for _, text := range []string{
+			fmt.Sprintf("SELECT temp FROM WaterTemp WHERE temp < %d", 10+i),
+			fmt.Sprintf("SELECT WaterTemp.lake, WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp > %d", i),
+			fmt.Sprintf("SELECT WaterSalinity.salinity FROM WaterSalinity WHERE WaterSalinity.depth < %d", i*5),
+			fmt.Sprintf("SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x AND WaterTemp.temp < %d", 12+i),
+		} {
+			rec, err := storage.NewRecordFromSQL(text)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec.User = fmt.Sprintf("user%d", i%7)
+			rec.Visibility = storage.Visibility(i % 3)
+			vocab = append(vocab, rec)
+		}
+	}
+	store := storage.NewStore()
+	tracker := stats.Attach(store)
+	for i := 0; i < n; i++ {
+		store.Put(vocab[i%len(vocab)].Clone())
+	}
+	return store, tracker
+}
+
+// BenchmarkE3CompletionIncremental measures steady-state per-keystroke
+// completion cost (columns + predicates + joins) against the incremental
+// stats counters at 1k vs 50k-record logs. The per-suggestion cost must stay
+// flat (within noise) as the log grows — that is the point of taking the
+// full-log scans out of the recommendation hot path.
+func BenchmarkE3CompletionIncremental(b *testing.B) {
+	for _, n := range []int{1_000, 50_000} {
+		b.Run(fmt.Sprintf("log=%d", n), func(b *testing.B) {
+			store, tracker := completionBenchStore(b, n)
+			rec := recommend.New(store, metaquery.New(store), recommend.DefaultConfig())
+			rec.UseStats(tracker)
+			const partial = "SELECT * FROM WaterSalinity, WaterTemp WHERE "
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cols := rec.SuggestColumns(ctx, Admin, partial, 5)
+				preds := rec.SuggestPredicates(ctx, Admin, partial, 5)
+				joins := rec.SuggestJoins(ctx, Admin, partial, 5)
+				if len(cols) == 0 || len(preds) == 0 || len(joins) == 0 {
+					b.Fatal("missing suggestions")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3CompletionScanBaseline is the same workload on the scan paths
+// (no tracker): per-suggestion cost grows with the log, which is what the
+// incremental counters eliminate.
+func BenchmarkE3CompletionScanBaseline(b *testing.B) {
+	for _, n := range []int{1_000, 50_000} {
+		b.Run(fmt.Sprintf("log=%d", n), func(b *testing.B) {
+			store, _ := completionBenchStore(b, n)
+			rec := recommend.New(store, metaquery.New(store), recommend.DefaultConfig())
+			const partial = "SELECT * FROM WaterSalinity, WaterTemp WHERE "
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cols := rec.SuggestColumns(ctx, Admin, partial, 5)
+				preds := rec.SuggestPredicates(ctx, Admin, partial, 5)
+				joins := rec.SuggestJoins(ctx, Admin, partial, 5)
+				if len(cols) == 0 || len(preds) == 0 || len(joins) == 0 {
+					b.Fatal("missing suggestions")
+				}
+			}
+		})
 	}
 }
 

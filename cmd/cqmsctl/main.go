@@ -499,5 +499,27 @@ func cmdStats(ctx context.Context, c *client.Client) error {
 	fmt.Printf("users:    %s\n", strings.Join(stats.Users, ", "))
 	fmt.Printf("tables:   %s\n", strings.Join(stats.Tables, ", "))
 	fmt.Printf("sessions: %d\n", stats.Sessions)
+	// Principal-aware incremental counters (public + the caller's own
+	// queries; everything for admins).
+	fmt.Printf("visible queries: %d\n", stats.VisibleQueries)
+	fmt.Printf("mined transactions: %d\n", stats.MinedTransactions)
+	if len(stats.TableCounts) > 0 {
+		fmt.Println("table counts:")
+		for _, tc := range stats.TableCounts {
+			fmt.Printf("  %-30s %d\n", tc.Item, tc.Count)
+		}
+	}
+	if len(stats.UserActivity) > 0 {
+		fmt.Println("user activity:")
+		for _, ua := range stats.UserActivity {
+			fmt.Printf("  %-30s %d\n", ua.Item, ua.Count)
+		}
+	}
+	if len(stats.TopPredicates) > 0 {
+		fmt.Println("top predicates:")
+		for _, tp := range stats.TopPredicates {
+			fmt.Printf("  %-45s %d\n", tp.Item, tp.Count)
+		}
+	}
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/profiler"
 	"repro/internal/recommend"
 	"repro/internal/session"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/wal"
 	"repro/internal/workload"
@@ -89,6 +90,10 @@ type SessionSummary = session.Summary
 
 // MiningResult is the output of a background mining pass.
 type MiningResult = miner.Result
+
+// StatsTracker holds the incrementally maintained, visibility-aware query-log
+// aggregates (see CQMS.StatsTracker).
+type StatsTracker = stats.Tracker
 
 // MaintenanceReport summarises a maintenance scan.
 type MaintenanceReport = maintenance.Report

@@ -22,6 +22,7 @@ import (
 	"repro/internal/profiler"
 	"repro/internal/recommend"
 	"repro/internal/session"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -70,6 +71,13 @@ type CQMS struct {
 	maintainer  *maintenance.Maintainer
 	detector    *session.Detector
 
+	// stats and minerFeed are derived-state subscribers on the store's
+	// mutation event bus: incrementally maintained aggregates serving the
+	// completion hot path and the stats API, and a continuously warm
+	// association-rule feed.
+	stats     *stats.Tracker
+	minerFeed *miner.Feed
+
 	mu           sync.RWMutex
 	lastMining   *miner.Result
 	lastSessions []session.Session
@@ -99,9 +107,24 @@ func NewWithEngine(eng *engine.Engine, cfg Config) *CQMS {
 		maintainer:  maintenance.New(eng, store, cfg.Maintenance),
 		detector:    session.NewDetector(cfg.Session),
 	}
+	// Derived-state subscribers attach before any durability layer opens
+	// (OpenWithEngine), so WAL recovery replay flows through them and their
+	// counters come back consistent with the recovered store.
+	c.stats = stats.Attach(store)
+	c.recommender.UseStats(c.stats)
+	c.minerFeed = miner.NewFeed(cfg.Miner.Assoc, minerFeedWarmup)
+	c.minerFeed.Attach(store)
+	// Until the first full mining pass runs, context-aware completions are
+	// served from the feed's live rule counts instead of going
+	// popularity-only.
+	c.recommender.UseRuleFeed(c.minerFeed.Rules)
 	c.syncSchemas()
 	return c
 }
+
+// minerFeedWarmup is how many logged queries the incremental rule feed mines
+// exactly before freezing its vocabulary (see miner.NewIncrementalMiner).
+const minerFeedWarmup = 200
 
 // Open creates a CQMS over a fresh embedded engine and, when
 // cfg.Durability.Dir is set, recovers the query log from disk (newest
@@ -148,6 +171,14 @@ func (c *CQMS) Engine() *engine.Engine { return c.eng }
 
 // Store exposes the query storage.
 func (c *CQMS) Store() *storage.Store { return c.store }
+
+// StatsTracker exposes the incrementally maintained, visibility-aware
+// query-log aggregates (never nil).
+func (c *CQMS) StatsTracker() *stats.Tracker { return c.stats }
+
+// MinerFeed exposes the bus-driven incremental association-rule feed
+// (never nil).
+func (c *CQMS) MinerFeed() *miner.Feed { return c.minerFeed }
 
 // syncSchemas pushes the engine's current schema catalog into the
 // recommender so that name completion and correction know about every table.
@@ -457,6 +488,12 @@ func (c *CQMS) RunMiner() *miner.Result {
 	}
 	res := c.miner.Run(c.store)
 	c.recommender.UpdateMining(res)
+	// The installed Result permanently supersedes the feed's approximate
+	// rules in the recommender, so stop the feed's per-commit itemset
+	// counting; it keeps counting transactions for the stats surface.
+	if c.minerFeed != nil {
+		c.minerFeed.Retire()
+	}
 	c.syncSchemas()
 	c.mu.Lock()
 	c.lastMining = res

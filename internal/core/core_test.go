@@ -410,3 +410,45 @@ func TestHistoryPagePinsSnapshot(t *testing.T) {
 		}
 	}
 }
+
+// TestColdStartContextAwareCompletion proves the bus-driven miner feed
+// serves context-aware table suggestions before the first full mining pass:
+// no RunMiner is called, yet the §2.3 co-occurrence example still ranks
+// WaterTemp above the globally more popular CityLocations.
+func TestColdStartContextAwareCompletion(t *testing.T) {
+	c := newSystem(t)
+	base := time.Date(2009, 1, 5, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 6; i++ {
+		submit(t, c, "alice", "limnology",
+			"SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x",
+			base.Add(time.Duration(i)*time.Minute))
+	}
+	for i := 0; i < 8; i++ {
+		submit(t, c, "bob", "limnology", "SELECT city FROM CityLocations WHERE pop > 100000",
+			base.Add(time.Duration(i)*time.Minute))
+	}
+	got, err := c.SuggestTables(context.Background(), alice, "SELECT * FROM WaterSalinity", 3)
+	if err != nil {
+		t.Fatalf("SuggestTables: %v", err)
+	}
+	if len(got) == 0 || got[0].Text != "WaterTemp" {
+		t.Errorf("cold-start suggestions = %+v, want WaterTemp first (from the incremental feed)", got)
+	}
+
+	// A full mining pass retires the feed (its rules are superseded by the
+	// installed Result), but the transaction counter behind the stats
+	// surface keeps following submissions.
+	c.RunMiner()
+	before := c.MinerFeed().NumTransactions()
+	submit(t, c, "alice", "limnology", "SELECT temp FROM WaterTemp", base.Add(time.Hour))
+	if got := c.MinerFeed().NumTransactions(); got != before+1 {
+		t.Errorf("retired feed transactions = %d, want %d", got, before+1)
+	}
+	got, err = c.SuggestTables(context.Background(), alice, "SELECT * FROM WaterSalinity", 3)
+	if err != nil {
+		t.Fatalf("SuggestTables after mining pass: %v", err)
+	}
+	if len(got) == 0 || got[0].Text != "WaterTemp" {
+		t.Errorf("post-mining suggestions = %+v, want WaterTemp first (from the mined result)", got)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"reflect"
 	"testing"
 	"time"
 
@@ -122,4 +123,43 @@ func TestDurableSchedulerSnapshots(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatal("background scheduler never snapshotted the store")
+}
+
+// TestRecoveryRebuildsDerivedState proves the bus-driven derived state — the
+// stats tracker and the miner feed — comes back from a restart consistent
+// with the recovered store, without any explicit re-scan by the caller.
+func TestRecoveryRebuildsDerivedState(t *testing.T) {
+	dir := t.TempDir()
+	c := openDurable(t, dir)
+	base := time.Date(2026, 7, 1, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		submit(t, c, "alice", "limnology",
+			"SELECT WaterTemp.lake, WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 15",
+			base.Add(time.Duration(i)*time.Minute))
+	}
+	submit(t, c, "bob", "limnology",
+		"SELECT WaterSalinity.lake FROM WaterSalinity", base.Add(time.Hour))
+	before := c.StatsTracker().TableCounts(admin)
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c2 := openDurable(t, dir)
+	defer c2.Close()
+	after := c2.StatsTracker().TableCounts(admin)
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("stats counters diverged across recovery\n pre: %+v\npost: %+v", before, after)
+	}
+	if got := c2.StatsTracker().QueryCount(admin); got != c2.Store().Count() {
+		t.Errorf("tracker covers %d queries, store holds %d", got, c2.Store().Count())
+	}
+	if got := c2.MinerFeed().NumTransactions(); got != c2.Store().Count() {
+		t.Errorf("miner feed saw %d transactions, want %d", got, c2.Store().Count())
+	}
+	// New submissions keep flowing through the bus after recovery.
+	submit(t, c2, "alice", "limnology",
+		"SELECT Observations.id FROM Observations", base.Add(2*time.Hour))
+	if got := c2.MinerFeed().NumTransactions(); got != c2.Store().Count() {
+		t.Errorf("post-recovery feed = %d, want %d", got, c2.Store().Count())
+	}
 }

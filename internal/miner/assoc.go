@@ -342,10 +342,21 @@ func (im *IncrementalMiner) count(transaction []string) {
 // warm-up completes it falls back to exact mining over the buffered
 // transactions.
 func (im *IncrementalMiner) Rules() []Rule {
+	return im.snapshotRules()()
+}
+
+// snapshotRules copies the state rule derivation needs and returns a closure
+// that performs the (comparatively expensive) derivation without touching the
+// miner, so a caller that guards the miner with a lock can snapshot under it
+// and derive outside it.
+func (im *IncrementalMiner) snapshotRules() func() []Rule {
+	cfg := im.cfg
 	if !im.frozen {
-		return MineAssociationRules(im.warmupTx, im.cfg)
+		tx := make([][]string, len(im.warmupTx))
+		copy(tx, im.warmupTx)
+		return func() []Rule { return MineAssociationRules(tx, cfg) }
 	}
-	minCount := int(im.cfg.MinSupport * float64(im.numTx))
+	minCount := int(cfg.MinSupport * float64(im.numTx))
 	if minCount < 1 {
 		minCount = 1
 	}
@@ -355,5 +366,6 @@ func (im *IncrementalMiner) Rules() []Rule {
 			filtered[key] = c
 		}
 	}
-	return rulesFromCounts(filtered, im.numTx, im.cfg)
+	numTx := im.numTx
+	return func() []Rule { return rulesFromCounts(filtered, numTx, cfg) }
 }

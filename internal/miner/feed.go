@@ -1,0 +1,129 @@
+package miner
+
+import (
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Feed keeps an IncrementalMiner fed from the storage mutation event bus, so
+// association-rule counts stay warm until the first full background mining
+// pass without re-scanning the log. The feed is append-only: logged queries
+// enter it as they are committed (and as they are replayed during WAL
+// recovery), while deletions and text repairs are not retracted — the
+// periodic full mining pass re-baselines exact counts, and a RestoreState
+// rebuilds the feed from scratch through the bus's Reset hook. Once a full
+// pass has run, Retire turns the feed into a plain transaction counter.
+type Feed struct {
+	mu         sync.Mutex
+	cfg        AssocConfig
+	warmup     int
+	inc        *IncrementalMiner
+	gen        int  // bumped whenever inc is replaced; guards the rule cache
+	retired    bool // set once a full mining pass supersedes the feed's rules
+	rules      []Rule
+	rulesValid bool
+	rulesAt    int // inc.NumTransactions() when rules was derived
+}
+
+// NewFeed returns an un-attached feed; warmupSize is the incremental miner's
+// vocabulary warm-up (see NewIncrementalMiner).
+func NewFeed(cfg AssocConfig, warmupSize int) *Feed {
+	return &Feed{cfg: cfg, warmup: warmupSize, inc: NewIncrementalMiner(cfg, warmupSize)}
+}
+
+// Attach seeds the feed from the store's current contents and subscribes it
+// to the mutation bus; it returns the unsubscribe function. Seeding runs
+// under the store's commit lock, so no submission can slip between the seed
+// scan and the subscription.
+func (f *Feed) Attach(store *storage.Store) (cancel func()) {
+	rebuild := func() { f.rebuild(store) }
+	return store.Subscribe("miner-feed", func(m *storage.Mutation) {
+		if m.Op != storage.OpPut {
+			return
+		}
+		if rec := m.Next(); rec != nil && len(rec.Features) > 0 {
+			f.Add(rec.Features)
+		}
+	}, storage.SubscribeOptions{Init: rebuild, Reset: rebuild})
+}
+
+// rebuild replaces the feed's miner with one seeded from the store.
+func (f *Feed) rebuild(store *storage.Store) {
+	f.mu.Lock()
+	retired := f.retired
+	f.mu.Unlock()
+	inc := NewIncrementalMiner(f.cfg, f.warmup)
+	store.Snapshot().Scan(storage.Principal{Admin: true}, func(rec *storage.QueryRecord) bool {
+		if len(rec.Features) > 0 {
+			if retired {
+				inc.numTx++
+			} else {
+				inc.Add(rec.Features)
+			}
+		}
+		return true
+	})
+	f.mu.Lock()
+	f.inc = inc
+	f.gen++
+	f.rules, f.rulesValid, f.rulesAt = nil, false, 0
+	f.mu.Unlock()
+}
+
+// Add ingests one feature transaction. This runs inside the store's
+// commit-order fan-out, so after Retire only the transaction counter
+// advances — the itemset counting exists solely to serve rules before the
+// first full mining pass.
+func (f *Feed) Add(features []string) {
+	f.mu.Lock()
+	if f.retired {
+		f.inc.numTx++
+	} else {
+		f.inc.Add(features)
+	}
+	f.mu.Unlock()
+}
+
+// Retire stops itemset counting for good: once a full background mining pass
+// has installed its Result the recommender never reads the feed's approximate
+// rules again, so per-commit counting would be pure overhead under the
+// store's commit lock. NumTransactions keeps advancing for the stats surface.
+func (f *Feed) Retire() {
+	f.mu.Lock()
+	f.retired = true
+	f.rules, f.rulesValid, f.rulesAt = nil, false, 0
+	f.mu.Unlock()
+}
+
+// Rules derives association rules from the current counts. The derivation
+// itself runs outside f.mu — bus callbacks block on f.mu while holding the
+// store's commit lock, so holding it through an Apriori pass would stall
+// every writer — and the result is cached until the next transaction arrives.
+func (f *Feed) Rules() []Rule {
+	f.mu.Lock()
+	n, gen := f.inc.NumTransactions(), f.gen
+	if f.rulesValid && f.rulesAt == n {
+		rules := f.rules
+		f.mu.Unlock()
+		return rules
+	}
+	derive := f.inc.snapshotRules()
+	f.mu.Unlock()
+
+	rules := derive()
+
+	f.mu.Lock()
+	if f.gen == gen && (!f.rulesValid || f.rulesAt <= n) {
+		f.rules, f.rulesValid, f.rulesAt = rules, true, n
+	}
+	f.mu.Unlock()
+	return rules
+}
+
+// NumTransactions returns how many feature transactions the feed has seen.
+func (f *Feed) NumTransactions() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inc.NumTransactions()
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/sql"
+	"repro/internal/stats"
 	"repro/internal/storage"
 )
 
@@ -133,11 +134,7 @@ func (r *Recommender) EmptyResultSuggestions(ctx context.Context, p storage.Prin
 				if pred.Table != "" && pr.Rel != "" && !strings.EqualFold(pr.Rel, pred.Table) {
 					continue
 				}
-				col := pr.Attr
-				if pr.Rel != "" {
-					col = pr.Rel + "." + pr.Attr
-				}
-				text := col + " " + pr.Op + " " + pr.Const
+				text := stats.PredicateText(pr)
 				if text == original {
 					continue
 				}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/metaquery"
 	"repro/internal/miner"
 	"repro/internal/sql"
+	"repro/internal/stats"
 	"repro/internal/storage"
 )
 
@@ -121,14 +122,43 @@ type Recommender struct {
 	exec  *metaquery.Executor
 	cfg   Config
 
-	mu      sync.RWMutex
-	mined   *miner.Result
-	schemas map[string][]string // table -> column names, from the DBMS catalog
+	mu       sync.RWMutex
+	mined    *miner.Result
+	schemas  map[string][]string // table -> column names, from the DBMS catalog
+	stats    *stats.Tracker      // nil falls back to per-suggestion log scans
+	ruleFeed func() []miner.Rule // live rules before the first mining pass
 }
 
 // New returns a recommender over the store and meta-query executor.
 func New(store *storage.Store, exec *metaquery.Executor, cfg Config) *Recommender {
 	return &Recommender{store: store, exec: exec, cfg: cfg, schemas: map[string][]string{}}
+}
+
+// UseStats installs the incremental aggregates tracker. With it, the
+// completion and popularity paths read O(candidates) counters kept current
+// by the storage mutation bus instead of re-scanning the log per call, so
+// per-suggestion cost stays flat as the log grows. Without it the
+// recommender falls back to the scan-based paths.
+func (r *Recommender) UseStats(t *stats.Tracker) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats = t
+}
+
+func (r *Recommender) statsTracker() *stats.Tracker {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.stats
+}
+
+// UseRuleFeed installs a live association-rule source (the miner's
+// bus-driven incremental feed). Until the first full mining pass installs a
+// Result, context-aware suggestions are served from it, so completions are
+// not popularity-only during cold start.
+func (r *Recommender) UseRuleFeed(feed func() []miner.Rule) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ruleFeed = feed
 }
 
 // UpdateMining installs a fresh mining result (called after each background
@@ -149,11 +179,15 @@ func (r *Recommender) SetSchemas(schemas map[string][]string) {
 
 func (r *Recommender) miningSnapshot() *miner.Result {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if r.mined == nil {
-		return &miner.Result{}
+	mined, feed := r.mined, r.ruleFeed
+	r.mu.RUnlock()
+	if mined != nil {
+		return mined
 	}
-	return r.mined
+	if feed != nil {
+		return &miner.Result{Rules: feed()}
+	}
+	return &miner.Result{}
 }
 
 func (r *Recommender) schemaSnapshot() map[string][]string {
@@ -334,28 +368,7 @@ func (r *Recommender) SuggestColumns(ctx context.Context, p storage.Principal, p
 			have[strings.ToLower(c[idx+1:])] = true
 		}
 	}
-	tables := make(map[string]bool)
-	for _, t := range qc.tables {
-		tables[strings.ToLower(t)] = true
-	}
-
-	counts := make(map[string]int)
-	view := r.store.Snapshot()
-	for _, t := range qc.tables {
-		view.ScanByTable(t, p, scanCtx(ctx, func(rec *storage.QueryRecord) bool {
-			for _, attr := range rec.Attributes {
-				if attr.Rel != "" && !tables[strings.ToLower(attr.Rel)] {
-					continue
-				}
-				name := attr.Attr
-				if attr.Rel != "" {
-					name = attr.Rel + "." + attr.Attr
-				}
-				counts[name]++
-			}
-			return true
-		}))
-	}
+	counts := r.columnCounts(ctx, p, qc.tables)
 	var out []Completion
 	maxCount := 1
 	for _, c := range counts {
@@ -404,6 +417,34 @@ func (r *Recommender) SuggestColumns(ctx context.Context, p storage.Principal, p
 	return out
 }
 
+// columnCounts counts attribute usage across the visible queries referencing
+// the context tables: O(candidates) from the stats counters when a tracker
+// is installed, a per-table index scan otherwise.
+func (r *Recommender) columnCounts(ctx context.Context, p storage.Principal, tables []string) map[string]int {
+	if t := r.statsTracker(); t != nil {
+		return t.ColumnCounts(p, tables)
+	}
+	set := stats.LowerSet(tables)
+	counts := make(map[string]int)
+	view := r.store.Snapshot()
+	for _, t := range tables {
+		view.ScanByTable(t, p, scanCtx(ctx, func(rec *storage.QueryRecord) bool {
+			for _, attr := range rec.Attributes {
+				if attr.Rel != "" && !set[strings.ToLower(attr.Rel)] {
+					continue
+				}
+				name := attr.Attr
+				if attr.Rel != "" {
+					name = attr.Rel + "." + attr.Attr
+				}
+				counts[name]++
+			}
+			return true
+		}))
+	}
+	return counts
+}
+
 // SuggestPredicates suggests WHERE predicates for the partial query from the
 // predicate templates most frequently applied to the referenced tables.
 func (r *Recommender) SuggestPredicates(ctx context.Context, p storage.Principal, partialSQL string, k int) []Completion {
@@ -411,33 +452,7 @@ func (r *Recommender) SuggestPredicates(ctx context.Context, p storage.Principal
 		k = r.cfg.MaxSuggestions
 	}
 	qc := r.contextOf(partialSQL)
-	tables := make(map[string]bool)
-	for _, t := range qc.tables {
-		tables[strings.ToLower(t)] = true
-	}
-	// Count concrete predicates (with constants) so the suggestion is
-	// immediately usable, as in Figure 3's drop-down.
-	counts := make(map[string]int)
-	view := r.store.Snapshot()
-	for _, t := range qc.tables {
-		view.ScanByTable(t, p, scanCtx(ctx, func(rec *storage.QueryRecord) bool {
-			for _, pr := range rec.Predicates {
-				if pr.IsJoin {
-					continue
-				}
-				if pr.Rel != "" && !tables[strings.ToLower(pr.Rel)] {
-					continue
-				}
-				col := pr.Attr
-				if pr.Rel != "" {
-					col = pr.Rel + "." + pr.Attr
-				}
-				text := col + " " + pr.Op + " " + pr.Const
-				counts[text]++
-			}
-			return true
-		}))
-	}
+	counts := r.predicateCounts(ctx, p, qc.tables)
 	existing := r.existingPredicates(partialSQL)
 	var out []Completion
 	maxCount := 1
@@ -461,6 +476,33 @@ func (r *Recommender) SuggestPredicates(ctx context.Context, p storage.Principal
 		out = out[:k]
 	}
 	return out
+}
+
+// predicateCounts counts concrete (non-join) predicates — with their
+// constants, so a suggestion is immediately usable as in Figure 3's
+// drop-down — across the visible queries referencing the context tables.
+func (r *Recommender) predicateCounts(ctx context.Context, p storage.Principal, tables []string) map[string]int {
+	if t := r.statsTracker(); t != nil {
+		return t.PredicateCounts(p, tables)
+	}
+	set := stats.LowerSet(tables)
+	counts := make(map[string]int)
+	view := r.store.Snapshot()
+	for _, t := range tables {
+		view.ScanByTable(t, p, scanCtx(ctx, func(rec *storage.QueryRecord) bool {
+			for _, pr := range rec.Predicates {
+				if pr.IsJoin {
+					continue
+				}
+				if pr.Rel != "" && !set[strings.ToLower(pr.Rel)] {
+					continue
+				}
+				counts[stats.PredicateText(pr)]++
+			}
+			return true
+		}))
+	}
+	return counts
 }
 
 func (r *Recommender) existingPredicates(partialSQL string) map[string]bool {
@@ -493,27 +535,7 @@ func (r *Recommender) SuggestJoins(ctx context.Context, p storage.Principal, par
 	if len(qc.tables) < 2 {
 		return nil
 	}
-	tables := make(map[string]bool)
-	for _, t := range qc.tables {
-		tables[strings.ToLower(t)] = true
-	}
-	counts := make(map[string]int)
-	view := r.store.Snapshot()
-	for _, t := range qc.tables {
-		view.ScanByTable(t, p, scanCtx(ctx, func(rec *storage.QueryRecord) bool {
-			for _, pr := range rec.Predicates {
-				if !pr.IsJoin {
-					continue
-				}
-				if !tables[strings.ToLower(pr.Rel)] || !tables[strings.ToLower(pr.RightRel)] {
-					continue
-				}
-				text := pr.Rel + "." + pr.Attr + " " + pr.Op + " " + pr.RightRel + "." + pr.RightAttr
-				counts[canonicalJoinText(text, pr)]++
-			}
-			return true
-		}))
-	}
+	counts := r.joinCounts(ctx, p, qc.tables)
 	var out []Completion
 	maxCount := 1
 	for _, c := range counts {
@@ -535,18 +557,32 @@ func (r *Recommender) SuggestJoins(ctx context.Context, p storage.Principal, par
 	return out
 }
 
-// canonicalJoinText orders the two sides of an equi-join deterministically so
-// that A.x = B.x and B.x = A.x aggregate.
-func canonicalJoinText(text string, pr storage.PredicateRow) string {
-	if pr.Op != "=" {
-		return text
+// joinCounts counts canonical join predicates (stats.CanonicalJoin orders
+// the sides of an equi-join so A.x = B.x and B.x = A.x aggregate) whose two
+// sides are both context tables, across the visible queries referencing
+// them.
+func (r *Recommender) joinCounts(ctx context.Context, p storage.Principal, tables []string) map[string]int {
+	if t := r.statsTracker(); t != nil {
+		return t.JoinCounts(p, tables)
 	}
-	left := pr.Rel + "." + pr.Attr
-	right := pr.RightRel + "." + pr.RightAttr
-	if left > right {
-		left, right = right, left
+	set := stats.LowerSet(tables)
+	counts := make(map[string]int)
+	view := r.store.Snapshot()
+	for _, t := range tables {
+		view.ScanByTable(t, p, scanCtx(ctx, func(rec *storage.QueryRecord) bool {
+			for _, pr := range rec.Predicates {
+				if !pr.IsJoin {
+					continue
+				}
+				if !set[strings.ToLower(pr.Rel)] || !set[strings.ToLower(pr.RightRel)] {
+					continue
+				}
+				counts[stats.CanonicalJoin(pr)]++
+			}
+			return true
+		}))
 	}
-	return left + " = " + right
+	return counts
 }
 
 // Complete merges table, column, predicate and join suggestions for the

@@ -2,12 +2,14 @@ package recommend
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/metaquery"
 	"repro/internal/miner"
+	"repro/internal/stats"
 	"repro/internal/storage"
 )
 
@@ -425,4 +427,60 @@ func contains(list []string, want string) bool {
 		}
 	}
 	return false
+}
+
+// TestCounterPathMatchesScanPath proves the stats-counter completion paths
+// produce exactly the suggestions the scan paths did, for an admin and for
+// principals whose visible set the public+own bucket merge covers exactly.
+func TestCounterPathMatchesScanPath(t *testing.T) {
+	scanRec, store := fixture(t)
+	// Mix in private queries of a second user so the bucket merge is
+	// exercised (alice's fixture queries are public).
+	put := func(text, user string, vis storage.Visibility) {
+		rec, err := storage.NewRecordFromSQL(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.User = user
+		rec.Visibility = vis
+		store.Put(rec)
+	}
+	put("SELECT temp FROM WaterTemp WHERE temp < 7", "bob", storage.VisibilityPrivate)
+	put("SELECT WaterTemp.lake FROM WaterTemp WHERE WaterTemp.temp > 12", "bob", storage.VisibilityPrivate)
+	put("SELECT WaterSalinity.depth, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x",
+		"bob", storage.VisibilityPrivate)
+
+	tracker := stats.Attach(store)
+	counterRec := New(store, metaquery.New(store), DefaultConfig())
+	counterRec.UseStats(tracker)
+	counterRec.UpdateMining(scanRec.miningSnapshot())
+	counterRec.SetSchemas(scanRec.schemaSnapshot())
+
+	ctx := context.Background()
+	partials := []string{
+		"SELECT FROM WaterTemp",
+		"SELECT temp FROM WaterTemp WHERE ",
+		"SELECT * FROM WaterSalinity, WaterTemp",
+		"SELECT * FROM WaterSalinity, WaterTemp WHERE ",
+		"SELECT * FROM CityLocations, WaterSalinity WHERE ",
+	}
+	principals := []storage.Principal{
+		admin,
+		{User: "alice"},
+		{User: "bob"},
+		{User: "eve"}, // sees only public queries
+	}
+	for _, p := range principals {
+		for _, partial := range partials {
+			if got, want := counterRec.SuggestColumns(ctx, p, partial, 50), scanRec.SuggestColumns(ctx, p, partial, 50); !reflect.DeepEqual(got, want) {
+				t.Errorf("SuggestColumns(%+v, %q)\n got: %+v\nwant: %+v", p, partial, got, want)
+			}
+			if got, want := counterRec.SuggestPredicates(ctx, p, partial, 50), scanRec.SuggestPredicates(ctx, p, partial, 50); !reflect.DeepEqual(got, want) {
+				t.Errorf("SuggestPredicates(%+v, %q)\n got: %+v\nwant: %+v", p, partial, got, want)
+			}
+			if got, want := counterRec.SuggestJoins(ctx, p, partial, 50), scanRec.SuggestJoins(ctx, p, partial, 50); !reflect.DeepEqual(got, want) {
+				t.Errorf("SuggestJoins(%+v, %q)\n got: %+v\nwant: %+v", p, partial, got, want)
+			}
+		}
+	}
 }

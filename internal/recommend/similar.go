@@ -33,14 +33,21 @@ func (r *Recommender) SimilarQueries(ctx context.Context, p storage.Principal, q
 	}
 	probeAnalysis := probe.Analysis()
 
-	mined := r.miningSnapshot()
-	popByFingerprint := make(map[uint64]int)
-	r.store.Snapshot().Scan(p, scanCtx(ctx, func(rec *storage.QueryRecord) bool {
-		popByFingerprint[rec.Fingerprint]++
-		return true
-	}))
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	// Popularity prior: per-fingerprint occurrence counts visible to the
+	// principal, read from the incremental stats counters when available
+	// (O(distinct templates)) and from a log scan otherwise.
+	var popByFingerprint map[uint64]int
+	if t := r.statsTracker(); t != nil {
+		popByFingerprint = t.FingerprintCounts(p)
+	} else {
+		popByFingerprint = make(map[uint64]int)
+		r.store.Snapshot().Scan(p, scanCtx(ctx, func(rec *storage.QueryRecord) bool {
+			popByFingerprint[rec.Fingerprint]++
+			return true
+		}))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	maxPop := 1
 	for _, c := range popByFingerprint {
@@ -48,7 +55,6 @@ func (r *Recommender) SimilarQueries(ctx context.Context, p storage.Principal, q
 			maxPop = c
 		}
 	}
-	_ = mined
 
 	w := r.cfg.Ranking
 	out := make([]SimilarQuery, 0, len(neighbours))

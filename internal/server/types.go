@@ -267,12 +267,37 @@ type MineResponse struct {
 	Sessions     int `json:"sessions"`
 }
 
-// StatsResponse reports server-wide counters.
+// ItemCountDTO is one (item, count) pair of an aggregate listing.
+type ItemCountDTO struct {
+	Item  string `json:"item"`
+	Count int    `json:"count"`
+}
+
+// StatsResponse reports server-wide counters. The queries/users/tables/
+// sessions fields describe the whole log (legacy shape); the remaining
+// fields are read from the incrementally maintained stats subsystem and are
+// principal-aware — a non-admin caller sees public queries merged with their
+// own.
 type StatsResponse struct {
 	Queries  int      `json:"queries"`
 	Users    []string `json:"users"`
 	Tables   []string `json:"tables"`
 	Sessions int      `json:"sessions"`
+
+	// VisibleQueries is how many logged queries the caller's counters cover.
+	VisibleQueries int `json:"visibleQueries"`
+	// TableCounts are per-table reference counts visible to the caller,
+	// sorted by descending count.
+	TableCounts []ItemCountDTO `json:"tableCounts,omitempty"`
+	// UserActivity is per-user query counts visible to the caller, sorted by
+	// descending count.
+	UserActivity []ItemCountDTO `json:"userActivity,omitempty"`
+	// TopPredicates are the most used concrete predicates visible to the
+	// caller, sorted by descending count (capped).
+	TopPredicates []ItemCountDTO `json:"topPredicates,omitempty"`
+	// MinedTransactions is how many queries the incremental association-rule
+	// feed has ingested.
+	MinedTransactions int `json:"minedTransactions"`
 }
 
 // LogSegmentDTO describes one on-disk WAL segment.

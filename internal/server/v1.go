@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 
 	"repro/internal/core"
@@ -490,16 +491,59 @@ func (s *Server) handleV1LogCompact(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, LogSnapshotResponse{Path: path, Seq: seq, RemovedSegments: removed})
 }
 
+// maxStatsItems caps each aggregate listing in the stats response, keeping
+// the payload bounded like every other list endpoint.
+const maxStatsItems = 20
+
 func (s *Server) handleV1Stats(w http.ResponseWriter, r *http.Request) {
+	p := PrincipalFrom(r.Context())
 	store := s.cqms.Store()
 	var tables []string
 	for _, tc := range store.TableCounts() {
 		tables = append(tables, tc.Table)
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Queries:  store.Count(),
 		Users:    store.Users(),
 		Tables:   tables,
 		Sessions: len(store.SessionIDs()),
+	}
+	if t := s.cqms.StatsTracker(); t != nil {
+		resp.VisibleQueries = t.QueryCount(p)
+		for i, tc := range t.TableCounts(p) {
+			if i >= maxStatsItems {
+				break
+			}
+			resp.TableCounts = append(resp.TableCounts, ItemCountDTO{Item: tc.Table, Count: tc.Count})
+		}
+		for i, ua := range t.UserActivity(p) {
+			if i >= maxStatsItems {
+				break
+			}
+			resp.UserActivity = append(resp.UserActivity, ItemCountDTO{Item: ua.User, Count: ua.Queries})
+		}
+		resp.TopPredicates = topItems(t.GlobalPredicateCounts(p), maxStatsItems)
+	}
+	if f := s.cqms.MinerFeed(); f != nil {
+		resp.MinedTransactions = f.NumTransactions()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// topItems sorts a count map by descending count (then item) and caps it.
+func topItems(counts map[string]int, max int) []ItemCountDTO {
+	out := make([]ItemCountDTO, 0, len(counts))
+	for item, c := range counts {
+		out = append(out, ItemCountDTO{Item: item, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
 	})
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
 }

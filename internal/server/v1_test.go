@@ -433,3 +433,53 @@ func TestV1SimilarPaginationCapsTotal(t *testing.T) {
 		t.Fatalf("similar listing returned %d matches across pages, want k=4", total)
 	}
 }
+
+// TestV1StatsCounters covers the principal-aware incremental counters on
+// GET /v1/stats: admins see the whole log, other callers see public queries
+// merged with their own.
+func TestV1StatsCounters(t *testing.T) {
+	_, alice, carol, admin := newTestServer(t)
+	if _, err := alice.Submit(ctx, "SELECT temp FROM WaterTemp WHERE temp < 18",
+		client.Visibility("public")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := carol.Submit(ctx, "SELECT city FROM CityLocations",
+		client.Visibility("private")); err != nil {
+		t.Fatal(err)
+	}
+
+	adminStats, err := admin.Stats(ctx)
+	if err != nil {
+		t.Fatalf("admin Stats: %v", err)
+	}
+	if adminStats.VisibleQueries != 2 || adminStats.MinedTransactions != 2 {
+		t.Errorf("admin visible=%d mined=%d, want 2/2", adminStats.VisibleQueries, adminStats.MinedTransactions)
+	}
+	if len(adminStats.TableCounts) != 2 || len(adminStats.UserActivity) != 2 {
+		t.Errorf("admin tableCounts=%+v userActivity=%+v", adminStats.TableCounts, adminStats.UserActivity)
+	}
+	if len(adminStats.TopPredicates) == 0 || adminStats.TopPredicates[0].Item != "WaterTemp.temp < 18" {
+		t.Errorf("admin topPredicates = %+v", adminStats.TopPredicates)
+	}
+
+	// Alice sees only the public query (her own).
+	aliceStats, err := alice.Stats(ctx)
+	if err != nil {
+		t.Fatalf("alice Stats: %v", err)
+	}
+	if aliceStats.VisibleQueries != 1 || len(aliceStats.TableCounts) != 1 {
+		t.Errorf("alice visible=%d tableCounts=%+v, want public only", aliceStats.VisibleQueries, aliceStats.TableCounts)
+	}
+	if aliceStats.Queries != 2 {
+		t.Errorf("alice global queries = %d, want 2 (legacy shape is log-wide)", aliceStats.Queries)
+	}
+
+	// Carol sees the public query plus her own private one.
+	carolStats, err := carol.Stats(ctx)
+	if err != nil {
+		t.Fatalf("carol Stats: %v", err)
+	}
+	if carolStats.VisibleQueries != 2 || len(carolStats.TableCounts) != 2 {
+		t.Errorf("carol visible=%d tableCounts=%+v, want public+own", carolStats.VisibleQueries, carolStats.TableCounts)
+	}
+}

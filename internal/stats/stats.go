@@ -1,0 +1,579 @@
+// Package stats maintains incrementally updated, visibility-aware aggregates
+// over the query log: per-(table, attribute) selection counts, per-(table,
+// concrete-predicate) and join-predicate counts, fingerprint popularity and
+// per-user/table activity. A Tracker subscribes to the storage mutation
+// event bus, so every counter is adjusted in commit order as mutations are
+// applied — the recommendation hot path reads O(candidates) counters instead
+// of re-scanning the log per keystroke, which is the incremental-propagation
+// argument of Youtopia's cooperative update-exchange model applied to the
+// CQMS's derived state.
+//
+// Visibility model: counters are kept in buckets. The `all` bucket holds
+// every record and serves admin principals; the `public` bucket holds
+// VisibilityPublic records; one bucket per user holds that user's non-public
+// records. A non-admin principal reads the public bucket merged with their
+// own bucket. Group-visible queries of *other* users are therefore not
+// counted for a group member — the tracker trades that sliver of visibility
+// for O(1) bucket merges; endpoints that return actual records still enforce
+// visibility exactly.
+package stats
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// itemCount is one counted completion candidate (an attribute or a
+// predicate), remembering the lower-cased qualifying relation so reads can
+// apply the recommender's context filter without reparsing the key.
+type itemCount struct {
+	count int
+	rel   string // lower-cased qualifying relation, "" when unqualified
+}
+
+// joinCount is one counted join predicate with the lower-cased relation keys
+// of its two sides.
+type joinCount struct {
+	count       int
+	left, right string
+}
+
+// tableAgg aggregates everything about the queries referencing one table.
+type tableAgg struct {
+	count int            // queries referencing the table
+	names map[string]int // live display casings
+	attrs map[string]*itemCount
+	preds map[string]*itemCount
+	joins map[string]*joinCount
+}
+
+func newTableAgg() *tableAgg {
+	return &tableAgg{
+		names: make(map[string]int),
+		attrs: make(map[string]*itemCount),
+		preds: make(map[string]*itemCount),
+		joins: make(map[string]*joinCount),
+	}
+}
+
+// bucket is one visibility bucket of counters.
+type bucket struct {
+	queries      int
+	users        map[string]int
+	fingerprints map[uint64]int
+	tables       map[string]*tableAgg // key: lower-cased table name
+	// preds counts concrete predicates once per occurrence in a record —
+	// unlike the per-table aggregates, which count once per referenced
+	// table — so log-wide "top predicates" listings are not inflated for
+	// multi-table queries.
+	preds map[string]int
+}
+
+func newBucket() *bucket {
+	return &bucket{
+		users:        make(map[string]int),
+		fingerprints: make(map[uint64]int),
+		tables:       make(map[string]*tableAgg),
+		preds:        make(map[string]int),
+	}
+}
+
+// bumpItem adjusts one candidate counter, deleting the key when it empties
+// so removed queries do not leak zero-count entries.
+func bumpItem(m map[string]*itemCount, key, rel string, delta int) {
+	ic := m[key]
+	if ic == nil {
+		if delta <= 0 {
+			return
+		}
+		ic = &itemCount{rel: rel}
+		m[key] = ic
+	}
+	ic.count += delta
+	if ic.count <= 0 {
+		delete(m, key)
+	}
+}
+
+func bumpJoin(m map[string]*joinCount, key, left, right string, delta int) {
+	jc := m[key]
+	if jc == nil {
+		if delta <= 0 {
+			return
+		}
+		jc = &joinCount{left: left, right: right}
+		m[key] = jc
+	}
+	jc.count += delta
+	if jc.count <= 0 {
+		delete(m, key)
+	}
+}
+
+// bumpCount adjusts a plain counter map, deleting emptied keys.
+func bumpCount[K comparable](m map[K]int, key K, delta int) {
+	if n := m[key] + delta; n > 0 {
+		m[key] = n
+	} else {
+		delete(m, key)
+	}
+}
+
+// relItem is a pre-rendered candidate key with its lower-cased qualifying
+// relation, built once per record so the per-table loop in apply does no
+// string work of its own.
+type relItem struct {
+	text string
+	rel  string
+}
+
+// joinItem is a pre-rendered canonical join key with its two side relations.
+type joinItem struct {
+	key         string
+	left, right string
+}
+
+// apply adds (delta=+1) or retracts (delta=-1) one record's contributions.
+// A record contributes once per distinct table it references — mirroring the
+// recommender's former per-table index scans, where a query referencing two
+// context tables was visited (and counted) once per table. All name/text
+// rendering happens once per record, before the table loop: apply runs under
+// the store's commit lock, so it must not redo string builds per table.
+func (b *bucket) apply(rec *storage.QueryRecord, delta int) {
+	b.queries += delta
+	bumpCount(b.users, rec.User, delta)
+	bumpCount(b.fingerprints, rec.Fingerprint, delta)
+	attrs := make([]relItem, 0, len(rec.Attributes))
+	for _, a := range rec.Attributes {
+		name := a.Attr
+		if a.Rel != "" {
+			name = a.Rel + "." + a.Attr
+		}
+		attrs = append(attrs, relItem{text: name, rel: strings.ToLower(a.Rel)})
+	}
+	var preds []relItem
+	var joins []joinItem
+	for _, p := range rec.Predicates {
+		if p.IsJoin {
+			joins = append(joins, joinItem{
+				key:  CanonicalJoin(p),
+				left: strings.ToLower(p.Rel), right: strings.ToLower(p.RightRel),
+			})
+			continue
+		}
+		text := PredicateText(p)
+		bumpCount(b.preds, text, delta)
+		preds = append(preds, relItem{text: text, rel: strings.ToLower(p.Rel)})
+	}
+	seen := make(map[string]bool, len(rec.Tables))
+	for _, t := range rec.Tables {
+		key := strings.ToLower(t)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		ta := b.tables[key]
+		if ta == nil {
+			if delta <= 0 {
+				continue
+			}
+			ta = newTableAgg()
+			b.tables[key] = ta
+		}
+		ta.count += delta
+		bumpCount(ta.names, t, delta)
+		for _, a := range attrs {
+			bumpItem(ta.attrs, a.text, a.rel, delta)
+		}
+		for _, p := range preds {
+			bumpItem(ta.preds, p.text, p.rel, delta)
+		}
+		for _, j := range joins {
+			bumpJoin(ta.joins, j.key, j.left, j.right, delta)
+		}
+		if ta.count <= 0 {
+			delete(b.tables, key)
+		}
+	}
+}
+
+// CanonicalJoin renders a join predicate with the two sides of an equi-join
+// ordered deterministically, so "A.x = B.x" and "B.x = A.x" aggregate under
+// one key. It is exactly the suggestion text the recommender emits.
+func CanonicalJoin(pr storage.PredicateRow) string {
+	left := pr.Rel + "." + pr.Attr
+	right := pr.RightRel + "." + pr.RightAttr
+	if pr.Op == "=" && left > right {
+		left, right = right, left
+	}
+	return left + " " + pr.Op + " " + right
+}
+
+// PredicateText renders a concrete (non-join) predicate exactly as the
+// recommender suggests and de-duplicates it. Counter keys, the recommender's
+// scan fallback, and correction candidates all share this one format — keep
+// them byte-identical through this helper.
+func PredicateText(pr storage.PredicateRow) string {
+	col := pr.Attr
+	if pr.Rel != "" {
+		col = pr.Rel + "." + pr.Attr
+	}
+	return col + " " + pr.Op + " " + pr.Const
+}
+
+// Tracker holds the incrementally maintained aggregates. It is safe for
+// concurrent use: mutations arrive serialised under the store's commit lock,
+// reads come from request-serving goroutines.
+type Tracker struct {
+	mu     sync.RWMutex
+	all    *bucket
+	public *bucket
+	owners map[string]*bucket // non-public records per owning user
+}
+
+// New returns an empty tracker. Use Attach to keep it synchronised with a
+// store, or Rebuild to fill it from one once.
+func New() *Tracker {
+	return &Tracker{all: newBucket(), public: newBucket(), owners: make(map[string]*bucket)}
+}
+
+// Attach builds a tracker over the store's current contents and subscribes
+// it to the mutation event bus. Registration and the initial rebuild happen
+// under the store's commit lock, so no mutation can slip between them; WAL
+// replay keeps the tracker correct incrementally and a RestoreState triggers
+// a full rebuild through the Reset hook.
+func Attach(store *storage.Store) *Tracker {
+	t := New()
+	rebuild := func() { t.Rebuild(store) }
+	store.Subscribe("stats", t.OnMutation, storage.SubscribeOptions{Init: rebuild, Reset: rebuild})
+	return t
+}
+
+// Rebuild replaces the tracker's counters with a from-scratch aggregation
+// over the store's current contents. The new counters are built off to the
+// side and swapped in, so concurrent readers never observe a half-built
+// state.
+func (t *Tracker) Rebuild(store *storage.Store) {
+	all, public := newBucket(), newBucket()
+	owners := make(map[string]*bucket)
+	store.Snapshot().Scan(storage.Principal{Admin: true}, func(rec *storage.QueryRecord) bool {
+		all.apply(rec, 1)
+		if rec.Visibility == storage.VisibilityPublic {
+			public.apply(rec, 1)
+		} else {
+			b := owners[rec.User]
+			if b == nil {
+				b = newBucket()
+				owners[rec.User] = b
+			}
+			b.apply(rec, 1)
+		}
+		return true
+	})
+	t.mu.Lock()
+	t.all, t.public, t.owners = all, public, owners
+	t.mu.Unlock()
+}
+
+// OnMutation adjusts the counters for one committed mutation. It is the
+// tracker's bus subscription and runs under the store's commit lock; ops
+// that do not change counted state (annotations, session assignment,
+// maintenance flags, runtime stats) are no-ops.
+func (t *Tracker) OnMutation(m *storage.Mutation) {
+	switch m.Op {
+	case storage.OpPut:
+		t.mu.Lock()
+		// Replay of a Put over an existing ID (snapshot/segment overlap)
+		// replaces the older record; retract it first.
+		if prev := m.Prev(); prev != nil {
+			t.removeLocked(prev)
+		}
+		if next := m.Next(); next != nil {
+			t.addLocked(next)
+		}
+		t.mu.Unlock()
+	case storage.OpDelete:
+		if prev := m.Prev(); prev != nil {
+			t.mu.Lock()
+			t.removeLocked(prev)
+			t.mu.Unlock()
+		}
+	case storage.OpSetVisibility:
+		prev, next := m.Prev(), m.Next()
+		if prev == nil || next == nil {
+			return
+		}
+		prevPub := prev.Visibility == storage.VisibilityPublic
+		nextPub := next.Visibility == storage.VisibilityPublic
+		if prevPub == nextPub {
+			return // same bucket; counted contents unchanged
+		}
+		t.mu.Lock()
+		t.specificFor(prev).apply(prev, -1)
+		t.pruneOwner(prev.User)
+		t.specificFor(next).apply(next, 1)
+		t.mu.Unlock()
+	case storage.OpReplaceText:
+		prev, next := m.Prev(), m.Next()
+		if prev == nil || next == nil {
+			return
+		}
+		t.mu.Lock()
+		t.removeLocked(prev)
+		t.addLocked(next)
+		t.mu.Unlock()
+	}
+}
+
+func (t *Tracker) addLocked(rec *storage.QueryRecord) {
+	t.all.apply(rec, 1)
+	t.specificFor(rec).apply(rec, 1)
+}
+
+func (t *Tracker) removeLocked(rec *storage.QueryRecord) {
+	t.all.apply(rec, -1)
+	t.specificFor(rec).apply(rec, -1)
+	t.pruneOwner(rec.User)
+}
+
+// specificFor returns (creating if needed) the visibility bucket a record's
+// contributions belong to besides `all`.
+func (t *Tracker) specificFor(rec *storage.QueryRecord) *bucket {
+	if rec.Visibility == storage.VisibilityPublic {
+		return t.public
+	}
+	b := t.owners[rec.User]
+	if b == nil {
+		b = newBucket()
+		t.owners[rec.User] = b
+	}
+	return b
+}
+
+// pruneOwner drops a user's bucket once it holds nothing, so churning users
+// do not leak empty buckets.
+func (t *Tracker) pruneOwner(user string) {
+	if b := t.owners[user]; b != nil && b.queries == 0 {
+		delete(t.owners, user)
+	}
+}
+
+// bucketsFor returns the buckets visible to the principal: admins read the
+// whole log, everyone else the public bucket merged with their own
+// non-public queries. Callers must hold the read lock.
+func (t *Tracker) bucketsFor(p storage.Principal) []*bucket {
+	if p.Admin {
+		return []*bucket{t.all}
+	}
+	bs := []*bucket{t.public}
+	if b := t.owners[p.User]; b != nil {
+		bs = append(bs, b)
+	}
+	return bs
+}
+
+// ---------------------------------------------------------------------------
+// Read API
+// ---------------------------------------------------------------------------
+
+// QueryCount returns how many logged queries the principal's counters cover.
+func (t *Tracker) QueryCount(p storage.Principal) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, b := range t.bucketsFor(p) {
+		n += b.queries
+	}
+	return n
+}
+
+// TableCounts returns per-table reference counts visible to the principal,
+// sorted by descending count then name — the same shape as
+// storage.TableCounts.
+func (t *Tracker) TableCounts(p storage.Principal) []storage.TableCount {
+	t.mu.RLock()
+	type agg struct {
+		count int
+		names map[string]int
+	}
+	merged := make(map[string]*agg)
+	for _, b := range t.bucketsFor(p) {
+		for key, ta := range b.tables {
+			a := merged[key]
+			if a == nil {
+				a = &agg{names: make(map[string]int, len(ta.names))}
+				merged[key] = a
+			}
+			a.count += ta.count
+			for name, n := range ta.names {
+				a.names[name] += n
+			}
+		}
+	}
+	t.mu.RUnlock()
+	out := make([]storage.TableCount, 0, len(merged))
+	for key, a := range merged {
+		out = append(out, storage.TableCount{Table: storage.PickDisplayName(a.names, key), Count: a.count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Table < out[j].Table
+	})
+	return out
+}
+
+// UserCount pairs a user with how many of their queries the principal's
+// counters cover.
+type UserCount struct {
+	User    string
+	Queries int
+}
+
+// UserActivity returns per-user query counts visible to the principal,
+// sorted by descending count then user.
+func (t *Tracker) UserActivity(p storage.Principal) []UserCount {
+	t.mu.RLock()
+	merged := make(map[string]int)
+	for _, b := range t.bucketsFor(p) {
+		for user, n := range b.users {
+			merged[user] += n
+		}
+	}
+	t.mu.RUnlock()
+	out := make([]UserCount, 0, len(merged))
+	for user, n := range merged {
+		out = append(out, UserCount{User: user, Queries: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Queries != out[j].Queries {
+			return out[i].Queries > out[j].Queries
+		}
+		return out[i].User < out[j].User
+	})
+	return out
+}
+
+// LowerSet builds the lower-cased context-table filter set shared by the
+// counter reads here and the recommender's scan fallback, so table-key
+// normalization cannot diverge between the two paths.
+func LowerSet(tables []string) map[string]bool {
+	set := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		set[strings.ToLower(t)] = true
+	}
+	return set
+}
+
+// ColumnCounts returns attribute usage counts over the queries referencing
+// any of the context tables, visible to the principal. It mirrors the
+// recommender's former per-table scans exactly: a query referencing two
+// context tables contributes twice, and attributes qualified with a relation
+// outside the context are skipped.
+func (t *Tracker) ColumnCounts(p storage.Principal, tables []string) map[string]int {
+	ctx := LowerSet(tables)
+	out := make(map[string]int)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, b := range t.bucketsFor(p) {
+		for _, tbl := range tables {
+			ta := b.tables[strings.ToLower(tbl)]
+			if ta == nil {
+				continue
+			}
+			for name, ic := range ta.attrs {
+				if ic.rel != "" && !ctx[ic.rel] {
+					continue
+				}
+				out[name] += ic.count
+			}
+		}
+	}
+	return out
+}
+
+// PredicateCounts returns concrete (non-join) predicate usage counts over
+// the queries referencing any of the context tables, visible to the
+// principal, keyed by the ready-to-insert predicate text.
+func (t *Tracker) PredicateCounts(p storage.Principal, tables []string) map[string]int {
+	ctx := LowerSet(tables)
+	out := make(map[string]int)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, b := range t.bucketsFor(p) {
+		for _, tbl := range tables {
+			ta := b.tables[strings.ToLower(tbl)]
+			if ta == nil {
+				continue
+			}
+			for text, ic := range ta.preds {
+				if ic.rel != "" && !ctx[ic.rel] {
+					continue
+				}
+				out[text] += ic.count
+			}
+		}
+	}
+	return out
+}
+
+// JoinCounts returns join-predicate usage counts over the queries
+// referencing any of the context tables, visible to the principal, keyed by
+// the canonical join text. Joins whose two sides are not both context tables
+// are skipped.
+func (t *Tracker) JoinCounts(p storage.Principal, tables []string) map[string]int {
+	ctx := LowerSet(tables)
+	out := make(map[string]int)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, b := range t.bucketsFor(p) {
+		for _, tbl := range tables {
+			ta := b.tables[strings.ToLower(tbl)]
+			if ta == nil {
+				continue
+			}
+			for text, jc := range ta.joins {
+				if !ctx[jc.left] || !ctx[jc.right] {
+					continue
+				}
+				out[text] += jc.count
+			}
+		}
+	}
+	return out
+}
+
+// GlobalPredicateCounts returns log-wide concrete-predicate usage counts
+// visible to the principal, counting each predicate once per occurrence in a
+// record (no per-table multiplicity). It backs the stats API's "top
+// predicates" listing.
+func (t *Tracker) GlobalPredicateCounts(p storage.Principal) map[string]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[string]int)
+	for _, b := range t.bucketsFor(p) {
+		for text, n := range b.preds {
+			out[text] += n
+		}
+	}
+	return out
+}
+
+// FingerprintCounts returns per-template-fingerprint popularity counts
+// visible to the principal (the popularity term of the composite similar-
+// query ranking). The map is a merged copy the caller owns.
+func (t *Tracker) FingerprintCounts(p storage.Principal) map[uint64]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[uint64]int)
+	for _, b := range t.bucketsFor(p) {
+		for fp, n := range b.fingerprints {
+			out[fp] += n
+		}
+	}
+	return out
+}

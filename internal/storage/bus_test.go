@@ -1,0 +1,195 @@
+package storage
+
+import (
+	"testing"
+)
+
+func busRecord(t *testing.T, text, user string) *QueryRecord {
+	t.Helper()
+	rec, err := NewRecordFromSQL(text)
+	if err != nil {
+		t.Fatalf("NewRecordFromSQL(%q): %v", text, err)
+	}
+	rec.User = user
+	return rec
+}
+
+// TestBusFanOutOrder verifies the event bus contract: the WAL slot is
+// notified first, then every subscriber in subscription order, for each
+// mutation in commit order.
+func TestBusFanOutOrder(t *testing.T) {
+	s := NewStore()
+	var order []string
+	s.SetMutationHook(func(m *Mutation) { order = append(order, "wal:"+string(m.Op)) })
+	s.Subscribe("a", func(m *Mutation) { order = append(order, "a:"+string(m.Op)) }, SubscribeOptions{})
+	s.Subscribe("b", func(m *Mutation) { order = append(order, "b:"+string(m.Op)) }, SubscribeOptions{})
+
+	id := s.Put(busRecord(t, "SELECT temp FROM WaterTemp", "alice"))
+	if err := s.MarkInvalid(id, "schema change"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"wal:put", "a:put", "b:put", "wal:mark-invalid", "a:mark-invalid", "b:mark-invalid"}
+	if len(order) != len(want) {
+		t.Fatalf("fan-out = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fan-out[%d] = %q, want %q (full: %v)", i, order[i], want[i], order)
+		}
+	}
+}
+
+// TestBusPrevNext verifies that bus subscribers see the record versions
+// before and after each mutation.
+func TestBusPrevNext(t *testing.T) {
+	s := NewStore()
+	type seen struct {
+		op         MutationOp
+		prev, next *QueryRecord
+	}
+	var log []seen
+	s.Subscribe("watch", func(m *Mutation) {
+		log = append(log, seen{op: m.Op, prev: m.Prev(), next: m.Next()})
+	}, SubscribeOptions{})
+
+	rec := busRecord(t, "SELECT temp FROM WaterTemp", "alice")
+	id := s.Put(rec)
+	alice := Principal{User: "alice"}
+	if err := s.SetVisibility(id, alice, VisibilityPublic); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(id, alice); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(log) != 3 {
+		t.Fatalf("saw %d mutations, want 3", len(log))
+	}
+	if log[0].op != OpPut || log[0].prev != nil || log[0].next == nil || log[0].next.ID != id {
+		t.Errorf("put: %+v", log[0])
+	}
+	if log[1].op != OpSetVisibility || log[1].prev == nil || log[1].next == nil {
+		t.Fatalf("visibility: %+v", log[1])
+	}
+	if log[1].prev.Visibility != VisibilityPrivate || log[1].next.Visibility != VisibilityPublic {
+		t.Errorf("visibility prev/next = %v/%v", log[1].prev.Visibility, log[1].next.Visibility)
+	}
+	if log[2].op != OpDelete || log[2].prev == nil || log[2].next != nil {
+		t.Errorf("delete: %+v", log[2])
+	}
+}
+
+// TestBusReplayReachesSubscribersNotWAL verifies that Apply (the recovery
+// path) fans replayed mutations out to subscribers but never to the WAL
+// slot — replay must not re-append the log to itself.
+func TestBusReplayReachesSubscribersNotWAL(t *testing.T) {
+	s := NewStore()
+	walCalls, subCalls := 0, 0
+	s.SetMutationHook(func(*Mutation) { walCalls++ })
+	s.Subscribe("derived", func(*Mutation) { subCalls++ }, SubscribeOptions{})
+
+	rec := busRecord(t, "SELECT temp FROM WaterTemp", "alice")
+	rec.ID = 7
+	rec.Valid = true
+	if err := s.Apply(&Mutation{Op: OpPut, Record: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if walCalls != 0 {
+		t.Errorf("WAL slot saw %d replayed mutations, want 0", walCalls)
+	}
+	if subCalls != 1 {
+		t.Errorf("subscriber saw %d replayed mutations, want 1", subCalls)
+	}
+}
+
+// TestBusResetOnRestore verifies RestoreState fires Reset instead of
+// per-record mutations.
+func TestBusResetOnRestore(t *testing.T) {
+	s := NewStore()
+	s.Put(busRecord(t, "SELECT temp FROM WaterTemp", "alice"))
+	st := s.State()
+
+	s2 := NewStore()
+	mutations, resets := 0, 0
+	s2.Subscribe("derived", func(*Mutation) { mutations++ }, SubscribeOptions{
+		Reset: func() { resets++ },
+	})
+	s2.RestoreState(st)
+	if mutations != 0 {
+		t.Errorf("restore emitted %d mutations, want 0", mutations)
+	}
+	if resets != 1 {
+		t.Errorf("restore fired %d resets, want 1", resets)
+	}
+	if s2.Count() != 1 {
+		t.Errorf("restored count = %d", s2.Count())
+	}
+}
+
+// TestBusUnsubscribe verifies a cancelled subscription stops receiving
+// mutations while others keep going.
+func TestBusUnsubscribe(t *testing.T) {
+	s := NewStore()
+	aCalls, bCalls := 0, 0
+	cancelA := s.Subscribe("a", func(*Mutation) { aCalls++ }, SubscribeOptions{})
+	s.Subscribe("b", func(*Mutation) { bCalls++ }, SubscribeOptions{})
+	s.Put(busRecord(t, "SELECT temp FROM WaterTemp", "alice"))
+	cancelA()
+	s.Put(busRecord(t, "SELECT lake FROM WaterTemp", "alice"))
+	if aCalls != 1 {
+		t.Errorf("cancelled subscriber saw %d mutations, want 1", aCalls)
+	}
+	if bCalls != 2 {
+		t.Errorf("remaining subscriber saw %d mutations, want 2", bCalls)
+	}
+}
+
+// TestBusSubscribeInit verifies Init runs at registration so a subscriber
+// can seed itself without losing a racing mutation.
+func TestBusSubscribeInit(t *testing.T) {
+	s := NewStore()
+	s.Put(busRecord(t, "SELECT temp FROM WaterTemp", "alice"))
+	seeded := 0
+	s.Subscribe("derived", func(*Mutation) {}, SubscribeOptions{
+		Init: func() { seeded = s.Count() },
+	})
+	if seeded != 1 {
+		t.Errorf("Init saw %d queries, want 1", seeded)
+	}
+}
+
+// TestTableCountsCounterServed verifies TableCounts stays exact — including
+// display casing — through inserts, case variants and deletes now that it is
+// served from incremental counters instead of a log scan.
+func TestTableCountsCounterServed(t *testing.T) {
+	s := NewStore()
+	alice := Principal{User: "alice"}
+	id1 := s.Put(busRecord(t, "SELECT temp FROM WaterTemp", "alice"))
+	s.Put(busRecord(t, "SELECT lake FROM watertemp", "alice"))
+	s.Put(busRecord(t, "SELECT lake FROM WaterTemp", "alice"))
+	s.Put(busRecord(t, "SELECT city FROM CityLocations", "alice"))
+
+	counts := s.TableCounts()
+	if len(counts) != 2 || counts[0].Table != "WaterTemp" || counts[0].Count != 3 {
+		t.Fatalf("counts = %+v, want WaterTemp:3 first", counts)
+	}
+	if counts[1].Table != "CityLocations" || counts[1].Count != 1 {
+		t.Errorf("counts[1] = %+v", counts[1])
+	}
+
+	// Deleting the only CityLocations query removes the entry entirely, and
+	// the dominant casing survives deletes of a minority casing.
+	if err := s.Delete(QueryID(4), alice); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(id1, alice); err != nil {
+		t.Fatal(err)
+	}
+	counts = s.TableCounts()
+	if len(counts) != 1 || counts[0].Count != 2 {
+		t.Fatalf("counts after delete = %+v", counts)
+	}
+	if counts[0].Table != "WaterTemp" && counts[0].Table != "watertemp" {
+		t.Errorf("table name = %q", counts[0].Table)
+	}
+}

@@ -48,7 +48,25 @@ type Mutation struct {
 	Stats      *RuntimeStats `json:"stats,omitempty"`
 	Sample     *OutputSample `json:"sample,omitempty"`
 	Score      float64       `json:"score,omitempty"`
+
+	// prev and next are the record versions before and after the mutation
+	// was applied, stashed by the apply path for event-bus subscribers that
+	// maintain derived state (incremental counters need the old version to
+	// decrement). They are unexported so they stay out of the WAL JSON;
+	// replay re-derives them while re-applying.
+	prev *QueryRecord
+	next *QueryRecord
 }
+
+// Prev returns the record version the mutation replaced (nil for a fresh
+// OpPut and for ops that do not touch a record). Populated only on mutations
+// delivered through the event bus; the record is immutable and shared.
+func (m *Mutation) Prev() *QueryRecord { return m.prev }
+
+// Next returns the record version the mutation produced (nil for OpDelete
+// and ops that do not touch a record). Populated only on mutations delivered
+// through the event bus; the record is immutable and shared.
+func (m *Mutation) Next() *QueryRecord { return m.next }
 
 // Encode serialises the mutation for the WAL payload.
 func (m *Mutation) Encode() ([]byte, error) {
@@ -67,58 +85,169 @@ func DecodeMutation(b []byte) (*Mutation, error) {
 	return &m, nil
 }
 
-// MutationHook observes every successful mutation, invoked under the store's
-// commit lock so hooks see mutations in exactly their apply order. The WAL
-// manager installs a hook that appends the encoded mutation to the log.
+// MutationHook observes mutations, invoked under the store's commit lock so
+// subscribers see mutations in exactly their apply order.
 type MutationHook func(*Mutation)
 
-// SetMutationHook installs the mutation observer (nil disables it).
+// The mutation event bus. Every committed mutation fans out, in commit
+// order, to one durability slot plus any number of derived-state
+// subscribers:
+//
+//   - The WAL slot (SetMutationHook) is always notified first, so the log's
+//     total order matches apply order and everything a derived subscriber
+//     saw is recoverable. It receives only live mutations — replaying the
+//     log must not re-append it.
+//   - Subscribers (Subscribe) receive live AND replayed mutations, enriched
+//     with the Prev/Next record versions, so incrementally maintained state
+//     (stats counters, the miner feed) stays correct through crash recovery
+//     without a rebuild scan. After RestoreState wholesale-replaces the
+//     store, each subscriber's Reset hook fires instead, because a snapshot
+//     load has no per-record mutation stream.
+//
+// All callbacks run under the commit lock: they must be fast and must not
+// call back into mutating store methods.
+
+// busSubscriber is one derived-state registration on the mutation bus.
+type busSubscriber struct {
+	id    int
+	name  string
+	fn    MutationHook
+	reset func()
+}
+
+// SubscribeOptions configures a mutation-bus subscription.
+type SubscribeOptions struct {
+	// Init, when set, runs once under the commit lock immediately after
+	// registration, so the subscriber can seed itself from the store's
+	// current contents without a mutation slipping in between.
+	Init func()
+	// Reset, when set, runs under the commit lock after RestoreState has
+	// replaced the store's contents; the subscriber must rebuild its derived
+	// state from the store.
+	Reset func()
+}
+
+// Subscribe registers a derived-state subscriber on the mutation event bus
+// and returns a function that removes it. Subscribers are notified in
+// subscription order, always after the WAL slot.
+func (s *Store) Subscribe(name string, fn MutationHook, opts SubscribeOptions) (cancel func()) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.nextSubID++
+	id := s.nextSubID
+	s.subs = append(s.subs, busSubscriber{id: id, name: name, fn: fn, reset: opts.Reset})
+	if opts.Init != nil {
+		opts.Init()
+	}
+	return func() {
+		s.commitMu.Lock()
+		defer s.commitMu.Unlock()
+		for i, sub := range s.subs {
+			if sub.id == id {
+				s.subs = append(s.subs[:i:i], s.subs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// SetMutationHook installs the durability observer in the bus's WAL slot
+// (nil disables it). The WAL manager uses it to append the encoded mutation
+// to the log; it is always notified first and never sees replayed mutations.
 func (s *Store) SetMutationHook(h MutationHook) {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	s.hook = h
 }
 
-// emit forwards a mutation to the hook. Callers must hold the commit lock.
+// observed reports whether anything listens on the bus, letting write paths
+// skip building a Mutation nobody will see. Callers must hold the commit
+// lock.
+func (s *Store) observed() bool {
+	return s.hook != nil || len(s.subs) > 0
+}
+
+// emit fans a live mutation out to the WAL slot first, then to every
+// subscriber in subscription order. Callers must hold the commit lock.
 func (s *Store) emit(m *Mutation) {
 	if s.hook != nil {
 		s.hook(m)
 	}
+	for _, sub := range s.subs {
+		sub.fn(m)
+	}
+}
+
+// emitReplay fans a replayed mutation out to the subscribers only: the WAL
+// slot must not see it, or recovery would re-append the log to itself.
+// Callers must hold the commit lock.
+func (s *Store) emitReplay(m *Mutation) {
+	for _, sub := range s.subs {
+		sub.fn(m)
+	}
+}
+
+// notifyReset invokes every subscriber's Reset hook (after RestoreState).
+// Callers must hold the commit lock.
+func (s *Store) notifyReset() {
+	for _, sub := range s.subs {
+		if sub.reset != nil {
+			sub.reset()
+		}
+	}
 }
 
 // Apply replays one mutation against the store without emitting it to the
-// hook. It is the recovery path: live operations and Apply share the same
-// internal state transitions, so a store rebuilt by replaying a mutation
-// stream is identical — contents, shard placement and inverted indexes — to
-// the store that emitted the stream. Apply takes ownership of the mutation
-// and its record: replay hands over freshly decoded values.
+// WAL slot. It is the recovery path: live operations and Apply share the
+// same internal state transitions, so a store rebuilt by replaying a
+// mutation stream is identical — contents, shard placement and inverted
+// indexes — to the store that emitted the stream. Derived-state subscribers
+// on the event bus DO observe replayed mutations, so their counters are
+// rebuilt incrementally alongside the store. Apply takes ownership of the
+// mutation and its record: replay hands over freshly decoded values.
 func (s *Store) Apply(m *Mutation) error {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
-	return s.apply(m)
+	if err := s.apply(m); err != nil {
+		return err
+	}
+	s.emitReplay(m)
+	return nil
 }
 
 // apply dispatches a mutation to the shared state-transition helpers. Every
 // transition is copy-on-write: the current record version stays untouched
-// for concurrent readers and an updated copy replaces it in its shard.
-// Callers must hold the commit lock.
+// for concurrent readers and an updated copy replaces it in its shard. On
+// success the mutation's prev/next record versions are stashed for bus
+// subscribers. Callers must hold the commit lock.
 func (s *Store) apply(m *Mutation) error {
+	// applyUpdate runs one copy-on-write field update and records the
+	// before/after versions on the mutation.
+	applyUpdate := func(id QueryID, mutate func(next, old *QueryRecord)) error {
+		old, next, err := s.update(id, mutate)
+		if err != nil {
+			return err
+		}
+		m.prev, m.next = old, next
+		return nil
+	}
 	switch m.Op {
 	case OpPut:
 		if m.Record == nil {
 			return fmt.Errorf("storage: apply %s: missing record", m.Op)
 		}
-		s.insert(m.Record)
+		m.prev = s.insert(m.Record)
+		m.next = m.Record
 		return nil
 	case OpAnnotate:
 		if m.Annotation == nil {
 			return fmt.Errorf("storage: apply %s: missing annotation", m.Op)
 		}
-		return s.update(m.ID, func(next, old *QueryRecord) {
+		return applyUpdate(m.ID, func(next, old *QueryRecord) {
 			next.Annotations = append(append([]Annotation(nil), old.Annotations...), *m.Annotation)
 		})
 	case OpSetVisibility:
-		return s.update(m.ID, func(next, _ *QueryRecord) {
+		return applyUpdate(m.ID, func(next, _ *QueryRecord) {
 			next.Visibility = m.Visibility
 		})
 	case OpDelete:
@@ -127,13 +256,14 @@ func (s *Store) apply(m *Mutation) error {
 			return err
 		}
 		s.remove(rec)
+		m.prev = rec
 		return nil
 	case OpAssignSession:
 		rec, err := s.lookup(m.ID)
 		if err != nil {
 			return err
 		}
-		s.reassignSession(rec, m.SessionID)
+		m.prev, m.next = rec, s.reassignSession(rec, m.SessionID)
 		return nil
 	case OpAddEdge:
 		if m.Edge == nil {
@@ -155,33 +285,33 @@ func (s *Store) apply(m *Mutation) error {
 		s.idx.Unlock()
 		return nil
 	case OpMarkInvalid:
-		return s.update(m.ID, func(next, _ *QueryRecord) {
+		return applyUpdate(m.ID, func(next, _ *QueryRecord) {
 			next.Valid = false
 			next.InvalidReason = m.Reason
 		})
 	case OpMarkValid:
-		return s.update(m.ID, func(next, _ *QueryRecord) {
+		return applyUpdate(m.ID, func(next, _ *QueryRecord) {
 			next.Valid = true
 			next.InvalidReason = ""
 		})
 	case OpMarkStale:
-		return s.update(m.ID, func(next, _ *QueryRecord) {
+		return applyUpdate(m.ID, func(next, _ *QueryRecord) {
 			next.StatsStale = m.Stale
 		})
 	case OpUpdateStats:
 		if m.Stats == nil {
 			return fmt.Errorf("storage: apply %s: missing stats", m.Op)
 		}
-		return s.update(m.ID, func(next, _ *QueryRecord) {
+		return applyUpdate(m.ID, func(next, _ *QueryRecord) {
 			next.Stats = *m.Stats
 			next.StatsStale = false
 		})
 	case OpSetSample:
-		return s.update(m.ID, func(next, _ *QueryRecord) {
+		return applyUpdate(m.ID, func(next, _ *QueryRecord) {
 			next.Sample = m.Sample
 		})
 	case OpSetQuality:
-		return s.update(m.ID, func(next, _ *QueryRecord) {
+		return applyUpdate(m.ID, func(next, _ *QueryRecord) {
 			next.QualityScore = m.Score
 		})
 	case OpReplaceText:
@@ -192,7 +322,7 @@ func (s *Store) apply(m *Mutation) error {
 		if err != nil {
 			return err
 		}
-		s.replaceText(rec, m.Record)
+		m.prev, m.next = rec, s.replaceText(rec, m.Record)
 		return nil
 	default:
 		return fmt.Errorf("storage: apply: unknown op %q", m.Op)
@@ -211,27 +341,31 @@ func (s *Store) lookup(id QueryID) (*QueryRecord, error) {
 
 // update performs one copy-on-write field mutation: it shallow-copies the
 // current record version, lets mutate replace the fields it changes, and
-// publishes the copy. Callers must hold the commit lock.
-func (s *Store) update(id QueryID, mutate func(next, old *QueryRecord)) error {
+// publishes the copy. It returns the versions before and after the update.
+// Callers must hold the commit lock.
+func (s *Store) update(id QueryID, mutate func(next, old *QueryRecord)) (old, next *QueryRecord, err error) {
 	rec, err := s.lookup(id)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	next := rec.shallowCopy()
+	next = rec.shallowCopy()
 	mutate(next, rec)
 	s.storeRecord(next)
-	return nil
+	return rec, next, nil
 }
 
 // insert places a record with an already-assigned ID into its shard and all
 // inverted indexes. It is shared by the live Put path and WAL replay; replay
 // of a Put whose ID already exists (a snapshot/segment overlap) replaces the
-// older copy so recovery stays idempotent. The record becomes visible to
-// scans only once its ID is published to the insertion order, which happens
-// after the shard holds the record. Callers must hold the commit lock.
-func (s *Store) insert(rec *QueryRecord) {
+// older copy so recovery stays idempotent — the replaced version, if any, is
+// returned so bus subscribers can retract its contributions. The record
+// becomes visible to scans only once its ID is published to the insertion
+// order, which happens after the shard holds the record. Callers must hold
+// the commit lock.
+func (s *Store) insert(rec *QueryRecord) (replaced *QueryRecord) {
 	if old, ok := s.loadRecord(rec.ID); ok {
 		s.remove(old)
+		replaced = old
 	}
 	rec.prepare()
 	s.storeRecord(rec)
@@ -243,6 +377,7 @@ func (s *Store) insert(rec *QueryRecord) {
 	if int64(rec.ID) > s.nextID.Load() {
 		s.nextID.Store(int64(rec.ID))
 	}
+	return replaced
 }
 
 // remove deletes a record from the indexes, the edge relation and its shard.
@@ -266,8 +401,9 @@ func (s *Store) remove(rec *QueryRecord) {
 }
 
 // reassignSession moves a record between session index buckets and publishes
-// an updated record version. Callers must hold the commit lock.
-func (s *Store) reassignSession(rec *QueryRecord, sessionID int64) {
+// an updated record version, which it returns. Callers must hold the commit
+// lock.
+func (s *Store) reassignSession(rec *QueryRecord, sessionID int64) *QueryRecord {
 	next := rec.shallowCopy()
 	next.SessionID = sessionID
 	s.storeRecord(next)
@@ -279,14 +415,16 @@ func (s *Store) reassignSession(rec *QueryRecord, sessionID int64) {
 		insertIntoBucket(s.idx.bySession, sessionID, rec.ID)
 	}
 	s.idx.Unlock()
+	return next
 }
 
 // replaceText publishes a record version with the text and feature relations
-// of the update, re-indexing it. The record's session edges survive: a text
-// repair does not unlink the query from its session history. De-indexing and
-// re-indexing happen in one idx critical section so an indexed scan never
-// misses the record mid-replacement. Callers must hold the commit lock.
-func (s *Store) replaceText(rec, updated *QueryRecord) {
+// of the update, re-indexing it, and returns the new version. The record's
+// session edges survive: a text repair does not unlink the query from its
+// session history. De-indexing and re-indexing happen in one idx critical
+// section so an indexed scan never misses the record mid-replacement.
+// Callers must hold the commit lock.
+func (s *Store) replaceText(rec, updated *QueryRecord) *QueryRecord {
 	next := rec.shallowCopy()
 	next.Text = updated.Text
 	next.Canonical = updated.Canonical
@@ -305,4 +443,5 @@ func (s *Store) replaceText(rec, updated *QueryRecord) {
 	s.removeFromIndexesLocked(rec)
 	s.indexLocked(next)
 	s.idx.Unlock()
+	return next
 }

@@ -46,10 +46,12 @@ func (s *Store) StateWith(capture func()) *StoreState {
 
 // RestoreState replaces the store's entire contents with the snapshot,
 // rebuilding the shard placement and every inverted index through the same
-// insert path used by live operations and replay. The mutation hook is not
-// invoked. RestoreState takes ownership of st and its records — recovery
-// hands over a freshly decoded state, and cloning ~100k records a second
-// time would double restart cost.
+// insert path used by live operations and replay. The WAL slot of the
+// mutation bus is not invoked; derived-state subscribers get their Reset
+// hook once the restore completes, since a snapshot load has no per-record
+// mutation stream to fan out. RestoreState takes ownership of st and its
+// records — recovery hands over a freshly decoded state, and cloning ~100k
+// records a second time would double restart cost.
 func (s *Store) RestoreState(st *StoreState) {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
@@ -69,6 +71,7 @@ func (s *Store) RestoreState(st *StoreState) {
 	s.idx.byUser = make(map[string][]QueryID)
 	s.idx.byFingerprint = make(map[uint64][]QueryID)
 	s.idx.bySession = make(map[int64][]QueryID)
+	s.idx.tableNames = make(map[string]map[string]int)
 	s.idx.edges = append([]SessionEdge(nil), st.Edges...)
 	s.idx.edgesFrom = make(map[QueryID][]SessionEdge)
 	for _, e := range st.Edges {
@@ -82,4 +85,5 @@ func (s *Store) RestoreState(st *StoreState) {
 	if int64(st.NextID) > s.nextID.Load() {
 		s.nextID.Store(int64(st.NextID))
 	}
+	s.notifyReset()
 }

@@ -46,12 +46,18 @@ type shard struct {
 // mutex while deep-copying the log.
 type Store struct {
 	// commitMu serialises every mutation (live operations and WAL replay).
-	// It establishes the total mutation order the WAL hook records, and lets
-	// StateWith capture a snapshot no mutation can slip into. Readers never
-	// take it.
+	// It establishes the total mutation order the event bus fans out, and
+	// lets StateWith capture a snapshot no mutation can slip into. Readers
+	// never take it.
 	commitMu sync.Mutex
-	hook     MutationHook     // guarded by commitMu
-	now      func() time.Time // guarded by commitMu
+	// hook is the bus's WAL slot (SetMutationHook): notified first, live
+	// mutations only. subs are the derived-state subscribers (Subscribe):
+	// notified after it, for live and replayed mutations alike. All guarded
+	// by commitMu.
+	hook      MutationHook
+	subs      []busSubscriber
+	nextSubID int
+	now       func() time.Time // guarded by commitMu
 
 	// nextID is the ID high-water mark. Written only under commitMu; read
 	// atomically by Snapshot, which uses it to exclude records inserted
@@ -81,6 +87,11 @@ type Store struct {
 		byFingerprint map[uint64][]QueryID
 		bySession     map[int64][]QueryID
 
+		// tableNames counts the live display casings per lower-cased table
+		// key, so TableCounts can report a real name without scanning the
+		// log for one.
+		tableNames map[string]map[string]int
+
 		edges []SessionEdge
 		// edgesFrom indexes the edge relation by source query so EdgesFrom
 		// is O(degree) instead of O(E).
@@ -102,6 +113,7 @@ func NewStore() *Store {
 	s.idx.byUser = make(map[string][]QueryID)
 	s.idx.byFingerprint = make(map[uint64][]QueryID)
 	s.idx.bySession = make(map[int64][]QueryID)
+	s.idx.tableNames = make(map[string]map[string]int)
 	s.idx.edgesFrom = make(map[QueryID][]SessionEdge)
 	return s
 }
@@ -156,11 +168,14 @@ func (s *Store) Put(rec *QueryRecord) QueryID {
 		rec.IssuedAt = s.now()
 	}
 	rec.Valid = true
-	s.insert(rec)
-	if s.hook != nil {
-		// Stored records are immutable, so the hook can reference the record
-		// directly without a defensive clone.
-		s.emit(&Mutation{Op: OpPut, Record: rec})
+	replaced := s.insert(rec)
+	if s.observed() {
+		// Stored records are immutable, so the bus can reference the record
+		// directly without a defensive clone. A replaced record (impossible
+		// today — Put always assigns a fresh ID — but load-bearing should an
+		// ID-preserving put path ever appear) rides along as prev so
+		// subscribers retract its contributions.
+		s.emit(&Mutation{Op: OpPut, Record: rec, prev: replaced, next: rec})
 	}
 	return rec.ID
 }
@@ -183,9 +198,9 @@ func (s *Store) PutBatch(recs []*QueryRecord) []QueryID {
 			rec.IssuedAt = s.now()
 		}
 		rec.Valid = true
-		s.insert(rec)
-		if s.hook != nil {
-			s.emit(&Mutation{Op: OpPut, Record: rec})
+		replaced := s.insert(rec)
+		if s.observed() {
+			s.emit(&Mutation{Op: OpPut, Record: rec, prev: replaced, next: rec})
 		}
 		ids[i] = rec.ID
 	}
@@ -220,7 +235,14 @@ func insertIntoBucket[K comparable](m map[K][]QueryID, key K, id QueryID) {
 // idx write lock.
 func (s *Store) indexLocked(rec *QueryRecord) {
 	for _, t := range rec.Tables {
-		insertIntoBucket(s.idx.byTable, strings.ToLower(t), rec.ID)
+		key := strings.ToLower(t)
+		insertIntoBucket(s.idx.byTable, key, rec.ID)
+		names := s.idx.tableNames[key]
+		if names == nil {
+			names = make(map[string]int, 1)
+			s.idx.tableNames[key] = names
+		}
+		names[t]++
 	}
 	seenAttr := make(map[string]bool)
 	for _, a := range rec.Attributes {
@@ -360,29 +382,16 @@ type TableCount struct {
 }
 
 // TableCounts returns per-table reference counts, sorted by descending count
-// then name.
+// then name. It is served entirely from incrementally maintained counters —
+// the index bucket sizes and the live display-casing counts — so its cost is
+// O(distinct tables) regardless of log size.
 func (s *Store) TableCounts() []TableCount {
 	s.idx.RLock()
-	counts := make(map[string]int, len(s.idx.byTable))
+	out := make([]TableCount, 0, len(s.idx.byTable))
 	for key, ids := range s.idx.byTable {
-		counts[key] = len(ids)
+		out = append(out, TableCount{Table: s.displayNameLocked(key), Count: len(ids)})
 	}
 	s.idx.RUnlock()
-	nameOf := make(map[string]string, len(counts))
-	s.Snapshot().scanAll(func(rec *QueryRecord) bool {
-		for _, t := range rec.Tables {
-			nameOf[strings.ToLower(t)] = t
-		}
-		return true
-	})
-	out := make([]TableCount, 0, len(counts))
-	for key, count := range counts {
-		name := nameOf[key]
-		if name == "" {
-			name = key
-		}
-		out = append(out, TableCount{Table: name, Count: count})
-	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
 			return out[i].Count > out[j].Count
@@ -390,6 +399,26 @@ func (s *Store) TableCounts() []TableCount {
 		return out[i].Table < out[j].Table
 	})
 	return out
+}
+
+// displayNameLocked picks the display casing for a table key. Callers must
+// hold the idx lock (read or write).
+func (s *Store) displayNameLocked(key string) string {
+	return PickDisplayName(s.idx.tableNames[key], key)
+}
+
+// PickDisplayName picks a deterministic display casing from live
+// casing-reference counts: the casing with the most references, ties broken
+// lexicographically, falling back when no casing is live. Shared by
+// TableCounts and the stats subsystem so both report the same name.
+func PickDisplayName(names map[string]int, fallback string) string {
+	best, bestN := fallback, 0
+	for name, n := range names {
+		if n > bestN || (n == bestN && name < best) {
+			best, bestN = name, n
+		}
+	}
+	return best
 }
 
 // ---------------------------------------------------------------------------
@@ -495,7 +524,18 @@ func removeFromBucket[K, E comparable](m map[K][]E, key K, elem E) {
 // must hold commitMu and the idx write lock.
 func (s *Store) removeFromIndexesLocked(rec *QueryRecord) {
 	for _, t := range rec.Tables {
-		removeFromBucket(s.idx.byTable, strings.ToLower(t), rec.ID)
+		key := strings.ToLower(t)
+		removeFromBucket(s.idx.byTable, key, rec.ID)
+		if names := s.idx.tableNames[key]; names != nil {
+			if names[t] <= 1 {
+				delete(names, t)
+				if len(names) == 0 {
+					delete(s.idx.tableNames, key)
+				}
+			} else {
+				names[t]--
+			}
+		}
 	}
 	for _, a := range rec.Attributes {
 		removeFromBucket(s.idx.byAttribute, strings.ToLower(a.Rel+"."+a.Attr), rec.ID)

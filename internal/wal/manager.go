@@ -94,8 +94,13 @@ type Manager struct {
 }
 
 // Open recovers the store from cfg.Dir (newest snapshot + replay of the log
-// tail) and installs the mutation hook so every future mutation is logged.
-// The store must be empty: recovery replaces its contents.
+// tail) and installs itself in the WAL slot of the store's mutation event
+// bus so every future mutation is logged. The WAL slot is always notified
+// first, before any derived-state subscriber, so everything a subscriber
+// observed is durably recoverable; replayed mutations bypass the slot (the
+// log must not be re-appended to itself) while derived-state subscribers do
+// observe them and rebuild incrementally during this call. The store must be
+// empty of queries: recovery replaces its contents.
 func Open(store *storage.Store, cfg Config) (*Manager, *RecoveryInfo, error) {
 	policy, err := ParseSyncPolicy(cfg.SyncPolicy)
 	if err != nil {
@@ -166,8 +171,8 @@ func Open(store *storage.Store, cfg Config) (*Manager, *RecoveryInfo, error) {
 	return m, info, nil
 }
 
-// appendMutation is the store's mutation hook. It runs under the store's
-// write lock, which keeps log order identical to apply order.
+// appendMutation is the bus's WAL-slot callback. It runs under the store's
+// commit lock, which keeps log order identical to apply order.
 func (m *Manager) appendMutation(mut *storage.Mutation) {
 	payload, err := mut.Encode()
 	if err != nil {
