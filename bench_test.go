@@ -814,7 +814,7 @@ var (
 // otherwise pile up in the system temp dir.
 func TestMain(m *testing.M) {
 	code := m.Run()
-	for _, dir := range []string{walRecoveryWALDir, walRecoverySnapDir} {
+	for _, dir := range []string{walRecoveryWALDir, walRecoverySnapDir, ckptSidecarDir, ckptPlainDir} {
 		if dir != "" {
 			os.RemoveAll(dir)
 		}
@@ -901,6 +901,151 @@ func BenchmarkWALRecoveryReplay(b *testing.B) {
 func BenchmarkWALRecoverySnapshot(b *testing.B) {
 	_, snapDir := walRecoverySetup(b)
 	benchWALRecovery(b, snapDir)
+}
+
+// ---------------------------------------------------------------------------
+// Derived-state checkpoint recovery: restoring stats counters, the miner
+// feed and the live session windows from WAL snapshot sidecars versus
+// rebuilding all three from a full scan of the restored store.
+// ---------------------------------------------------------------------------
+
+// ckptRecoveryRecords sizes the checkpoint-recovery log. The ISSUE's
+// acceptance bar is a >=50k-record log.
+const ckptRecoveryRecords = 50_000
+
+var (
+	ckptRecoveryOnce sync.Once
+	ckptSidecarDir   string // snapshot carries derived-state sidecars
+	ckptPlainDir     string // snapshot written by a bare store: no sidecars
+	ckptRecoveryErr  error
+)
+
+// ckptAttachSubscribers wires the full derived-state subscriber set the core
+// attaches: stats tracker, miner feed and live session detector.
+func ckptAttachSubscribers(store *storage.Store) {
+	stats.Attach(store)
+	feed := miner.NewFeed(miner.DefaultConfig().Assoc, 200)
+	feed.Attach(store)
+	session.AttachLive(store, session.DefaultConfig())
+}
+
+// ckptRecoverySetup builds (once) two equal 50k-record data directories,
+// both fully compacted into one snapshot, differing only in whether the
+// snapshot carries derived-state sidecar checkpoints.
+func ckptRecoverySetup(b *testing.B) (sidecarDir, plainDir string) {
+	b.Helper()
+	ckptRecoveryOnce.Do(func() {
+		// A few hundred distinct parsed records give the counters realistic
+		// key diversity without paying 50k SQL parses per directory.
+		variants := make([]*storage.QueryRecord, 0, 200)
+		for i := 0; i < 200; i++ {
+			var text string
+			switch i % 4 {
+			case 0:
+				text = fmt.Sprintf("SELECT WaterTemp.lake, WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < %d", i%37)
+			case 1:
+				text = fmt.Sprintf("SELECT WaterSalinity.lake FROM WaterSalinity WHERE WaterSalinity.salinity > %d", i%23)
+			case 2:
+				text = "SELECT Observations.id FROM Observations, Stations WHERE Observations.station = Stations.id"
+			default:
+				text = fmt.Sprintf("SELECT Stations.name FROM Stations WHERE Stations.id = %d", i)
+			}
+			rec, err := storage.NewRecordFromSQL(text)
+			if err != nil {
+				ckptRecoveryErr = err
+				return
+			}
+			variants = append(variants, rec)
+		}
+		build := func(dir string, withSubscribers bool) error {
+			store := storage.NewStore()
+			if withSubscribers {
+				ckptAttachSubscribers(store)
+			}
+			cfg := wal.DefaultConfig(dir)
+			cfg.SyncPolicy = "off"
+			mgr, _, err := wal.Open(store, cfg)
+			if err != nil {
+				return err
+			}
+			// 40 users in round-robin, ~20min between one user's consecutive
+			// queries (soft gap: similarity decides) and an occasional 2h jump
+			// (hard boundary), so the log segments into many real sessions.
+			base := time.Date(2026, 1, 5, 9, 0, 0, 0, time.UTC)
+			clock := base
+			for i := 0; i < ckptRecoveryRecords; i++ {
+				clock = clock.Add(30 * time.Second)
+				if i%4096 == 4095 {
+					clock = clock.Add(2 * time.Hour)
+				}
+				rec := variants[i%len(variants)].Clone()
+				rec.User = fmt.Sprintf("user%02d", i%40)
+				rec.IssuedAt = clock
+				store.Put(rec)
+			}
+			if _, _, _, err := mgr.Compact(); err != nil {
+				return err
+			}
+			return mgr.Close()
+		}
+		if ckptSidecarDir, ckptRecoveryErr = os.MkdirTemp("", "cqms-ckpt-bench-"); ckptRecoveryErr != nil {
+			return
+		}
+		if ckptPlainDir, ckptRecoveryErr = os.MkdirTemp("", "cqms-ckpt-bench-"); ckptRecoveryErr != nil {
+			return
+		}
+		if err := build(ckptSidecarDir, true); err != nil {
+			ckptRecoveryErr = err
+			return
+		}
+		ckptRecoveryErr = build(ckptPlainDir, false)
+	})
+	if ckptRecoveryErr != nil {
+		b.Fatal(ckptRecoveryErr)
+	}
+	return ckptSidecarDir, ckptPlainDir
+}
+
+func benchCheckpointRecovery(b *testing.B, dir string, wantRestored int) {
+	cfg := wal.DefaultConfig(dir)
+	cfg.SyncPolicy = "off"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := storage.NewStore()
+		ckptAttachSubscribers(store)
+		mgr, info, err := wal.Open(store, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if info.Queries != ckptRecoveryRecords {
+			b.Fatalf("recovered %d queries, want %d", info.Queries, ckptRecoveryRecords)
+		}
+		if len(info.CheckpointRestored) != wantRestored {
+			b.Fatalf("restored %v / rebuilt %v, want %d checkpoint restores",
+				info.CheckpointRestored, info.CheckpointRebuilt, wantRestored)
+		}
+		if err := mgr.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoveryWithCheckpoint restarts a durable 50k-query CQMS store
+// whose snapshot carries derived-state checkpoints: stats counters, miner
+// feed and session windows all restore from sidecars instead of rescanning.
+func BenchmarkRecoveryWithCheckpoint(b *testing.B) {
+	sidecarDir, _ := ckptRecoverySetup(b)
+	benchCheckpointRecovery(b, sidecarDir, 3)
+}
+
+// BenchmarkRecoveryRebuild is the fallback baseline: the same log compacted
+// without sidecars (a legacy snapshot), so every derived-state subscriber
+// rebuilds from a full scan — including the session detector's re-sort,
+// similarity and structural-diff work.
+func BenchmarkRecoveryRebuild(b *testing.B) {
+	_, plainDir := ckptRecoverySetup(b)
+	benchCheckpointRecovery(b, plainDir, 0)
 }
 
 // Guard: the fixture must look like the workload DESIGN.md describes.

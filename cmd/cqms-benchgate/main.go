@@ -1,0 +1,199 @@
+// Command cqms-benchgate is the CI perf-regression gate: it parses `go test
+// -bench` output into a machine-readable BENCH_<sha>.json and fails when any
+// benchmark regressed beyond a ratio against a committed baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '...' -count 3 . | tee bench.out
+//	cqms-benchgate -in bench.out -out BENCH_$(git rev-parse --short HEAD).json \
+//	    -baseline BENCH_BASELINE.json -max-ratio 2.0
+//
+// With -count > 1 the best (minimum) ns/op per benchmark is kept, which
+// filters scheduler noise on shared CI runners; the 2x default ratio leaves
+// headroom for machine-class differences between the baseline host and the
+// runner. Regenerate the baseline (-in ... -out BENCH_BASELINE.json, no
+// -baseline) whenever a PR intentionally changes the performance envelope.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's best observed cost.
+type Result struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
+	Runs        int     `json:"runs"`
+}
+
+// Report is the BENCH_<sha>.json artifact.
+type Report struct {
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkHTTPSubmitBatch-8   	     100	    123456 ns/op	  2048 B/op	  12 allocs/op
+//
+// Sub-benchmark names (slashes, key=value) pass through; the trailing
+// -GOMAXPROCS suffix is stripped so runs from differently sized machines
+// aggregate under one name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var allocsField = regexp.MustCompile(`([0-9.]+) allocs/op`)
+
+// parseBench aggregates benchmark lines, keeping the minimum ns/op per name.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		res := out[name]
+		res.Runs++
+		if res.Runs == 1 || ns < res.NsPerOp {
+			res.NsPerOp = ns
+			if am := allocsField.FindStringSubmatch(m[3]); am != nil {
+				res.AllocsPerOp, _ = strconv.ParseFloat(am[1], 64)
+			}
+		}
+		out[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// regression is one gate violation.
+type regression struct {
+	name              string
+	baseline, current float64
+	ratio             float64
+}
+
+// gate compares current results against the baseline. A benchmark present in
+// the baseline but absent from the run fails the gate too — silently dropping
+// a benchmark from CI must not pass as a perf win.
+func gate(current, baseline map[string]Result, maxRatio float64) (regressions []regression, missing []string) {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		if base.NsPerOp > 0 && cur.NsPerOp > maxRatio*base.NsPerOp {
+			regressions = append(regressions, regression{
+				name: name, baseline: base.NsPerOp, current: cur.NsPerOp,
+				ratio: cur.NsPerOp / base.NsPerOp,
+			})
+		}
+	}
+	return regressions, missing
+}
+
+func run() error {
+	var (
+		in       = flag.String("in", "-", "benchmark output to parse (file, or - for stdin)")
+		out      = flag.String("out", "", "write the parsed results as JSON to this file")
+		baseline = flag.String("baseline", "", "baseline JSON to gate against (omit to only record)")
+		maxRatio = flag.Float64("max-ratio", 2.0, "fail when ns/op exceeds ratio × baseline")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := parseBench(src)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results found in %s", *in)
+	}
+	report := Report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Benchmarks: results}
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d benchmark results to %s\n", len(results), *out)
+	}
+	if *baseline == "" {
+		return nil
+	}
+	baseData, err := os.ReadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	var baseReport Report
+	if err := json.Unmarshal(baseData, &baseReport); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", *baseline, err)
+	}
+	regressions, missing := gate(results, baseReport.Benchmarks, *maxRatio)
+	for name, res := range results {
+		if base, ok := baseReport.Benchmarks[name]; ok && base.NsPerOp > 0 {
+			fmt.Printf("%-50s %14.0f ns/op  baseline %14.0f  ratio %.2fx\n",
+				name, res.NsPerOp, base.NsPerOp, res.NsPerOp/base.NsPerOp)
+		} else {
+			fmt.Printf("%-50s %14.0f ns/op  (no baseline — add on next regen)\n", name, res.NsPerOp)
+		}
+	}
+	failed := false
+	for _, m := range missing {
+		fmt.Fprintf(os.Stderr, "GATE: benchmark %s is in the baseline but was not run\n", m)
+		failed = true
+	}
+	for _, r := range regressions {
+		fmt.Fprintf(os.Stderr, "GATE: %s regressed %.2fx (%.0f -> %.0f ns/op, limit %.1fx)\n",
+			r.name, r.ratio, r.baseline, r.current, *maxRatio)
+		failed = true
+	}
+	if failed {
+		return fmt.Errorf("perf gate failed: %d regression(s), %d missing benchmark(s)", len(regressions), len(missing))
+	}
+	fmt.Printf("perf gate passed: %d benchmarks within %.1fx of baseline\n", len(results), *maxRatio)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cqms-benchgate:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkE3CompletionIncremental-8   	   20000	     55000 ns/op	 12000 B/op	 150 allocs/op
+BenchmarkE3CompletionIncremental-8   	   21000	     52000 ns/op	 12000 B/op	 149 allocs/op
+BenchmarkConcurrentMetaQuery/readers=4-8 	    5000	    230000 ns/op
+BenchmarkHTTPSubmitBatch 	     300	   4100000 ns/op	 90000 B/op	 800 allocs/op
+BenchmarkRecoveryWithCheckpoint 	       2	1021374038 ns/op	201628820 B/op	 2122579 allocs/op
+PASS
+ok  	repro	17.497s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(results), results)
+	}
+	// -count aggregation keeps the minimum and counts the runs.
+	inc := results["E3CompletionIncremental"]
+	if inc.NsPerOp != 52000 || inc.Runs != 2 {
+		t.Errorf("E3CompletionIncremental = %+v, want min 52000 over 2 runs", inc)
+	}
+	if inc.AllocsPerOp != 149 {
+		t.Errorf("AllocsPerOp = %v, want 149", inc.AllocsPerOp)
+	}
+	// Sub-benchmark names survive; the -GOMAXPROCS suffix is stripped.
+	if _, ok := results["ConcurrentMetaQuery/readers=4"]; !ok {
+		t.Errorf("sub-benchmark name mangled: %+v", results)
+	}
+	// Lines without a -procs suffix parse too.
+	if results["HTTPSubmitBatch"].NsPerOp != 4100000 {
+		t.Errorf("HTTPSubmitBatch = %+v", results["HTTPSubmitBatch"])
+	}
+}
+
+func TestGate(t *testing.T) {
+	baseline := map[string]Result{
+		"Fast":    {NsPerOp: 1000},
+		"Slow":    {NsPerOp: 1_000_000},
+		"Dropped": {NsPerOp: 500},
+	}
+	current := map[string]Result{
+		"Fast": {NsPerOp: 1900},      // 1.9x: within the 2x gate
+		"Slow": {NsPerOp: 2_100_000}, // 2.1x: regression
+		"New":  {NsPerOp: 42},        // not gated
+	}
+	regressions, missing := gate(current, baseline, 2.0)
+	if len(regressions) != 1 || regressions[0].name != "Slow" {
+		t.Fatalf("regressions = %+v, want only Slow", regressions)
+	}
+	if regressions[0].ratio < 2.09 || regressions[0].ratio > 2.11 {
+		t.Errorf("ratio = %v, want ~2.1", regressions[0].ratio)
+	}
+	if len(missing) != 1 || missing[0] != "Dropped" {
+		t.Fatalf("missing = %v, want [Dropped]", missing)
+	}
+	if r, m := gate(current, baseline, 3.0); len(r) != 0 || len(m) != 1 {
+		t.Errorf("3x gate: regressions=%v missing=%v", r, m)
+	}
+}

@@ -469,6 +469,12 @@ func cmdLog(ctx context.Context, c *client.Client, args []string) error {
 			total += seg.Bytes
 		}
 		fmt.Printf("%d segments, %d bytes\n", len(info.Segments), total)
+		if len(info.SnapshotSidecars) > 0 {
+			fmt.Println("snapshot sidecar sections:")
+			for _, sc := range info.SnapshotSidecars {
+				fmt.Printf("  %-12s v%-3d %8d bytes\n", sc.Name, sc.Version, sc.Bytes)
+			}
+		}
 		return nil
 	case "backup":
 		resp, err := c.LogBackup(ctx)
@@ -503,6 +509,15 @@ func cmdStats(ctx context.Context, c *client.Client) error {
 	// queries; everything for admins).
 	fmt.Printf("visible queries: %d\n", stats.VisibleQueries)
 	fmt.Printf("mined transactions: %d\n", stats.MinedTransactions)
+	if len(stats.DerivedState) > 0 {
+		// Whether each derived-state subsystem came back from a snapshot
+		// checkpoint on the last restart or had to rebuild from a full scan.
+		parts := make([]string, 0, len(stats.DerivedState))
+		for _, ds := range stats.DerivedState {
+			parts = append(parts, fmt.Sprintf("%s=%s", ds.Name, ds.Source))
+		}
+		fmt.Printf("derived state: %s\n", strings.Join(parts, ", "))
+	}
 	if len(stats.TableCounts) > 0 {
 		fmt.Println("table counts:")
 		for _, tc := range stats.TableCounts {

@@ -231,3 +231,54 @@ func TestClientLogEndpoints(t *testing.T) {
 		t.Fatalf("log info after compact = %+v", after)
 	}
 }
+
+// TestDerivedStateAndSidecarSurface covers the provenance wire surface: the
+// stats endpoint reports where each derived-state subsystem came from, and
+// log info lists the snapshot's sidecar checkpoint sections after a backup.
+func TestDerivedStateAndSidecarSurface(t *testing.T) {
+	// In-memory server: everything is live-built.
+	ts, _ := newServer(t, core.DefaultConfig())
+	c := New(ts.URL, WithUser("admin"), WithAdmin())
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	sources := map[string]string{}
+	for _, ds := range stats.DerivedState {
+		sources[ds.Name] = ds.Source
+	}
+	for _, name := range []string{"stats", "miner-feed", "sessions"} {
+		if sources[name] != "live" {
+			t.Errorf("in-memory derivedState[%s] = %q, want live", name, sources[name])
+		}
+	}
+
+	// Durable server: a backup writes sidecar sections for every subscriber.
+	cfg := core.DefaultConfig()
+	cfg.Durability.Dir = t.TempDir()
+	cfg.Durability.SyncPolicy = "off"
+	tsd, _ := newServer(t, cfg)
+	cd := New(tsd.URL, WithUser("alice", "limnology"))
+	if _, err := cd.Submit(ctx, "SELECT WaterTemp.lake FROM WaterTemp", Group("limnology")); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := cd.LogBackup(ctx); err != nil {
+		t.Fatalf("LogBackup: %v", err)
+	}
+	info, err := cd.LogInfo(ctx)
+	if err != nil {
+		t.Fatalf("LogInfo: %v", err)
+	}
+	got := map[string]bool{}
+	for _, sc := range info.SnapshotSidecars {
+		if sc.Bytes <= 0 || sc.Version <= 0 {
+			t.Errorf("sidecar %+v has no payload or version", sc)
+		}
+		got[sc.Name] = true
+	}
+	for _, name := range []string{"stats", "miner-feed", "sessions"} {
+		if !got[name] {
+			t.Errorf("snapshot sidecars %v missing %q", info.SnapshotSidecars, name)
+		}
+	}
+}

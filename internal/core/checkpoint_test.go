@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// TestRecoveryRestoresFromCheckpoint proves the full durable-derived-state
+// path: a compaction writes sidecar checkpoints for every subscriber, a
+// restart restores all three from them (stats, miner feed, live sessions),
+// the WAL tail replays on top, and the provenance surface reports it.
+func TestRecoveryRestoresFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	c := openDurable(t, dir)
+	base := time.Date(2026, 7, 1, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 6; i++ {
+		submit(t, c, "alice", "limnology",
+			"SELECT WaterTemp.lake, WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 15",
+			base.Add(time.Duration(i)*time.Minute))
+	}
+	// Snapshot with sidecars, then keep writing so recovery replays a tail
+	// into the restored state.
+	if _, _, _, err := c.Durability().Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	submit(t, c, "bob", "limnology",
+		"SELECT WaterSalinity.lake FROM WaterSalinity", base.Add(2*time.Hour))
+	statsBefore := c.StatsTracker().TableCounts(admin)
+	sessionsBefore, err := c.Sessions(context.Background(), admin)
+	if err != nil {
+		t.Fatalf("Sessions: %v", err)
+	}
+	feedBefore := c.MinerFeed().NumTransactions()
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c2 := openDurable(t, dir)
+	defer c2.Close()
+	info := c2.Recovery()
+	if info == nil {
+		t.Fatal("no recovery info")
+	}
+	restored := append([]string(nil), info.CheckpointRestored...)
+	sort.Strings(restored)
+	if want := []string{"miner-feed", "sessions", "stats"}; !reflect.DeepEqual(restored, want) {
+		t.Fatalf("CheckpointRestored = %v (rebuilt = %v), want %v",
+			info.CheckpointRestored, info.CheckpointRebuilt, want)
+	}
+	if info.Replayed == 0 {
+		t.Fatal("expected a WAL tail replay after the snapshot")
+	}
+	prov := c2.DerivedStateProvenance()
+	for _, name := range []string{"stats", "miner-feed", "sessions"} {
+		if prov[name] != ProvenanceCheckpoint {
+			t.Errorf("provenance[%s] = %q, want %q", name, prov[name], ProvenanceCheckpoint)
+		}
+	}
+	if got := c2.StatsTracker().TableCounts(admin); !reflect.DeepEqual(got, statsBefore) {
+		t.Errorf("stats diverged across checkpointed recovery\n got: %+v\nwant: %+v", got, statsBefore)
+	}
+	if got := c2.MinerFeed().NumTransactions(); got != feedBefore {
+		t.Errorf("feed transactions = %d, want %d", got, feedBefore)
+	}
+	sessionsAfter, err := c2.Sessions(context.Background(), admin)
+	if err != nil {
+		t.Fatalf("Sessions after recovery: %v", err)
+	}
+	if !reflect.DeepEqual(sessionsAfter, sessionsBefore) {
+		t.Errorf("sessions diverged across checkpointed recovery\n got: %+v\nwant: %+v",
+			sessionsAfter, sessionsBefore)
+	}
+}
+
+// TestRecoveryAfterMiningRebuildsActiveFeed pins the retirement contract at
+// the system level: once a mining pass has retired the feed, a snapshot
+// carries no miner-feed sidecar (the superseding mining Result is not
+// durable), so recovery rebuilds a fresh active feed that can serve rules
+// immediately — while stats and sessions still restore from checkpoints.
+func TestRecoveryAfterMiningRebuildsActiveFeed(t *testing.T) {
+	dir := t.TempDir()
+	c := openDurable(t, dir)
+	base := time.Date(2026, 7, 1, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 6; i++ {
+		submit(t, c, "alice", "limnology",
+			"SELECT WaterTemp.lake, WaterSalinity.salinity FROM WaterTemp, WaterSalinity WHERE WaterTemp.lake = WaterSalinity.lake",
+			base.Add(time.Duration(i)*time.Minute))
+	}
+	if res := c.RunMiner(); res == nil {
+		t.Fatal("mining pass returned nil")
+	}
+	if _, _, _, err := c.Durability().Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c2 := openDurable(t, dir)
+	defer c2.Close()
+	prov := c2.DerivedStateProvenance()
+	if prov["miner-feed"] != ProvenanceRebuilt {
+		t.Errorf("provenance[miner-feed] = %q, want %q", prov["miner-feed"], ProvenanceRebuilt)
+	}
+	for _, name := range []string{"stats", "sessions"} {
+		if prov[name] != ProvenanceCheckpoint {
+			t.Errorf("provenance[%s] = %q, want %q", name, prov[name], ProvenanceCheckpoint)
+		}
+	}
+	// The rebuilt feed is active: it ingested the recovered log and derives
+	// rules without waiting for the next mining pass.
+	if got := c2.MinerFeed().NumTransactions(); got != c2.Store().Count() {
+		t.Errorf("rebuilt feed saw %d transactions, want %d", got, c2.Store().Count())
+	}
+	if len(c2.MinerFeed().Rules()) == 0 {
+		t.Error("rebuilt feed derives no rules from the recovered log")
+	}
+}
+
+// TestRecoveryFallsBackWithoutSidecars proves a legacy snapshot — one
+// written without derived-state sections — still recovers, with every
+// subscriber rebuilt from a full scan and the provenance saying so.
+func TestRecoveryFallsBackWithoutSidecars(t *testing.T) {
+	dir := t.TempDir()
+	// Build the data directory with a bare store: no subscribers, so the
+	// snapshot has no sidecars — exactly what a pre-sidecar version wrote.
+	store := storage.NewStore()
+	wcfg := wal.DefaultConfig(dir)
+	wcfg.SyncPolicy = "off"
+	mgr, _, err := wal.Open(store, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 7, 1, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 4; i++ {
+		rec, err := storage.NewRecordFromSQL("SELECT WaterTemp.lake FROM WaterTemp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.User = "alice"
+		rec.IssuedAt = base.Add(time.Duration(i) * time.Minute)
+		store.Put(rec)
+	}
+	if _, _, _, err := mgr.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := openDurable(t, dir)
+	defer c.Close()
+	info := c.Recovery()
+	if info == nil || len(info.CheckpointRestored) != 0 {
+		t.Fatalf("recovery info = %+v, want no checkpoint restores", info)
+	}
+	rebuilt := append([]string(nil), info.CheckpointRebuilt...)
+	sort.Strings(rebuilt)
+	if want := []string{"miner-feed", "sessions", "stats"}; !reflect.DeepEqual(rebuilt, want) {
+		t.Fatalf("CheckpointRebuilt = %v, want %v", info.CheckpointRebuilt, want)
+	}
+	prov := c.DerivedStateProvenance()
+	for _, name := range []string{"stats", "miner-feed", "sessions"} {
+		if prov[name] != ProvenanceRebuilt {
+			t.Errorf("provenance[%s] = %q, want %q", name, prov[name], ProvenanceRebuilt)
+		}
+	}
+	// The rebuilt state is correct: counters and sessions match the store.
+	if got := c.StatsTracker().QueryCount(admin); got != 4 {
+		t.Errorf("QueryCount = %d, want 4", got)
+	}
+	sessions, err := c.Sessions(context.Background(), admin)
+	if err != nil || len(sessions) != 1 {
+		t.Fatalf("Sessions = %v (err %v), want one session", sessions, err)
+	}
+}
+
+// TestProvenanceLiveWhenInMemory pins the third provenance value: a system
+// with no durable snapshot reports every subscriber as live-built.
+func TestProvenanceLiveWhenInMemory(t *testing.T) {
+	c, err := Open(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for name, src := range c.DerivedStateProvenance() {
+		if src != ProvenanceLive {
+			t.Errorf("provenance[%s] = %q, want %q", name, src, ProvenanceLive)
+		}
+	}
+}

@@ -11,7 +11,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -69,18 +68,19 @@ type CQMS struct {
 	miner       *miner.Miner
 	recommender *recommend.Recommender
 	maintainer  *maintenance.Maintainer
-	detector    *session.Detector
 
-	// stats and minerFeed are derived-state subscribers on the store's
-	// mutation event bus: incrementally maintained aggregates serving the
-	// completion hot path and the stats API, and a continuously warm
-	// association-rule feed.
+	// stats, minerFeed and sessions are derived-state subscribers on the
+	// store's mutation event bus: incrementally maintained aggregates
+	// serving the completion hot path and the stats API, a continuously
+	// warm association-rule feed, and the live session detector serving
+	// session/graph reads without full-log re-segmentation. All three
+	// checkpoint into WAL snapshot sidecars and restore on recovery.
 	stats     *stats.Tracker
 	minerFeed *miner.Feed
+	sessions  *session.Live
 
-	mu           sync.RWMutex
-	lastMining   *miner.Result
-	lastSessions []session.Session
+	mu         sync.RWMutex
+	lastMining *miner.Result
 
 	wal      *wal.Manager      // nil when durability is disabled
 	recovery *wal.RecoveryInfo // what Open reconstructed from disk
@@ -105,7 +105,6 @@ func NewWithEngine(eng *engine.Engine, cfg Config) *CQMS {
 		miner:       miner.New(cfg.Miner),
 		recommender: recommend.New(store, exec, cfg.Recommender),
 		maintainer:  maintenance.New(eng, store, cfg.Maintenance),
-		detector:    session.NewDetector(cfg.Session),
 	}
 	// Derived-state subscribers attach before any durability layer opens
 	// (OpenWithEngine), so WAL recovery replay flows through them and their
@@ -114,6 +113,7 @@ func NewWithEngine(eng *engine.Engine, cfg Config) *CQMS {
 	c.recommender.UseStats(c.stats)
 	c.minerFeed = miner.NewFeed(cfg.Miner.Assoc, minerFeedWarmup)
 	c.minerFeed.Attach(store)
+	c.sessions = session.AttachLive(store, cfg.Session)
 	// Until the first full mining pass runs, context-aware completions are
 	// served from the feed's live rule counts instead of going
 	// popularity-only.
@@ -164,6 +164,43 @@ func (c *CQMS) Durability() *wal.Manager { return c.wal }
 // Recovery reports what Open reconstructed from disk, or nil when the system
 // started fresh or in-memory.
 func (c *CQMS) Recovery() *wal.RecoveryInfo { return c.recovery }
+
+// Derived-state provenance values.
+const (
+	// ProvenanceCheckpoint: restored from a WAL snapshot sidecar checkpoint,
+	// then caught up by the tail replay.
+	ProvenanceCheckpoint = "checkpoint"
+	// ProvenanceRebuilt: a snapshot was loaded but the subscriber's sidecar
+	// was missing or unusable, so it rebuilt from a full scan.
+	ProvenanceRebuilt = "rebuilt"
+	// ProvenanceLive: built incrementally from live mutations (and WAL
+	// replay) alone; no snapshot restore was involved.
+	ProvenanceLive = "live"
+)
+
+// DerivedStateProvenance reports, for each derived-state bus subscriber
+// (stats counters, the miner feed, the live session detector), where its
+// current state originally came from.
+func (c *CQMS) DerivedStateProvenance() map[string]string {
+	out := map[string]string{
+		"stats":      ProvenanceLive,
+		"miner-feed": ProvenanceLive,
+		"sessions":   ProvenanceLive,
+	}
+	if c.recovery != nil {
+		for _, name := range c.recovery.CheckpointRestored {
+			if _, ok := out[name]; ok {
+				out[name] = ProvenanceCheckpoint
+			}
+		}
+		for _, name := range c.recovery.CheckpointRebuilt {
+			if _, ok := out[name]; ok {
+				out[name] = ProvenanceRebuilt
+			}
+		}
+	}
+	return out
+}
 
 // Engine exposes the underlying DBMS (for loading data and DDL in examples
 // and tests).
@@ -333,46 +370,24 @@ func (c *CQMS) HistoryPage(ctx context.Context, p storage.Principal, user string
 	return out, cur, nil
 }
 
-// Sessions returns summaries of the sessions detected in the last mining
-// pass, restricted to those whose queries are visible to the principal.
+// Sessions returns summaries of the live-detected sessions, restricted to
+// those whose queries are all visible to the principal. Sessions are
+// maintained incrementally off the mutation event bus, so the summaries are
+// current as of the last committed query — no mining pass required.
 func (c *CQMS) Sessions(ctx context.Context, p storage.Principal) ([]session.Summary, error) {
 	return c.SessionsPage(ctx, p, 0, 0)
 }
 
 // SessionsPage returns at most limit visible session summaries (limit <= 0
 // means unbounded) with ID strictly greater than after, in ascending ID
-// order. The session set only changes on a mining pass, so (after, limit)
-// pagination is stable between passes.
+// order. Session IDs are stable while a user's stream only grows at its
+// chronological tail; an out-of-order insert, deletion or text repair
+// re-segments that user and reissues their session IDs.
 func (c *CQMS) SessionsPage(ctx context.Context, p storage.Principal, after int64, limit int) ([]session.Summary, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	var out []session.Summary
-	for i := range c.lastSessions {
-		s := &c.lastSessions[i]
-		if s.ID <= after {
-			continue
-		}
-		visible := true
-		for _, q := range s.Queries {
-			if !q.VisibleTo(p) {
-				visible = false
-				break
-			}
-		}
-		if visible {
-			out = append(out, session.Summarize(s))
-		}
-	}
-	// Ascending ID order makes the after-cursor well defined regardless of
-	// the detector's internal ordering.
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
-	}
-	return out, nil
+	return c.sessions.Summaries(p, after, limit), nil
 }
 
 // SessionGraph renders the Figure 2 session window for a detected session.
@@ -380,22 +395,19 @@ func (c *CQMS) SessionGraph(ctx context.Context, p storage.Principal, sessionID 
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for i := range c.lastSessions {
-		s := &c.lastSessions[i]
-		if s.ID != sessionID {
-			continue
-		}
-		for _, q := range s.Queries {
-			if !q.VisibleTo(p) {
-				return "", fmt.Errorf("core: %w", storage.ErrAccessDenied)
-			}
-		}
-		return session.Render(s), nil
+	sess, ok, visible := c.sessions.Get(p, sessionID)
+	if !ok {
+		return "", fmt.Errorf("core: session %d: %w", sessionID, storage.ErrNotFound)
 	}
-	return "", fmt.Errorf("core: session %d: %w", sessionID, storage.ErrNotFound)
+	if !visible {
+		return "", fmt.Errorf("core: %w", storage.ErrAccessDenied)
+	}
+	return session.Render(&sess), nil
 }
+
+// SessionCount returns how many sessions the live detector currently tracks
+// across all users (regardless of visibility).
+func (c *CQMS) SessionCount() int { return c.sessions.Count() }
 
 // ---------------------------------------------------------------------------
 // Assisted Interaction Mode (§2.3)
@@ -477,15 +489,14 @@ func (c *CQMS) DeleteQuery(id storage.QueryID, p storage.Principal) error {
 	return c.store.Delete(id, p)
 }
 
-// RunMiner performs one full background mining pass: session detection, the
-// miner proper, and installation of the results into the recommender.
+// RunMiner performs one full background mining pass: persisting the live
+// detector's sessions into the store, the miner proper, and installation of
+// the results into the recommender. Session detection itself no longer runs
+// here — the bus-driven detector maintains the windows continuously — so the
+// pass only writes the current assignments back (feature relations and the
+// bySession index serve meta-queries from them).
 func (c *CQMS) RunMiner() *miner.Result {
-	sessions, err := c.detector.Apply(c.store)
-	if err != nil {
-		// Session assignment errors are not fatal to the mining pass; the
-		// miner still runs over whatever the store holds.
-		sessions = nil
-	}
+	c.persistSessions()
 	res := c.miner.Run(c.store)
 	c.recommender.UpdateMining(res)
 	// The installed Result permanently supersedes the feed's approximate
@@ -497,11 +508,26 @@ func (c *CQMS) RunMiner() *miner.Result {
 	c.syncSchemas()
 	c.mu.Lock()
 	c.lastMining = res
-	if sessions != nil {
-		c.lastSessions = sessions
-	}
 	c.mu.Unlock()
 	return res
+}
+
+// persistSessions writes the live detector's current session assignments and
+// edges into the store. Export copies the sessions first: the mutations
+// below re-enter the detector through the bus, so they must not run while
+// holding its lock. Individual failures (a query deleted since the export)
+// are skipped — the next pass re-persists.
+func (c *CQMS) persistSessions() {
+	for _, sess := range c.sessions.Export() {
+		for _, q := range sess.Queries {
+			if q.SessionID != sess.ID {
+				_ = c.store.AssignSession(q.ID, sess.ID)
+			}
+		}
+		for _, e := range sess.Edges {
+			_ = c.store.AddEdge(e)
+		}
+	}
 }
 
 // RunMaintenance performs one maintenance scan.

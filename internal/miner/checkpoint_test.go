@@ -1,0 +1,94 @@
+package miner
+
+import (
+	"reflect"
+	"testing"
+)
+
+// feedTransactions pushes a mix of feature transactions through a feed.
+func feedTransactions(f *Feed, n int) {
+	txs := [][]string{
+		{"table:WaterTemp", "attr:temp", "pred:temp<15"},
+		{"table:WaterTemp", "table:WaterSalinity", "join:loc_x"},
+		{"table:CityLocations", "attr:city"},
+	}
+	for i := 0; i < n; i++ {
+		f.Add(txs[i%len(txs)])
+	}
+}
+
+// TestFeedCheckpointRoundTrip proves a restored feed derives exactly the
+// rules and transaction count of the original, both before and after the
+// warm-up freeze.
+func TestFeedCheckpointRoundTrip(t *testing.T) {
+	for _, n := range []int{5, 50} { // 5 < warmup 20 < 50: buffered and frozen
+		f := NewFeed(DefaultAssocConfig(), 20)
+		feedTransactions(f, n)
+
+		version, data, err := f.Checkpoint()
+		if err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		g := NewFeed(DefaultAssocConfig(), 20)
+		if err := g.Restore(version, data); err != nil {
+			t.Fatalf("Restore: %v", err)
+		}
+		if got, want := g.NumTransactions(), f.NumTransactions(); got != want {
+			t.Errorf("n=%d: NumTransactions = %d, want %d", n, got, want)
+		}
+		if got, want := g.Rules(), f.Rules(); !reflect.DeepEqual(got, want) {
+			t.Errorf("n=%d: rules diverge\n got: %+v\nwant: %+v", n, got, want)
+		}
+		// The restored feed keeps counting.
+		g.Add([]string{"table:WaterTemp", "attr:temp"})
+		if got := g.NumTransactions(); got != f.NumTransactions()+1 {
+			t.Errorf("n=%d: post-restore count = %d", n, got)
+		}
+	}
+}
+
+// TestFeedRetiredRefusesCheckpoint pins the retirement contract: a retired
+// feed's rules are superseded by a mining Result that does not survive a
+// restart, so it must not checkpoint — the omitted sidecar makes recovery
+// rebuild a fresh, active feed that can serve rules immediately.
+func TestFeedRetiredRefusesCheckpoint(t *testing.T) {
+	f := NewFeed(DefaultAssocConfig(), 10)
+	feedTransactions(f, 30)
+	f.Retire()
+	feedTransactions(f, 5)
+	if _, _, err := f.Checkpoint(); err == nil {
+		t.Fatal("retired feed produced a checkpoint")
+	}
+	// And restoring any checkpoint revives an active (non-retired) feed.
+	g := NewFeed(DefaultAssocConfig(), 10)
+	feedTransactions(g, 30)
+	version, data, err := g.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	h := NewFeed(DefaultAssocConfig(), 10)
+	h.Retire()
+	if err := h.Restore(version, data); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	h.mu.Lock()
+	retired := h.retired
+	h.mu.Unlock()
+	if retired {
+		t.Error("restored feed is retired")
+	}
+	if len(h.Rules()) == 0 {
+		t.Error("restored feed derives no rules")
+	}
+}
+
+// TestFeedRestoreRejectsUnknownVersion pins the fallback contract.
+func TestFeedRestoreRejectsUnknownVersion(t *testing.T) {
+	f := NewFeed(DefaultAssocConfig(), 10)
+	if err := f.Restore(FeedCheckpointVersion+1, []byte("{}")); err == nil {
+		t.Fatal("Restore accepted an unknown version")
+	}
+	if err := f.Restore(FeedCheckpointVersion, []byte("not json")); err == nil {
+		t.Fatal("Restore accepted malformed data")
+	}
+}

@@ -45,7 +45,10 @@ func (f *Feed) Attach(store *storage.Store) (cancel func()) {
 		if rec := m.Next(); rec != nil && len(rec.Features) > 0 {
 			f.Add(rec.Features)
 		}
-	}, storage.SubscribeOptions{Init: rebuild, Reset: rebuild})
+	}, storage.SubscribeOptions{
+		Init: rebuild, Reset: rebuild,
+		Checkpoint: f.Checkpoint, Restore: f.Restore,
+	})
 }
 
 // rebuild replaces the feed's miner with one seeded from the store.

@@ -298,6 +298,18 @@ type StatsResponse struct {
 	// MinedTransactions is how many queries the incremental association-rule
 	// feed has ingested.
 	MinedTransactions int `json:"minedTransactions"`
+	// DerivedState reports, per derived-state subsystem (stats counters,
+	// miner feed, session detector), where its state came from after the
+	// last start: "checkpoint" (restored from a WAL snapshot sidecar),
+	// "rebuilt" (snapshot loaded but the sidecar was unusable, full rebuild)
+	// or "live" (built incrementally, no snapshot restore involved).
+	DerivedState []DerivedStateDTO `json:"derivedState,omitempty"`
+}
+
+// DerivedStateDTO is one derived-state subsystem's restore provenance.
+type DerivedStateDTO struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
 }
 
 // LogSegmentDTO describes one on-disk WAL segment.
@@ -305,6 +317,13 @@ type LogSegmentDTO struct {
 	Name     string `json:"name"`
 	FirstSeq uint64 `json:"firstSeq"`
 	Bytes    int64  `json:"bytes"`
+}
+
+// SidecarDTO describes one derived-state checkpoint section of a snapshot.
+type SidecarDTO struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	Bytes   int    `json:"bytes"`
 }
 
 // LogInfoResponse reports the durable query-log state.
@@ -316,6 +335,9 @@ type LogInfoResponse struct {
 	SnapshotSeq          uint64          `json:"snapshotSeq,omitempty"`
 	AppendsSinceSnapshot int64           `json:"appendsSinceSnapshot,omitempty"`
 	Segments             []LogSegmentDTO `json:"segments,omitempty"`
+	// SnapshotSidecars lists the derived-state checkpoint sections carried
+	// by the newest snapshot (name, format version, payload size).
+	SnapshotSidecars []SidecarDTO `json:"snapshotSidecars,omitempty"`
 	// AppendError is set when the durability pipeline has failed: mutations
 	// after it are acknowledged but not durable.
 	AppendError string `json:"appendError,omitempty"`

@@ -460,6 +460,11 @@ func (s *Server) handleV1LogInfo(w http.ResponseWriter, r *http.Request) {
 			Name: seg.Name, FirstSeq: seg.FirstSeq, Bytes: seg.Bytes,
 		})
 	}
+	for _, sc := range info.SnapshotSidecars {
+		resp.SnapshotSidecars = append(resp.SnapshotSidecars, SidecarDTO{
+			Name: sc.Name, Version: sc.Version, Bytes: sc.Bytes,
+		})
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -506,7 +511,16 @@ func (s *Server) handleV1Stats(w http.ResponseWriter, r *http.Request) {
 		Queries:  store.Count(),
 		Users:    store.Users(),
 		Tables:   tables,
-		Sessions: len(store.SessionIDs()),
+		Sessions: s.cqms.SessionCount(),
+	}
+	prov := s.cqms.DerivedStateProvenance()
+	names := make([]string, 0, len(prov))
+	for name := range prov {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		resp.DerivedState = append(resp.DerivedState, DerivedStateDTO{Name: name, Source: prov[name]})
 	}
 	if t := s.cqms.StatsTracker(); t != nil {
 		resp.VisibleQueries = t.QueryCount(p)

@@ -1,0 +1,327 @@
+package session
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// canonSession is a session reduced to its segmentation-relevant identity:
+// the ordered query IDs, the labelled edges and the window bounds. Session
+// IDs are deliberately excluded — the live detector reissues IDs when a user
+// stream is edited, while batch detection renumbers from scratch every run.
+type canonSession struct {
+	User    string
+	Queries []storage.QueryID
+	Edges   []storage.SessionEdge
+	Start   time.Time
+	End     time.Time
+}
+
+func canonicalize(sessions []Session) []canonSession {
+	out := make([]canonSession, 0, len(sessions))
+	for _, s := range sessions {
+		cs := canonSession{User: s.User, Edges: s.Edges, Start: s.Start, End: s.End}
+		if len(cs.Edges) == 0 {
+			cs.Edges = nil
+		}
+		for _, q := range s.Queries {
+			cs.Queries = append(cs.Queries, q.ID)
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].User != out[j].User {
+			return out[i].User < out[j].User
+		}
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Queries[0] < out[j].Queries[0]
+	})
+	return out
+}
+
+// assertMatchesBatch asserts the live detector's segmentation is identical
+// to re-running the batch segmenter over the store's current contents.
+func assertMatchesBatch(t *testing.T, live *Live, store *storage.Store, cfg Config) {
+	t.Helper()
+	batch := NewDetector(cfg).Detect(store.Snapshot().Records(admin), 0)
+	got := canonicalize(live.Export())
+	want := canonicalize(batch)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("live segmentation diverges from batch\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// sessionSQL is a vocabulary whose pairwise feature similarity straddles the
+// detector's MinSimilarity, so soft-gap decisions go both ways.
+func sessionSQL(rng *rand.Rand) string {
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("SELECT temp FROM WaterTemp WHERE temp < %d", rng.Intn(5))
+	case 1:
+		return "SELECT lake, temp FROM WaterTemp"
+	case 2:
+		return fmt.Sprintf("SELECT salinity FROM WaterSalinity WHERE salinity > %d", rng.Intn(5))
+	default:
+		return "SELECT city FROM CityLocations"
+	}
+}
+
+// mutateSessionStream drives n random mutations whose timestamps mix
+// in-order appends (the fast path), soft/hard gaps, and out-of-order
+// inserts, plus deletions, text repairs and visibility flips.
+func mutateSessionStream(t *testing.T, rng *rand.Rand, store *storage.Store, n int) {
+	t.Helper()
+	users := []string{"alice", "bob", "carol"}
+	base := time.Date(2009, 1, 5, 9, 0, 0, 0, time.UTC)
+	clock := base
+	var ids []storage.QueryID
+	put := func(at time.Time) {
+		rec, err := storage.NewRecordFromSQL(sessionSQL(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.User = users[rng.Intn(len(users))]
+		rec.Visibility = storage.Visibility(rng.Intn(3))
+		rec.IssuedAt = at
+		ids = append(ids, store.Put(rec))
+	}
+	for i := 0; i < n; i++ {
+		op := rng.Intn(10)
+		if len(ids) < 3 {
+			op = 0
+		}
+		switch op {
+		case 0, 1, 2, 3: // in-order append with a gap drawn across the thresholds
+			gaps := []time.Duration{time.Minute, 6 * time.Minute, 40 * time.Minute}
+			clock = clock.Add(gaps[rng.Intn(len(gaps))])
+			put(clock)
+		case 4: // out-of-order insert somewhere in the past
+			put(base.Add(time.Duration(rng.Intn(int(clock.Sub(base)/time.Second)+1)) * time.Second))
+		case 5: // duplicate timestamp (ID tie-break)
+			put(clock)
+		case 6:
+			id := ids[rng.Intn(len(ids))]
+			if err := store.Delete(id, admin); err != nil && store.Count() > 0 {
+				// Already deleted earlier; fine.
+				_ = err
+			}
+		case 7:
+			id := ids[rng.Intn(len(ids))]
+			upd, err := storage.NewRecordFromSQL(sessionSQL(rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = store.ReplaceText(id, upd)
+		case 8:
+			id := ids[rng.Intn(len(ids))]
+			_ = store.SetVisibility(id, admin, storage.Visibility(rng.Intn(3)))
+		default:
+			id := ids[rng.Intn(len(ids))]
+			_ = store.Annotate(id, admin, storage.Annotation{Author: "admin", Text: "note"})
+		}
+	}
+}
+
+// TestLiveRandomizedEquivalence is the core correctness property of the
+// incremental detector: after an arbitrary mutation history — in-order and
+// out-of-order inserts, deletions, text repairs, visibility changes — the
+// live windows equal a from-scratch batch re-segmentation.
+func TestLiveRandomizedEquivalence(t *testing.T) {
+	cfg := DefaultConfig()
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			store := storage.NewStore()
+			live := AttachLive(store, cfg)
+			for round := 0; round < 4; round++ {
+				mutateSessionStream(t, rng, store, 60)
+				assertMatchesBatch(t, live, store, cfg)
+			}
+		})
+	}
+}
+
+// TestLiveFastPathMatchesFigure2 pins the O(1) append path against the
+// canonical Figure 2 trace: one session, investigation/modification edges
+// identical to the batch detector's.
+func TestLiveFastPathMatchesFigure2(t *testing.T) {
+	store := storage.NewStore()
+	cfg := DefaultConfig()
+	live := AttachLive(store, cfg)
+	base := time.Date(2009, 1, 5, 14, 30, 0, 0, time.UTC)
+	figure2Trace(t, store, "nodira", base)
+	assertMatchesBatch(t, live, store, cfg)
+	sums := live.Summaries(admin, 0, 0)
+	if len(sums) != 1 || sums[0].QueryCount != 6 {
+		t.Fatalf("summaries = %+v, want one 6-query session", sums)
+	}
+	sess, ok, visible := live.Get(admin, sums[0].ID)
+	if !ok || !visible {
+		t.Fatalf("Get(%d) = ok=%v visible=%v", sums[0].ID, ok, visible)
+	}
+	if len(sess.Edges) != 5 {
+		t.Fatalf("edges = %d, want 5", len(sess.Edges))
+	}
+}
+
+// TestLiveVisibilityTracksUpdates proves a visibility flip propagates into
+// session reads: the swapped-in record version governs who sees the window.
+func TestLiveVisibilityTracksUpdates(t *testing.T) {
+	store := storage.NewStore()
+	live := AttachLive(store, DefaultConfig())
+	base := time.Date(2009, 1, 5, 9, 0, 0, 0, time.UTC)
+	rec := makeRecord(t, store, "alice", "SELECT temp FROM WaterTemp", base)
+	stranger := storage.Principal{User: "eve"}
+	if got := live.Summaries(stranger, 0, 0); len(got) != 1 {
+		t.Fatalf("stranger sees %d public sessions, want 1", len(got))
+	}
+	if err := store.SetVisibility(rec.ID, admin, storage.VisibilityPrivate); err != nil {
+		t.Fatal(err)
+	}
+	if got := live.Summaries(stranger, 0, 0); len(got) != 0 {
+		t.Fatalf("stranger sees %d private sessions, want 0", len(got))
+	}
+	if got := live.Summaries(storage.Principal{User: "alice"}, 0, 0); len(got) != 1 {
+		t.Fatalf("owner sees %d sessions, want 1", len(got))
+	}
+}
+
+// TestLiveCheckpointRoundTrip proves the checkpoint is lossless, including
+// session IDs and edge labels, when restored against the same store.
+func TestLiveCheckpointRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(17))
+	store := storage.NewStore()
+	live := AttachLive(store, cfg)
+	mutateSessionStream(t, rng, store, 120)
+
+	version, data, err := live.checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	restored := &Live{
+		det:   NewDetector(cfg),
+		store: store,
+		users: make(map[string][]*Session),
+		byID:  make(map[int64]*Session),
+		loc:   make(map[storage.QueryID]*Session),
+	}
+	if err := restored.restore(version, data); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	got, want := restored.Export(), live.Export()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored sessions diverge\n got: %+v\nwant: %+v", got, want)
+	}
+	if err := restored.restore(version+1, data); err == nil {
+		t.Fatal("restore accepted an unknown version")
+	}
+}
+
+// TestLiveEquivalenceAfterWALRecovery proves the detector survives a crash,
+// with and without a checkpoint sidecar: either way the recovered windows
+// equal a batch re-segmentation of the recovered store.
+func TestLiveEquivalenceAfterWALRecovery(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, snapshot := range []bool{true, false} {
+		t.Run(fmt.Sprintf("sidecar=%v", snapshot), func(t *testing.T) {
+			dir := t.TempDir()
+			rng := rand.New(rand.NewSource(23))
+			store1 := storage.NewStore()
+			AttachLive(store1, cfg)
+			wcfg := wal.DefaultConfig(dir)
+			wcfg.SyncPolicy = "off"
+			mgr1, _, err := wal.Open(store1, wcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mutateSessionStream(t, rng, store1, 150)
+			if snapshot {
+				if _, _, err := mgr1.Snapshot(); err != nil {
+					t.Fatal(err)
+				}
+				mutateSessionStream(t, rng, store1, 60)
+			}
+			if err := mgr1.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			store2 := storage.NewStore()
+			live2 := AttachLive(store2, cfg)
+			mgr2, info, err := wal.Open(store2, wcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mgr2.Close()
+			if snapshot {
+				restored := false
+				for _, name := range info.CheckpointRestored {
+					restored = restored || name == "sessions"
+				}
+				if !restored {
+					t.Fatalf("sessions not restored from checkpoint: %+v", info)
+				}
+			}
+			assertMatchesBatch(t, live2, store2, cfg)
+		})
+	}
+}
+
+// TestRebuildNeverReusesPersistedIDs proves a rebuild reissues session IDs
+// strictly beyond every ID already persisted on the records (by a mining
+// pass), so the live listing and the Queries.sessionId feature relation can
+// never name different partitions with the same ID.
+func TestRebuildNeverReusesPersistedIDs(t *testing.T) {
+	store := storage.NewStore()
+	base := time.Date(2009, 1, 5, 9, 0, 0, 0, time.UTC)
+	r1 := makeRecord(t, store, "alice", "SELECT temp FROM WaterTemp", base)
+	r2 := makeRecord(t, store, "bob", "SELECT city FROM CityLocations", base.Add(time.Minute))
+	// Persisted assignments from an earlier process life.
+	if err := store.AssignSession(r1.ID, 41); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AssignSession(r2.ID, 42); err != nil {
+		t.Fatal(err)
+	}
+	live := AttachLive(store, DefaultConfig()) // Init rebuild sees the persisted IDs
+	for _, s := range live.Summaries(admin, 0, 0) {
+		if s.ID <= 42 {
+			t.Errorf("rebuilt session reused ID %d (persisted max 42)", s.ID)
+		}
+	}
+	// A replayed assignment with a higher ID raises the ceiling too.
+	if err := store.AssignSession(r1.ID, 99); err != nil {
+		t.Fatal(err)
+	}
+	r3 := makeRecord(t, store, "carol", "SELECT lake FROM WaterSalinity", base.Add(2*time.Minute))
+	sess := live.byID[live.loc[r3.ID].ID]
+	if sess.ID <= 99 {
+		t.Errorf("new session ID %d not beyond replayed assignment 99", sess.ID)
+	}
+}
+
+// TestLiveEquivalenceAfterRestoreState proves the Reset fallback re-segments
+// wholesale-replaced contents.
+func TestLiveEquivalenceAfterRestoreState(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(29))
+	store1 := storage.NewStore()
+	AttachLive(store1, cfg)
+	mutateSessionStream(t, rng, store1, 100)
+	st := store1.State()
+
+	store2 := storage.NewStore()
+	live2 := AttachLive(store2, cfg)
+	mutateSessionStream(t, rng, store2, 30)
+	store2.RestoreState(st)
+	assertMatchesBatch(t, live2, store2, cfg)
+}

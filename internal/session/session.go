@@ -84,41 +84,71 @@ func (d *Detector) Detect(records []*storage.QueryRecord, startID int64) []Sessi
 	nextID := startID
 	for _, user := range users {
 		recs := byUser[user]
-		sort.Slice(recs, func(i, j int) bool { return recs[i].IssuedAt.Before(recs[j].IssuedAt) })
-		var cur *Session
-		var prev *storage.QueryRecord
-		flush := func() {
-			if cur != nil && len(cur.Queries) > 0 {
-				sessions = append(sessions, *cur)
-			}
-			cur = nil
+		sortChrono(recs)
+		for _, s := range d.segmentUser(user, recs) {
+			nextID++
+			s.ID = nextID
+			sessions = append(sessions, s)
 		}
-		for _, rec := range recs {
-			newSession := cur == nil
-			if !newSession {
-				gap := rec.IssuedAt.Sub(prev.IssuedAt)
-				sim := FeatureSimilarity(prev, rec)
-				switch {
-				case gap > d.cfg.MaxGap:
-					newSession = true
-				case gap > d.cfg.SoftGap && sim < d.cfg.MinSimilarity:
-					newSession = true
-				}
-			}
-			if newSession {
-				flush()
-				nextID++
-				cur = &Session{ID: nextID, User: user, Start: rec.IssuedAt}
-			}
-			if prev != nil && !newSession {
-				cur.Edges = append(cur.Edges, edgeBetween(prev, rec))
-			}
-			cur.Queries = append(cur.Queries, rec)
-			cur.End = rec.IssuedAt
-			prev = rec
-		}
-		flush()
 	}
+	return sessions
+}
+
+// sortChrono orders records chronologically, breaking IssuedAt ties by ID so
+// segmentation is deterministic — batch detection and the live detector must
+// walk identical orders or their session boundaries could diverge on queries
+// sharing a timestamp.
+func sortChrono(recs []*storage.QueryRecord) {
+	sort.Slice(recs, func(i, j int) bool { return chronoLess(recs[i], recs[j]) })
+}
+
+// chronoLess is the (IssuedAt, ID) record order sortChrono sorts by.
+func chronoLess(a, b *storage.QueryRecord) bool {
+	if !a.IssuedAt.Equal(b.IssuedAt) {
+		return a.IssuedAt.Before(b.IssuedAt)
+	}
+	return a.ID < b.ID
+}
+
+// boundary reports whether rec starts a new session after prev: a hard idle
+// gap, or a soft gap without enough feature similarity to read as the same
+// exploration.
+func (d *Detector) boundary(prev, rec *storage.QueryRecord) bool {
+	gap := rec.IssuedAt.Sub(prev.IssuedAt)
+	if gap > d.cfg.MaxGap {
+		return true
+	}
+	return gap > d.cfg.SoftGap && FeatureSimilarity(prev, rec) < d.cfg.MinSimilarity
+}
+
+// segmentUser segments one user's chronologically sorted records into
+// sessions with unassigned (zero) IDs. It is the single implementation of
+// the segmentation rules, shared by batch Detect and the live bus-driven
+// detector so the two can never diverge.
+func (d *Detector) segmentUser(user string, recs []*storage.QueryRecord) []Session {
+	var sessions []Session
+	var cur *Session
+	var prev *storage.QueryRecord
+	flush := func() {
+		if cur != nil && len(cur.Queries) > 0 {
+			sessions = append(sessions, *cur)
+		}
+		cur = nil
+	}
+	for _, rec := range recs {
+		newSession := cur == nil || d.boundary(prev, rec)
+		if newSession {
+			flush()
+			cur = &Session{User: user, Start: rec.IssuedAt}
+		}
+		if prev != nil && !newSession {
+			cur.Edges = append(cur.Edges, edgeBetween(prev, rec))
+		}
+		cur.Queries = append(cur.Queries, rec)
+		cur.End = rec.IssuedAt
+		prev = rec
+	}
+	flush()
 	return sessions
 }
 

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// CheckpointVersion is the serialization version of the tracker's checkpoint
+// format. Bump it when the counter layout changes; Restore rejects versions
+// it does not understand and the bus falls back to a full rebuild.
+const CheckpointVersion = 1
+
+// The *State types mirror the in-memory counter structures with JSON tags.
+// Fingerprints are uint64 map keys, which encoding/json cannot round-trip as
+// object keys, so they travel hex-encoded.
+
+type itemCountState struct {
+	Count int    `json:"c"`
+	Rel   string `json:"r,omitempty"`
+}
+
+type joinCountState struct {
+	Count int    `json:"c"`
+	Left  string `json:"l,omitempty"`
+	Right string `json:"r,omitempty"`
+}
+
+type tableAggState struct {
+	Count int                       `json:"count"`
+	Names map[string]int            `json:"names,omitempty"`
+	Attrs map[string]itemCountState `json:"attrs,omitempty"`
+	Preds map[string]itemCountState `json:"preds,omitempty"`
+	Joins map[string]joinCountState `json:"joins,omitempty"`
+}
+
+type bucketState struct {
+	Queries      int                      `json:"queries"`
+	Users        map[string]int           `json:"users,omitempty"`
+	Fingerprints map[string]int           `json:"fingerprints,omitempty"`
+	Tables       map[string]tableAggState `json:"tables,omitempty"`
+	Preds        map[string]int           `json:"preds,omitempty"`
+}
+
+type checkpointState struct {
+	All    bucketState            `json:"all"`
+	Public bucketState            `json:"public"`
+	Owners map[string]bucketState `json:"owners,omitempty"`
+}
+
+func (b *bucket) state() bucketState {
+	st := bucketState{
+		Queries:      b.queries,
+		Users:        b.users,
+		Preds:        b.preds,
+		Fingerprints: make(map[string]int, len(b.fingerprints)),
+		Tables:       make(map[string]tableAggState, len(b.tables)),
+	}
+	for fp, n := range b.fingerprints {
+		st.Fingerprints[strconv.FormatUint(fp, 16)] = n
+	}
+	for key, ta := range b.tables {
+		tas := tableAggState{
+			Count: ta.count,
+			Names: ta.names,
+			Attrs: make(map[string]itemCountState, len(ta.attrs)),
+			Preds: make(map[string]itemCountState, len(ta.preds)),
+			Joins: make(map[string]joinCountState, len(ta.joins)),
+		}
+		for k, ic := range ta.attrs {
+			tas.Attrs[k] = itemCountState{Count: ic.count, Rel: ic.rel}
+		}
+		for k, ic := range ta.preds {
+			tas.Preds[k] = itemCountState{Count: ic.count, Rel: ic.rel}
+		}
+		for k, jc := range ta.joins {
+			tas.Joins[k] = joinCountState{Count: jc.count, Left: jc.left, Right: jc.right}
+		}
+		st.Tables[key] = tas
+	}
+	return st
+}
+
+func bucketFromState(st bucketState) (*bucket, error) {
+	b := newBucket()
+	b.queries = st.Queries
+	for user, n := range st.Users {
+		b.users[user] = n
+	}
+	for hexFP, n := range st.Fingerprints {
+		fp, err := strconv.ParseUint(hexFP, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stats: checkpoint fingerprint %q: %w", hexFP, err)
+		}
+		b.fingerprints[fp] = n
+	}
+	for text, n := range st.Preds {
+		b.preds[text] = n
+	}
+	for key, tas := range st.Tables {
+		ta := newTableAgg()
+		ta.count = tas.Count
+		for name, n := range tas.Names {
+			ta.names[name] = n
+		}
+		for k, ic := range tas.Attrs {
+			ta.attrs[k] = &itemCount{count: ic.Count, rel: ic.Rel}
+		}
+		for k, ic := range tas.Preds {
+			ta.preds[k] = &itemCount{count: ic.Count, rel: ic.Rel}
+		}
+		for k, jc := range tas.Joins {
+			ta.joins[k] = &joinCount{count: jc.Count, left: jc.Left, right: jc.Right}
+		}
+		b.tables[key] = ta
+	}
+	return b, nil
+}
+
+// Checkpoint serialises the tracker's counters. It is the tracker's
+// contribution to WAL snapshot sidecars and runs in the store's
+// StateWithCheckpoints critical section, so the counters describe exactly
+// the snapshotted records.
+func (t *Tracker) Checkpoint() (int, []byte, error) {
+	t.mu.RLock()
+	st := checkpointState{
+		All:    t.all.state(),
+		Public: t.public.state(),
+		Owners: make(map[string]bucketState, len(t.owners)),
+	}
+	for user, b := range t.owners {
+		st.Owners[user] = b.state()
+	}
+	// Marshal before releasing the lock: state() aliases the live counter
+	// maps rather than copying them, so a mutation landing mid-Marshal would
+	// otherwise tear the checkpoint (or panic the encoder).
+	data, err := json.Marshal(st)
+	t.mu.RUnlock()
+	if err != nil {
+		return 0, nil, fmt.Errorf("stats: encoding checkpoint: %w", err)
+	}
+	return CheckpointVersion, data, nil
+}
+
+// Restore replaces the tracker's counters with a previously checkpointed
+// state. An unknown version or a decode failure is returned as an error so
+// the caller (the mutation bus) falls back to a full rebuild.
+func (t *Tracker) Restore(version int, data []byte) error {
+	if version != CheckpointVersion {
+		return fmt.Errorf("stats: unknown checkpoint version %d", version)
+	}
+	var st checkpointState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("stats: decoding checkpoint: %w", err)
+	}
+	all, err := bucketFromState(st.All)
+	if err != nil {
+		return err
+	}
+	public, err := bucketFromState(st.Public)
+	if err != nil {
+		return err
+	}
+	owners := make(map[string]*bucket, len(st.Owners))
+	for user, bs := range st.Owners {
+		b, err := bucketFromState(bs)
+		if err != nil {
+			return err
+		}
+		owners[user] = b
+	}
+	t.mu.Lock()
+	t.all, t.public, t.owners = all, public, owners
+	t.mu.Unlock()
+	return nil
+}

@@ -244,11 +244,16 @@ func New() *Tracker {
 // it to the mutation event bus. Registration and the initial rebuild happen
 // under the store's commit lock, so no mutation can slip between them; WAL
 // replay keeps the tracker correct incrementally and a RestoreState triggers
-// a full rebuild through the Reset hook.
+// a full rebuild through the Reset hook. The tracker also offers the
+// Checkpoint/Restore pair, so WAL snapshots carry its counters and recovery
+// skips the rebuild when a checkpoint sidecar is present.
 func Attach(store *storage.Store) *Tracker {
 	t := New()
 	rebuild := func() { t.Rebuild(store) }
-	store.Subscribe("stats", t.OnMutation, storage.SubscribeOptions{Init: rebuild, Reset: rebuild})
+	store.Subscribe("stats", t.OnMutation, storage.SubscribeOptions{
+		Init: rebuild, Reset: rebuild,
+		Checkpoint: t.Checkpoint, Restore: t.Restore,
+	})
 	return t
 }
 

@@ -109,10 +109,12 @@ type MutationHook func(*Mutation)
 
 // busSubscriber is one derived-state registration on the mutation bus.
 type busSubscriber struct {
-	id    int
-	name  string
-	fn    MutationHook
-	reset func()
+	id         int
+	name       string
+	fn         MutationHook
+	reset      func()
+	checkpoint func() (version int, data []byte, err error)
+	restore    func(version int, data []byte) error
 }
 
 // SubscribeOptions configures a mutation-bus subscription.
@@ -125,6 +127,19 @@ type SubscribeOptions struct {
 	// replaced the store's contents; the subscriber must rebuild its derived
 	// state from the store.
 	Reset func()
+	// Checkpoint, when set, serialises the subscriber's derived state. It
+	// runs under the commit lock in the same critical section that copies
+	// the store state (StateWithCheckpoints), so the checkpoint is exactly
+	// consistent with the snapshot it rides in. Returning an error omits the
+	// subscriber's section from the snapshot — recovery then falls back to
+	// Reset.
+	Checkpoint func() (version int, data []byte, err error)
+	// Restore, when set, loads a checkpoint previously produced by
+	// Checkpoint. It runs under the commit lock after the store's contents
+	// have been restored (RestoreStateWithCheckpoints); a version the
+	// subscriber no longer understands, or any decode failure, must be
+	// returned as an error — the bus then falls back to the Reset rebuild.
+	Restore func(version int, data []byte) error
 }
 
 // Subscribe registers a derived-state subscriber on the mutation event bus
@@ -135,7 +150,10 @@ func (s *Store) Subscribe(name string, fn MutationHook, opts SubscribeOptions) (
 	defer s.commitMu.Unlock()
 	s.nextSubID++
 	id := s.nextSubID
-	s.subs = append(s.subs, busSubscriber{id: id, name: name, fn: fn, reset: opts.Reset})
+	s.subs = append(s.subs, busSubscriber{
+		id: id, name: name, fn: fn,
+		reset: opts.Reset, checkpoint: opts.Checkpoint, restore: opts.Restore,
+	})
 	if opts.Init != nil {
 		opts.Init()
 	}

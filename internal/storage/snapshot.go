@@ -16,16 +16,52 @@ func (s *Store) State() *StoreState {
 	return s.StateWith(nil)
 }
 
+// SubscriberCheckpoint is one bus subscriber's serialized derived state,
+// captured atomically with a StoreState and carried as a snapshot sidecar
+// section so recovery can restore the subscriber instead of rebuilding it.
+type SubscriberCheckpoint struct {
+	Name    string
+	Version int
+	Data    []byte
+}
+
 // StateWith returns a deep copy of the store's state and, while still holding
 // the commit lock, invokes capture. The WAL manager uses capture to record
 // the last appended log sequence atomically with the snapshot contents:
 // because the mutation hook runs under the commit lock, no mutation can slip
 // between the captured sequence and the copied state.
 func (s *Store) StateWith(capture func()) *StoreState {
+	st, _ := s.stateWith(capture, false)
+	return st
+}
+
+// StateWithCheckpoints is StateWith plus, in the same commit-lock critical
+// section, one checkpoint per bus subscriber that offers one — so the
+// derived-state checkpoints describe exactly the records in the returned
+// state. A subscriber whose Checkpoint fails is omitted (recovery rebuilds
+// it instead).
+func (s *Store) StateWithCheckpoints(capture func()) (*StoreState, []SubscriberCheckpoint) {
+	return s.stateWith(capture, true)
+}
+
+func (s *Store) stateWith(capture func(), checkpoints bool) (*StoreState, []SubscriberCheckpoint) {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	if capture != nil {
 		capture()
+	}
+	var cps []SubscriberCheckpoint
+	if checkpoints {
+		for _, sub := range s.subs {
+			if sub.checkpoint == nil {
+				continue
+			}
+			version, data, err := sub.checkpoint()
+			if err != nil {
+				continue
+			}
+			cps = append(cps, SubscriberCheckpoint{Name: sub.name, Version: version, Data: data})
+		}
 	}
 	s.idx.RLock()
 	order := s.idx.order
@@ -41,7 +77,7 @@ func (s *Store) StateWith(capture func()) *StoreState {
 			st.Records = append(st.Records, rec.Clone())
 		}
 	}
-	return st
+	return st, cps
 }
 
 // RestoreState replaces the store's entire contents with the snapshot,
@@ -55,6 +91,40 @@ func (s *Store) StateWith(capture func()) *StoreState {
 func (s *Store) RestoreState(st *StoreState) {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
+	s.restoreStateLocked(st)
+	s.notifyReset()
+}
+
+// RestoreStateWithCheckpoints replaces the store's contents with the
+// snapshot, then brings every bus subscriber back: a subscriber whose named
+// checkpoint is present, understood and restores cleanly skips the rebuild;
+// every other subscriber gets its Reset hook (a full rebuild from the
+// restored store). It returns the subscriber names that restored from a
+// checkpoint and those that were rebuilt, for recovery provenance.
+func (s *Store) RestoreStateWithCheckpoints(st *StoreState, cps []SubscriberCheckpoint) (restored, rebuilt []string) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.restoreStateLocked(st)
+	byName := make(map[string]SubscriberCheckpoint, len(cps))
+	for _, cp := range cps {
+		byName[cp.Name] = cp
+	}
+	for _, sub := range s.subs {
+		if cp, ok := byName[sub.name]; ok && sub.restore != nil {
+			if err := sub.restore(cp.Version, cp.Data); err == nil {
+				restored = append(restored, sub.name)
+				continue
+			}
+		}
+		if sub.reset != nil {
+			sub.reset()
+			rebuilt = append(rebuilt, sub.name)
+		}
+	}
+	return restored, rebuilt
+}
+
+func (s *Store) restoreStateLocked(st *StoreState) {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
@@ -85,5 +155,4 @@ func (s *Store) RestoreState(st *StoreState) {
 	if int64(st.NextID) > s.nextID.Load() {
 		s.nextID.Store(int64(st.NextID))
 	}
-	s.notifyReset()
 }

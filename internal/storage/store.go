@@ -350,7 +350,11 @@ func (s *Store) BySession(sessionID int64, p Principal) []*QueryRecord {
 	return out
 }
 
-// SessionIDs returns all session identifiers present in the store, sorted.
+// SessionIDs returns all session identifiers persisted on stored records
+// (the mining pass writes them via AssignSession), sorted. This is the
+// storage-layer view used to verify replay/restore equality in tests; the
+// live session count — current without a mining pass — comes from the
+// session detector, not from here.
 func (s *Store) SessionIDs() []int64 {
 	s.idx.RLock()
 	out := make([]int64, 0, len(s.idx.bySession))

@@ -51,6 +51,14 @@ type RecoveryInfo struct {
 	TornTail bool
 	// Queries is the store's record count after recovery.
 	Queries int
+	// CheckpointRestored names the derived-state bus subscribers whose
+	// counters were restored from a snapshot sidecar checkpoint (then caught
+	// up by the tail replay) instead of being rebuilt from a full-log scan.
+	CheckpointRestored []string
+	// CheckpointRebuilt names the subscribers that fell back to a full
+	// rebuild: their sidecar was missing, torn, of an unknown version, or
+	// failed to decode.
+	CheckpointRebuilt []string
 }
 
 // Info describes the current durable state for the admin API and cqmsctl
@@ -62,6 +70,9 @@ type Info struct {
 	SnapshotSeq          uint64
 	AppendsSinceSnapshot int64
 	Segments             []SegmentInfo
+	// SnapshotSidecars lists the derived-state checkpoint sections of the
+	// newest snapshot (the one recovery would load), without their payloads.
+	SnapshotSidecars []SidecarInfo
 	// AppendError reports a broken durability pipeline (failed append or
 	// background flush): mutations after it are acknowledged but not durable.
 	AppendError string
@@ -86,6 +97,12 @@ type Manager struct {
 	// snapMu serialises snapshot/compaction runs.
 	snapMu      sync.Mutex
 	snapshotSeq atomic.Uint64
+
+	// sidecarMu guards sidecars, the sections of the newest snapshot (set at
+	// Open from what recovery read, and after every snapshot from what was
+	// written), so Info never re-reads multi-megabyte snapshot files.
+	sidecarMu sync.Mutex
+	sidecars  []SidecarInfo
 
 	// appendErr records the first log-append failure; surfaced by Err and
 	// Close rather than failing the in-memory mutation that already happened.
@@ -117,7 +134,7 @@ func Open(store *storage.Store, cfg Config) (*Manager, *RecoveryInfo, error) {
 	}
 	info := &RecoveryInfo{TornTail: log.Truncated()}
 
-	snapSeq, payload, ok, err := LatestSnapshot(cfg.Dir)
+	snapSeq, payload, sidecars, ok, err := LatestSnapshotWithSidecars(cfg.Dir)
 	if err != nil {
 		log.Close()
 		return nil, nil, err
@@ -128,7 +145,11 @@ func Open(store *storage.Store, cfg Config) (*Manager, *RecoveryInfo, error) {
 			log.Close()
 			return nil, nil, fmt.Errorf("wal: decoding snapshot: %w", err)
 		}
-		store.RestoreState(&st)
+		cps := make([]storage.SubscriberCheckpoint, 0, len(sidecars))
+		for _, sc := range sidecars {
+			cps = append(cps, storage.SubscriberCheckpoint{Name: sc.Name, Version: sc.Version, Data: sc.Data})
+		}
+		info.CheckpointRestored, info.CheckpointRebuilt = store.RestoreStateWithCheckpoints(&st, cps)
 		info.SnapshotSeq = snapSeq
 	}
 	// Compaction deletes segments a snapshot covers, so the surviving log must
@@ -167,6 +188,9 @@ func Open(store *storage.Store, cfg Config) (*Manager, *RecoveryInfo, error) {
 	m := &Manager{store: store, log: log, cfg: cfg}
 	m.lastSeq.Store(log.LastSeq())
 	m.snapshotSeq.Store(snapSeq)
+	for _, sc := range sidecars {
+		m.sidecars = append(m.sidecars, sc.Info())
+	}
 	store.SetMutationHook(m.appendMutation)
 	return m, info, nil
 }
@@ -222,17 +246,28 @@ func (m *Manager) Snapshot() (string, uint64, error) {
 
 func (m *Manager) snapshotLocked() (string, uint64, error) {
 	var seq uint64
-	st := m.store.StateWith(func() { seq = m.lastSeq.Load() })
+	st, cps := m.store.StateWithCheckpoints(func() { seq = m.lastSeq.Load() })
 	payload, err := json.Marshal(st)
 	if err != nil {
 		return "", 0, fmt.Errorf("wal: encoding snapshot: %w", err)
 	}
-	path, err := WriteSnapshot(m.cfg.Dir, seq, payload)
+	sidecars := make([]SidecarSection, 0, len(cps))
+	for _, cp := range cps {
+		sidecars = append(sidecars, SidecarSection{Name: cp.Name, Version: cp.Version, Data: cp.Data})
+	}
+	path, err := WriteSnapshotWithSidecars(m.cfg.Dir, seq, payload, sidecars)
 	if err != nil {
 		return "", 0, err
 	}
 	m.snapshotSeq.Store(seq)
 	m.appendsSinceSnapshot.Store(0)
+	infos := make([]SidecarInfo, 0, len(sidecars))
+	for _, sc := range sidecars {
+		infos = append(infos, sc.Info())
+	}
+	m.sidecarMu.Lock()
+	m.sidecars = infos
+	m.sidecarMu.Unlock()
 	return path, seq, nil
 }
 
@@ -275,6 +310,9 @@ func (m *Manager) Info() (Info, error) {
 	if err != nil {
 		return Info{}, err
 	}
+	m.sidecarMu.Lock()
+	sidecars := append([]SidecarInfo(nil), m.sidecars...)
+	m.sidecarMu.Unlock()
 	info := Info{
 		Dir:                  m.cfg.Dir,
 		SyncPolicy:           m.cfg.SyncPolicy,
@@ -282,6 +320,7 @@ func (m *Manager) Info() (Info, error) {
 		SnapshotSeq:          m.snapshotSeq.Load(),
 		AppendsSinceSnapshot: m.appendsSinceSnapshot.Load(),
 		Segments:             segs,
+		SnapshotSidecars:     sidecars,
 	}
 	if err := m.Err(); err != nil {
 		info.AppendError = err.Error()

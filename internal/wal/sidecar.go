@@ -1,0 +1,81 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Sidecar sections let a snapshot carry serialized derived-state checkpoints
+// (stats counters, the miner feed, the live session windows) next to the
+// primary store state, so recovery can restore them instead of rebuilding
+// from a full-log scan.
+//
+// On disk a snapshot file is a sequence of CRC-framed records (the same
+// framing as log records, all carrying the snapshot's covered sequence):
+//
+//	frame 0:  the store state (exactly the pre-sidecar snapshot format)
+//	frame 1+: one sidecar section each, payload =
+//	          uvarint(len(name)) | name | uvarint(version) | data
+//
+// A legacy single-frame snapshot simply has no sidecars and loads as
+// before. The reverse is a loud failure, not a quiet one: the pre-sidecar
+// reader rejected any bytes after frame 0, so a rolled-back binary refuses
+// a sidecar-bearing snapshot and recovery stops with the
+// missing-or-corrupt-snapshot error (or replays the full WAL when the
+// covered segments still exist) rather than serving a partial store.
+// Because every frame is independently CRC-checked, a crash that tears the
+// sidecar tail leaves the primary state loadable — recovery keeps the
+// sections that read back clean and falls back to a full rebuild for the
+// rest.
+
+// SidecarSection is one named, versioned derived-state checkpoint carried by
+// a snapshot.
+type SidecarSection struct {
+	// Name identifies the subscriber the checkpoint belongs to (the mutation
+	// bus subscription name, e.g. "stats").
+	Name string
+	// Version is the subscriber's checkpoint format version; a subscriber
+	// that does not recognise the version falls back to rebuilding.
+	Version int
+	// Data is the opaque serialized checkpoint.
+	Data []byte
+}
+
+// SidecarInfo describes one sidecar section for the admin API without
+// exposing its payload.
+type SidecarInfo struct {
+	Name    string
+	Version int
+	Bytes   int
+}
+
+// Info summarises the section.
+func (s SidecarSection) Info() SidecarInfo {
+	return SidecarInfo{Name: s.Name, Version: s.Version, Bytes: len(s.Data)}
+}
+
+// encodeSidecar renders a section as a frame payload.
+func encodeSidecar(s SidecarSection) []byte {
+	buf := make([]byte, 0, 2*binary.MaxVarintLen64+len(s.Name)+len(s.Data))
+	buf = binary.AppendUvarint(buf, uint64(len(s.Name)))
+	buf = append(buf, s.Name...)
+	buf = binary.AppendUvarint(buf, uint64(s.Version))
+	buf = append(buf, s.Data...)
+	return buf
+}
+
+// decodeSidecar parses a frame payload back into a section.
+func decodeSidecar(payload []byte) (SidecarSection, error) {
+	nameLen, n := binary.Uvarint(payload)
+	if n <= 0 || uint64(len(payload)-n) < nameLen {
+		return SidecarSection{}, fmt.Errorf("wal: sidecar section: bad name length")
+	}
+	rest := payload[n:]
+	name := string(rest[:nameLen])
+	rest = rest[nameLen:]
+	version, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return SidecarSection{}, fmt.Errorf("wal: sidecar section %q: bad version", name)
+	}
+	return SidecarSection{Name: name, Version: int(version), Data: rest[n:]}, nil
+}

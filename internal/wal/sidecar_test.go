@@ -1,0 +1,167 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+func testSidecars() []SidecarSection {
+	return []SidecarSection{
+		{Name: "stats", Version: 1, Data: []byte(`{"queries":42}`)},
+		{Name: "miner-feed", Version: 3, Data: []byte(`{"numTx":7}`)},
+		{Name: "sessions", Version: 1, Data: bytes.Repeat([]byte{0xAB}, 512)},
+	}
+}
+
+func TestSnapshotSidecarRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(`{"records":[]}`)
+	if _, err := WriteSnapshotWithSidecars(dir, 99, payload, testSidecars()); err != nil {
+		t.Fatal(err)
+	}
+	seq, got, sidecars, ok, err := LatestSnapshotWithSidecars(dir)
+	if err != nil || !ok {
+		t.Fatalf("LatestSnapshotWithSidecars: ok=%v err=%v", ok, err)
+	}
+	if seq != 99 || !bytes.Equal(got, payload) {
+		t.Fatalf("primary frame = (%d, %q), want (99, %q)", seq, got, payload)
+	}
+	want := testSidecars()
+	if len(sidecars) != len(want) {
+		t.Fatalf("sidecars = %d, want %d", len(sidecars), len(want))
+	}
+	for i, sc := range sidecars {
+		if sc.Name != want[i].Name || sc.Version != want[i].Version || !bytes.Equal(sc.Data, want[i].Data) {
+			t.Errorf("sidecar %d = %+v, want %+v", i, sc.Info(), want[i].Info())
+		}
+	}
+}
+
+// TestSnapshotLegacyFormat proves a pre-sidecar snapshot (a single frame)
+// still loads, with no sidecars.
+func TestSnapshotLegacyFormat(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteSnapshot(dir, 7, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	seq, payload, sidecars, ok, err := LatestSnapshotWithSidecars(dir)
+	if err != nil || !ok || seq != 7 || string(payload) != "state" {
+		t.Fatalf("legacy snapshot: seq=%d payload=%q ok=%v err=%v", seq, payload, ok, err)
+	}
+	if len(sidecars) != 0 {
+		t.Fatalf("legacy snapshot decoded %d sidecars", len(sidecars))
+	}
+	// And the sidecar-oblivious reader still works on a sidecar snapshot.
+	if _, err := WriteSnapshotWithSidecars(dir, 9, []byte("newer"), testSidecars()); err != nil {
+		t.Fatal(err)
+	}
+	seq, payload, ok, err = LatestSnapshot(dir)
+	if err != nil || !ok || seq != 9 || string(payload) != "newer" {
+		t.Fatalf("LatestSnapshot over sidecar file: seq=%d payload=%q ok=%v err=%v", seq, payload, ok, err)
+	}
+}
+
+// TestSnapshotSidecarTornTail is the crash fixture: a snapshot with sidecars
+// truncated at every possible length. The primary state must load whenever
+// its frame is intact — a torn sidecar tail costs only the torn sections —
+// and a truncation inside the primary frame must not produce a bogus load.
+func TestSnapshotSidecarTornTail(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(`{"records":["the","primary","state"]}`)
+	path, err := WriteSnapshotWithSidecars(dir, 5, payload, testSidecars())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaryLen := len(encodeFrame(5, payload))
+	for cut := len(full) - 1; cut >= 0; cut-- {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		seq, got, sidecars, ok, err := LatestSnapshotWithSidecars(dir)
+		if err != nil {
+			t.Fatalf("cut=%d: unexpected error %v", cut, err)
+		}
+		if cut < primaryLen {
+			if ok {
+				t.Fatalf("cut=%d (inside primary frame): snapshot loaded", cut)
+			}
+			continue
+		}
+		if !ok || seq != 5 || !bytes.Equal(got, payload) {
+			t.Fatalf("cut=%d: primary state lost (ok=%v seq=%d)", cut, ok, seq)
+		}
+		if len(sidecars) > len(testSidecars()) {
+			t.Fatalf("cut=%d: %d sidecars from a torn file", cut, len(sidecars))
+		}
+		for i, sc := range sidecars {
+			want := testSidecars()[i]
+			if sc.Name != want.Name || sc.Version != want.Version || !bytes.Equal(sc.Data, want.Data) {
+				t.Fatalf("cut=%d: sidecar %d corrupted: %+v", cut, i, sc.Info())
+			}
+		}
+	}
+}
+
+// TestSnapshotSidecarCorruption flips one byte inside the middle sidecar:
+// the CRC must reject it and reading stops there, keeping the sections
+// before the damage.
+func TestSnapshotSidecarCorruption(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("primary")
+	path, err := WriteSnapshotWithSidecars(dir, 3, payload, testSidecars())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaryLen := len(encodeFrame(3, payload))
+	firstLen := len(encodeFrame(3, encodeSidecar(testSidecars()[0])))
+	corrupt := append([]byte(nil), full...)
+	corrupt[primaryLen+firstLen+8] ^= 0xFF // inside the second sidecar frame
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, got, sidecars, ok, err := LatestSnapshotWithSidecars(dir)
+	if err != nil || !ok || seq != 3 || !bytes.Equal(got, payload) {
+		t.Fatalf("primary state lost after sidecar corruption: ok=%v err=%v", ok, err)
+	}
+	if len(sidecars) != 1 || sidecars[0].Name != "stats" {
+		t.Fatalf("sidecars after corruption = %+v, want just stats", sidecars)
+	}
+}
+
+// TestLatestSnapshotSkipsCorruptPrimary proves a snapshot whose primary
+// frame is damaged is skipped in favour of the next older snapshot, sidecars
+// included.
+func TestLatestSnapshotSkipsCorruptPrimary(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteSnapshotWithSidecars(dir, 10, []byte("older"), testSidecars()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	newer, err := WriteSnapshotWithSidecars(dir, 20, []byte("newer"), testSidecars())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[10] ^= 0xFF
+	if err := os.WriteFile(newer, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, payload, sidecars, ok, err := LatestSnapshotWithSidecars(dir)
+	if err != nil || !ok {
+		t.Fatalf("fallback failed: ok=%v err=%v", ok, err)
+	}
+	if seq != 10 || string(payload) != "older" || len(sidecars) != 1 {
+		t.Fatalf("fallback = (%d, %q, %d sidecars), want (10, older, 1)", seq, payload, len(sidecars))
+	}
+}
