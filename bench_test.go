@@ -32,6 +32,7 @@ import (
 	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -1129,6 +1130,55 @@ func BenchmarkHTTPSubmitSingle(b *testing.B) {
 }
 
 func BenchmarkHTTPSubmitBatch(b *testing.B) {
+	ts, c := httpFixture(b)
+	_ = ts
+	ctx := context.Background()
+	queries := make([]server.SubmitParams, httpBatchSize)
+	for i := range queries {
+		queries[i] = server.SubmitParams{SQL: "SELECT Stations.name FROM Stations ORDER BY Stations.name"}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for submitted := 0; submitted < b.N; submitted += httpBatchSize {
+		resp, err := c.SubmitBatch(ctx, queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range resp.Results {
+			if res.Error != nil {
+				b.Fatalf("batch item failed: %v", res.Error)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry layer — the instrumentation itself must be cheap enough to sit
+// on every commit and every request.
+// ---------------------------------------------------------------------------
+
+// BenchmarkTelemetryCounterHotPath measures one counter increment — the cost
+// added to every instrumented event. It must stay low-single-digit ns and
+// zero-alloc; the CI benchgate holds the allocation count at zero.
+func BenchmarkTelemetryCounterHotPath(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	ctr := reg.Counter("bench_events_total", "benchmark counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctr.Inc()
+	}
+	if ctr.Value() != uint64(b.N) {
+		b.Fatalf("count = %d, want %d", ctr.Value(), b.N)
+	}
+}
+
+// BenchmarkHTTPSubmitBatchInstrumented is BenchmarkHTTPSubmitBatch's shape
+// with the full telemetry stack engaged end to end (HTTP middleware,
+// per-route series, store mutation counters, commit-lock hold and bus
+// callback timing): the delta between the two is the total instrumentation
+// overhead of the hottest write path. ns/op is per query.
+func BenchmarkHTTPSubmitBatchInstrumented(b *testing.B) {
 	ts, c := httpFixture(b)
 	_ = ts
 	ctx := context.Background()

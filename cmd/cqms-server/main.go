@@ -52,6 +52,7 @@ func main() {
 		writeTimeout      = flag.Duration("write-timeout", time.Minute, "HTTP write timeout (bounds slow scans)")
 		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
 		accessLog         = flag.Bool("access-log", true, "log one line per request")
+		slowRequest       = flag.Duration("slow-request", time.Second, "log requests slower than this with their request ID (0 disables)")
 	)
 	flag.Parse()
 
@@ -112,11 +113,16 @@ func main() {
 	defer stop()
 	cqms.StartBackground(ctx)
 
-	// The middleware chain (request IDs, panic recovery, access logging)
-	// lives in the server package; the timeouts guard the listener itself.
+	// The middleware chain (request IDs, panic recovery, metrics, access and
+	// slow-request logging) lives in the server package; the timeouts guard
+	// the listener itself. Slow-request logging needs a logger, so -access-log
+	// false also silences it.
 	var srvOpts []server.Option
 	if *accessLog {
 		srvOpts = append(srvOpts, server.WithLogger(log.Default()))
+	}
+	if *slowRequest > 0 {
+		srvOpts = append(srvOpts, server.WithSlowRequests(*slowRequest))
 	}
 	srv := &http.Server{
 		Addr:              *addr,

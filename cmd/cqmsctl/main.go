@@ -31,6 +31,7 @@
 //	log backup                        force a point-in-time snapshot of the query log
 //	log compact                       snapshot and prune covered WAL segments
 //	stats                             server statistics
+//	metrics                           Prometheus metrics exposition (-admin shows admin-only series)
 package main
 
 import (
@@ -126,6 +127,8 @@ func run(ctx context.Context, c *client.Client, cmd string, args []string, k int
 		return cmdLog(ctx, c, args)
 	case "stats":
 		return cmdStats(ctx, c)
+	case "metrics":
+		return cmdMetrics(ctx, c)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -536,5 +539,14 @@ func cmdStats(ctx context.Context, c *client.Client) error {
 			fmt.Printf("  %-45s %d\n", tp.Item, tp.Count)
 		}
 	}
+	return nil
+}
+
+func cmdMetrics(ctx context.Context, c *client.Client) error {
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
 	return nil
 }

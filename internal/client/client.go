@@ -15,6 +15,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -121,15 +122,7 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	if c.user != "" {
-		req.Header.Set(server.HeaderUser, c.user)
-	}
-	if len(c.groups) > 0 {
-		req.Header.Set(server.HeaderGroups, strings.Join(c.groups, ","))
-	}
-	if c.admin {
-		req.Header.Set(server.HeaderAdmin, "true")
-	}
+	c.setPrincipalHeaders(req)
 	resp, err := c.httpClient.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
@@ -149,6 +142,20 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		return fmt.Errorf("client: decoding %s response: %w", path, err)
 	}
 	return nil
+}
+
+// setPrincipalHeaders stamps the client's identity onto one request in the
+// X-CQMS-* headers.
+func (c *Client) setPrincipalHeaders(req *http.Request) {
+	if c.user != "" {
+		req.Header.Set(server.HeaderUser, c.user)
+	}
+	if len(c.groups) > 0 {
+		req.Header.Set(server.HeaderGroups, strings.Join(c.groups, ","))
+	}
+	if c.admin {
+		req.Header.Set(server.HeaderAdmin, "true")
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -469,4 +476,32 @@ func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// Metrics fetches the Prometheus text exposition from GET /v1/metrics. The
+// body is returned verbatim (it is not JSON); admin clients additionally see
+// the admin-only families.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("client: building request: %w", err)
+	}
+	c.setPrincipalHeaders(req)
+	resp, err := c.httpClient.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: GET /v1/metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: reading /v1/metrics response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		var envelope server.ErrorResponse
+		if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code == "" {
+			envelope.Error = server.APIError{Code: server.CodeInternal, Message: "unparsable error response"}
+		}
+		return "", &Error{Status: resp.StatusCode, Path: "/v1/metrics", API: envelope.Error}
+	}
+	return string(body), nil
 }

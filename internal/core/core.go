@@ -23,6 +23,7 @@ import (
 	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
 
@@ -42,6 +43,11 @@ type Config struct {
 	// snapshot/compaction pass.
 	MiningInterval      time.Duration
 	MaintenanceInterval time.Duration
+	// Metrics receives every component's instruments (storage, WAL, derived
+	// state, assisted-mode latency). Nil means New creates a private registry,
+	// so instrumentation is always on; embedders who want one registry across
+	// several systems (or their own exposition endpoint) pass it in here.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig returns defaults for every component.
@@ -84,6 +90,13 @@ type CQMS struct {
 
 	wal      *wal.Manager      // nil when durability is disabled
 	recovery *wal.RecoveryInfo // what Open reconstructed from disk
+
+	// metrics is never nil; the assist children and miner instruments are
+	// cached at construction so hot paths skip the vec lookup.
+	metrics       *telemetry.Registry
+	assistLatency map[string]*telemetry.Histogram
+	minerPass     *telemetry.Histogram
+	minerPasses   *telemetry.Counter
 }
 
 // New creates a CQMS over a fresh embedded engine.
@@ -94,7 +107,16 @@ func New(cfg Config) *CQMS {
 // NewWithEngine creates a CQMS over an existing engine (typically one already
 // populated with data by the workload substrate).
 func NewWithEngine(eng *engine.Engine, cfg Config) *CQMS {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	store := storage.NewStore()
+	// Instrument the store before the derived-state subscribers attach: bus
+	// callback timing is installed at Subscribe time, so a later EnableMetrics
+	// would still cover them, but this order means no mutation is ever counted
+	// with some subscribers timed and others not.
+	store.EnableMetrics(reg)
 	exec := metaquery.New(store)
 	c := &CQMS{
 		cfg:         cfg,
@@ -105,6 +127,7 @@ func NewWithEngine(eng *engine.Engine, cfg Config) *CQMS {
 		miner:       miner.New(cfg.Miner),
 		recommender: recommend.New(store, exec, cfg.Recommender),
 		maintainer:  maintenance.New(eng, store, cfg.Maintenance),
+		metrics:     reg,
 	}
 	// Derived-state subscribers attach before any durability layer opens
 	// (OpenWithEngine), so WAL recovery replay flows through them and their
@@ -114,6 +137,21 @@ func NewWithEngine(eng *engine.Engine, cfg Config) *CQMS {
 	c.minerFeed = miner.NewFeed(cfg.Miner.Assoc, minerFeedWarmup)
 	c.minerFeed.Attach(store)
 	c.sessions = session.AttachLive(store, cfg.Session)
+	c.stats.EnableMetrics(reg)
+	c.minerFeed.EnableMetrics(reg)
+	c.sessions.EnableMetrics(reg)
+	assist := reg.HistogramVec("cqms_assist_seconds",
+		"Assisted-mode (§2.3) request latency by operation.",
+		telemetry.DefBuckets, "op")
+	c.assistLatency = map[string]*telemetry.Histogram{
+		"complete":    assist.With("complete"),
+		"corrections": assist.With("corrections"),
+		"similar":     assist.With("similar"),
+	}
+	c.minerPass = reg.Histogram("cqms_miner_pass_seconds",
+		"Full background mining pass duration (RunMiner).", telemetry.DefBuckets)
+	c.minerPasses = reg.Counter("cqms_miner_passes_total",
+		"Completed full background mining passes.")
 	// Until the first full mining pass runs, context-aware completions are
 	// served from the feed's live rule counts instead of going
 	// popularity-only.
@@ -121,6 +159,12 @@ func NewWithEngine(eng *engine.Engine, cfg Config) *CQMS {
 	c.syncSchemas()
 	return c
 }
+
+// Metrics returns the system's telemetry registry (never nil). Embedders can
+// register their own instruments on it or write a Prometheus exposition via
+// telemetry.Registry.WritePrometheus; the HTTP server serves it at
+// GET /v1/metrics.
+func (c *CQMS) Metrics() *telemetry.Registry { return c.metrics }
 
 // minerFeedWarmup is how many logged queries the incremental rule feed mines
 // exactly before freezing its vocabulary (see miner.NewIncrementalMiner).
@@ -140,6 +184,9 @@ func OpenWithEngine(eng *engine.Engine, cfg Config) (*CQMS, error) {
 	if !cfg.Durability.Enabled() {
 		return c, nil
 	}
+	// The WAL registers its instruments (append/fsync latency, segment and
+	// recovery gauges) on the same registry as everything else.
+	cfg.Durability.Metrics = c.metrics
 	mgr, recovery, err := wal.Open(c.store, cfg.Durability)
 	if err != nil {
 		return nil, fmt.Errorf("core: opening durable query log: %w", err)
@@ -416,6 +463,8 @@ func (c *CQMS) SessionCount() int { return c.sessions.Count() }
 // Complete returns completion suggestions (tables, columns, predicates,
 // joins) for a partially written query.
 func (c *CQMS) Complete(ctx context.Context, p storage.Principal, partialSQL string, k int) ([]recommend.Completion, error) {
+	start := time.Now()
+	defer func() { c.assistLatency["complete"].Observe(time.Since(start)) }()
 	out := c.recommender.Complete(ctx, p, partialSQL, k)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -434,6 +483,8 @@ func (c *CQMS) SuggestTables(ctx context.Context, p storage.Principal, partialSQ
 
 // Corrections returns spelling corrections for table and column names.
 func (c *CQMS) Corrections(ctx context.Context, p storage.Principal, querySQL string) ([]recommend.Correction, error) {
+	start := time.Now()
+	defer func() { c.assistLatency["corrections"].Observe(time.Since(start)) }()
 	out := c.recommender.Corrections(ctx, p, querySQL)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -449,6 +500,8 @@ func (c *CQMS) EmptyResultSuggestions(ctx context.Context, p storage.Principal, 
 
 // SimilarQueries returns the Figure 3 similar-queries pane for a query.
 func (c *CQMS) SimilarQueries(ctx context.Context, p storage.Principal, querySQL string, k int) ([]recommend.SimilarQuery, error) {
+	start := time.Now()
+	defer func() { c.assistLatency["similar"].Observe(time.Since(start)) }()
 	return c.recommender.SimilarQueries(ctx, p, querySQL, k)
 }
 
@@ -496,6 +549,11 @@ func (c *CQMS) DeleteQuery(id storage.QueryID, p storage.Principal) error {
 // pass only writes the current assignments back (feature relations and the
 // bySession index serve meta-queries from them).
 func (c *CQMS) RunMiner() *miner.Result {
+	start := time.Now()
+	defer func() {
+		c.minerPass.Observe(time.Since(start))
+		c.minerPasses.Inc()
+	}()
 	c.persistSessions()
 	res := c.miner.Run(c.store)
 	c.recommender.UpdateMining(res)

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // Feed keeps an IncrementalMiner fed from the storage mutation event bus, so
@@ -129,4 +130,25 @@ func (f *Feed) NumTransactions() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.inc.NumTransactions()
+}
+
+// EnableMetrics registers scrape-time gauges over the feed's state. A nil
+// registry is a no-op.
+func (f *Feed) EnableMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("cqms_miner_feed_transactions",
+		"Feature transactions the incremental miner feed has seen.",
+		func() float64 { return float64(f.NumTransactions()) })
+	reg.GaugeFunc("cqms_miner_feed_retired",
+		"1 once a full mining pass has retired the feed's itemset counting.",
+		func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			if f.retired {
+				return 1
+			}
+			return 0
+		})
 }

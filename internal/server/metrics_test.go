@@ -1,0 +1,362 @@
+package server_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// metricValue finds one sample in a Prometheus text exposition: the series
+// whose name matches and whose label block contains every given k="v" pair.
+// The value sits after the last space, so label values holding spaces (route
+// patterns) parse fine.
+func metricValue(t *testing.T, text, name string, labels map[string]string) (float64, bool) {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		id, valStr := line[:i], line[i+1:]
+		base := id
+		if j := strings.IndexByte(id, '{'); j >= 0 {
+			base = id[:j]
+		}
+		if base != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if !strings.Contains(id, fmt.Sprintf("%s=%q", k, v)) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("unparsable sample %q: %v", line, err)
+		}
+		return val, true
+	}
+	return 0, false
+}
+
+func mustMetric(t *testing.T, text, name string, labels map[string]string) float64 {
+	t.Helper()
+	v, ok := metricValue(t, text, name, labels)
+	if !ok {
+		t.Fatalf("metric %s %v not found in exposition", name, labels)
+	}
+	return v
+}
+
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// TestV1MetricsContract checks the exposition's wire contract: the format
+// parses line by line, the cross-layer families are present, and admin-only
+// families appear only for admin principals.
+func TestV1MetricsContract(t *testing.T) {
+	_, alice, _, admin := newTestServer(t)
+	if _, err := alice.Submit(ctx, "SELECT lake FROM WaterTemp", client.Group("limnology")); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	text, err := alice.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("unexpected comment line %q", line)
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Errorf("sample line without value: %q", line)
+			continue
+		}
+		id := line[:i]
+		base := id
+		if j := strings.IndexByte(id, '{'); j >= 0 {
+			base = id[:j]
+		}
+		if !metricNameRe.MatchString(base) {
+			t.Errorf("invalid metric name in %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Errorf("unparsable value in %q: %v", line, err)
+		}
+	}
+
+	// One family per layer: HTTP, storage, bus, derived state, assist.
+	for _, family := range []string{
+		"# TYPE cqms_http_requests_total counter",
+		"# TYPE cqms_http_request_seconds histogram",
+		"# TYPE cqms_http_in_flight_requests gauge",
+		"# TYPE cqms_store_mutations_total counter",
+		"# TYPE cqms_store_commit_lock_hold_seconds histogram",
+		"# TYPE cqms_bus_callback_seconds histogram",
+		"# TYPE cqms_store_records gauge",
+		"# TYPE cqms_sessions_live gauge",
+		"# TYPE cqms_assist_seconds histogram",
+		"# TYPE cqms_miner_feed_transactions gauge",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("exposition is missing %q", family)
+		}
+	}
+
+	if put := mustMetric(t, text, "cqms_store_mutations_total", map[string]string{"op": "put"}); put < 1 {
+		t.Errorf("cqms_store_mutations_total{op=put} = %v, want >= 1", put)
+	}
+	for _, sub := range []string{"wal", "stats", "miner-feed", "sessions"} {
+		if n := mustMetric(t, text, "cqms_bus_callback_seconds_count", map[string]string{"subscriber": sub}); sub != "wal" && n < 1 {
+			t.Errorf("cqms_bus_callback_seconds_count{subscriber=%s} = %v, want >= 1", sub, n)
+		}
+	}
+	if n := mustMetric(t, text, "cqms_store_commit_lock_hold_seconds_count", nil); n < 1 {
+		t.Errorf("commit lock hold count = %v, want >= 1", n)
+	}
+
+	// Admin-only families are withheld from ordinary principals.
+	if strings.Contains(text, "cqms_store_shard_records") {
+		t.Error("non-admin scrape exposes cqms_store_shard_records")
+	}
+	adminText, err := admin.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("admin Metrics: %v", err)
+	}
+	if !strings.Contains(adminText, "cqms_store_shard_records") {
+		t.Error("admin scrape is missing cqms_store_shard_records")
+	}
+}
+
+// TestMetricsMoveEndToEnd drives a durable system over HTTP and checks the
+// instruments across every layer moved: HTTP route counters, store mutation
+// counters, WAL append/fsync series and the assist latency histogram.
+func TestMetricsMoveEndToEnd(t *testing.T) {
+	eng := engine.New()
+	if err := workload.Populate(eng, 100, 1); err != nil {
+		t.Fatalf("Populate: %v", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Durability = wal.DefaultConfig(t.TempDir())
+	cfg.Durability.SyncPolicy = "always"
+	cqms, err := core.OpenWithEngine(eng, cfg)
+	if err != nil {
+		t.Fatalf("OpenWithEngine: %v", err)
+	}
+	defer cqms.Close()
+	ts := httptest.NewServer(server.New(cqms).Handler())
+	defer ts.Close()
+	alice := client.New(ts.URL, client.WithUser("alice", "limnology"))
+	admin := client.New(ts.URL, client.WithUser("root"), client.WithAdmin())
+
+	if _, err := alice.Submit(ctx, "SELECT lake, temp FROM WaterTemp WHERE temp < 20", client.Group("limnology")); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := alice.Complete(ctx, "SELECT temp FROM", 5); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+
+	text, err := admin.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	checks := []struct {
+		name   string
+		labels map[string]string
+		min    float64
+	}{
+		{"cqms_http_requests_total", map[string]string{"route": "POST /v1/queries", "class": "2xx"}, 1},
+		{"cqms_http_request_seconds_count", map[string]string{"route": "POST /v1/queries"}, 1},
+		{"cqms_http_request_bytes_total", nil, 1},
+		{"cqms_http_response_bytes_total", nil, 1},
+		{"cqms_store_mutations_total", map[string]string{"op": "put"}, 1},
+		{"cqms_store_commit_lock_hold_seconds_count", nil, 1},
+		{"cqms_bus_callback_seconds_count", map[string]string{"subscriber": "wal"}, 1},
+		{"cqms_bus_callback_seconds_count", map[string]string{"subscriber": "stats"}, 1},
+		{"cqms_wal_append_seconds_count", nil, 1},
+		{"cqms_wal_fsync_seconds_count", nil, 1},
+		{"cqms_wal_fsyncs_total", map[string]string{"policy": "always"}, 1},
+		{"cqms_wal_segments", nil, 1},
+		{"cqms_assist_seconds_count", map[string]string{"op": "complete"}, 1},
+		{"cqms_store_records", nil, 1},
+	}
+	for _, c := range checks {
+		if v := mustMetric(t, text, c.name, c.labels); v < c.min {
+			t.Errorf("%s %v = %v, want >= %v", c.name, c.labels, v, c.min)
+		}
+	}
+	// The in-flight gauge must count this very scrape.
+	if v := mustMetric(t, text, "cqms_http_in_flight_requests", nil); v < 1 {
+		t.Errorf("cqms_http_in_flight_requests = %v during a scrape, want >= 1", v)
+	}
+}
+
+// TestPprofAdminGated checks the pprof subtree rejects non-admin principals
+// with the permission_denied envelope and serves admins.
+func TestPprofAdminGated(t *testing.T) {
+	ts, _, _, _ := newTestServer(t)
+
+	get := func(path string, admin bool) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(server.HeaderUser, "probe")
+		if admin {
+			req.Header.Set(server.HeaderAdmin, "true")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := get("/v1/admin/debug/pprof/", false)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("non-admin pprof index: status %d, want 403", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "permission_denied") {
+		t.Errorf("non-admin pprof index body = %q, want permission_denied envelope", body)
+	}
+
+	resp = get("/v1/admin/debug/pprof/", true)
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("admin pprof index: status %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("admin pprof index does not list profiles: %q", body)
+	}
+
+	resp = get("/v1/admin/debug/pprof/goroutine?debug=1", true)
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine profile") {
+		t.Errorf("admin goroutine profile: status %d body %.80q", resp.StatusCode, body)
+	}
+}
+
+// TestRecoverSkipsEnvelopeAfterStatus pins the panic-mid-response fix: a
+// handler that panics after sending a status must not get a second JSON
+// document appended to its half-written body, while a handler that panics
+// before writing still gets the internal-error envelope.
+func TestRecoverSkipsEnvelopeAfterStatus(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+
+	late := server.Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"partial":`)
+		panic("mid-response")
+	}), server.Recover(logger))
+	rec := httptest.NewRecorder()
+	late.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d, want the already-sent 200", rec.Code)
+	}
+	if got := rec.Body.String(); got != `{"partial":` {
+		t.Errorf("body = %q, want only the bytes the handler wrote", got)
+	}
+
+	early := server.Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("before any write")
+	}), server.Recover(logger))
+	rec = httptest.NewRecorder()
+	early.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "internal") {
+		t.Errorf("body = %q, want the internal-error envelope", rec.Body.String())
+	}
+}
+
+// TestAccessLogUsesContextPrincipal pins the satellite fix: the access log
+// reports the principal installed in the request context, not a re-parse of
+// the identity headers.
+func TestAccessLogUsesContextPrincipal(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	install := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx := server.WithPrincipal(r.Context(), storage.Principal{User: "from-context"})
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+	h := server.Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}), server.Middleware(install), server.AccessLog(logger))
+
+	req := httptest.NewRequest(http.MethodGet, "/x", nil)
+	req.Header.Set(server.HeaderUser, "from-header")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	if !strings.Contains(buf.String(), `user="from-context"`) {
+		t.Errorf("access log = %q, want the context principal", buf.String())
+	}
+	if strings.Contains(buf.String(), "from-header") {
+		t.Errorf("access log = %q, must not re-parse identity headers", buf.String())
+	}
+}
+
+// TestSlowRequestLog checks the slow-request line fires past the threshold
+// and carries the request ID.
+func TestSlowRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	h := server.Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	}), server.RequestID(), server.SlowRequestLog(logger, time.Millisecond))
+
+	req := httptest.NewRequest(http.MethodGet, "/slow", nil)
+	req.Header.Set(server.HeaderRequestID, "req-123")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if !strings.Contains(buf.String(), "slow request") || !strings.Contains(buf.String(), "request=req-123") {
+		t.Errorf("slow-request log = %q, want line with request ID", buf.String())
+	}
+
+	buf.Reset()
+	fast := server.Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), server.RequestID(), server.SlowRequestLog(logger, time.Minute))
+	fast.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/fast", nil))
+	if buf.Len() != 0 {
+		t.Errorf("fast request logged: %q", buf.String())
+	}
+}

@@ -112,23 +112,26 @@ func requestIDFrom(ctx context.Context) string {
 }
 
 // Recover converts handler panics into an internal-error envelope instead of
-// tearing down the connection, and logs the panic when a logger is set.
+// tearing down the connection, and logs the panic when a logger is set. When
+// the handler already sent a status before panicking, the envelope is
+// skipped: appending a second JSON document to a half-written response would
+// corrupt it for clients, while the log line still records the panic.
 func Recover(logger *log.Logger) Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := ensureStatusWriter(w)
 			defer func() {
 				if rec := recover(); rec != nil {
 					if logger != nil {
 						logger.Printf("panic serving %s %s (request %s): %v",
 							r.Method, r.URL.Path, requestIDFrom(r.Context()), rec)
 					}
-					// Best effort: if the handler already wrote a status the
-					// envelope below is appended garbage, but the connection
-					// survives either way.
-					writeError(w, Errorf(CodeInternal, "internal server error"))
+					if sw.status == 0 {
+						writeError(sw, Errorf(CodeInternal, "internal server error"))
+					}
 				}
 			}()
-			next.ServeHTTP(w, r)
+			next.ServeHTTP(sw, r)
 		})
 	}
 }
@@ -156,15 +159,28 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// ensureStatusWriter reuses the statusWriter an outer middleware already
+// installed, so the whole chain shares one status/byte record per request,
+// or wraps w in a fresh one.
+func ensureStatusWriter(w http.ResponseWriter) *statusWriter {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw
+	}
+	return &statusWriter{ResponseWriter: w}
+}
+
 // AccessLog writes one line per request: method, path, status, bytes,
-// duration, principal and request ID. A nil logger disables it.
+// duration, principal and request ID. The principal comes from the request
+// context (HeaderPrincipal must run outside this middleware), so the logged
+// identity is exactly the one the handlers authorised with. A nil logger
+// disables it.
 func AccessLog(logger *log.Logger) Middleware {
 	return func(next http.Handler) http.Handler {
 		if logger == nil {
 			return next
 		}
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			sw := &statusWriter{ResponseWriter: w}
+			sw := ensureStatusWriter(w)
 			start := time.Now()
 			next.ServeHTTP(sw, r)
 			if sw.status == 0 {
@@ -173,7 +189,28 @@ func AccessLog(logger *log.Logger) Middleware {
 			logger.Printf("%s %s %d %dB %s user=%q request=%s",
 				r.Method, r.URL.RequestURI(), sw.status, sw.bytes,
 				time.Since(start).Round(time.Microsecond),
-				principalFromHeaders(r).User, requestIDFrom(r.Context()))
+				PrincipalFrom(r.Context()).User, requestIDFrom(r.Context()))
+		})
+	}
+}
+
+// SlowRequestLog logs one line for every request slower than threshold,
+// carrying the request ID so the slow call can be tied to its access-log
+// line and client retry. A nil logger or non-positive threshold disables it.
+func SlowRequestLog(logger *log.Logger, threshold time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		if logger == nil || threshold <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			next.ServeHTTP(w, r)
+			if elapsed := time.Since(start); elapsed >= threshold {
+				logger.Printf("slow request: %s %s took %s (threshold %s) user=%q request=%s",
+					r.Method, r.URL.RequestURI(),
+					elapsed.Round(time.Microsecond), threshold,
+					PrincipalFrom(r.Context()).User, requestIDFrom(r.Context()))
+			}
 		})
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metaquery"
@@ -38,10 +39,12 @@ const MaxBatchQueries = 500
 // Server is the CQMS HTTP server: the versioned /v1/ API plus thin legacy
 // /api/ compatibility shims over the same handler logic.
 type Server struct {
-	cqms    *core.CQMS
-	mux     *http.ServeMux
-	logger  *log.Logger
-	handler http.Handler
+	cqms        *core.CQMS
+	mux         *http.ServeMux
+	logger      *log.Logger
+	handler     http.Handler
+	metrics     *httpMetrics
+	slowRequest time.Duration
 }
 
 // Option configures a Server.
@@ -52,20 +55,33 @@ func WithLogger(logger *log.Logger) Option {
 	return func(s *Server) { s.logger = logger }
 }
 
+// WithSlowRequests logs any request slower than threshold (with its request
+// ID) on the server's logger. Zero or negative disables the slow-request log.
+func WithSlowRequests(threshold time.Duration) Option {
+	return func(s *Server) { s.slowRequest = threshold }
+}
+
 // New returns a server over the given CQMS instance with the standard
-// middleware chain installed: request IDs, panic recovery and (when a logger
-// is configured) access logging.
+// middleware chain installed: request IDs, header principals, HTTP
+// instrumentation, panic recovery and (when a logger is configured) access
+// and slow-request logging.
 func New(c *core.CQMS, opts ...Option) *Server {
 	s := &Server{cqms: c, mux: http.NewServeMux()}
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.metrics = newHTTPMetrics(c.Metrics())
 	s.routes()
-	s.handler = Chain(jsonFallback(s.mux),
+	// HeaderPrincipal runs before AccessLog so the log line carries the
+	// context principal; Instrument installs the shared statusWriter that the
+	// logging and recovery middlewares (and the per-route wrappers) reuse.
+	s.handler = Chain(s.jsonFallback(s.mux),
 		RequestID(),
-		AccessLog(s.logger),
-		Recover(s.logger),
 		HeaderPrincipal(),
+		Instrument(s.metrics),
+		AccessLog(s.logger),
+		SlowRequestLog(s.logger, s.slowRequest),
+		Recover(s.logger),
 	)
 	return s
 }
@@ -76,65 +92,95 @@ func (s *Server) Handler() http.Handler { return s.handler }
 func (s *Server) routes() {
 	// Versioned v1 API: method-pattern routing, principal in X-CQMS-*
 	// headers, cursor pagination on list endpoints.
-	s.mux.HandleFunc("POST /v1/queries", s.handleV1Submit)
-	s.mux.HandleFunc("POST /v1/queries:batch", s.handleV1SubmitBatch)
-	s.mux.HandleFunc("GET /v1/queries/{id}", s.handleV1GetQuery)
-	s.mux.HandleFunc("DELETE /v1/queries/{id}", s.handleV1DeleteQuery)
-	s.mux.HandleFunc("POST /v1/queries/{id}/annotations", s.handleV1Annotate)
-	s.mux.HandleFunc("PUT /v1/queries/{id}/visibility", s.handleV1Visibility)
-	s.mux.HandleFunc("GET /v1/history", s.handleV1History)
-	s.mux.HandleFunc("GET /v1/sessions", s.handleV1Sessions)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/graph", s.handleV1SessionGraph)
-	s.mux.HandleFunc("POST /v1/search/keyword", s.handleV1Search("keyword"))
-	s.mux.HandleFunc("POST /v1/search/substring", s.handleV1Search("substring"))
-	s.mux.HandleFunc("POST /v1/search/metaquery", s.handleV1Search("metaquery"))
-	s.mux.HandleFunc("POST /v1/search/partial", s.handleV1Search("partial"))
-	s.mux.HandleFunc("POST /v1/search/bydata", s.handleV1Search("bydata"))
-	s.mux.HandleFunc("POST /v1/search/similar", s.handleV1Search("similar"))
-	s.mux.HandleFunc("POST /v1/assist/complete", s.handleV1Complete)
-	s.mux.HandleFunc("POST /v1/assist/corrections", s.handleV1Corrections)
-	s.mux.HandleFunc("POST /v1/assist/similar", s.handleV1SimilarQueries)
-	s.mux.HandleFunc("GET /v1/assist/tutorial", s.handleV1Tutorial)
-	s.mux.HandleFunc("POST /v1/admin/mine", s.handleV1Mine)
-	s.mux.HandleFunc("POST /v1/admin/maintain", s.handleV1Maintain)
-	s.mux.HandleFunc("GET /v1/admin/log", s.handleV1LogInfo)
-	s.mux.HandleFunc("POST /v1/admin/log/snapshot", s.handleV1LogSnapshot)
-	s.mux.HandleFunc("POST /v1/admin/log/compact", s.handleV1LogCompact)
-	s.mux.HandleFunc("GET /v1/stats", s.handleV1Stats)
+	s.handleFunc("POST /v1/queries", s.handleV1Submit)
+	s.handleFunc("POST /v1/queries:batch", s.handleV1SubmitBatch)
+	s.handleFunc("GET /v1/queries/{id}", s.handleV1GetQuery)
+	s.handleFunc("DELETE /v1/queries/{id}", s.handleV1DeleteQuery)
+	s.handleFunc("POST /v1/queries/{id}/annotations", s.handleV1Annotate)
+	s.handleFunc("PUT /v1/queries/{id}/visibility", s.handleV1Visibility)
+	s.handleFunc("GET /v1/history", s.handleV1History)
+	s.handleFunc("GET /v1/sessions", s.handleV1Sessions)
+	s.handleFunc("GET /v1/sessions/{id}/graph", s.handleV1SessionGraph)
+	s.handleFunc("POST /v1/search/keyword", s.handleV1Search("keyword"))
+	s.handleFunc("POST /v1/search/substring", s.handleV1Search("substring"))
+	s.handleFunc("POST /v1/search/metaquery", s.handleV1Search("metaquery"))
+	s.handleFunc("POST /v1/search/partial", s.handleV1Search("partial"))
+	s.handleFunc("POST /v1/search/bydata", s.handleV1Search("bydata"))
+	s.handleFunc("POST /v1/search/similar", s.handleV1Search("similar"))
+	s.handleFunc("POST /v1/assist/complete", s.handleV1Complete)
+	s.handleFunc("POST /v1/assist/corrections", s.handleV1Corrections)
+	s.handleFunc("POST /v1/assist/similar", s.handleV1SimilarQueries)
+	s.handleFunc("GET /v1/assist/tutorial", s.handleV1Tutorial)
+	s.handleFunc("POST /v1/admin/mine", s.handleV1Mine)
+	s.handleFunc("POST /v1/admin/maintain", s.handleV1Maintain)
+	s.handleFunc("GET /v1/admin/log", s.handleV1LogInfo)
+	s.handleFunc("POST /v1/admin/log/snapshot", s.handleV1LogSnapshot)
+	s.handleFunc("POST /v1/admin/log/compact", s.handleV1LogCompact)
+	s.handleFunc("GET /v1/stats", s.handleV1Stats)
+	s.handleFunc("GET /v1/metrics", s.handleV1Metrics)
+	// The trailing-slash pattern matches the whole pprof subtree (index,
+	// named profiles, cmdline/profile/trace); symbol additionally accepts
+	// POST bodies per the pprof protocol.
+	s.handleFunc("GET /v1/admin/debug/pprof/", s.handleV1Pprof)
+	s.handleFunc("POST /v1/admin/debug/pprof/symbol", s.handleV1Pprof)
 
 	// Legacy unversioned routes: kept as thin shims over the same handler
 	// logic. They still accept the principal in the request body (POST) or
 	// query parameters (GET) and return full, unpaginated arrays.
-	s.mux.HandleFunc("POST /api/query", s.handleLegacySubmit)
-	s.mux.HandleFunc("POST /api/annotate", s.handleLegacyAnnotate)
-	s.mux.HandleFunc("POST /api/search/keyword", s.handleLegacySearch("keyword"))
-	s.mux.HandleFunc("POST /api/search/substring", s.handleLegacySearch("substring"))
-	s.mux.HandleFunc("POST /api/search/metaquery", s.handleLegacySearch("metaquery"))
-	s.mux.HandleFunc("POST /api/search/partial", s.handleLegacySearch("partial"))
-	s.mux.HandleFunc("POST /api/search/bydata", s.handleLegacySearch("bydata"))
-	s.mux.HandleFunc("POST /api/search/similar", s.handleLegacySearch("similar"))
-	s.mux.HandleFunc("GET /api/history", s.handleLegacyHistory)
-	s.mux.HandleFunc("GET /api/sessions", s.handleLegacySessions)
-	s.mux.HandleFunc("GET /api/sessions/graph", s.handleLegacySessionGraph)
-	s.mux.HandleFunc("POST /api/assist/complete", s.handleLegacyComplete)
-	s.mux.HandleFunc("POST /api/assist/corrections", s.handleLegacyCorrections)
-	s.mux.HandleFunc("POST /api/assist/similar", s.handleLegacySimilarQueries)
-	s.mux.HandleFunc("GET /api/assist/tutorial", s.handleLegacyTutorial)
-	s.mux.HandleFunc("POST /api/admin/visibility", s.handleLegacyVisibility)
-	s.mux.HandleFunc("POST /api/admin/delete", s.handleLegacyDelete)
-	s.mux.HandleFunc("POST /api/admin/mine", s.handleV1Mine)
-	s.mux.HandleFunc("POST /api/admin/maintain", s.handleV1Maintain)
-	s.mux.HandleFunc("GET /api/admin/log/info", s.handleV1LogInfo)
-	s.mux.HandleFunc("POST /api/admin/log/snapshot", s.handleV1LogSnapshot)
-	s.mux.HandleFunc("POST /api/admin/log/compact", s.handleV1LogCompact)
-	s.mux.HandleFunc("GET /api/stats", s.handleV1Stats)
+	s.handleFunc("POST /api/query", s.handleLegacySubmit)
+	s.handleFunc("POST /api/annotate", s.handleLegacyAnnotate)
+	s.handleFunc("POST /api/search/keyword", s.handleLegacySearch("keyword"))
+	s.handleFunc("POST /api/search/substring", s.handleLegacySearch("substring"))
+	s.handleFunc("POST /api/search/metaquery", s.handleLegacySearch("metaquery"))
+	s.handleFunc("POST /api/search/partial", s.handleLegacySearch("partial"))
+	s.handleFunc("POST /api/search/bydata", s.handleLegacySearch("bydata"))
+	s.handleFunc("POST /api/search/similar", s.handleLegacySearch("similar"))
+	s.handleFunc("GET /api/history", s.handleLegacyHistory)
+	s.handleFunc("GET /api/sessions", s.handleLegacySessions)
+	s.handleFunc("GET /api/sessions/graph", s.handleLegacySessionGraph)
+	s.handleFunc("POST /api/assist/complete", s.handleLegacyComplete)
+	s.handleFunc("POST /api/assist/corrections", s.handleLegacyCorrections)
+	s.handleFunc("POST /api/assist/similar", s.handleLegacySimilarQueries)
+	s.handleFunc("GET /api/assist/tutorial", s.handleLegacyTutorial)
+	s.handleFunc("POST /api/admin/visibility", s.handleLegacyVisibility)
+	s.handleFunc("POST /api/admin/delete", s.handleLegacyDelete)
+	s.handleFunc("POST /api/admin/mine", s.handleV1Mine)
+	s.handleFunc("POST /api/admin/maintain", s.handleV1Maintain)
+	s.handleFunc("GET /api/admin/log/info", s.handleV1LogInfo)
+	s.handleFunc("POST /api/admin/log/snapshot", s.handleV1LogSnapshot)
+	s.handleFunc("POST /api/admin/log/compact", s.handleV1LogCompact)
+	s.handleFunc("GET /api/stats", s.handleV1Stats)
+}
+
+// handleFunc registers one route, wrapping the handler so its latency and
+// status class land in the per-route HTTP metrics. The route label is the
+// registration pattern, so path parameters ({id}) stay unexpanded and the
+// label set is bounded by the route table. The wrapper deliberately records
+// only on normal return: a panicking handler is counted by nothing here and
+// surfaces through Recover's log line instead.
+func (s *Server) handleFunc(pattern string, fn http.HandlerFunc) {
+	if s.metrics == nil {
+		s.mux.HandleFunc(pattern, fn)
+		return
+	}
+	rt := s.metrics.route(pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := ensureStatusWriter(w)
+		start := time.Now()
+		fn(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		rt.done(status, time.Since(start))
+	})
 }
 
 // jsonFallback wraps the mux so that unmatched requests produce the JSON
 // error envelope instead of net/http's plain-text defaults: unknown routes
 // get a 404 envelope, method mismatches a 405 envelope with the Allow header
 // listing the methods the path does support.
-func jsonFallback(mux *http.ServeMux) http.Handler {
+func (s *Server) jsonFallback(mux *http.ServeMux) http.Handler {
 	probeMethods := []string{
 		http.MethodGet, http.MethodPost, http.MethodPut,
 		http.MethodPatch, http.MethodDelete,
@@ -143,6 +189,9 @@ func jsonFallback(mux *http.ServeMux) http.Handler {
 		if _, pattern := mux.Handler(r); pattern != "" {
 			mux.ServeHTTP(w, r)
 			return
+		}
+		if s.metrics != nil {
+			s.metrics.unmatched.Inc()
 		}
 		var allowed []string
 		for _, m := range probeMethods {

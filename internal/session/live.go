@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // Live is the bus-driven incremental session detector: it maintains session
@@ -27,6 +28,11 @@ type Live struct {
 	byID   map[int64]*Session           // session lookup for graph reads
 	loc    map[storage.QueryID]*Session // record → owning session
 	nextID int64
+
+	// resegments counts per-user re-segmentation fallbacks (out-of-order
+	// inserts, deletions, text repairs) — the detector's slow path. Nil when
+	// uninstrumented; guarded by mu like the state it describes.
+	resegments *telemetry.Counter
 }
 
 // AttachLive builds a live detector over the store's current contents and
@@ -116,6 +122,7 @@ func (l *Live) dropUserLocked(user string) []*storage.QueryRecord {
 // have merged or split windows, so the old identities no longer apply.
 // Callers must hold l.mu.
 func (l *Live) resegmentLocked(user string, recs []*storage.QueryRecord) {
+	l.resegments.Inc()
 	sortChrono(recs)
 	for _, s := range l.det.segmentUser(user, recs) {
 		sess := s
@@ -430,4 +437,20 @@ func (l *Live) restore(version int, data []byte) error {
 	l.users, l.byID, l.loc, l.nextID = users, byID, loc, cp.NextID
 	l.mu.Unlock()
 	return nil
+}
+
+// EnableMetrics registers the live detector's instruments: a session count
+// gauge and the re-segmentation fallback counter. A nil registry is a no-op.
+func (l *Live) EnableMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("cqms_sessions_live",
+		"Sessions the live detector currently tracks.",
+		func() float64 { return float64(l.Count()) })
+	c := reg.Counter("cqms_sessions_resegments_total",
+		"Per-user re-segmentation fallbacks (out-of-order insert, delete or text repair).")
+	l.mu.Lock()
+	l.resegments = c
+	l.mu.Unlock()
 }

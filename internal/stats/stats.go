@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // itemCount is one counted completion candidate (an attribute or a
@@ -581,4 +582,33 @@ func (t *Tracker) FingerprintCounts(p storage.Principal) map[uint64]int {
 		}
 	}
 	return out
+}
+
+// EnableMetrics registers scrape-time gauges over the tracker's aggregate
+// sizes. A nil registry is a no-op.
+func (t *Tracker) EnableMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("cqms_stats_tracked_tables",
+		"Distinct tables the incremental stats tracker counts.",
+		func() float64 {
+			t.mu.RLock()
+			defer t.mu.RUnlock()
+			return float64(len(t.all.tables))
+		})
+	reg.GaugeFunc("cqms_stats_tracked_users",
+		"Distinct users the incremental stats tracker counts.",
+		func() float64 {
+			t.mu.RLock()
+			defer t.mu.RUnlock()
+			return float64(len(t.all.users))
+		})
+	reg.GaugeFunc("cqms_stats_owner_buckets",
+		"Per-owner visibility buckets the tracker currently holds.",
+		func() float64 {
+			t.mu.RLock()
+			defer t.mu.RUnlock()
+			return float64(len(t.owners))
+		})
 }

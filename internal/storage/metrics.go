@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// storeMetrics holds the store's instruments. The maps and histogram pointers
+// are read-only after EnableMetrics builds them; the store guards the
+// *storeMetrics pointer itself with commitMu, so mutation paths read it while
+// already holding the lock and pay no extra synchronisation.
+type storeMetrics struct {
+	// mutations counts committed mutations by op. Built eagerly for every
+	// known op; an unknown op indexes to a nil counter, which Inc ignores.
+	mutations map[MutationOp]*telemetry.Counter
+	// commitHold is the commit-lock hold time of each mutating operation —
+	// the store's write-stall budget, including every bus callback that ran
+	// under the lock.
+	commitHold *telemetry.Histogram
+	// capture is the time StateWith spends copying the store under the
+	// commit lock (the snapshot write-stall).
+	capture *telemetry.Histogram
+	// busVec times each bus callback by subscriber name; the WAL slot
+	// reports as subscriber="wal".
+	busVec      *telemetry.HistogramVec
+	walCallback *telemetry.Histogram
+}
+
+// allMutationOps lists every op for eager counter registration, so a scrape
+// shows zero-valued families before the first mutation of each kind.
+var allMutationOps = []MutationOp{
+	OpPut, OpAnnotate, OpSetVisibility, OpDelete, OpAssignSession, OpAddEdge,
+	OpMarkInvalid, OpMarkValid, OpMarkStale, OpUpdateStats, OpSetSample,
+	OpSetQuality, OpReplaceText,
+}
+
+// EnableMetrics registers the store's instruments on reg and starts
+// recording. Call it once, before attaching bus subscribers if their callback
+// durations should be observed from the first mutation (subscribers attached
+// earlier are picked up too). A nil registry leaves the store uninstrumented.
+func (s *Store) EnableMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &storeMetrics{
+		mutations: make(map[MutationOp]*telemetry.Counter, len(allMutationOps)),
+		commitHold: reg.Histogram("cqms_store_commit_lock_hold_seconds",
+			"Time the commit lock was held per mutating store operation, including bus callbacks.", nil),
+		capture: reg.Histogram("cqms_store_state_capture_seconds",
+			"Time spent copying the store state under the commit lock for a snapshot.", nil),
+		busVec: reg.HistogramVec("cqms_bus_callback_seconds",
+			"Mutation-bus callback duration by subscriber; runs under the commit lock, so this is each subscriber's share of the write stall.",
+			nil, "subscriber"),
+	}
+	mutVec := reg.CounterVec("cqms_store_mutations_total",
+		"Committed store mutations by operation.", "op")
+	for _, op := range allMutationOps {
+		m.mutations[op] = mutVec.With(string(op))
+	}
+	m.walCallback = m.busVec.With("wal")
+
+	reg.GaugeFunc("cqms_store_records",
+		"Number of query records currently stored.",
+		func() float64 { return float64(s.Count()) })
+	reg.GaugeFunc("cqms_store_session_edges",
+		"Number of session edges currently stored.",
+		func() float64 {
+			s.idx.RLock()
+			n := len(s.idx.edges)
+			s.idx.RUnlock()
+			return float64(n)
+		})
+	shardVec := reg.GaugeFuncVec("cqms_store_shard_records",
+		"Records per lock-striped shard (admin-only; exposes the ID hash distribution).", "shard")
+	for i := range s.shards {
+		sh := &s.shards[i]
+		shardVec.With(func() float64 {
+			sh.mu.RLock()
+			n := len(sh.recs)
+			sh.mu.RUnlock()
+			return float64(n)
+		}, strconv.Itoa(i))
+	}
+	reg.AdminOnly("cqms_store_shard_records")
+
+	s.commitMu.Lock()
+	s.metrics = m
+	for i := range s.subs {
+		s.subs[i].hist = m.busVec.With(s.subs[i].name)
+	}
+	s.commitMu.Unlock()
+}
+
+// lockCommit takes the commit lock and stamps the acquisition time when the
+// store is instrumented; unlockCommit observes the hold duration. Mutating
+// methods use the pair instead of raw Lock/Unlock.
+func (s *Store) lockCommit() {
+	s.commitMu.Lock()
+	if s.metrics != nil {
+		s.commitLockedAt = time.Now()
+	}
+}
+
+func (s *Store) unlockCommit() {
+	if m := s.metrics; m != nil {
+		m.commitHold.Observe(time.Since(s.commitLockedAt))
+	}
+	s.commitMu.Unlock()
+}

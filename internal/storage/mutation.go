@@ -3,6 +3,9 @@ package storage
 import (
 	"encoding/json"
 	"fmt"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // MutationOp names a mutating store operation. The op codes are part of the
@@ -115,6 +118,10 @@ type busSubscriber struct {
 	reset      func()
 	checkpoint func() (version int, data []byte, err error)
 	restore    func(version int, data []byte) error
+	// hist times this subscriber's callbacks (nil when the store is not
+	// instrumented); since callbacks run under the commit lock, it is the
+	// subscriber's share of the write stall.
+	hist *telemetry.Histogram
 }
 
 // SubscribeOptions configures a mutation-bus subscription.
@@ -150,10 +157,14 @@ func (s *Store) Subscribe(name string, fn MutationHook, opts SubscribeOptions) (
 	defer s.commitMu.Unlock()
 	s.nextSubID++
 	id := s.nextSubID
-	s.subs = append(s.subs, busSubscriber{
+	sub := busSubscriber{
 		id: id, name: name, fn: fn,
 		reset: opts.Reset, checkpoint: opts.Checkpoint, restore: opts.Restore,
-	})
+	}
+	if s.metrics != nil {
+		sub.hist = s.metrics.busVec.With(name)
+	}
+	s.subs = append(s.subs, sub)
 	if opts.Init != nil {
 		opts.Init()
 	}
@@ -186,13 +197,31 @@ func (s *Store) observed() bool {
 }
 
 // emit fans a live mutation out to the WAL slot first, then to every
-// subscriber in subscription order. Callers must hold the commit lock.
+// subscriber in subscription order. When the store is instrumented, each
+// callback is timed individually (clock reads happen only on the metered
+// path). Callers must hold the commit lock.
 func (s *Store) emit(m *Mutation) {
-	if s.hook != nil {
-		s.hook(m)
+	met := s.metrics
+	if met == nil {
+		if s.hook != nil {
+			s.hook(m)
+		}
+		for _, sub := range s.subs {
+			sub.fn(m)
+		}
+		return
 	}
-	for _, sub := range s.subs {
+	met.mutations[m.Op].Inc()
+	if s.hook != nil {
+		start := time.Now()
+		s.hook(m)
+		met.walCallback.Observe(time.Since(start))
+	}
+	for i := range s.subs {
+		sub := &s.subs[i]
+		start := time.Now()
 		sub.fn(m)
+		sub.hist.Observe(time.Since(start))
 	}
 }
 
@@ -200,8 +229,19 @@ func (s *Store) emit(m *Mutation) {
 // slot must not see it, or recovery would re-append the log to itself.
 // Callers must hold the commit lock.
 func (s *Store) emitReplay(m *Mutation) {
-	for _, sub := range s.subs {
+	met := s.metrics
+	if met == nil {
+		for _, sub := range s.subs {
+			sub.fn(m)
+		}
+		return
+	}
+	met.mutations[m.Op].Inc()
+	for i := range s.subs {
+		sub := &s.subs[i]
+		start := time.Now()
 		sub.fn(m)
+		sub.hist.Observe(time.Since(start))
 	}
 }
 
@@ -224,8 +264,8 @@ func (s *Store) notifyReset() {
 // rebuilt incrementally alongside the store. Apply takes ownership of the
 // mutation and its record: replay hands over freshly decoded values.
 func (s *Store) Apply(m *Mutation) error {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	s.lockCommit()
+	defer s.unlockCommit()
 	if err := s.apply(m); err != nil {
 		return err
 	}

@@ -1,5 +1,7 @@
 package storage
 
+import "time"
+
 // StoreState is the full serialisable state of a Store: every record in
 // insertion order, the session edge relation and the ID counter. It is what
 // the WAL subsystem writes as a snapshot and what recovery loads before
@@ -45,8 +47,12 @@ func (s *Store) StateWithCheckpoints(capture func()) (*StoreState, []SubscriberC
 }
 
 func (s *Store) stateWith(capture func(), checkpoints bool) (*StoreState, []SubscriberCheckpoint) {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	s.lockCommit()
+	defer s.unlockCommit()
+	if met := s.metrics; met != nil {
+		start := time.Now()
+		defer func() { met.capture.Observe(time.Since(start)) }()
+	}
 	if capture != nil {
 		capture()
 	}

@@ -59,6 +59,12 @@ type Store struct {
 	nextSubID int
 	now       func() time.Time // guarded by commitMu
 
+	// metrics, when non-nil, holds the store's instruments (EnableMetrics).
+	// commitLockedAt is the commit-lock acquisition stamp lockCommit records
+	// so unlockCommit can observe the hold time. Both guarded by commitMu.
+	metrics        *storeMetrics
+	commitLockedAt time.Time
+
 	// nextID is the ID high-water mark. Written only under commitMu; read
 	// atomically by Snapshot, which uses it to exclude records inserted
 	// after the snapshot from indexed scans.
@@ -161,8 +167,8 @@ func (s *Store) SetClock(now func() time.Time) {
 // of the record: the caller must not mutate it afterwards, because readers
 // receive it without cloning.
 func (s *Store) Put(rec *QueryRecord) QueryID {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	s.lockCommit()
+	defer s.unlockCommit()
 	rec.ID = QueryID(s.nextID.Load() + 1)
 	if rec.IssuedAt.IsZero() {
 		rec.IssuedAt = s.now()
@@ -190,8 +196,8 @@ func (s *Store) PutBatch(recs []*QueryRecord) []QueryID {
 		return nil
 	}
 	ids := make([]QueryID, len(recs))
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	s.lockCommit()
+	defer s.unlockCommit()
 	for i, rec := range recs {
 		rec.ID = QueryID(s.nextID.Load() + 1)
 		if rec.IssuedAt.IsZero() {
@@ -432,8 +438,8 @@ func PickDisplayName(names map[string]int, fallback string) string {
 // Annotate appends an annotation to the query. Only the owner, a member of
 // the owning group, or an admin may annotate.
 func (s *Store) Annotate(id QueryID, p Principal, ann Annotation) error {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	s.lockCommit()
+	defer s.unlockCommit()
 	rec, err := s.lookup(id)
 	if err != nil {
 		return err
@@ -458,8 +464,8 @@ func (s *Store) Annotate(id QueryID, p Principal, ann Annotation) error {
 // SetVisibility changes who can see the query. Only the owner or an admin
 // may change visibility (User Administrative Interaction Mode).
 func (s *Store) SetVisibility(id QueryID, p Principal, v Visibility) error {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	s.lockCommit()
+	defer s.unlockCommit()
 	rec, err := s.lookup(id)
 	if err != nil {
 		return err
@@ -478,8 +484,8 @@ func (s *Store) SetVisibility(id QueryID, p Principal, v Visibility) error {
 // Delete removes a query from the store. Only the owner or an admin may
 // delete (§2.4 "Users will need the ability to delete old queries").
 func (s *Store) Delete(id QueryID, p Principal) error {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	s.lockCommit()
+	defer s.unlockCommit()
 	rec, err := s.lookup(id)
 	if err != nil {
 		return err
@@ -581,8 +587,8 @@ func (s *Store) removeEdgesLocked(rec *QueryRecord) {
 // session detector). Re-assigning the same session is a no-op so the periodic
 // mining pass does not flood the mutation log.
 func (s *Store) AssignSession(id QueryID, sessionID int64) error {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	s.lockCommit()
+	defer s.unlockCommit()
 	rec, err := s.lookup(id)
 	if err != nil {
 		return err
@@ -602,8 +608,8 @@ func (s *Store) AssignSession(id QueryID, sessionID int64) error {
 // already exists is a no-op: the session detector re-derives the full edge
 // set on every mining pass.
 func (s *Store) AddEdge(edge SessionEdge) error {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	s.lockCommit()
+	defer s.unlockCommit()
 	if _, dup := s.edgeSet[edge]; dup {
 		return nil
 	}
@@ -678,8 +684,8 @@ func (s *Store) ReplaceText(id QueryID, updated *QueryRecord) error {
 
 // mutate applies a mutation under the commit lock and emits it on success.
 func (s *Store) mutate(m *Mutation) error {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	s.lockCommit()
+	defer s.unlockCommit()
 	if err := s.apply(m); err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // Config is the durability section of the CQMS configuration.
@@ -23,6 +24,9 @@ type Config struct {
 	// SnapshotEvery is how often the background scheduler snapshots the
 	// store and compacts the log (0 disables scheduled snapshots).
 	SnapshotEvery time.Duration
+	// Metrics, when set, receives the WAL's instruments: append/fsync/
+	// snapshot/compaction latency, segment gauges and recovery outcome.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig returns the default durability configuration for a data
@@ -49,6 +53,8 @@ type RecoveryInfo struct {
 	Replayed int
 	// TornTail reports that a partially written final record was discarded.
 	TornTail bool
+	// Duration is the wall-clock time the recovery took.
+	Duration time.Duration
 	// Queries is the store's record count after recovery.
 	Queries int
 	// CheckpointRestored names the derived-state bus subscribers whose
@@ -108,6 +114,10 @@ type Manager struct {
 	// Close rather than failing the in-memory mutation that already happened.
 	errMu     sync.Mutex
 	appendErr error
+
+	// met holds the manager's instruments; nil when cfg.Metrics was nil.
+	// Set once in Open before the mutation hook is installed.
+	met *managerMetrics
 }
 
 // Open recovers the store from cfg.Dir (newest snapshot + replay of the log
@@ -119,6 +129,7 @@ type Manager struct {
 // observe them and rebuild incrementally during this call. The store must be
 // empty of queries: recovery replaces its contents.
 func Open(store *storage.Store, cfg Config) (*Manager, *RecoveryInfo, error) {
+	recoveryStart := time.Now()
 	policy, err := ParseSyncPolicy(cfg.SyncPolicy)
 	if err != nil {
 		return nil, nil, err
@@ -128,6 +139,7 @@ func Open(store *storage.Store, cfg Config) (*Manager, *RecoveryInfo, error) {
 		Sync:         policy,
 		SyncInterval: cfg.SyncInterval,
 		SegmentBytes: cfg.SegmentBytes,
+		Metrics:      cfg.Metrics,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -191,6 +203,8 @@ func Open(store *storage.Store, cfg Config) (*Manager, *RecoveryInfo, error) {
 	for _, sc := range sidecars {
 		m.sidecars = append(m.sidecars, sc.Info())
 	}
+	info.Duration = time.Since(recoveryStart)
+	m.enableMetrics(cfg.Metrics, info, info.Duration)
 	store.SetMutationHook(m.appendMutation)
 	return m, info, nil
 }
@@ -198,12 +212,19 @@ func Open(store *storage.Store, cfg Config) (*Manager, *RecoveryInfo, error) {
 // appendMutation is the bus's WAL-slot callback. It runs under the store's
 // commit lock, which keeps log order identical to apply order.
 func (m *Manager) appendMutation(mut *storage.Mutation) {
+	var start time.Time
+	if m.met != nil {
+		start = time.Now()
+	}
 	payload, err := mut.Encode()
 	if err != nil {
 		m.recordErr(fmt.Errorf("wal: encoding %s mutation: %w", mut.Op, err))
 		return
 	}
 	seq, err := m.log.Append(payload)
+	if m.met != nil {
+		m.met.append.Observe(time.Since(start))
+	}
 	if seq != 0 {
 		// Even on a failed fsync the record is in the log; snapshots must
 		// cover it or the next recovery would re-apply it.
@@ -245,6 +266,8 @@ func (m *Manager) Snapshot() (string, uint64, error) {
 }
 
 func (m *Manager) snapshotLocked() (string, uint64, error) {
+	// Snapshots are rare; an unconditional clock read is fine here.
+	start := time.Now()
 	var seq uint64
 	st, cps := m.store.StateWithCheckpoints(func() { seq = m.lastSeq.Load() })
 	payload, err := json.Marshal(st)
@@ -268,6 +291,9 @@ func (m *Manager) snapshotLocked() (string, uint64, error) {
 	m.sidecarMu.Lock()
 	m.sidecars = infos
 	m.sidecarMu.Unlock()
+	if m.met != nil {
+		m.met.snapshot.Observe(time.Since(start))
+	}
 	return path, seq, nil
 }
 
@@ -277,6 +303,7 @@ func (m *Manager) snapshotLocked() (string, uint64, error) {
 func (m *Manager) Compact() (string, uint64, int, error) {
 	m.snapMu.Lock()
 	defer m.snapMu.Unlock()
+	start := time.Now()
 	path, seq, err := m.snapshotLocked()
 	if err != nil {
 		return "", 0, 0, err
@@ -287,6 +314,9 @@ func (m *Manager) Compact() (string, uint64, int, error) {
 	}
 	if _, err := RemoveSnapshotsBefore(m.cfg.Dir, seq); err != nil {
 		return path, seq, removed, err
+	}
+	if m.met != nil {
+		m.met.compaction.Observe(time.Since(start))
 	}
 	return path, seq, removed, nil
 }

@@ -35,6 +35,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // SyncPolicy controls when appended records are fsynced to stable storage.
@@ -95,6 +97,8 @@ type Options struct {
 	// SegmentBytes is the size threshold at which the active segment is
 	// rotated.
 	SegmentBytes int64
+	// Metrics, when set, receives the log's fsync instruments.
+	Metrics *telemetry.Registry
 }
 
 func (o *Options) withDefaults() Options {
@@ -128,6 +132,7 @@ type Log struct {
 	truncated bool   // a torn tail was cut during open
 	closed    bool
 	bgErr     error // first background-flush failure
+	met       *logMetrics
 
 	stopFlush chan struct{}
 	flushDone chan struct{}
@@ -183,7 +188,7 @@ func OpenLog(opts Options) (*Log, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	l := &Log{dir: opts.Dir, opts: opts}
+	l := &Log{dir: opts.Dir, opts: opts, met: newLogMetrics(opts.Metrics, opts.Sync)}
 	segs, err := listSegments(opts.Dir)
 	if err != nil {
 		return nil, err
@@ -337,8 +342,16 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
+	var start time.Time
+	if l.met != nil {
+		start = time.Now()
+	}
 	if err := l.file.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if l.met != nil {
+		l.met.fsync.Observe(time.Since(start))
+		l.met.fsyncs.Inc()
 	}
 	l.dirty = false
 	return nil
