@@ -18,6 +18,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -792,6 +793,38 @@ func BenchmarkWALAppend(b *testing.B) {
 			}
 			b.StopTimer()
 			if err := mgr.Err(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkOpenLoopIngest measures raw ingest throughput with concurrent
+// submitters hammering a durable store under SyncAlways — the paper's
+// "profiler logs every query as a side effect of normal use" firehose. With
+// one fsync per record inside the commit lock, throughput is flat (or worse)
+// as submitters are added; with group commit the concurrent submitters share
+// fsyncs and throughput scales.
+func BenchmarkOpenLoopIngest(b *testing.B) {
+	for _, submitters := range []int{1, 8} {
+		b.Run(fmt.Sprintf("submitters=%d", submitters), func(b *testing.B) {
+			store := storage.NewStore()
+			cfg := wal.DefaultConfig(b.TempDir())
+			cfg.SyncPolicy = "always"
+			mgr, _, err := wal.Open(store, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			recs := walBenchRecords(b)
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			runConcurrent(b, submitters, func() {
+				i := int(next.Add(1))
+				store.Put(recs[i%len(recs)].Clone())
+			})
+			b.StopTimer()
+			if err := mgr.Close(); err != nil {
 				b.Fatal(err)
 			}
 		})

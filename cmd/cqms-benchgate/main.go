@@ -1,18 +1,21 @@
 // Command cqms-benchgate is the CI perf-regression gate: it parses `go test
 // -bench` output into a machine-readable BENCH_<sha>.json and fails when any
-// benchmark regressed beyond a ratio against a committed baseline.
+// benchmark regressed beyond a ratio against a committed baseline — on time
+// (ns/op) and, when the run used -benchmem, on allocation count (allocs/op).
 //
 // Usage:
 //
-//	go test -run '^$' -bench '...' -count 3 . | tee bench.out
+//	go test -run '^$' -bench '...' -benchmem -count 3 . | tee bench.out
 //	cqms-benchgate -in bench.out -out BENCH_$(git rev-parse --short HEAD).json \
-//	    -baseline BENCH_BASELINE.json -max-ratio 2.0
+//	    -baseline BENCH_BASELINE.json -max-ratio 2.0 -max-alloc-ratio 2.0
 //
-// With -count > 1 the best (minimum) ns/op per benchmark is kept, which
-// filters scheduler noise on shared CI runners; the 2x default ratio leaves
-// headroom for machine-class differences between the baseline host and the
-// runner. Regenerate the baseline (-in ... -out BENCH_BASELINE.json, no
-// -baseline) whenever a PR intentionally changes the performance envelope.
+// With -count > 1 the best (minimum) value per benchmark and metric is kept,
+// which filters scheduler noise on shared CI runners; the 2x default ratios
+// leave headroom for machine-class differences between the baseline host and
+// the runner. Allocation counts are far more stable than wall time, but the
+// shared ratio keeps one mental model for both gates. Regenerate the baseline
+// (-in ... -out BENCH_BASELINE.json, no -baseline) whenever a PR
+// intentionally changes the performance envelope.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
@@ -29,11 +33,13 @@ import (
 	"strings"
 )
 
-// Result is one benchmark's best observed cost.
+// Result is one benchmark's best observed cost. AllocsPerOp is a pointer so
+// that a measured zero (an allocation-free path, worth gating) is distinct
+// from a run without -benchmem (nothing to gate).
 type Result struct {
-	NsPerOp     float64 `json:"nsPerOp"`
-	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
-	Runs        int     `json:"runs"`
+	NsPerOp     float64  `json:"nsPerOp"`
+	AllocsPerOp *float64 `json:"allocsPerOp,omitempty"`
+	Runs        int      `json:"runs"`
 }
 
 // Report is the BENCH_<sha>.json artifact.
@@ -73,8 +79,14 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 		res.Runs++
 		if res.Runs == 1 || ns < res.NsPerOp {
 			res.NsPerOp = ns
-			if am := allocsField.FindStringSubmatch(m[3]); am != nil {
-				res.AllocsPerOp, _ = strconv.ParseFloat(am[1], 64)
+		}
+		// Each metric keeps its own minimum: the fastest run is not always
+		// the leanest one, and the gate wants the best observed cost per axis.
+		if am := allocsField.FindStringSubmatch(m[3]); am != nil {
+			if a, err := strconv.ParseFloat(am[1], 64); err == nil {
+				if res.AllocsPerOp == nil || a < *res.AllocsPerOp {
+					res.AllocsPerOp = &a
+				}
 			}
 		}
 		out[name] = res
@@ -85,17 +97,22 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 	return out, nil
 }
 
-// regression is one gate violation.
+// regression is one gate violation on one metric (ns/op or allocs/op).
 type regression struct {
 	name              string
+	metric            string
 	baseline, current float64
 	ratio             float64
 }
 
-// gate compares current results against the baseline. A benchmark present in
-// the baseline but absent from the run fails the gate too — silently dropping
-// a benchmark from CI must not pass as a perf win.
-func gate(current, baseline map[string]Result, maxRatio float64) (regressions []regression, missing []string) {
+// gate compares current results against the baseline on both time and
+// allocation budgets. A benchmark present in the baseline but absent from the
+// run fails the gate too — silently dropping a benchmark from CI must not
+// pass as a perf win; the same applies to dropping -benchmem when the
+// baseline carries an allocation budget. A zero-alloc baseline is a hard
+// budget: any allocation at all fails it, since no ratio can express
+// "regressed from nothing".
+func gate(current, baseline map[string]Result, maxRatio, maxAllocRatio float64) (regressions []regression, missing []string) {
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
 		names = append(names, name)
@@ -110,8 +127,26 @@ func gate(current, baseline map[string]Result, maxRatio float64) (regressions []
 		}
 		if base.NsPerOp > 0 && cur.NsPerOp > maxRatio*base.NsPerOp {
 			regressions = append(regressions, regression{
-				name: name, baseline: base.NsPerOp, current: cur.NsPerOp,
+				name: name, metric: "ns/op", baseline: base.NsPerOp, current: cur.NsPerOp,
 				ratio: cur.NsPerOp / base.NsPerOp,
+			})
+		}
+		if base.AllocsPerOp == nil {
+			continue
+		}
+		b := *base.AllocsPerOp
+		switch {
+		case cur.AllocsPerOp == nil:
+			missing = append(missing, name+" allocs/op (baseline has an alloc budget; run with -benchmem)")
+		case b == 0 && *cur.AllocsPerOp > 0:
+			regressions = append(regressions, regression{
+				name: name, metric: "allocs/op", baseline: 0, current: *cur.AllocsPerOp,
+				ratio: math.Inf(1),
+			})
+		case b > 0 && *cur.AllocsPerOp > maxAllocRatio*b:
+			regressions = append(regressions, regression{
+				name: name, metric: "allocs/op", baseline: b, current: *cur.AllocsPerOp,
+				ratio: *cur.AllocsPerOp / b,
 			})
 		}
 	}
@@ -120,10 +155,11 @@ func gate(current, baseline map[string]Result, maxRatio float64) (regressions []
 
 func run() error {
 	var (
-		in       = flag.String("in", "-", "benchmark output to parse (file, or - for stdin)")
-		out      = flag.String("out", "", "write the parsed results as JSON to this file")
-		baseline = flag.String("baseline", "", "baseline JSON to gate against (omit to only record)")
-		maxRatio = flag.Float64("max-ratio", 2.0, "fail when ns/op exceeds ratio × baseline")
+		in            = flag.String("in", "-", "benchmark output to parse (file, or - for stdin)")
+		out           = flag.String("out", "", "write the parsed results as JSON to this file")
+		baseline      = flag.String("baseline", "", "baseline JSON to gate against (omit to only record)")
+		maxRatio      = flag.Float64("max-ratio", 2.0, "fail when ns/op exceeds ratio × baseline")
+		maxAllocRatio = flag.Float64("max-alloc-ratio", 2.0, "fail when allocs/op exceeds ratio × baseline (a 0-alloc baseline fails on any allocation)")
 	)
 	flag.Parse()
 
@@ -165,13 +201,17 @@ func run() error {
 	if err := json.Unmarshal(baseData, &baseReport); err != nil {
 		return fmt.Errorf("parsing baseline %s: %w", *baseline, err)
 	}
-	regressions, missing := gate(results, baseReport.Benchmarks, *maxRatio)
+	regressions, missing := gate(results, baseReport.Benchmarks, *maxRatio, *maxAllocRatio)
 	for name, res := range results {
+		allocs := ""
+		if res.AllocsPerOp != nil {
+			allocs = fmt.Sprintf("  %6.0f allocs/op", *res.AllocsPerOp)
+		}
 		if base, ok := baseReport.Benchmarks[name]; ok && base.NsPerOp > 0 {
-			fmt.Printf("%-50s %14.0f ns/op  baseline %14.0f  ratio %.2fx\n",
-				name, res.NsPerOp, base.NsPerOp, res.NsPerOp/base.NsPerOp)
+			fmt.Printf("%-50s %14.0f ns/op  baseline %14.0f  ratio %.2fx%s\n",
+				name, res.NsPerOp, base.NsPerOp, res.NsPerOp/base.NsPerOp, allocs)
 		} else {
-			fmt.Printf("%-50s %14.0f ns/op  (no baseline — add on next regen)\n", name, res.NsPerOp)
+			fmt.Printf("%-50s %14.0f ns/op  (no baseline — add on next regen)%s\n", name, res.NsPerOp, allocs)
 		}
 	}
 	failed := false
@@ -180,8 +220,12 @@ func run() error {
 		failed = true
 	}
 	for _, r := range regressions {
-		fmt.Fprintf(os.Stderr, "GATE: %s regressed %.2fx (%.0f -> %.0f ns/op, limit %.1fx)\n",
-			r.name, r.ratio, r.baseline, r.current, *maxRatio)
+		limit := *maxRatio
+		if r.metric == "allocs/op" {
+			limit = *maxAllocRatio
+		}
+		fmt.Fprintf(os.Stderr, "GATE: %s regressed %.2fx (%.0f -> %.0f %s, limit %.1fx)\n",
+			r.name, r.ratio, r.baseline, r.current, r.metric, limit)
 		failed = true
 	}
 	if failed {

@@ -26,6 +26,10 @@ type storeMetrics struct {
 	// reports as subscriber="wal".
 	busVec      *telemetry.HistogramVec
 	walCallback *telemetry.Histogram
+	// durabilityWait is the time a mutating operation spent waiting for its
+	// WAL group-commit fsync after releasing the commit lock — latency the
+	// caller still pays, but that no longer stalls other writers.
+	durabilityWait *telemetry.Histogram
 }
 
 // allMutationOps lists every op for eager counter registration, so a scrape
@@ -53,6 +57,8 @@ func (s *Store) EnableMetrics(reg *telemetry.Registry) {
 		busVec: reg.HistogramVec("cqms_bus_callback_seconds",
 			"Mutation-bus callback duration by subscriber; runs under the commit lock, so this is each subscriber's share of the write stall.",
 			nil, "subscriber"),
+		durabilityWait: reg.Histogram("cqms_store_durability_wait_seconds",
+			"Time a mutating operation waited, outside the commit lock, for its WAL group-commit fsync.", nil),
 	}
 	mutVec := reg.CounterVec("cqms_store_mutations_total",
 		"Committed store mutations by operation.", "op")
@@ -108,4 +114,25 @@ func (s *Store) unlockCommit() {
 		m.commitHold.Observe(time.Since(s.commitLockedAt))
 	}
 	s.commitMu.Unlock()
+}
+
+// commitAndWait releases the commit lock and then, when a durability waiter
+// is installed and the mutation reached the WAL, blocks until the WAL batch
+// covering seq is durable. Waiting after the unlock is what turns concurrent
+// writers into one group commit: the next writer sequences (and joins the
+// in-flight fsync batch) while this one waits.
+func (s *Store) commitAndWait(seq uint64) {
+	wait := s.durable
+	met := s.metrics
+	s.unlockCommit()
+	if wait == nil || seq == 0 {
+		return
+	}
+	if met == nil {
+		wait(seq)
+		return
+	}
+	start := time.Now()
+	wait(seq)
+	met.durabilityWait.Observe(time.Since(start))
 }

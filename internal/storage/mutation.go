@@ -59,7 +59,21 @@ type Mutation struct {
 	// replay re-derives them while re-applying.
 	prev *QueryRecord
 	next *QueryRecord
+
+	// walSeq is the WAL sequence the durability slot assigned this mutation
+	// (0 when the store runs without a WAL). Unexported so it stays out of
+	// the WAL JSON; write paths use it to wait for group-commit durability
+	// after releasing the commit lock.
+	walSeq uint64
 }
+
+// SetWALSeq records the WAL sequence assigned to this mutation. The WAL slot
+// calls it from inside the mutation hook, under the commit lock.
+func (m *Mutation) SetWALSeq(seq uint64) { m.walSeq = seq }
+
+// WALSeq returns the WAL sequence the durability slot assigned (0 when the
+// mutation was not logged).
+func (m *Mutation) WALSeq() uint64 { return m.walSeq }
 
 // Prev returns the record version the mutation replaced (nil for a fresh
 // OpPut and for ops that do not touch a record). Populated only on mutations
@@ -187,6 +201,17 @@ func (s *Store) SetMutationHook(h MutationHook) {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	s.hook = h
+}
+
+// SetDurabilityWaiter installs the bus's durability-wait slot (nil disables
+// it). Mutating methods call it with the highest WAL sequence their emitted
+// mutations were assigned — after releasing the commit lock, so the fsync
+// wait of one batch never blocks the next batch from sequencing. The WAL
+// manager points it at the log's group-commit WaitDurable.
+func (s *Store) SetDurabilityWaiter(wait func(seq uint64)) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.durable = wait
 }
 
 // observed reports whether anything listens on the bus, letting write paths
@@ -421,16 +446,24 @@ func (s *Store) update(id QueryID, mutate func(next, old *QueryRecord)) (old, ne
 // order, which happens after the shard holds the record. Callers must hold
 // the commit lock.
 func (s *Store) insert(rec *QueryRecord) (replaced *QueryRecord) {
+	rec.prepare()
+	return s.insertPrepared(rec, computeIndexKeys(rec))
+}
+
+// insertPrepared is insert for the live write paths: the record is already
+// prepared and its index keys precomputed outside the commit lock, so the
+// critical section pays only the map inserts. Callers must hold the commit
+// lock.
+func (s *Store) insertPrepared(rec *QueryRecord, keys indexKeys) (replaced *QueryRecord) {
 	if old, ok := s.loadRecord(rec.ID); ok {
 		s.remove(old)
 		replaced = old
 	}
-	rec.prepare()
 	s.storeRecord(rec)
 	s.count.Add(1)
 	s.idx.Lock()
 	s.idx.order = append(s.idx.order, rec.ID)
-	s.indexLocked(rec)
+	s.indexPreparedLocked(rec, keys)
 	s.idx.Unlock()
 	if int64(rec.ID) > s.nextID.Load() {
 		s.nextID.Store(int64(rec.ID))

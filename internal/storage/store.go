@@ -59,6 +59,12 @@ type Store struct {
 	nextSubID int
 	now       func() time.Time // guarded by commitMu
 
+	// durable is the bus's durability-wait slot (SetDurabilityWaiter):
+	// mutating methods call it with their highest WAL sequence after
+	// releasing commitMu, so one batch's fsync wait never blocks the next
+	// batch from sequencing. Guarded by commitMu.
+	durable func(seq uint64)
+
 	// metrics, when non-nil, holds the store's instruments (EnableMetrics).
 	// commitLockedAt is the commit-lock acquisition stamp lockCommit records
 	// so unlockCommit can observe the hold time. Both guarded by commitMu.
@@ -124,9 +130,14 @@ func NewStore() *Store {
 	return s
 }
 
+// shardIndex maps a query ID onto the index of its lock stripe.
+func shardIndex(id QueryID) int {
+	return int((uint64(id) * 0x9e3779b97f4a7c15) >> (64 - shardBits))
+}
+
 // shardFor maps a query ID onto its lock stripe.
 func (s *Store) shardFor(id QueryID) *shard {
-	return &s.shards[(uint64(id)*0x9e3779b97f4a7c15)>>(64-shardBits)]
+	return &s.shards[shardIndex(id)]
 }
 
 // loadRecord returns the current immutable version of a record.
@@ -167,50 +178,125 @@ func (s *Store) SetClock(now func() time.Time) {
 // of the record: the caller must not mutate it afterwards, because readers
 // receive it without cloning.
 func (s *Store) Put(rec *QueryRecord) QueryID {
+	// Canonicalisation and index-key computation are pure per-record work;
+	// doing them before taking the commit lock shrinks the critical section
+	// to ID assignment, map inserts and the bus fan-out.
+	rec.prepare()
+	keys := computeIndexKeys(rec)
 	s.lockCommit()
-	defer s.unlockCommit()
 	rec.ID = QueryID(s.nextID.Load() + 1)
 	if rec.IssuedAt.IsZero() {
 		rec.IssuedAt = s.now()
 	}
 	rec.Valid = true
-	replaced := s.insert(rec)
+	replaced := s.insertPrepared(rec, keys)
+	var seq uint64
 	if s.observed() {
 		// Stored records are immutable, so the bus can reference the record
 		// directly without a defensive clone. A replaced record (impossible
 		// today — Put always assigns a fresh ID — but load-bearing should an
 		// ID-preserving put path ever appear) rides along as prev so
 		// subscribers retract its contributions.
-		s.emit(&Mutation{Op: OpPut, Record: rec, prev: replaced, next: rec})
+		m := &Mutation{Op: OpPut, Record: rec, prev: replaced, next: rec}
+		s.emit(m)
+		seq = m.walSeq
 	}
-	return rec.ID
+	id := rec.ID
+	s.commitAndWait(seq)
+	return id
 }
 
 // PutBatch inserts many records under a single commit-lock acquisition,
 // assigning consecutive IDs in slice order. It is the amortised write path
-// behind the batch-submit API: one lock round trip (and one contiguous run of
-// WAL hook emissions) instead of one per query. Like Put, it takes ownership
-// of every record.
+// behind the batch-submit API: one lock round trip, one contiguous run of
+// WAL hook emissions and one durability wait instead of one per query. Like
+// Put, it takes ownership of every record.
 func (s *Store) PutBatch(recs []*QueryRecord) []QueryID {
 	if len(recs) == 0 {
 		return nil
 	}
+	keys := make([]indexKeys, len(recs))
+	for i, rec := range recs {
+		rec.prepare()
+		keys[i] = computeIndexKeys(rec)
+	}
 	ids := make([]QueryID, len(recs))
 	s.lockCommit()
-	defer s.unlockCommit()
+	// Consecutive fresh IDs above the high-water mark: no record in the
+	// batch can replace an existing one, so the whole batch is published
+	// with bulk shard stores and one idx critical section instead of a
+	// lookup/insert round trip per record.
+	base := s.nextID.Load()
 	for i, rec := range recs {
-		rec.ID = QueryID(s.nextID.Load() + 1)
+		rec.ID = QueryID(base + int64(i) + 1)
 		if rec.IssuedAt.IsZero() {
 			rec.IssuedAt = s.now()
 		}
 		rec.Valid = true
-		replaced := s.insert(rec)
-		if s.observed() {
-			s.emit(&Mutation{Op: OpPut, Record: rec, prev: replaced, next: rec})
-		}
 		ids[i] = rec.ID
 	}
+	s.storeRecordsBatch(recs)
+	s.idx.Lock()
+	for i, rec := range recs {
+		s.idx.order = append(s.idx.order, rec.ID)
+		s.indexPreparedLocked(rec, keys[i])
+	}
+	s.idx.Unlock()
+	s.nextID.Store(base + int64(len(recs)))
+	s.count.Add(int64(len(recs)))
+	var seq uint64
+	if s.observed() {
+		for _, rec := range recs {
+			m := &Mutation{Op: OpPut, Record: rec, next: rec}
+			s.emit(m)
+			if m.walSeq != 0 {
+				seq = m.walSeq
+			}
+		}
+	}
+	s.commitAndWait(seq)
 	return ids
+}
+
+// parallelStoreThreshold is the batch size at which PutBatch fans shard-map
+// inserts out to worker goroutines; below it the goroutine handoff costs
+// more than the handful of map writes it would parallelise.
+const parallelStoreThreshold = 64
+
+// storeRecordsBatch publishes a batch of fresh records to their shards:
+// serially for small batches, one goroutine per touched shard for large
+// ones. Scans cannot observe a partial batch either way — records become
+// visible only when the insertion order is published, after this returns.
+// Callers must hold the commit lock.
+func (s *Store) storeRecordsBatch(recs []*QueryRecord) {
+	if len(recs) < parallelStoreThreshold {
+		for _, rec := range recs {
+			s.storeRecord(rec)
+		}
+		return
+	}
+	var groups [shardCount][]*QueryRecord
+	for _, rec := range recs {
+		i := shardIndex(rec.ID)
+		groups[i] = append(groups[i], rec)
+	}
+	var wg sync.WaitGroup
+	for i := range groups {
+		g := groups[i]
+		if len(g) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shard, g []*QueryRecord) {
+			defer wg.Done()
+			sh.mu.Lock()
+			for _, rec := range g {
+				sh.recs[rec.ID] = rec
+			}
+			sh.mu.Unlock()
+		}(&s.shards[i], g)
+	}
+	wg.Wait()
 }
 
 // insertIntoBucket adds an ID to a copy-on-write index bucket, preserving
@@ -237,11 +323,54 @@ func insertIntoBucket[K comparable](m map[K][]QueryID, key K, id QueryID) {
 	m[key] = out
 }
 
+// indexKeys holds the lower-cased inverted-index keys of one record,
+// precomputed outside the commit lock so indexing under the lock is pure map
+// work.
+type indexKeys struct {
+	tables []string // parallel to rec.Tables
+	attrs  []string // deduplicated "rel.attr" keys
+}
+
+// computeIndexKeys derives a record's index keys. It is pure per-record
+// work: live write paths call it before taking the commit lock.
+func computeIndexKeys(rec *QueryRecord) indexKeys {
+	var k indexKeys
+	if len(rec.Tables) > 0 {
+		k.tables = make([]string, len(rec.Tables))
+		for i, t := range rec.Tables {
+			k.tables[i] = strings.ToLower(t)
+		}
+	}
+	if len(rec.Attributes) > 0 {
+		k.attrs = make([]string, 0, len(rec.Attributes))
+		for _, a := range rec.Attributes {
+			key := strings.ToLower(a.Rel + "." + a.Attr)
+			dup := false
+			for _, seen := range k.attrs {
+				if seen == key {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				k.attrs = append(k.attrs, key)
+			}
+		}
+	}
+	return k
+}
+
 // indexLocked adds a record to every inverted index. Callers must hold the
 // idx write lock.
 func (s *Store) indexLocked(rec *QueryRecord) {
-	for _, t := range rec.Tables {
-		key := strings.ToLower(t)
+	s.indexPreparedLocked(rec, computeIndexKeys(rec))
+}
+
+// indexPreparedLocked adds a record to every inverted index using keys
+// computed by computeIndexKeys. Callers must hold the idx write lock.
+func (s *Store) indexPreparedLocked(rec *QueryRecord, keys indexKeys) {
+	for i, t := range rec.Tables {
+		key := keys.tables[i]
 		insertIntoBucket(s.idx.byTable, key, rec.ID)
 		names := s.idx.tableNames[key]
 		if names == nil {
@@ -250,13 +379,7 @@ func (s *Store) indexLocked(rec *QueryRecord) {
 		}
 		names[t]++
 	}
-	seenAttr := make(map[string]bool)
-	for _, a := range rec.Attributes {
-		key := strings.ToLower(a.Rel + "." + a.Attr)
-		if seenAttr[key] {
-			continue
-		}
-		seenAttr[key] = true
+	for _, key := range keys.attrs {
 		insertIntoBucket(s.idx.byAttribute, key, rec.ID)
 	}
 	insertIntoBucket(s.idx.byUser, rec.User, rec.ID)
@@ -439,12 +562,13 @@ func PickDisplayName(names map[string]int, fallback string) string {
 // the owning group, or an admin may annotate.
 func (s *Store) Annotate(id QueryID, p Principal, ann Annotation) error {
 	s.lockCommit()
-	defer s.unlockCommit()
 	rec, err := s.lookup(id)
 	if err != nil {
+		s.unlockCommit()
 		return err
 	}
 	if !rec.VisibleTo(p) {
+		s.unlockCommit()
 		return fmt.Errorf("%w: query %d", ErrAccessDenied, id)
 	}
 	if ann.At.IsZero() {
@@ -455,9 +579,11 @@ func (s *Store) Annotate(id QueryID, p Principal, ann Annotation) error {
 	}
 	m := &Mutation{Op: OpAnnotate, ID: id, Annotation: &ann}
 	if err := s.apply(m); err != nil {
+		s.unlockCommit()
 		return err
 	}
 	s.emit(m)
+	s.commitAndWait(m.walSeq)
 	return nil
 }
 
@@ -465,19 +591,22 @@ func (s *Store) Annotate(id QueryID, p Principal, ann Annotation) error {
 // may change visibility (User Administrative Interaction Mode).
 func (s *Store) SetVisibility(id QueryID, p Principal, v Visibility) error {
 	s.lockCommit()
-	defer s.unlockCommit()
 	rec, err := s.lookup(id)
 	if err != nil {
+		s.unlockCommit()
 		return err
 	}
 	if rec.User != p.User && !p.Admin {
+		s.unlockCommit()
 		return fmt.Errorf("%w: only the owner may change visibility of query %d", ErrAccessDenied, id)
 	}
 	m := &Mutation{Op: OpSetVisibility, ID: id, Visibility: v}
 	if err := s.apply(m); err != nil {
+		s.unlockCommit()
 		return err
 	}
 	s.emit(m)
+	s.commitAndWait(m.walSeq)
 	return nil
 }
 
@@ -485,19 +614,22 @@ func (s *Store) SetVisibility(id QueryID, p Principal, v Visibility) error {
 // delete (§2.4 "Users will need the ability to delete old queries").
 func (s *Store) Delete(id QueryID, p Principal) error {
 	s.lockCommit()
-	defer s.unlockCommit()
 	rec, err := s.lookup(id)
 	if err != nil {
+		s.unlockCommit()
 		return err
 	}
 	if rec.User != p.User && !p.Admin {
+		s.unlockCommit()
 		return fmt.Errorf("%w: only the owner may delete query %d", ErrAccessDenied, id)
 	}
 	m := &Mutation{Op: OpDelete, ID: id}
 	if err := s.apply(m); err != nil {
+		s.unlockCommit()
 		return err
 	}
 	s.emit(m)
+	s.commitAndWait(m.walSeq)
 	return nil
 }
 
@@ -588,19 +720,22 @@ func (s *Store) removeEdgesLocked(rec *QueryRecord) {
 // mining pass does not flood the mutation log.
 func (s *Store) AssignSession(id QueryID, sessionID int64) error {
 	s.lockCommit()
-	defer s.unlockCommit()
 	rec, err := s.lookup(id)
 	if err != nil {
+		s.unlockCommit()
 		return err
 	}
 	if rec.SessionID == sessionID {
+		s.unlockCommit()
 		return nil
 	}
 	m := &Mutation{Op: OpAssignSession, ID: id, SessionID: sessionID}
 	if err := s.apply(m); err != nil {
+		s.unlockCommit()
 		return err
 	}
 	s.emit(m)
+	s.commitAndWait(m.walSeq)
 	return nil
 }
 
@@ -609,15 +744,17 @@ func (s *Store) AssignSession(id QueryID, sessionID int64) error {
 // set on every mining pass.
 func (s *Store) AddEdge(edge SessionEdge) error {
 	s.lockCommit()
-	defer s.unlockCommit()
 	if _, dup := s.edgeSet[edge]; dup {
+		s.unlockCommit()
 		return nil
 	}
 	m := &Mutation{Op: OpAddEdge, Edge: &edge}
 	if err := s.apply(m); err != nil {
+		s.unlockCommit()
 		return err
 	}
 	s.emit(m)
+	s.commitAndWait(m.walSeq)
 	return nil
 }
 
@@ -682,14 +819,16 @@ func (s *Store) ReplaceText(id QueryID, updated *QueryRecord) error {
 	return s.mutate(&Mutation{Op: OpReplaceText, ID: id, Record: updated})
 }
 
-// mutate applies a mutation under the commit lock and emits it on success.
+// mutate applies a mutation under the commit lock, emits it on success and
+// waits for its durability outside the lock.
 func (s *Store) mutate(m *Mutation) error {
 	s.lockCommit()
-	defer s.unlockCommit()
 	if err := s.apply(m); err != nil {
+		s.unlockCommit()
 		return err
 	}
 	s.emit(m)
+	s.commitAndWait(m.walSeq)
 	return nil
 }
 

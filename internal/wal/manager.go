@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -21,6 +22,12 @@ type Config struct {
 	SyncInterval time.Duration
 	// SegmentBytes is the segment rotation threshold.
 	SegmentBytes int64
+	// GroupWindow is the optional group-commit accumulation window: how long
+	// the committer waits after noticing pending appends before it writes
+	// and fsyncs, trading per-append latency for larger shared batches. Zero
+	// (the default) adds no latency; batching still happens while a previous
+	// fsync is in flight.
+	GroupWindow time.Duration
 	// SnapshotEvery is how often the background scheduler snapshots the
 	// store and compacts the log (0 disables scheduled snapshots).
 	SnapshotEvery time.Duration
@@ -139,6 +146,7 @@ func Open(store *storage.Store, cfg Config) (*Manager, *RecoveryInfo, error) {
 		Sync:         policy,
 		SyncInterval: cfg.SyncInterval,
 		SegmentBytes: cfg.SegmentBytes,
+		GroupWindow:  cfg.GroupWindow,
 		Metrics:      cfg.Metrics,
 	})
 	if err != nil {
@@ -206,32 +214,68 @@ func Open(store *storage.Store, cfg Config) (*Manager, *RecoveryInfo, error) {
 	info.Duration = time.Since(recoveryStart)
 	m.enableMetrics(cfg.Metrics, info, info.Duration)
 	store.SetMutationHook(m.appendMutation)
+	store.SetDurabilityWaiter(m.waitDurable)
 	return m, info, nil
 }
 
+// encodeBuffer is one pooled JSON encode target: the encoder permanently
+// wraps its buffer, so a steady-state append reuses both instead of
+// allocating a fresh marshal result per mutation.
+type encodeBuffer struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encodePool = sync.Pool{New: func() any {
+	b := &encodeBuffer{}
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
+
 // appendMutation is the bus's WAL-slot callback. It runs under the store's
-// commit lock, which keeps log order identical to apply order.
+// commit lock, which keeps log order identical to apply order. It only
+// sequences the mutation — encode plus a buffer append — and stamps the
+// assigned WAL sequence on the mutation; the durability wait happens in
+// waitDurable, after the store releases the commit lock, so the next writer
+// can sequence (and share an fsync with) this one.
 func (m *Manager) appendMutation(mut *storage.Mutation) {
 	var start time.Time
 	if m.met != nil {
 		start = time.Now()
 	}
-	payload, err := mut.Encode()
-	if err != nil {
+	eb := encodePool.Get().(*encodeBuffer)
+	eb.buf.Reset()
+	if err := eb.enc.Encode(mut); err != nil {
+		encodePool.Put(eb)
 		m.recordErr(fmt.Errorf("wal: encoding %s mutation: %w", mut.Op, err))
 		return
 	}
-	seq, err := m.log.Append(payload)
+	payload := eb.buf.Bytes()
+	payload = payload[:len(payload)-1] // drop Encode's trailing newline
+	seq, err := m.log.AppendAsync(payload)
+	encodePool.Put(eb) // AppendAsync copied the payload into its batch buffer
 	if m.met != nil {
 		m.met.append.Observe(time.Since(start))
 	}
 	if seq != 0 {
 		// Even on a failed fsync the record is in the log; snapshots must
 		// cover it or the next recovery would re-apply it.
+		mut.SetWALSeq(seq)
 		m.lastSeq.Store(seq)
 		m.appendsSinceSnapshot.Add(1)
 	}
 	if err != nil {
+		m.recordErr(err)
+	}
+}
+
+// waitDurable is the store's durability-wait slot: mutating operations call
+// it with their highest WAL sequence after releasing the commit lock. Under
+// the always policy it blocks until the group-commit fsync covering seq
+// completes; under interval/off it returns immediately (those policies
+// acknowledge before durability by design).
+func (m *Manager) waitDurable(seq uint64) {
+	if err := m.log.WaitDurable(seq); err != nil {
 		m.recordErr(err)
 	}
 }
@@ -361,10 +405,12 @@ func (m *Manager) Info() (Info, error) {
 // Config returns the durability configuration the manager was opened with.
 func (m *Manager) Config() Config { return m.cfg }
 
-// Close detaches the hook, flushes the log and closes it. It returns the
-// first append error encountered during the manager's lifetime, if any.
+// Close detaches the hook and durability waiter, flushes the log and closes
+// it. It returns the first append error encountered during the manager's
+// lifetime, if any.
 func (m *Manager) Close() error {
 	m.store.SetMutationHook(nil)
+	m.store.SetDurabilityWaiter(nil)
 	err := m.log.Close()
 	if aerr := m.Err(); err == nil {
 		err = aerr

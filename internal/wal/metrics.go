@@ -13,6 +13,23 @@ type logMetrics struct {
 	// fsyncs is pre-labeled with this log's sync policy, so the counter can
 	// be bumped without a label lookup on the sync path.
 	fsyncs *telemetry.Counter
+	// batchRecords is the group-commit batch-size distribution. The
+	// histogram is duration-based, so batch sizes are encoded one record per
+	// second: a bucket bound of 8 means "batches of up to 8 records" and the
+	// _sum is the total number of batched records.
+	batchRecords *telemetry.Histogram
+	// fsyncsSaved counts records that shared another record's fsync under
+	// the always policy — the fsyncs the group committer avoided compared to
+	// one-fsync-per-record.
+	fsyncsSaved *telemetry.Counter
+}
+
+// batchSizeBuckets are record counts encoded as seconds (see
+// logMetrics.batchRecords).
+var batchSizeBuckets = []time.Duration{
+	1 * time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+	16 * time.Second, 32 * time.Second, 64 * time.Second, 128 * time.Second,
+	256 * time.Second, 512 * time.Second,
 }
 
 func newLogMetrics(reg *telemetry.Registry, policy SyncPolicy) *logMetrics {
@@ -25,6 +42,11 @@ func newLogMetrics(reg *telemetry.Registry, policy SyncPolicy) *logMetrics {
 		fsyncs: reg.CounterVec("cqms_wal_fsyncs_total",
 			"WAL fsync calls by the sync policy the log runs under.", "policy").
 			With(policy.String()),
+		batchRecords: reg.Histogram("cqms_wal_group_commit_records",
+			"Records per group-commit batch; sizes are encoded one record per second (le=\"8\" = batches of up to 8 records).",
+			batchSizeBuckets),
+		fsyncsSaved: reg.Counter("cqms_wal_fsyncs_saved_total",
+			"Fsyncs avoided by group commit under the always policy: records acknowledged by another record's batch fsync."),
 	}
 }
 
@@ -46,7 +68,7 @@ func (m *Manager) enableMetrics(reg *telemetry.Registry, info *RecoveryInfo, rec
 	}
 	m.met = &managerMetrics{
 		append: reg.Histogram("cqms_wal_append_seconds",
-			"Time to encode-and-append one mutation to the WAL (inside the commit lock).", nil),
+			"Time to encode and sequence one mutation into the WAL (inside the commit lock; excludes the group-commit durability wait).", nil),
 		snapshot: reg.Histogram("cqms_wal_snapshot_seconds",
 			"Time to capture and write one full-store snapshot.", nil),
 		compaction: reg.Histogram("cqms_wal_compaction_seconds",
@@ -56,6 +78,15 @@ func (m *Manager) enableMetrics(reg *telemetry.Registry, info *RecoveryInfo, rec
 	reg.GaugeFunc("cqms_wal_last_seq",
 		"Sequence number of the most recently appended WAL record.",
 		func() float64 { return float64(m.lastSeq.Load()) })
+	reg.GaugeFunc("cqms_wal_sequence_durable_lag",
+		"Mutations sequenced in the WAL but not yet covered by a completed fsync (group-commit pipeline depth).",
+		func() float64 {
+			lag := float64(m.lastSeq.Load()) - float64(m.log.DurableSeq())
+			if lag < 0 {
+				return 0
+			}
+			return lag
+		})
 	reg.GaugeFunc("cqms_wal_snapshot_seq",
 		"Sequence the newest snapshot covers.",
 		func() float64 { return float64(m.snapshotSeq.Load()) })
