@@ -52,6 +52,7 @@ func main() {
 		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout")
 		writeTimeout      = flag.Duration("write-timeout", time.Minute, "HTTP write timeout (bounds slow scans)")
 		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
+		captureParseErrs  = flag.Bool("capture-parse-errors", false, "log unparsable submissions as raw records (parse_error class) instead of rejecting them; enable when a cqms-proxy submits passively captured traffic here")
 		accessLog         = flag.Bool("access-log", true, "log one line per request")
 		slowRequest       = flag.Duration("slow-request", time.Second, "log requests slower than this with their request ID (0 disables)")
 	)
@@ -66,6 +67,7 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.MiningInterval = *miningInterval
 	cfg.MaintenanceInterval = *maintainInterval
+	cfg.Profiler.CaptureParseErrors = *captureParseErrs
 	if *dataDir != "" {
 		cfg.Durability = wal.DefaultConfig(*dataDir)
 		cfg.Durability.SyncPolicy = *syncPolicy

@@ -2,13 +2,16 @@
 // traces used by the experiments and prints either a summary or the full
 // trace. With -server it replays the trace against a running cqms-server
 // through the v1 batch-submit endpoint, so the serving path can be loaded
-// from the outside.
+// from the outside. With -proxy it replays the trace as Postgres
+// wire-protocol sessions through a running cqms-proxy (one frontend
+// connection per user), exercising the passive-capture path end to end.
 //
 // Usage:
 //
 //	cqms-workload -users 20 -sessions 10 -summary
 //	cqms-workload -users 5 -sessions 2 -dump
 //	cqms-workload -users 5 -sessions 2 -server http://localhost:8080 -batch 100
+//	cqms-workload -users 5 -sessions 2 -proxy localhost:6432
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/client"
+	"repro/internal/pgwire"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -34,6 +38,7 @@ func main() {
 		summary   = flag.Bool("summary", true, "print a workload summary")
 		serverURL = flag.String("server", "", "replay the trace against this CQMS server over the v1 API")
 		batchSize = flag.Int("batch", 100, "queries per batch-submit round trip when replaying")
+		proxyAddr = flag.String("proxy", "", "replay the trace through this cqms-proxy as Postgres wire-protocol sessions")
 	)
 	flag.Parse()
 
@@ -46,6 +51,11 @@ func main() {
 	if *serverURL != "" {
 		if err := replayOverHTTP(trace, *serverURL, *batchSize); err != nil {
 			log.Fatalf("cqms-workload: replaying to %s: %v", *serverURL, err)
+		}
+	}
+	if *proxyAddr != "" {
+		if err := replayOverProxy(trace, *proxyAddr); err != nil {
+			log.Fatalf("cqms-workload: replaying through proxy %s: %v", *proxyAddr, err)
 		}
 	}
 
@@ -61,8 +71,10 @@ func main() {
 }
 
 // replayOverHTTP pushes the trace through a running server's batch-submit
-// endpoint, one client per user so the principal headers carry the right
-// identity, batching batchSize queries per round trip.
+// endpoint, batching batchSize queries per round trip. One base client is
+// dialled and per-user identities are derived from it with Client.As, so
+// every batch reuses the same HTTP connection pool instead of opening a
+// fresh connection per user.
 func replayOverHTTP(trace *workload.Trace, serverURL string, batchSize int) error {
 	if batchSize <= 0 {
 		batchSize = 100
@@ -86,9 +98,10 @@ func replayOverHTTP(trace *workload.Trace, serverURL string, batchSize int) erro
 			SQL: q.SQL, Group: q.Group, Visibility: "group",
 		})
 	}
+	base := client.New(serverURL)
 	var submitted, failed int
 	for _, user := range order {
-		c := client.New(serverURL, client.WithUser(user, groupOf[user]))
+		c := base.As(user, groupOf[user])
 		queries := byUser[user]
 		for start := 0; start < len(queries); start += batchSize {
 			end := start + batchSize
@@ -108,6 +121,41 @@ func replayOverHTTP(trace *workload.Trace, serverURL string, batchSize int) erro
 		}
 	}
 	fmt.Printf("replayed %d queries over %s (%d failed)\n", submitted, serverURL, failed)
+	return nil
+}
+
+// replayOverProxy replays the trace through a cqms-proxy as real
+// wire-protocol sessions: one frontend connection per user (the user's group
+// becomes the session database, matching the proxy's default principal
+// mapping), every query sent as a simple-protocol Query message.
+func replayOverProxy(trace *workload.Trace, proxyAddr string) error {
+	byUser := make(map[string][]string)
+	groupOf := make(map[string]string)
+	var order []string
+	for _, q := range trace.Queries {
+		if _, seen := byUser[q.User]; !seen {
+			order = append(order, q.User)
+			groupOf[q.User] = q.Group
+		}
+		byUser[q.User] = append(byUser[q.User], q.SQL)
+	}
+	var sent, failed int
+	for _, user := range order {
+		fe, err := pgwire.DialFrontend(proxyAddr, user, groupOf[user])
+		if err != nil {
+			return fmt.Errorf("dialling as %s: %w", user, err)
+		}
+		for _, sql := range byUser[user] {
+			if err := fe.SimpleQuery(sql); err != nil {
+				failed++
+			}
+			sent++
+		}
+		if err := fe.Close(); err != nil {
+			return fmt.Errorf("closing session of %s: %w", user, err)
+		}
+	}
+	fmt.Printf("replayed %d queries through proxy %s (%d failed)\n", sent, proxyAddr, failed)
 	return nil
 }
 

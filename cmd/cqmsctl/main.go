@@ -32,6 +32,7 @@
 //	log compact                       snapshot and prune covered WAL segments
 //	stats                             server statistics
 //	metrics                           Prometheus metrics exposition (-admin shows admin-only series)
+//	proxy status                      capture totals of a cqms-proxy (-server points at its admin address)
 package main
 
 import (
@@ -129,6 +130,8 @@ func run(ctx context.Context, c *client.Client, cmd string, args []string, k int
 		return cmdStats(ctx, c)
 	case "metrics":
 		return cmdMetrics(ctx, c)
+	case "proxy":
+		return cmdProxy(ctx, c, args)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -548,5 +551,27 @@ func cmdMetrics(ctx context.Context, c *client.Client) error {
 		return err
 	}
 	fmt.Print(text)
+	return nil
+}
+
+// cmdProxy talks to a cqms-proxy's admin endpoint; -server must point at the
+// proxy's admin address (default :6433), not at a cqms-server.
+func cmdProxy(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 || args[0] != "status" {
+		return fmt.Errorf("usage: proxy status")
+	}
+	st, err := c.GetProxyStatus(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("backend:             %s\n", st.Backend)
+	fmt.Printf("uptime:              %.0fs\n", st.UptimeSeconds)
+	fmt.Printf("connections:         %d active, %d total\n", st.ActiveConnections, st.TotalConnections)
+	fmt.Printf("statements captured: %d\n", st.StatementsCaptured)
+	fmt.Printf("statements dropped:  %d\n", st.StatementsDropped)
+	fmt.Printf("submit errors:       %d\n", st.SubmitErrors)
+	fmt.Printf("backend dial errors: %d\n", st.BackendDialErrors)
+	fmt.Printf("bytes relayed:       %d from clients, %d from backend\n", st.BytesFromClients, st.BytesFromBackend)
+	fmt.Printf("capture enabled:     %v\n", st.CaptureEnabled)
 	return nil
 }

@@ -81,6 +81,19 @@ func New(baseURL string, opts ...Option) *Client {
 // User returns the user the client acts as.
 func (c *Client) User() string { return c.user }
 
+// As returns a client acting as a different principal while sharing this
+// client's *http.Client (and therefore its transport's connection pool).
+// Callers that submit on behalf of many users — the workload replayer, the
+// proxy's remote sink — derive per-user clients from one base instead of
+// constructing independent clients, so every request reuses the same
+// keep-alive connections.
+func (c *Client) As(user string, groups ...string) *Client {
+	derived := *c
+	derived.user = user
+	derived.groups = groups
+	return &derived
+}
+
 // Error is a failed API call: the HTTP status and the server's structured
 // error envelope.
 type Error struct {
@@ -470,6 +483,34 @@ func (c *Client) LogCompact(ctx context.Context) (*server.LogSnapshotResponse, e
 }
 
 // Stats fetches server-wide counters.
+// ProxyStatus mirrors the cqms-proxy admin endpoint's GET /v1/proxy/status
+// response. It lives here (not in internal/pgwire) so the client stays free
+// of the proxy's dependencies; the JSON contract is the shared surface.
+type ProxyStatus struct {
+	UptimeSeconds      float64 `json:"uptimeSeconds"`
+	Backend            string  `json:"backend"`
+	ActiveConnections  int64   `json:"activeConnections"`
+	TotalConnections   uint64  `json:"totalConnections"`
+	StatementsCaptured uint64  `json:"statementsCaptured"`
+	StatementsDropped  uint64  `json:"statementsDropped"`
+	SubmitErrors       uint64  `json:"submitErrors"`
+	BackendDialErrors  uint64  `json:"backendDialErrors"`
+	BytesFromClients   uint64  `json:"bytesFromClients"`
+	BytesFromBackend   uint64  `json:"bytesFromBackend"`
+	CaptureEnabled     bool    `json:"captureEnabled"`
+}
+
+// GetProxyStatus fetches a cqms-proxy's status snapshot. The client must be
+// pointed at the proxy's admin address (-admin, default :6433), not at a
+// cqms-server.
+func (c *Client) GetProxyStatus(ctx context.Context) (*ProxyStatus, error) {
+	var resp ProxyStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/proxy/status", nil, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
 	var resp server.StatsResponse
 	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, nil, &resp); err != nil {

@@ -140,6 +140,7 @@ func NewWithEngine(eng *engine.Engine, cfg Config) *CQMS {
 	c.stats.EnableMetrics(reg)
 	c.minerFeed.EnableMetrics(reg)
 	c.sessions.EnableMetrics(reg)
+	c.profiler.EnableMetrics(reg)
 	assist := reg.HistogramVec("cqms_assist_seconds",
 		"Assisted-mode (§2.3) request latency by operation.",
 		telemetry.DefBuckets, "op")

@@ -1,0 +1,180 @@
+package pgwire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// FakeBackend is an in-process server speaking enough of the v3 protocol for
+// the proxy's tests, benchmarks and demo mode: trust authentication, fixed
+// parameter statuses, deterministic responses to simple and extended-protocol
+// messages. It never inspects SQL semantics — every statement "succeeds" —
+// so byte streams through the proxy can be compared against direct
+// connections exactly.
+type FakeBackend struct {
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// Statements counts statements the backend saw (Query messages count
+	// once regardless of how many statements the string holds — the fake
+	// backend answers per message, like a single CommandComplete server).
+	Statements atomic.Int64
+}
+
+// NewFakeBackend starts a fake backend on addr ("127.0.0.1:0" for an
+// ephemeral port).
+func NewFakeBackend(addr string) (*FakeBackend, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	b := &FakeBackend{ln: ln}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr returns the backend's listen address.
+func (b *FakeBackend) Addr() string { return b.ln.Addr().String() }
+
+// Close stops the listener and waits for connection handlers to finish.
+func (b *FakeBackend) Close() {
+	b.closed.Store(true)
+	b.ln.Close()
+	b.wg.Wait()
+}
+
+func (b *FakeBackend) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			defer conn.Close()
+			b.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one connection: startup, a canned authentication
+// exchange, then the command cycle.
+func (b *FakeBackend) serveConn(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	var startup *StartupMessage
+	for {
+		msg, err := ReadStartup(r)
+		if err != nil {
+			return
+		}
+		if msg.IsSSLRequest() || msg.IsGSSEncRequest() {
+			if _, err := conn.Write([]byte{'N'}); err != nil {
+				return
+			}
+			continue
+		}
+		if msg.IsCancelRequest() {
+			return
+		}
+		startup = msg
+		break
+	}
+
+	// Trust auth, a deterministic parameter set, a fixed cancellation key.
+	var greeting []byte
+	greeting = append(greeting, authenticationOK()...)
+	greeting = append(greeting, parameterStatus("server_version", "15.0 (cqms-fake)")...)
+	greeting = append(greeting, parameterStatus("client_encoding", "UTF8")...)
+	greeting = append(greeting, parameterStatus("session_authorization", startup.User())...)
+	greeting = append(greeting, backendKeyData(4242, 424242)...)
+	greeting = append(greeting, readyForQuery('I')...)
+	if _, err := conn.Write(greeting); err != nil {
+		return
+	}
+
+	w := bufio.NewWriter(conn)
+	for {
+		msg, err := ReadMessage(r)
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case typeQuery:
+			b.Statements.Add(1)
+			sql, err := ParseQuery(msg.Payload)
+			if err != nil {
+				w.Write(errorResponse("ERROR", "08P01", "malformed Query"))
+				w.Write(readyForQuery('I'))
+			} else if strings.TrimSpace(sql) == "" {
+				w.Write(buildMessage(typeEmptyQuery, nil))
+				w.Write(readyForQuery('I'))
+			} else {
+				// One CommandComplete per statement in the string, as the
+				// real backend does for multi-statement simple queries.
+				for i, stmt := range SplitStatements(sql) {
+					w.Write(commandComplete(completionTag(stmt, i)))
+				}
+				w.Write(readyForQuery('I'))
+			}
+		case typeParse:
+			w.Write(buildMessage(typeParseComplete, nil))
+		case typeBind:
+			w.Write(buildMessage(typeBindComplete, nil))
+		case typeDescribe:
+			// NoData keeps drivers happy without modelling result shapes.
+			w.Write(buildMessage(typeNoData, nil))
+		case typeExecute:
+			b.Statements.Add(1)
+			w.Write(commandComplete("SELECT 0"))
+		case typeClose:
+			w.Write(buildMessage(typeCloseComplete, nil))
+		case typeSync:
+			w.Write(readyForQuery('I'))
+		case typeFlush:
+			// Nothing buffered beyond what the loop flushes anyway.
+		case typeTerminate:
+			w.Flush()
+			return
+		default:
+			// Password messages and anything else during the session:
+			// acknowledge nothing, keep the cycle alive.
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Additional frontend types only the backend needs to recognise.
+const (
+	typeDescribe = 'D'
+	typeSync     = 'S'
+	typeFlush    = 'H'
+)
+
+// completionTag derives a deterministic CommandComplete tag from the
+// statement text.
+func completionTag(stmt string, i int) string {
+	verb := strings.ToUpper(stmt)
+	if sp := strings.IndexAny(verb, " \t\r\n"); sp > 0 {
+		verb = verb[:sp]
+	}
+	switch verb {
+	case "SELECT":
+		return "SELECT 1"
+	case "INSERT":
+		return "INSERT 0 1"
+	case "UPDATE", "DELETE":
+		return verb + " 1"
+	default:
+		return fmt.Sprintf("%s %d", verb, i)
+	}
+}

@@ -1,0 +1,228 @@
+package pgwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/iotest"
+)
+
+// buildStartup frames a regular v3 startup packet with the given parameters
+// (in the order given, as key/value pairs).
+func buildStartup(pairs ...string) []byte {
+	var body []byte
+	body = binary.BigEndian.AppendUint32(body, ProtocolVersion3)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		body = append(body, pairs[i]...)
+		body = append(body, 0)
+		body = append(body, pairs[i+1]...)
+		body = append(body, 0)
+	}
+	body = append(body, 0)
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(body)+4))
+	return append(out, body...)
+}
+
+func TestReadStartupRegular(t *testing.T) {
+	raw := buildStartup("user", "alice", "database", "limnology", "application_name", "psql")
+	msg, err := ReadStartup(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadStartup: %v", err)
+	}
+	if msg.Protocol != ProtocolVersion3 {
+		t.Errorf("protocol = %d, want %d", msg.Protocol, ProtocolVersion3)
+	}
+	if msg.User() != "alice" {
+		t.Errorf("User() = %q, want alice", msg.User())
+	}
+	if msg.Database() != "limnology" {
+		t.Errorf("Database() = %q, want limnology", msg.Database())
+	}
+	if msg.Params["application_name"] != "psql" {
+		t.Errorf("application_name = %q, want psql", msg.Params["application_name"])
+	}
+	if !bytes.Equal(msg.Raw, raw) {
+		t.Error("Raw does not round-trip the packet byte-identically")
+	}
+	if msg.IsSSLRequest() || msg.IsGSSEncRequest() || msg.IsCancelRequest() {
+		t.Error("regular startup misclassified as a special request")
+	}
+}
+
+func TestReadStartupDatabaseDefaultsToUser(t *testing.T) {
+	msg, err := ReadStartup(bytes.NewReader(buildStartup("user", "bob")))
+	if err != nil {
+		t.Fatalf("ReadStartup: %v", err)
+	}
+	if msg.Database() != "bob" {
+		t.Errorf("Database() = %q, want user fallback bob", msg.Database())
+	}
+}
+
+func TestReadStartupSpecialRequests(t *testing.T) {
+	special := []struct {
+		name  string
+		code  uint32
+		check func(*StartupMessage) bool
+	}{
+		{"ssl", sslRequestCode, (*StartupMessage).IsSSLRequest},
+		{"gss", gssEncRequest, (*StartupMessage).IsGSSEncRequest},
+		{"cancel", cancelRequest, (*StartupMessage).IsCancelRequest},
+	}
+	for _, tc := range special {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := binary.BigEndian.AppendUint32(nil, 8)
+			raw = binary.BigEndian.AppendUint32(raw, tc.code)
+			if tc.name == "cancel" {
+				// CancelRequest carries pid+secret after the code.
+				raw = binary.BigEndian.AppendUint32(raw[:0], 16)
+				raw = binary.BigEndian.AppendUint32(raw, tc.code)
+				raw = binary.BigEndian.AppendUint32(raw, 1234)
+				raw = binary.BigEndian.AppendUint32(raw, 5678)
+			}
+			msg, err := ReadStartup(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("ReadStartup: %v", err)
+			}
+			if !tc.check(msg) {
+				t.Errorf("special request %s not recognised", tc.name)
+			}
+		})
+	}
+}
+
+func TestReadStartupFragmented(t *testing.T) {
+	// One byte per Read call: the reader must reassemble the packet.
+	raw := buildStartup("user", "carol", "database", "oceanography")
+	msg, err := ReadStartup(iotest.OneByteReader(bytes.NewReader(raw)))
+	if err != nil {
+		t.Fatalf("ReadStartup over fragmented stream: %v", err)
+	}
+	if msg.User() != "carol" || msg.Database() != "oceanography" {
+		t.Errorf("fragmented startup decoded as user=%q db=%q", msg.User(), msg.Database())
+	}
+}
+
+func TestReadStartupRejectsBadLengths(t *testing.T) {
+	for _, length := range []uint32{0, 7, maxStartupBytes + 1} {
+		raw := binary.BigEndian.AppendUint32(nil, length)
+		raw = append(raw, make([]byte, 8)...)
+		if _, err := ReadStartup(bytes.NewReader(raw)); err == nil {
+			t.Errorf("length %d: want error, got nil", length)
+		}
+	}
+}
+
+func TestReadStartupRejectsUnknownProtocol(t *testing.T) {
+	raw := binary.BigEndian.AppendUint32(nil, 8)
+	raw = binary.BigEndian.AppendUint32(raw, 2<<16) // protocol 2.0
+	if _, err := ReadStartup(bytes.NewReader(raw)); err == nil {
+		t.Error("protocol 2.0: want error, got nil")
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	cases := []Message{
+		{Type: typeQuery, Payload: []byte("SELECT 1\x00")},
+		{Type: typeTerminate, Payload: nil},
+		{Type: typeParse, Payload: []byte("stmt\x00SELECT $1\x00\x00\x00")},
+	}
+	for _, m := range cases {
+		var buf bytes.Buffer
+		n, err := m.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		if n != int64(buf.Len()) {
+			t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+		}
+		wire := append([]byte(nil), buf.Bytes()...)
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("ReadMessage: %v", err)
+		}
+		if got.Type != m.Type || !bytes.Equal(got.Payload, m.Payload) {
+			t.Errorf("round trip mismatch: got %q/%q", got.Type, got.Payload)
+		}
+		// Re-framing the read message must reproduce the wire bytes exactly —
+		// this is what makes the proxy's splice byte-identical.
+		var again bytes.Buffer
+		if _, err := got.WriteTo(&again); err != nil {
+			t.Fatalf("re-frame: %v", err)
+		}
+		if !bytes.Equal(again.Bytes(), wire) {
+			t.Error("re-framed message differs from original wire bytes")
+		}
+	}
+}
+
+func TestReadMessageFragmented(t *testing.T) {
+	m := Message{Type: typeQuery, Payload: []byte("SELECT lake FROM WaterTemp\x00")}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(iotest.OneByteReader(&buf))
+	if err != nil {
+		t.Fatalf("ReadMessage over fragmented stream: %v", err)
+	}
+	if !bytes.Equal(got.Payload, m.Payload) {
+		t.Error("fragmented message payload mismatch")
+	}
+}
+
+func TestReadMessageRejectsBadLength(t *testing.T) {
+	raw := []byte{typeQuery, 0, 0, 0, 3} // length 3 < 4
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Error("length 3: want error, got nil")
+	}
+	huge := []byte{typeQuery, 0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadMessage(bytes.NewReader(huge)); err == nil {
+		t.Error("oversized length: want error, got nil")
+	}
+}
+
+func TestParseFrontendPayloads(t *testing.T) {
+	if q, err := ParseQuery([]byte("SELECT 1\x00")); err != nil || q != "SELECT 1" {
+		t.Errorf("ParseQuery = %q, %v", q, err)
+	}
+	if _, err := ParseQuery([]byte("no terminator")); err == nil {
+		t.Error("ParseQuery without terminator: want error")
+	}
+
+	name, query, err := ParseParse([]byte("s1\x00SELECT $1\x00\x00\x00"))
+	if err != nil || name != "s1" || query != "SELECT $1" {
+		t.Errorf("ParseParse = %q, %q, %v", name, query, err)
+	}
+
+	portal, stmt, err := ParseBind([]byte("p1\x00s1\x00rest"))
+	if err != nil || portal != "p1" || stmt != "s1" {
+		t.Errorf("ParseBind = %q, %q, %v", portal, stmt, err)
+	}
+
+	if p, err := ParseExecute([]byte("p1\x00\x00\x00\x00\x00")); err != nil || p != "p1" {
+		t.Errorf("ParseExecute = %q, %v", p, err)
+	}
+
+	kind, n, err := ParseClose([]byte("Sstmt\x00"))
+	if err != nil || kind != 'S' || n != "stmt" {
+		t.Errorf("ParseClose = %c, %q, %v", kind, n, err)
+	}
+	if _, _, err := ParseClose(nil); err == nil {
+		t.Error("ParseClose on empty payload: want error")
+	}
+}
+
+func TestErrorResponseCarriesMessageField(t *testing.T) {
+	raw := errorResponse("FATAL", "08001", "cannot reach backend")
+	msg, err := ReadMessage(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	if msg.Type != typeErrorResponse {
+		t.Fatalf("type = %c, want E", msg.Type)
+	}
+	if got := errorMessageField(msg.Payload); got != "cannot reach backend" {
+		t.Errorf("message field = %q", got)
+	}
+}

@@ -1,0 +1,107 @@
+package pgwire
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectSink records everything submitted to it.
+type collectSink struct {
+	mu      sync.Mutex
+	batches [][]Captured
+}
+
+func (s *collectSink) SubmitBatch(_ context.Context, stmts []Captured) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches = append(s.batches, append([]Captured(nil), stmts...))
+	return nil
+}
+
+func (s *collectSink) total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, b := range s.batches {
+		n += len(b)
+	}
+	return n
+}
+
+func TestAsyncCaptureDeliversAndBatches(t *testing.T) {
+	sink := &collectSink{}
+	ac := NewAsyncCapture(sink, CaptureConfig{Queue: 64, Batch: 8, FlushEvery: 10 * time.Millisecond}, nil)
+	for i := 0; i < 20; i++ {
+		if !ac.Enqueue(Captured{SQL: "SELECT 1", User: "u"}) {
+			t.Fatalf("Enqueue %d dropped with an empty queue", i)
+		}
+	}
+	ac.Close()
+	if got := sink.total(); got != 20 {
+		t.Errorf("sink received %d statements, want 20", got)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for _, b := range sink.batches {
+		if len(b) > 8 {
+			t.Errorf("batch of %d exceeds configured Batch 8", len(b))
+		}
+	}
+}
+
+func TestAsyncCaptureDropsWhenFullWithoutBlocking(t *testing.T) {
+	release := make(chan struct{})
+	delivered := make(chan struct{}, 128)
+	blocked := SinkFunc(func(context.Context, []Captured) error {
+		delivered <- struct{}{}
+		<-release // stall the sink: the queue can only drain once released
+		return nil
+	})
+	metrics := NewMetrics(nil)
+	ac := NewAsyncCapture(blocked, CaptureConfig{Queue: 2, Batch: 1, FlushEvery: time.Hour}, metrics)
+	defer func() {
+		close(release)
+		ac.Close()
+	}()
+
+	// First statement reaches the sink and stalls it there.
+	ac.Enqueue(Captured{SQL: "SELECT 0"})
+	<-delivered
+
+	// Fill the queue, then keep enqueuing: every extra must return false
+	// immediately rather than block the caller.
+	dropped := 0
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		if !ac.Enqueue(Captured{SQL: "SELECT 1"}) {
+			dropped++
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("100 enqueues against a stalled sink took %v — Enqueue blocked", elapsed)
+	}
+	if dropped < 98 {
+		t.Errorf("dropped %d of 100, want >= 98 (queue holds 2)", dropped)
+	}
+	if got := metrics.StatementsDropped.Value(); got != uint64(dropped) {
+		t.Errorf("cqms_proxy_statements_dropped_total = %d, want %d", got, dropped)
+	}
+}
+
+func TestAsyncCaptureEnqueueAfterClose(t *testing.T) {
+	ac := NewAsyncCapture(&collectSink{}, CaptureConfig{}, nil)
+	ac.Close()
+	if ac.Enqueue(Captured{SQL: "SELECT 1"}) {
+		t.Error("Enqueue after Close returned true")
+	}
+}
+
+func TestCoreSinkMapsPrincipal(t *testing.T) {
+	// Covered end to end in proxy_test.go; here just the default mapper shape.
+	id := DefaultPrincipalMapper("alice", "limnology")
+	if id.User != "alice" || id.Group != "limnology" {
+		t.Errorf("DefaultPrincipalMapper = %+v", id)
+	}
+}

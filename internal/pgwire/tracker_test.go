@@ -1,0 +1,146 @@
+package pgwire
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"SELECT 1", []string{"SELECT 1"}},
+		{"SELECT 1; SELECT 2", []string{"SELECT 1", "SELECT 2"}},
+		{"SELECT 1;;", []string{"SELECT 1"}},
+		{"  ;  ; ", nil},
+		{"", nil},
+		// Semicolons inside string literals and identifiers don't split.
+		{"SELECT 'a;b'; SELECT 2", []string{"SELECT 'a;b'", "SELECT 2"}},
+		{"SELECT 'it''s; fine'", []string{"SELECT 'it''s; fine'"}},
+		{`SELECT ";" FROM "t;u"`, []string{`SELECT ";" FROM "t;u"`}},
+		// Dollar quoting, tagged and untagged.
+		{"SELECT $$a;b$$; SELECT 2", []string{"SELECT $$a;b$$", "SELECT 2"}},
+		{"SELECT $tag$ ; $notyet$ ; $tag$; SELECT 2",
+			[]string{"SELECT $tag$ ; $notyet$ ; $tag$", "SELECT 2"}},
+		// $ that isn't a dollar quote (positional parameter).
+		{"SELECT $1; SELECT $2", []string{"SELECT $1", "SELECT $2"}},
+		// Comments hide semicolons.
+		{"SELECT 1 -- one; two\n; SELECT 2", []string{"SELECT 1 -- one; two", "SELECT 2"}},
+		{"SELECT 1 /* a;b /* nested; */ still */; SELECT 2",
+			[]string{"SELECT 1 /* a;b /* nested; */ still */", "SELECT 2"}},
+		// Unterminated constructs consume the rest, like the backend's lexer.
+		{"SELECT 'unterminated; SELECT 2", []string{"SELECT 'unterminated; SELECT 2"}},
+		{"SELECT $q$never closed; SELECT 2", []string{"SELECT $q$never closed; SELECT 2"}},
+	}
+	for _, tc := range cases {
+		if got := SplitStatements(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SplitStatements(%q) = %#v, want %#v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// msg builds a frontend message from NUL-joined string parts.
+func msg(t byte, parts ...string) Message {
+	var payload []byte
+	for _, p := range parts {
+		payload = append(payload, p...)
+		payload = append(payload, 0)
+	}
+	return Message{Type: t, Payload: payload}
+}
+
+func testTracker() *tracker {
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return newTracker("alice", "limnology", func() time.Time { return at })
+}
+
+func TestTrackerSimpleQuery(t *testing.T) {
+	trk := testTracker()
+	got := trk.observe(msg(typeQuery, "SELECT 1; SELECT 2"))
+	if len(got) != 2 {
+		t.Fatalf("captured %d statements, want 2", len(got))
+	}
+	for i, want := range []string{"SELECT 1", "SELECT 2"} {
+		c := got[i]
+		if c.SQL != want || c.User != "alice" || c.Database != "limnology" || c.Kind != KindSimple {
+			t.Errorf("captured[%d] = %+v", i, c)
+		}
+	}
+	if got := trk.observe(msg(typeQuery, "  ")); got != nil {
+		t.Errorf("empty query captured %v, want nothing", got)
+	}
+}
+
+func TestTrackerExtendedNamedStatement(t *testing.T) {
+	trk := testTracker()
+
+	// Parse a named statement; Parse itself captures nothing.
+	if got := trk.observe(msg(typeParse, "getlakes", "SELECT lake FROM WaterTemp WHERE temp > $1", "\x00")); got != nil {
+		t.Fatalf("Parse captured %v", got)
+	}
+	// Bind it to the unnamed portal and execute — captured as extended.
+	trk.observe(msg(typeBind, "", "getlakes"))
+	got := trk.observe(msg(typeExecute, ""))
+	if len(got) != 1 {
+		t.Fatalf("captured %d, want 1", len(got))
+	}
+	if got[0].SQL != "SELECT lake FROM WaterTemp WHERE temp > $1" || got[0].Kind != KindExtended {
+		t.Errorf("captured = %+v", got[0])
+	}
+
+	// Re-bind and re-execute without a new Parse (driver statement reuse):
+	// each execution is captured.
+	trk.observe(msg(typeBind, "", "getlakes"))
+	if got := trk.observe(msg(typeExecute, "")); len(got) != 1 {
+		t.Errorf("re-execution captured %d, want 1", len(got))
+	}
+
+	// Close the statement; binding it afterwards attributes nothing.
+	trk.observe(msg(typeClose, "Sgetlakes"))
+	trk.observe(msg(typeBind, "", "getlakes"))
+	if got := trk.observe(msg(typeExecute, "")); got != nil {
+		t.Errorf("execute after Close captured %v", got)
+	}
+}
+
+func TestTrackerUnnamedStatementLifecycle(t *testing.T) {
+	trk := testTracker()
+	trk.observe(msg(typeParse, "", "SELECT 1", "\x00"))
+	trk.observe(msg(typeBind, "", ""))
+
+	// A simple Query implicitly destroys the unnamed statement and portal.
+	trk.observe(msg(typeQuery, "SELECT 2"))
+	if got := trk.observe(msg(typeExecute, "")); got != nil {
+		t.Errorf("execute of destroyed unnamed portal captured %v", got)
+	}
+}
+
+func TestTrackerBindUnknownStatement(t *testing.T) {
+	trk := testTracker()
+	// Bind against a statement never Parsed on this connection (e.g. prepared
+	// before the proxy attached): nothing to attribute.
+	trk.observe(msg(typeBind, "p", "ghost"))
+	if got := trk.observe(msg(typeExecute, "p")); got != nil {
+		t.Errorf("execute of unattributable portal captured %v", got)
+	}
+}
+
+func TestTrackerNamedPortal(t *testing.T) {
+	trk := testTracker()
+	trk.observe(msg(typeParse, "s", "SELECT 3", "\x00"))
+	trk.observe(msg(typeBind, "cursor1", "s"))
+	if got := trk.observe(msg(typeExecute, "cursor1")); len(got) != 1 || got[0].SQL != "SELECT 3" {
+		t.Errorf("named portal execute = %+v", got)
+	}
+	// Closing the portal ends attribution; the statement survives.
+	trk.observe(msg(typeClose, "Pcursor1"))
+	if got := trk.observe(msg(typeExecute, "cursor1")); got != nil {
+		t.Errorf("execute after portal close captured %v", got)
+	}
+	trk.observe(msg(typeBind, "cursor2", "s"))
+	if got := trk.observe(msg(typeExecute, "cursor2")); len(got) != 1 {
+		t.Errorf("statement gone after portal close: %v", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // SamplePolicy controls how many output rows the profiler stores for a query
@@ -75,6 +76,14 @@ type Config struct {
 	AnnotationPromptTableThreshold int
 	// AnnotationPromptOnNesting requests an annotation for nested queries.
 	AnnotationPromptOnNesting bool
+	// CaptureParseErrors logs statements whose text fails to parse as raw
+	// records (storage.NewRawRecord: raw text, parse-free template and
+	// fingerprint, the parse_error feature class) instead of rejecting them.
+	// Passive capture paths (the wire-protocol proxy) enable this so no
+	// observed statement is silently dropped; the HTTP API keeps it off by
+	// default, preserving the v1 contract that unparsable SQL is an
+	// invalid_argument error.
+	CaptureParseErrors bool
 }
 
 // DefaultConfig returns the default profiler configuration.
@@ -116,11 +125,63 @@ type Profiler struct {
 	store *storage.Store
 	cfg   Config
 	clock func() time.Time
+
+	// parseErrors counts parse failures by outcome ("captured": logged as a
+	// raw record under CaptureParseErrors; "rejected": returned as an
+	// error). Nil until EnableMetrics runs.
+	parseErrCaptured *telemetry.Counter
+	parseErrRejected *telemetry.Counter
 }
 
 // New returns a profiler over the given engine and store.
 func New(eng *engine.Engine, store *storage.Store, cfg Config) *Profiler {
 	return &Profiler{eng: eng, store: store, cfg: cfg, clock: time.Now}
+}
+
+// EnableMetrics registers the profiler's instruments on reg:
+// cqms_profiler_parse_errors_total{outcome="captured"|"rejected"} counts
+// submissions whose text failed to parse, split by whether the raw-capture
+// fallback logged them anyway.
+func (p *Profiler) EnableMetrics(reg *telemetry.Registry) {
+	vec := reg.CounterVec("cqms_profiler_parse_errors_total",
+		"Submissions whose SQL failed to parse, by outcome (captured: logged as a raw record; rejected: returned as an error).",
+		"outcome")
+	p.parseErrCaptured = vec.With("captured")
+	p.parseErrRejected = vec.With("rejected")
+}
+
+// countParseError records one parse failure.
+func (p *Profiler) countParseError(captured bool) {
+	if p.parseErrCaptured == nil {
+		return
+	}
+	if captured {
+		p.parseErrCaptured.Inc()
+	} else {
+		p.parseErrRejected.Inc()
+	}
+}
+
+// rawRecord builds the raw-capture fallback record for an unparsable
+// submission: the statement is logged with the parse error as its runtime
+// error and the parse_error feature class, and never executed (the engine
+// would only re-fail the same parse).
+func (p *Profiler) rawRecord(sub Submission, parseErr error) (*storage.QueryRecord, *Outcome) {
+	rec := storage.NewRawRecord(sub.SQL, parseErr)
+	rec.User = sub.User
+	rec.Group = sub.Group
+	rec.Visibility = sub.Visibility
+	if !sub.IssuedAt.IsZero() {
+		rec.IssuedAt = sub.IssuedAt
+	} else {
+		rec.IssuedAt = p.clock()
+	}
+	rec.Stats = storage.RuntimeStats{
+		SchemaVersion: p.eng.Catalog().Version(),
+		ExecutedAt:    rec.IssuedAt,
+		Error:         rec.InvalidReason,
+	}
+	return rec, &Outcome{ExecError: parseErr}
 }
 
 // SetClock overrides the profiler's time source.
@@ -133,11 +194,20 @@ func (p *Profiler) Engine() *engine.Engine { return p.eng }
 func (p *Profiler) Store() *storage.Store { return p.store }
 
 // Submit executes the query and logs it. Parse errors are returned without
-// logging (the text never became a query); execution errors are logged with
-// the error recorded and returned in the Outcome.
+// logging (the text never became a query) unless CaptureParseErrors is on,
+// in which case the text is logged as a raw record with the parse error in
+// the Outcome; execution errors are always logged with the error recorded
+// and returned in the Outcome.
 func (p *Profiler) Submit(sub Submission) (*Outcome, error) {
 	rec, err := storage.NewRecordFromSQL(sub.SQL)
 	if err != nil {
+		if p.cfg.CaptureParseErrors {
+			p.countParseError(true)
+			raw, out := p.rawRecord(sub, err)
+			out.QueryID = p.store.Put(raw)
+			return out, nil
+		}
+		p.countParseError(false)
 		return nil, fmt.Errorf("profiler: %w", err)
 	}
 	rec.User = sub.User
@@ -190,7 +260,16 @@ func (p *Profiler) SubmitBatch(subs []Submission) (outs []*Outcome, errs []error
 	for i, sub := range subs {
 		rec, err := storage.NewRecordFromSQL(sub.SQL)
 		if err != nil {
-			errs[i] = fmt.Errorf("profiler: %w", err)
+			if p.cfg.CaptureParseErrors {
+				p.countParseError(true)
+				raw, out := p.rawRecord(sub, err)
+				outs[i] = out
+				recs = append(recs, raw)
+				logged = append(logged, i)
+			} else {
+				p.countParseError(false)
+				errs[i] = fmt.Errorf("profiler: %w", err)
+			}
 			continue
 		}
 		rec.User = sub.User

@@ -2,9 +2,16 @@ package storage
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/sql"
 )
+
+// FeatureParseError is the feature-set class assigned to raw-captured
+// records whose text failed to parse. It keeps unparsable statements
+// findable (keyword search still works on raw text) and groups them under
+// one fingerprint class in the stats and mining surfaces.
+const FeatureParseError = "parse_error"
 
 // NewRecordFromSQL parses the query text, extracts its syntactic features and
 // returns a QueryRecord ready for Store.Put. Runtime statistics, samples,
@@ -42,6 +49,33 @@ func NewRecordFromSQL(text string) (*QueryRecord, error) {
 	rec.GroupBy = append([]string(nil), a.GroupByColumns...)
 	rec.Features = a.FeatureSet()
 	return rec, nil
+}
+
+// NewRawRecord builds a QueryRecord for text that failed to parse: the raw
+// text is preserved, the canonical form falls back to whitespace-collapsed
+// upper-casing, the template and fingerprint use the lexer-level constant
+// mask (sql.TemplateText's parse-free fallback), and the record is marked
+// invalid with the parse error as its reason. Its feature set carries the
+// FeatureParseError class so the statement is still captured — the paper's
+// premise is that the log is collected as a side effect of use, and a
+// statement our SQL subset cannot parse is still real workload worth
+// logging — without polluting the structured feature relations.
+func NewRawRecord(text string, parseErr error) *QueryRecord {
+	rec := &QueryRecord{
+		Text:        text,
+		Canonical:   strings.ToUpper(strings.Join(strings.Fields(text), " ")),
+		Template:    sql.TemplateText(text),
+		Fingerprint: sql.Fingerprint(text),
+		ExactHash:   sql.ExactFingerprint(text),
+		Valid:       false,
+		Features:    []string{FeatureParseError},
+	}
+	if parseErr != nil {
+		rec.InvalidReason = "parse error: " + parseErr.Error()
+	} else {
+		rec.InvalidReason = "parse error"
+	}
+	return rec
 }
 
 // Analysis reconstructs a sql.Analysis from the stored feature rows, so that

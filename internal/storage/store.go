@@ -188,7 +188,9 @@ func (s *Store) Put(rec *QueryRecord) QueryID {
 	if rec.IssuedAt.IsZero() {
 		rec.IssuedAt = s.now()
 	}
-	rec.Valid = true
+	// New records start valid unless the producer already marked them invalid
+	// (raw-captured parse failures carry their reason in).
+	rec.Valid = rec.InvalidReason == ""
 	replaced := s.insertPrepared(rec, keys)
 	var seq uint64
 	if s.observed() {
@@ -232,7 +234,7 @@ func (s *Store) PutBatch(recs []*QueryRecord) []QueryID {
 		if rec.IssuedAt.IsZero() {
 			rec.IssuedAt = s.now()
 		}
-		rec.Valid = true
+		rec.Valid = rec.InvalidReason == ""
 		ids[i] = rec.ID
 	}
 	s.storeRecordsBatch(recs)
