@@ -16,6 +16,14 @@
 // shared ratio keeps one mental model for both gates. Regenerate the baseline
 // (-in ... -out BENCH_BASELINE.json, no -baseline) whenever a PR
 // intentionally changes the performance envelope.
+//
+// With -slo it instead gates an open-loop load-harness report (the JSON
+// written by `cqms-workload -openloop -json`) against absolute service-level
+// floors — minimum achieved throughput and maximum p99 latency — so CI can
+// assert "the server sustains N req/s at p99 ≤ M ms", not just relative
+// microbenchmark ratios:
+//
+//	cqms-benchgate -slo report.json -slo-min-qps 150 -slo-max-p99-ms 250
 package main
 
 import (
@@ -31,6 +39,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/workload/openloop"
 )
 
 // Result is one benchmark's best observed cost. AllocsPerOp is a pointer so
@@ -153,6 +163,35 @@ func gate(current, baseline map[string]Result, maxRatio, maxAllocRatio float64) 
 	return regressions, missing
 }
 
+// gateSLO applies absolute floors to an open-loop harness report. The report
+// may be a single object or an array (a rate sweep); a sweep passes when its
+// LAST entry meets the SLO, matching a sweep ordered from low to high rates.
+func gateSLO(path string, slo openloop.SLO) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep openloop.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		var reps []openloop.Report
+		if err2 := json.Unmarshal(data, &reps); err2 != nil || len(reps) == 0 {
+			return fmt.Errorf("parsing SLO report %s: %w", path, err)
+		}
+		rep = reps[len(reps)-1]
+	}
+	fmt.Print(rep.Format())
+	violations := rep.CheckSLO(slo)
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "GATE: %s\n", v)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("SLO gate failed: %d violation(s)", len(violations))
+	}
+	fmt.Printf("SLO gate passed: %.1f qps at p99 %.1fms (floors: ≥%.1f qps, ≤%.1fms)\n",
+		rep.AchievedQPS, rep.Overall.P99Ms, slo.MinQPS, slo.MaxP99Ms)
+	return nil
+}
+
 func run() error {
 	var (
 		in            = flag.String("in", "-", "benchmark output to parse (file, or - for stdin)")
@@ -160,8 +199,21 @@ func run() error {
 		baseline      = flag.String("baseline", "", "baseline JSON to gate against (omit to only record)")
 		maxRatio      = flag.Float64("max-ratio", 2.0, "fail when ns/op exceeds ratio × baseline")
 		maxAllocRatio = flag.Float64("max-alloc-ratio", 2.0, "fail when allocs/op exceeds ratio × baseline (a 0-alloc baseline fails on any allocation)")
+
+		sloIn       = flag.String("slo", "", "open-loop harness report JSON to gate against absolute SLO floors (disables the benchmark gate)")
+		sloMinQPS   = flag.Float64("slo-min-qps", 0, "fail when achieved throughput is below this floor")
+		sloMaxP99   = flag.Float64("slo-max-p99-ms", 0, "fail when overall p99 latency exceeds this bound in ms")
+		sloMaxFails = flag.Float64("slo-max-failure-rate", 0.01, "fail when the request failure rate exceeds this fraction")
 	)
 	flag.Parse()
+
+	if *sloIn != "" {
+		return gateSLO(*sloIn, openloop.SLO{
+			MinQPS:         *sloMinQPS,
+			MaxP99Ms:       *sloMaxP99,
+			MaxFailureRate: *sloMaxFails,
+		})
+	}
 
 	var src io.Reader = os.Stdin
 	if *in != "-" {

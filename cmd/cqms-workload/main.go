@@ -6,27 +6,40 @@
 // wire-protocol sessions through a running cqms-proxy (one frontend
 // connection per user), exercising the passive-capture path end to end.
 //
+// With -openloop it instead runs the open-loop Poisson load harness
+// (internal/workload/openloop) against the server: mixed
+// submit/search/complete/stats traffic from a configurable user population,
+// reporting p50/p90/p99 latency and achieved throughput. -rates sweeps a
+// list of arrival rates and reports the highest sustainable one.
+//
 // Usage:
 //
 //	cqms-workload -users 20 -sessions 10 -summary
 //	cqms-workload -users 5 -sessions 2 -dump
 //	cqms-workload -users 5 -sessions 2 -server http://localhost:8080 -batch 100
 //	cqms-workload -users 5 -sessions 2 -proxy localhost:6432
+//	cqms-workload -openloop -server http://localhost:8080 -population 100000 -rate 500 -duration 30s -json report.json
+//	cqms-workload -openloop -server http://localhost:8080 -rates 250,500,1000,2000 -slo-p99 100
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/pgwire"
 	"repro/internal/server"
 	"repro/internal/workload"
+	"repro/internal/workload/openloop"
 )
 
 func main() {
@@ -39,8 +52,45 @@ func main() {
 		serverURL = flag.String("server", "", "replay the trace against this CQMS server over the v1 API")
 		batchSize = flag.Int("batch", 100, "queries per batch-submit round trip when replaying")
 		proxyAddr = flag.String("proxy", "", "replay the trace through this cqms-proxy as Postgres wire-protocol sessions")
+
+		openLoop   = flag.Bool("openloop", false, "run the open-loop Poisson load harness against -server instead of replaying a trace")
+		population = flag.Int("population", 1000, "openloop: number of distinct users issuing traffic")
+		rate       = flag.Float64("rate", 200, "openloop: target arrival rate in requests/second")
+		rates      = flag.String("rates", "", "openloop: comma-separated rate sweep; overrides -rate and reports the highest sustainable rate")
+		duration   = flag.Duration("duration", 10*time.Second, "openloop: dispatching window per run")
+		skew       = flag.Float64("skew", 0, "openloop: Zipf exponent for user popularity (>1 enables skew; 0 = uniform)")
+		inflight   = flag.Int("inflight", 512, "openloop: maximum concurrent in-flight requests")
+		timeout    = flag.Duration("timeout", 5*time.Second, "openloop: per-request timeout")
+		mixSpec    = flag.String("mix", "", "openloop: operation mix as submit=60,search=15,complete=15,stats=10")
+		jsonOut    = flag.String("json", "", "openloop: write the report (or sweep reports) as JSON to this file, - for stdout")
+		sloP99     = flag.Float64("slo-p99", 0, "openloop: p99 bound in ms used to judge sweep sustainability (0 = shed/failures only)")
 	)
 	flag.Parse()
+
+	if *openLoop {
+		if *serverURL == "" {
+			log.Fatal("cqms-workload: -openloop requires -server")
+		}
+		cfg := openloop.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Population = *population
+		cfg.Rate = *rate
+		cfg.Duration = *duration
+		cfg.Skew = *skew
+		cfg.MaxInFlight = *inflight
+		cfg.Timeout = *timeout
+		if *mixSpec != "" {
+			mix, err := parseMix(*mixSpec)
+			if err != nil {
+				log.Fatalf("cqms-workload: %v", err)
+			}
+			cfg.Mix = mix
+		}
+		if err := runOpenLoop(cfg, *serverURL, *rates, *jsonOut, *sloP99); err != nil {
+			log.Fatalf("cqms-workload: %v", err)
+		}
+		return
+	}
 
 	cfg := workload.DefaultConfig()
 	cfg.Users = *users
@@ -157,6 +207,118 @@ func replayOverProxy(trace *workload.Trace, proxyAddr string) error {
 	}
 	fmt.Printf("replayed %d queries through proxy %s (%d failed)\n", sent, proxyAddr, failed)
 	return nil
+}
+
+// runOpenLoop executes the open-loop harness: a single run at cfg.Rate, or a
+// sweep over ratesSpec reporting the highest sustainable rate (no shed
+// arrivals, failure rate within bound, p99 under -slo-p99 when set).
+func runOpenLoop(cfg openloop.Config, serverURL, ratesSpec, jsonOut string, sloP99 float64) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	slo := openloop.SLO{MaxP99Ms: sloP99, MaxFailureRate: 0.01}
+
+	var reports []*openloop.Report
+	if ratesSpec == "" {
+		rep, err := openloop.Run(ctx, serverURL, cfg)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		fmt.Print(rep.Format())
+	} else {
+		sweep, err := parseRates(ratesSpec)
+		if err != nil {
+			return err
+		}
+		best := -1.0
+		for _, r := range sweep {
+			if ctx.Err() != nil {
+				break
+			}
+			cfg.Rate = r
+			rep, err := openloop.Run(ctx, serverURL, cfg)
+			if err != nil {
+				return err
+			}
+			reports = append(reports, rep)
+			fmt.Print(rep.Format())
+			if violations := rep.CheckSLO(slo); len(violations) == 0 {
+				best = r
+				fmt.Println("  sustainable: yes")
+			} else {
+				for _, v := range violations {
+					fmt.Printf("  sustainable: no (%s)\n", v)
+				}
+			}
+		}
+		if best >= 0 {
+			fmt.Printf("max sustainable rate: %.0f req/s\n", best)
+		} else {
+			fmt.Println("max sustainable rate: none of the swept rates met the SLO")
+		}
+	}
+
+	if jsonOut != "" {
+		var data []byte
+		var err error
+		if len(reports) == 1 {
+			data, err = json.MarshalIndent(reports[0], "", "  ")
+		} else {
+			data, err = json.MarshalIndent(reports, "", "  ")
+		}
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if jsonOut == "-" {
+			_, err = os.Stdout.Write(data)
+			return err
+		}
+		return os.WriteFile(jsonOut, data, 0o644)
+	}
+	return nil
+}
+
+// parseMix parses "submit=60,search=15,complete=15,stats=10"; omitted
+// operations get weight zero.
+func parseMix(spec string) (openloop.Mix, error) {
+	var m openloop.Mix
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix entry %q (want op=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch key {
+		case openloop.OpSubmit:
+			m.Submit = w
+		case openloop.OpSearch:
+			m.Search = w
+		case openloop.OpComplete:
+			m.Complete = w
+		case openloop.OpStats:
+			m.Stats = w
+		default:
+			return m, fmt.Errorf("unknown operation %q in mix", key)
+		}
+	}
+	return m, nil
+}
+
+func parseRates(spec string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(spec, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad rate %q in -rates", part)
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }
 
 func printSummary(trace *workload.Trace) {

@@ -542,6 +542,18 @@ func cmdStats(ctx context.Context, c *client.Client) error {
 			fmt.Printf("  %-45s %d\n", tp.Item, tp.Count)
 		}
 	}
+	if a := stats.Approx; a != nil {
+		// The listings above come from bounded top-K summaries: listed
+		// counts are exact; a non-zero bound means items with true count at
+		// or below it may be missing from that listing.
+		fmt.Printf("listing summaries: capacity %d/bucket\n", a.Capacity)
+		fmt.Printf("  miss bounds: tables<=%d users<=%d predicates<=%d fingerprints<=%d",
+			a.TableBound, a.UserBound, a.PredicateBound, a.FingerprintBound)
+		if a.TableBound == 0 && a.UserBound == 0 && a.PredicateBound == 0 && a.FingerprintBound == 0 {
+			fmt.Printf(" (all listings exact)")
+		}
+		fmt.Println()
+	}
 	return nil
 }
 

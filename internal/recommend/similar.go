@@ -34,11 +34,22 @@ func (r *Recommender) SimilarQueries(ctx context.Context, p storage.Principal, q
 	probeAnalysis := probe.Analysis()
 
 	// Popularity prior: per-fingerprint occurrence counts visible to the
-	// principal, read from the incremental stats counters when available
-	// (O(distinct templates)) and from a log scan otherwise.
+	// principal. With the incremental stats counters available, only the
+	// neighbours' own fingerprints are probed — O(neighbours), independent
+	// of how many distinct templates the log holds — and the normaliser
+	// comes from the tracker's bounded top-fingerprint summary. Without a
+	// tracker, fall back to a full log scan.
 	var popByFingerprint map[uint64]int
+	maxPop := 1
 	if t := r.statsTracker(); t != nil {
-		popByFingerprint = t.FingerprintCounts(p)
+		fps := make([]uint64, 0, len(neighbours))
+		for _, n := range neighbours {
+			fps = append(fps, n.Record.Fingerprint)
+		}
+		popByFingerprint = t.FingerprintCountsFor(p, fps)
+		if m := t.MaxFingerprintCount(p); m > maxPop {
+			maxPop = m
+		}
 	} else {
 		popByFingerprint = make(map[uint64]int)
 		r.store.Snapshot().Scan(p, scanCtx(ctx, func(rec *storage.QueryRecord) bool {
@@ -49,7 +60,6 @@ func (r *Recommender) SimilarQueries(ctx context.Context, p storage.Principal, q
 			return nil, err
 		}
 	}
-	maxPop := 1
 	for _, c := range popByFingerprint {
 		if c > maxPop {
 			maxPop = c

@@ -295,6 +295,12 @@ type StatsResponse struct {
 	// TopPredicates are the most used concrete predicates visible to the
 	// caller, sorted by descending count (capped).
 	TopPredicates []ItemCountDTO `json:"topPredicates,omitempty"`
+	// Approx describes the approximation contract of the listings above.
+	// They are served from bounded per-bucket top-K summaries: every count
+	// reported is exact, but a listing may omit items whose true count is at
+	// or below the corresponding bound. A zero bound means that listing is
+	// complete for the caller. Absent when no stats tracker is attached.
+	Approx *StatsApproxDTO `json:"approx,omitempty"`
 	// MinedTransactions is how many queries the incremental association-rule
 	// feed has ingested.
 	MinedTransactions int `json:"minedTransactions"`
@@ -304,6 +310,18 @@ type StatsResponse struct {
 	// "rebuilt" (snapshot loaded but the sidecar was unusable, full rebuild)
 	// or "live" (built incrementally, no snapshot restore involved).
 	DerivedState []DerivedStateDTO `json:"derivedState,omitempty"`
+}
+
+// StatsApproxDTO reports the error bounds of the bounded stats listings:
+// per dimension, the count threshold under which an item may be missing from
+// the caller's listing (counts that ARE listed are always exact). Capacity
+// is the per-bucket per-dimension summary size in effect.
+type StatsApproxDTO struct {
+	Capacity         int `json:"capacity"`
+	TableBound       int `json:"tableBound"`
+	UserBound        int `json:"userBound"`
+	PredicateBound   int `json:"predicateBound"`
+	FingerprintBound int `json:"fingerprintBound"`
 }
 
 // DerivedStateDTO is one derived-state subsystem's restore provenance.

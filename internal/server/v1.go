@@ -523,6 +523,9 @@ func (s *Server) handleV1Stats(w http.ResponseWriter, r *http.Request) {
 		resp.DerivedState = append(resp.DerivedState, DerivedStateDTO{Name: name, Source: prov[name]})
 	}
 	if t := s.cqms.StatsTracker(); t != nil {
+		// Every listing below is served from the tracker's bounded top-K
+		// summaries: O(summary capacity), flat in log and user-population
+		// size. resp.Approx carries the listings' error bounds.
 		resp.VisibleQueries = t.QueryCount(p)
 		for i, tc := range t.TableCounts(p) {
 			if i >= maxStatsItems {
@@ -536,28 +539,20 @@ func (s *Server) handleV1Stats(w http.ResponseWriter, r *http.Request) {
 			}
 			resp.UserActivity = append(resp.UserActivity, ItemCountDTO{Item: ua.User, Count: ua.Queries})
 		}
-		resp.TopPredicates = topItems(t.GlobalPredicateCounts(p), maxStatsItems)
+		for _, tp := range t.TopPredicates(p, maxStatsItems) {
+			resp.TopPredicates = append(resp.TopPredicates, ItemCountDTO{Item: tp.Item, Count: tp.Count})
+		}
+		bounds := t.Bounds(p)
+		resp.Approx = &StatsApproxDTO{
+			Capacity:         bounds.Capacity,
+			TableBound:       bounds.Tables,
+			UserBound:        bounds.Users,
+			PredicateBound:   bounds.Predicates,
+			FingerprintBound: bounds.Fingerprints,
+		}
 	}
 	if f := s.cqms.MinerFeed(); f != nil {
 		resp.MinedTransactions = f.NumTransactions()
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// topItems sorts a count map by descending count (then item) and caps it.
-func topItems(counts map[string]int, max int) []ItemCountDTO {
-	out := make([]ItemCountDTO, 0, len(counts))
-	for item, c := range counts {
-		out = append(out, ItemCountDTO{Item: item, Count: c})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		return out[i].Item < out[j].Item
-	})
-	if len(out) > max {
-		out = out[:max]
-	}
-	return out
 }

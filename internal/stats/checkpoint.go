@@ -81,8 +81,15 @@ func (b *bucket) state() bucketState {
 	return st
 }
 
-func bucketFromState(st bucketState) (*bucket, error) {
-	b := newBucket()
+// bucketFromState rebuilds one bucket from its checkpointed exact counters.
+// The top-K summaries are not serialised — they are derived state over the
+// maps — so they are reseeded from the restored counts, which gives the
+// recovered summaries exact top-capacity membership and the tightest miss
+// bound; the WAL tail replay then maintains them incrementally. Restore
+// therefore stays O(checkpoint size + tail), and version-1 sidecars written
+// before the summaries existed restore unchanged.
+func bucketFromState(st bucketState, capacity int) (*bucket, error) {
+	b := newBucket(capacity)
 	b.queries = st.Queries
 	for user, n := range st.Users {
 		b.users[user] = n
@@ -114,6 +121,7 @@ func bucketFromState(st bucketState) (*bucket, error) {
 		}
 		b.tables[key] = ta
 	}
+	b.reseed(capacity)
 	return b, nil
 }
 
@@ -153,17 +161,17 @@ func (t *Tracker) Restore(version int, data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("stats: decoding checkpoint: %w", err)
 	}
-	all, err := bucketFromState(st.All)
+	all, err := bucketFromState(st.All, t.capacity)
 	if err != nil {
 		return err
 	}
-	public, err := bucketFromState(st.Public)
+	public, err := bucketFromState(st.Public, t.capacity)
 	if err != nil {
 		return err
 	}
 	owners := make(map[string]*bucket, len(st.Owners))
 	for user, bs := range st.Owners {
-		b, err := bucketFromState(bs)
+		b, err := bucketFromState(bs, t.capacity)
 		if err != nil {
 			return err
 		}

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/storage"
 	"repro/internal/telemetry"
@@ -60,7 +61,10 @@ func newTableAgg() *tableAgg {
 	}
 }
 
-// bucket is one visibility bucket of counters.
+// bucket is one visibility bucket of counters. Next to the exact counter
+// maps it maintains one bounded top-K summary per listed dimension (see
+// topk.go), so the listing reads — top tables, top users, top predicates,
+// fingerprint popularity — never have to materialise or sort a full map.
 type bucket struct {
 	queries      int
 	users        map[string]int
@@ -71,15 +75,50 @@ type bucket struct {
 	// table — so log-wide "top predicates" listings are not inflated for
 	// multi-table queries.
 	preds map[string]int
+
+	// Incrementally maintained top-K summaries over the maps above, updated
+	// O(log capacity) per touched key as mutations apply.
+	topTables       *topkSummary[string]
+	topUsers        *topkSummary[string]
+	topPreds        *topkSummary[string]
+	topFingerprints *topkSummary[uint64]
 }
 
-func newBucket() *bucket {
+func newBucket(capacity int) *bucket {
 	return &bucket{
-		users:        make(map[string]int),
-		fingerprints: make(map[uint64]int),
-		tables:       make(map[string]*tableAgg),
-		preds:        make(map[string]int),
+		users:           make(map[string]int),
+		fingerprints:    make(map[uint64]int),
+		tables:          make(map[string]*tableAgg),
+		preds:           make(map[string]int),
+		topTables:       newTopK[string](capacity),
+		topUsers:        newTopK[string](capacity),
+		topPreds:        newTopK[string](capacity),
+		topFingerprints: newTopK[uint64](capacity),
 	}
+}
+
+// reseed rebuilds every summary from the bucket's exact maps, giving each the
+// tightest membership and miss bound possible for the current counts. Called
+// after bulk construction (Rebuild, checkpoint Restore), where the
+// incremental admission order could otherwise leave an inflated watermark.
+func (b *bucket) reseed(capacity int) {
+	tables := make(map[string]int, len(b.tables))
+	for key, ta := range b.tables {
+		tables[key] = ta.count
+	}
+	b.topTables = seedTopK(capacity, tables)
+	b.topUsers = seedTopK(capacity, b.users)
+	b.topPreds = seedTopK(capacity, b.preds)
+	b.topFingerprints = seedTopK(capacity, b.fingerprints)
+}
+
+// empty reports whether the bucket holds no counted state at all — no
+// queries and no retired summary entries — so owner buckets of churning
+// users can be pruned without leaking heap or watermark state.
+func (b *bucket) empty() bool {
+	return b.queries == 0 &&
+		b.topTables.len() == 0 && b.topUsers.len() == 0 &&
+		b.topPreds.len() == 0 && b.topFingerprints.len() == 0
 }
 
 // bumpItem adjusts one candidate counter, deleting the key when it empties
@@ -146,7 +185,9 @@ type joinItem struct {
 func (b *bucket) apply(rec *storage.QueryRecord, delta int) {
 	b.queries += delta
 	bumpCount(b.users, rec.User, delta)
+	b.topUsers.update(rec.User, b.users[rec.User])
 	bumpCount(b.fingerprints, rec.Fingerprint, delta)
+	b.topFingerprints.update(rec.Fingerprint, b.fingerprints[rec.Fingerprint])
 	attrs := make([]relItem, 0, len(rec.Attributes))
 	for _, a := range rec.Attributes {
 		name := a.Attr
@@ -167,6 +208,7 @@ func (b *bucket) apply(rec *storage.QueryRecord, delta int) {
 		}
 		text := PredicateText(p)
 		bumpCount(b.preds, text, delta)
+		b.topPreds.update(text, b.preds[text])
 		preds = append(preds, relItem{text: text, rel: strings.ToLower(p.Rel)})
 	}
 	seen := make(map[string]bool, len(rec.Tables))
@@ -198,6 +240,7 @@ func (b *bucket) apply(rec *storage.QueryRecord, delta int) {
 		if ta.count <= 0 {
 			delete(b.tables, key)
 		}
+		b.topTables.update(key, ta.count)
 	}
 }
 
@@ -229,17 +272,43 @@ func PredicateText(pr storage.PredicateRow) string {
 // concurrent use: mutations arrive serialised under the store's commit lock,
 // reads come from request-serving goroutines.
 type Tracker struct {
-	mu     sync.RWMutex
-	all    *bucket
-	public *bucket
-	owners map[string]*bucket // non-public records per owning user
+	mu       sync.RWMutex
+	capacity int // per-bucket per-dimension top-K summary capacity
+	all      *bucket
+	public   *bucket
+	owners   map[string]*bucket // non-public records per owning user
+
+	// readLatency, when EnableMetrics installed it, holds one histogram per
+	// listing read ("tables", "users", "predicates", "fingerprints") timing
+	// the full merge — lock hold plus out-of-lock sort. Written once under
+	// mu, read under the read lock by the hot paths.
+	readLatency map[string]*telemetry.Histogram
 }
 
-// New returns an empty tracker. Use Attach to keep it synchronised with a
-// store, or Rebuild to fill it from one once.
+// New returns an empty tracker with the default summary capacity. Use Attach
+// to keep it synchronised with a store, or Rebuild to fill it from one once.
 func New() *Tracker {
-	return &Tracker{all: newBucket(), public: newBucket(), owners: make(map[string]*bucket)}
+	return NewWithCapacity(defaultTopKCapacity)
 }
+
+// NewWithCapacity returns an empty tracker whose per-bucket top-K summaries
+// track up to capacity keys per dimension (≤ 0 selects the default). Smaller
+// capacities trade listing completeness (a larger reported miss bound) for
+// memory; reads stay exact for every key a summary tracks either way.
+func NewWithCapacity(capacity int) *Tracker {
+	if capacity <= 0 {
+		capacity = defaultTopKCapacity
+	}
+	return &Tracker{
+		capacity: capacity,
+		all:      newBucket(capacity),
+		public:   newBucket(capacity),
+		owners:   make(map[string]*bucket),
+	}
+}
+
+// Capacity returns the per-bucket per-dimension top-K summary capacity.
+func (t *Tracker) Capacity() int { return t.capacity }
 
 // Attach builds a tracker over the store's current contents and subscribes
 // it to the mutation event bus. Registration and the initial rebuild happen
@@ -249,7 +318,14 @@ func New() *Tracker {
 // Checkpoint/Restore pair, so WAL snapshots carry its counters and recovery
 // skips the rebuild when a checkpoint sidecar is present.
 func Attach(store *storage.Store) *Tracker {
-	t := New()
+	return AttachWithCapacity(store, 0)
+}
+
+// AttachWithCapacity is Attach with a custom per-bucket top-K summary
+// capacity (≤ 0 selects the default). Small capacities force evictions and
+// non-zero miss bounds early; production embedders normally want the default.
+func AttachWithCapacity(store *storage.Store, capacity int) *Tracker {
+	t := NewWithCapacity(capacity)
 	rebuild := func() { t.Rebuild(store) }
 	store.Subscribe("stats", t.OnMutation, storage.SubscribeOptions{
 		Init: rebuild, Reset: rebuild,
@@ -263,7 +339,7 @@ func Attach(store *storage.Store) *Tracker {
 // side and swapped in, so concurrent readers never observe a half-built
 // state.
 func (t *Tracker) Rebuild(store *storage.Store) {
-	all, public := newBucket(), newBucket()
+	all, public := newBucket(t.capacity), newBucket(t.capacity)
 	owners := make(map[string]*bucket)
 	store.Snapshot().Scan(storage.Principal{Admin: true}, func(rec *storage.QueryRecord) bool {
 		all.apply(rec, 1)
@@ -272,13 +348,21 @@ func (t *Tracker) Rebuild(store *storage.Store) {
 		} else {
 			b := owners[rec.User]
 			if b == nil {
-				b = newBucket()
+				b = newBucket(t.capacity)
 				owners[rec.User] = b
 			}
 			b.apply(rec, 1)
 		}
 		return true
 	})
+	// Reseed the summaries from the final maps: the insertion-order build
+	// above can leave an inflated miss watermark, while a from-scratch seed
+	// yields the exact top-capacity membership and tightest bound.
+	all.reseed(t.capacity)
+	public.reseed(t.capacity)
+	for _, b := range owners {
+		b.reseed(t.capacity)
+	}
 	t.mu.Lock()
 	t.all, t.public, t.owners = all, public, owners
 	t.mu.Unlock()
@@ -353,16 +437,17 @@ func (t *Tracker) specificFor(rec *storage.QueryRecord) *bucket {
 	}
 	b := t.owners[rec.User]
 	if b == nil {
-		b = newBucket()
+		b = newBucket(t.capacity)
 		t.owners[rec.User] = b
 	}
 	return b
 }
 
-// pruneOwner drops a user's bucket once it holds nothing, so churning users
-// do not leak empty buckets.
+// pruneOwner drops a user's bucket once it holds nothing — no queries and no
+// summary entries — so churning users (deletes, visibility flips to public)
+// do not leak empty buckets or retired top-K heap/watermark state.
 func (t *Tracker) pruneOwner(user string) {
-	if b := t.owners[user]; b != nil && b.queries == 0 {
+	if b := t.owners[user]; b != nil && b.empty() {
 		delete(t.owners, user)
 	}
 }
@@ -396,33 +481,66 @@ func (t *Tracker) QueryCount(p storage.Principal) int {
 	return n
 }
 
+// observeRead times one listing read; reads capture their histogram under
+// the read lock they already hold and observe after the out-of-lock merge.
+func (t *Tracker) histogramLocked(read string) *telemetry.Histogram {
+	if t.readLatency == nil {
+		return nil
+	}
+	return t.readLatency[read]
+}
+
 // TableCounts returns per-table reference counts visible to the principal,
 // sorted by descending count then name — the same shape as
-// storage.TableCounts.
+// storage.TableCounts. The listing is served from the maintained top-K
+// summaries: only keys a visible bucket tracks are merged (counts probed
+// exactly from the counter maps), so the read costs O(capacity log capacity)
+// regardless of how many tables the log references, and the lock is released
+// before any sorting happens. Tables omitted by every visible summary have
+// true count ≤ ApproxBounds(p).Tables.
 func (t *Tracker) TableCounts(p storage.Principal) []storage.TableCount {
-	t.mu.RLock()
+	start := time.Now()
 	type agg struct {
+		key   string
 		count int
 		names map[string]int
 	}
+	t.mu.RLock()
+	h := t.histogramLocked("tables")
+	buckets := t.bucketsFor(p)
 	merged := make(map[string]*agg)
-	for _, b := range t.bucketsFor(p) {
-		for key, ta := range b.tables {
-			a := merged[key]
-			if a == nil {
-				a = &agg{names: make(map[string]int, len(ta.names))}
-				merged[key] = a
+	for bi, b := range buckets {
+		for _, e := range b.topTables.heap {
+			if merged[e.key] != nil {
+				continue
 			}
-			a.count += ta.count
-			for name, n := range ta.names {
-				a.names[name] += n
+			// The entry's count is already the exact count in its own
+			// bucket; only the other buckets need probing.
+			a := &agg{key: e.key, count: e.count, names: make(map[string]int, 1)}
+			for bj, b2 := range buckets {
+				if ta := b2.tables[e.key]; ta != nil {
+					if bj != bi {
+						a.count += ta.count
+					}
+					for name, n := range ta.names {
+						a.names[name] += n
+					}
+				}
 			}
+			merged[e.key] = a
 		}
 	}
-	t.mu.RUnlock()
 	out := make([]storage.TableCount, 0, len(merged))
-	for key, a := range merged {
-		out = append(out, storage.TableCount{Table: storage.PickDisplayName(a.names, key), Count: a.count})
+	tails := make([]map[string]int, 0, len(merged))
+	for _, a := range merged {
+		out = append(out, storage.TableCount{Table: a.key, Count: a.count})
+		tails = append(tails, a.names)
+	}
+	t.mu.RUnlock()
+	// Display-name resolution and sorting run outside the lock; the name
+	// maps were copied above, so they cannot be mutated under us.
+	for i := range out {
+		out[i].Table = storage.PickDisplayName(tails[i], out[i].Table)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -430,6 +548,9 @@ func (t *Tracker) TableCounts(p storage.Principal) []storage.TableCount {
 		}
 		return out[i].Table < out[j].Table
 	})
+	if h != nil {
+		h.Observe(time.Since(start))
+	}
 	return out
 }
 
@@ -441,27 +562,224 @@ type UserCount struct {
 }
 
 // UserActivity returns per-user query counts visible to the principal,
-// sorted by descending count then user.
+// sorted by descending count then user. Served from the maintained top-K
+// summaries: the read merges at most capacity tracked users per visible
+// bucket — flat in the user population — and sorts outside the lock. Users
+// omitted by every visible summary have true count ≤ ApproxBounds(p).Users.
 func (t *Tracker) UserActivity(p storage.Principal) []UserCount {
+	start := time.Now()
 	t.mu.RLock()
-	merged := make(map[string]int)
-	for _, b := range t.bucketsFor(p) {
-		for user, n := range b.users {
-			merged[user] += n
+	h := t.histogramLocked("users")
+	buckets := t.bucketsFor(p)
+	out := make([]UserCount, 0, t.capacity)
+	seen := make(map[string]bool, t.capacity)
+	for bi, b := range buckets {
+		for _, e := range b.topUsers.heap {
+			if seen[e.key] {
+				continue
+			}
+			seen[e.key] = true
+			// The entry mirrors its own bucket's exact count; only the other
+			// buckets need probing, so a single-bucket (admin) read never
+			// touches the full counter maps.
+			n := e.count
+			for bj, b2 := range buckets {
+				if bj != bi {
+					n += b2.users[e.key]
+				}
+			}
+			out = append(out, UserCount{User: e.key, Queries: n})
 		}
 	}
 	t.mu.RUnlock()
-	out := make([]UserCount, 0, len(merged))
-	for user, n := range merged {
-		out = append(out, UserCount{User: user, Queries: n})
-	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Queries != out[j].Queries {
 			return out[i].Queries > out[j].Queries
 		}
 		return out[i].User < out[j].User
 	})
+	if h != nil {
+		h.Observe(time.Since(start))
+	}
 	return out
+}
+
+// ItemCount is one (item, count) pair of a bounded listing read.
+type ItemCount struct {
+	Item  string
+	Count int
+}
+
+// FingerprintCount is one (template fingerprint, count) pair.
+type FingerprintCount struct {
+	Fingerprint uint64
+	Count       int
+}
+
+// TopPredicates returns the k most used concrete (non-join) predicates
+// visible to the principal, counted once per occurrence (the same totals as
+// GlobalPredicateCounts), sorted by descending count then text. k ≤ 0 means
+// every tracked predicate. Predicates omitted by every visible summary have
+// true count ≤ ApproxBounds(p).Predicates.
+func (t *Tracker) TopPredicates(p storage.Principal, k int) []ItemCount {
+	start := time.Now()
+	t.mu.RLock()
+	h := t.histogramLocked("predicates")
+	buckets := t.bucketsFor(p)
+	out := make([]ItemCount, 0, t.capacity)
+	seen := make(map[string]bool, t.capacity)
+	for bi, b := range buckets {
+		for _, e := range b.topPreds.heap {
+			if seen[e.key] {
+				continue
+			}
+			seen[e.key] = true
+			n := e.count
+			for bj, b2 := range buckets {
+				if bj != bi {
+					n += b2.preds[e.key]
+				}
+			}
+			out = append(out, ItemCount{Item: e.key, Count: n})
+		}
+	}
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	if h != nil {
+		h.Observe(time.Since(start))
+	}
+	return out
+}
+
+// TopFingerprints returns the k most popular query-template fingerprints
+// visible to the principal, sorted by descending count then fingerprint.
+// k ≤ 0 means every tracked fingerprint. Fingerprints omitted by every
+// visible summary have true count ≤ ApproxBounds(p).Fingerprints.
+func (t *Tracker) TopFingerprints(p storage.Principal, k int) []FingerprintCount {
+	start := time.Now()
+	t.mu.RLock()
+	h := t.histogramLocked("fingerprints")
+	buckets := t.bucketsFor(p)
+	out := make([]FingerprintCount, 0, t.capacity)
+	seen := make(map[uint64]bool, t.capacity)
+	for bi, b := range buckets {
+		for _, e := range b.topFingerprints.heap {
+			if seen[e.key] {
+				continue
+			}
+			seen[e.key] = true
+			n := e.count
+			for bj, b2 := range buckets {
+				if bj != bi {
+					n += b2.fingerprints[e.key]
+				}
+			}
+			out = append(out, FingerprintCount{Fingerprint: e.key, Count: n})
+		}
+	}
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	if h != nil {
+		h.Observe(time.Since(start))
+	}
+	return out
+}
+
+// MaxFingerprintCount returns the highest per-fingerprint popularity count
+// visible to the principal — the popularity normaliser of the similar-query
+// ranking — served from the summaries in O(capacity). It can undershoot the
+// true maximum only if every copy of the most popular template is untracked,
+// i.e. by at most ApproxBounds(p).Fingerprints.
+func (t *Tracker) MaxFingerprintCount(p storage.Principal) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	buckets := t.bucketsFor(p)
+	max := 0
+	for bi, b := range buckets {
+		for _, e := range b.topFingerprints.heap {
+			n := e.count
+			for bj, b2 := range buckets {
+				if bj != bi {
+					n += b2.fingerprints[e.key]
+				}
+			}
+			if n > max {
+				max = n
+			}
+		}
+	}
+	return max
+}
+
+// FingerprintCountsFor returns the principal-visible popularity counts of
+// exactly the requested fingerprints, probed from the exact counter maps in
+// O(len(fps)) — the sub-linear replacement for copying the whole
+// FingerprintCounts map when the caller (the similar-query ranker) already
+// knows which templates it is scoring.
+func (t *Tracker) FingerprintCountsFor(p storage.Principal, fps []uint64) map[uint64]int {
+	out := make(map[uint64]int, len(fps))
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	buckets := t.bucketsFor(p)
+	for _, fp := range fps {
+		if _, done := out[fp]; done {
+			continue
+		}
+		n := 0
+		for _, b := range buckets {
+			n += b.fingerprints[fp]
+		}
+		if n > 0 {
+			out[fp] = n
+		}
+	}
+	return out
+}
+
+// ApproxBounds reports, per listing dimension, the count threshold under
+// which the principal's bounded reads may omit an item: any table / user /
+// predicate / fingerprint absent from the corresponding listing has true
+// count ≤ the reported bound. A zero bound means the listing is complete and
+// exact. Bounds are summed across the principal's visible buckets (an item
+// untracked in both buckets can hide at most bound_a + bound_b occurrences).
+type ApproxBounds struct {
+	Tables       int
+	Users        int
+	Predicates   int
+	Fingerprints int
+	// Capacity is the per-bucket per-dimension summary size in effect.
+	Capacity int
+}
+
+// Bounds returns the principal's current approximation bounds (see
+// ApproxBounds).
+func (t *Tracker) Bounds(p storage.Principal) ApproxBounds {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	b := ApproxBounds{Capacity: t.capacity}
+	for _, bk := range t.bucketsFor(p) {
+		b.Tables += bk.topTables.missedBound
+		b.Users += bk.topUsers.missedBound
+		b.Predicates += bk.topPreds.missedBound
+		b.Fingerprints += bk.topFingerprints.missedBound
+	}
+	return b
 }
 
 // LowerSet builds the lower-cased context-table filter set shared by the
@@ -555,8 +873,9 @@ func (t *Tracker) JoinCounts(p storage.Principal, tables []string) map[string]in
 
 // GlobalPredicateCounts returns log-wide concrete-predicate usage counts
 // visible to the principal, counting each predicate once per occurrence in a
-// record (no per-table multiplicity). It backs the stats API's "top
-// predicates" listing.
+// record (no per-table multiplicity). The copy is O(distinct predicates):
+// serving paths use TopPredicates instead; this full materialisation remains
+// for equivalence tests and embedders that need the exact tail.
 func (t *Tracker) GlobalPredicateCounts(p storage.Principal) map[string]int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -570,8 +889,10 @@ func (t *Tracker) GlobalPredicateCounts(p storage.Principal) map[string]int {
 }
 
 // FingerprintCounts returns per-template-fingerprint popularity counts
-// visible to the principal (the popularity term of the composite similar-
-// query ranking). The map is a merged copy the caller owns.
+// visible to the principal. The map is a merged copy the caller owns — an
+// O(distinct templates) materialisation. Serving paths use
+// FingerprintCountsFor / TopFingerprints instead; this remains for
+// equivalence tests and embedders that need the exact tail.
 func (t *Tracker) FingerprintCounts(p storage.Principal) map[uint64]int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -611,4 +932,44 @@ func (t *Tracker) EnableMetrics(reg *telemetry.Registry) {
 			defer t.mu.RUnlock()
 			return float64(len(t.owners))
 		})
+	// Top-K summary health on the admin (`all`) bucket: how many keys each
+	// dimension tracks and the miss watermark — the count under which a
+	// listing may omit items (0 = listings are complete and exact).
+	tracked := reg.GaugeFuncVec("cqms_stats_topk_tracked",
+		"Keys tracked by the all-bucket top-K summary, per dimension.", "dimension")
+	bound := reg.GaugeFuncVec("cqms_stats_topk_miss_bound",
+		"Count threshold under which the all-bucket listing may omit items, per dimension (0 = exact).",
+		"dimension")
+	summaries := map[string]func(b *bucket) (tracked, bound int){
+		"tables":       func(b *bucket) (int, int) { return b.topTables.len(), b.topTables.missedBound },
+		"users":        func(b *bucket) (int, int) { return b.topUsers.len(), b.topUsers.missedBound },
+		"predicates":   func(b *bucket) (int, int) { return b.topPreds.len(), b.topPreds.missedBound },
+		"fingerprints": func(b *bucket) (int, int) { return b.topFingerprints.len(), b.topFingerprints.missedBound },
+	}
+	for dim, read := range summaries {
+		read := read
+		tracked.With(func() float64 {
+			t.mu.RLock()
+			defer t.mu.RUnlock()
+			n, _ := read(t.all)
+			return float64(n)
+		}, dim)
+		bound.With(func() float64 {
+			t.mu.RLock()
+			defer t.mu.RUnlock()
+			_, b := read(t.all)
+			return float64(b)
+		}, dim)
+	}
+	readVec := reg.HistogramVec("cqms_stats_read_seconds",
+		"Bounded stats listing read latency (summary merge + out-of-lock sort), per read.",
+		telemetry.DefBuckets, "read")
+	t.mu.Lock()
+	t.readLatency = map[string]*telemetry.Histogram{
+		"tables":       readVec.With("tables"),
+		"users":        readVec.With("users"),
+		"predicates":   readVec.With("predicates"),
+		"fingerprints": readVec.With("fingerprints"),
+	}
+	t.mu.Unlock()
 }
