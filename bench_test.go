@@ -13,6 +13,7 @@ package cqms
 //
 //	go test -bench=. -benchmem
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net/http/httptest"
@@ -1080,6 +1081,90 @@ func BenchmarkRecoveryWithCheckpoint(b *testing.B) {
 func BenchmarkRecoveryRebuild(b *testing.B) {
 	_, plainDir := ckptRecoverySetup(b)
 	benchCheckpointRecovery(b, plainDir, 0)
+}
+
+// ---------------------------------------------------------------------------
+// Replica catch-up: a follower applying a streamed WAL tail through the
+// replication path (CRC frame decode → mutation decode → store.Apply with
+// every derived-state subscriber attached).
+// ---------------------------------------------------------------------------
+
+var (
+	replicaTailOnce sync.Once
+	replicaTail     []byte // ckptRecoveryRecords records as streamed CRC frames
+	replicaTailErr  error
+)
+
+// replicaTailSetup builds (once) a 50k-record WAL and serialises its full
+// tail exactly as GET /v1/replication/wal would stream it.
+func replicaTailSetup(b *testing.B) []byte {
+	b.Helper()
+	replicaTailOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "cqms-replica-bench-")
+		if err != nil {
+			replicaTailErr = err
+			return
+		}
+		store := storage.NewStore()
+		cfg := wal.DefaultConfig(dir)
+		cfg.SyncPolicy = "off"
+		mgr, _, err := wal.Open(store, cfg)
+		if err != nil {
+			replicaTailErr = err
+			return
+		}
+		rec, err := storage.NewRecordFromSQL("SELECT WaterTemp.lake, WaterTemp.temp FROM WaterTemp WHERE WaterTemp.temp < 15")
+		if err != nil {
+			replicaTailErr = err
+			return
+		}
+		clock := time.Date(2026, 1, 5, 9, 0, 0, 0, time.UTC)
+		for i := 0; i < ckptRecoveryRecords; i++ {
+			clock = clock.Add(30 * time.Second)
+			r := rec.Clone()
+			r.User = fmt.Sprintf("user%02d", i%40)
+			r.IssuedAt = clock
+			store.Put(r)
+		}
+		var buf bytes.Buffer
+		if _, _, err := mgr.ReadTail(0, 1<<40, &buf); err != nil {
+			replicaTailErr = err
+			return
+		}
+		replicaTail = buf.Bytes()
+		replicaTailErr = mgr.Close()
+	})
+	if replicaTailErr != nil {
+		b.Fatal(replicaTailErr)
+	}
+	return replicaTail
+}
+
+// BenchmarkReplicaCatchUp measures a follower replaying a 50k-record WAL
+// tail from scratch: the cost of bringing a fresh read replica level with
+// the primary, derived state included.
+func BenchmarkReplicaCatchUp(b *testing.B) {
+	tail := replicaTailSetup(b)
+	b.SetBytes(int64(len(tail)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := storage.NewStore()
+		ckptAttachSubscribers(store)
+		err := wal.ReadFrames(bytes.NewReader(tail), func(seq uint64, payload []byte) error {
+			m, err := storage.DecodeMutation(payload)
+			if err != nil {
+				return err
+			}
+			return store.Apply(m)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := store.Count(); got != ckptRecoveryRecords {
+			b.Fatalf("replayed %d records, want %d", got, ckptRecoveryRecords)
+		}
+	}
 }
 
 // Guard: the fixture must look like the workload DESIGN.md describes.

@@ -7,6 +7,7 @@
 //
 //	cqms-server -addr :8080 -rows 2000 -seed 1 -replay-users 10
 //	cqms-server -addr :8080 -data-dir /var/lib/cqms
+//	cqms-server -addr :8081 -follow http://primary:8080 -replay-users 0
 //
 // With -data-dir the query log is durable: every mutation is appended to a
 // segmented write-ahead log and the store is snapshotted periodically, so a
@@ -15,6 +16,13 @@
 // multi-user trace so that search, recommendation and session browsing have
 // something to work with immediately; replay is skipped when a data
 // directory already holds recovered queries.
+//
+// With -follow the server runs as a read replica: it bootstraps from the
+// primary's newest snapshot over GET /v1/replication/snapshot, tails its WAL
+// stream, and serves the read surface (search, history, sessions, assist,
+// stats) from the replicated state. Writes are refused with a read_only
+// envelope naming the primary. -follow is incompatible with -data-dir — a
+// follower keeps no local log, it re-bootstraps on restart.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/profiler"
@@ -44,6 +53,7 @@ func main() {
 		miningInterval    = flag.Duration("mine-every", time.Minute, "background mining interval")
 		maintainInterval  = flag.Duration("maintain-every", 5*time.Minute, "background maintenance interval")
 		dataDir           = flag.String("data-dir", "", "directory for the durable query log (empty: in-memory only)")
+		follow            = flag.String("follow", "", "run as a read replica of the primary at this base URL (incompatible with -data-dir)")
 		syncPolicy        = flag.String("sync", "interval", "WAL fsync policy: always, interval or off")
 		groupWindow       = flag.Duration("wal-group-window", 0, "group-commit accumulation window: extra latency the WAL committer waits to batch concurrent appends into one fsync (0: batch only what arrives while the previous fsync runs)")
 		segmentBytes      = flag.Int64("segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation threshold")
@@ -75,7 +85,24 @@ func main() {
 		cfg.Durability.SegmentBytes = *segmentBytes
 		cfg.Durability.SnapshotEvery = *snapshotEvery
 	}
-	cqms, err := core.OpenWithEngine(eng, cfg)
+	var cqms *core.CQMS
+	var err error
+	if *follow != "" {
+		if *dataDir != "" {
+			log.Fatalf("-follow is incompatible with -data-dir: a follower keeps no local log")
+		}
+		if *replayUsers > 0 {
+			log.Printf("skipping trace replay: a follower's query log comes from the primary")
+			*replayUsers = 0
+		}
+		// The replication stream is admin-gated; the snapshot transfer can
+		// outlast the default client timeout, so give it a generous one.
+		source := client.New(*follow, client.WithAdmin(),
+			client.WithHTTPClient(&http.Client{Timeout: 2 * time.Minute}))
+		cqms, err = core.OpenFollower(eng, cfg, source)
+	} else {
+		cqms, err = core.OpenWithEngine(eng, cfg)
+	}
 	if err != nil {
 		log.Fatalf("opening CQMS: %v", err)
 	}
@@ -116,6 +143,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	cqms.StartBackground(ctx)
+	if *follow != "" {
+		if err := cqms.StartFollower(ctx); err != nil {
+			log.Fatalf("starting replication: %v", err)
+		}
+		log.Printf("replicating from primary %s", *follow)
+	}
 
 	// The middleware chain (request IDs, panic recovery, metrics, access and
 	// slow-request logging) lives in the server package; the timeouts guard

@@ -33,6 +33,11 @@
 //	stats                             server statistics
 //	metrics                           Prometheus metrics exposition (-admin shows admin-only series)
 //	proxy status                      capture totals of a cqms-proxy (-server points at its admin address)
+//	replication status                replication role, sequences and lag of a primary or follower
+//
+// The stats, proxy status and replication status commands all lead with the
+// same status document (role, applied sequence, uptime, derived-state
+// provenance), rendered by one shared printer.
 package main
 
 import (
@@ -132,6 +137,8 @@ func run(ctx context.Context, c *client.Client, cmd string, args []string, k int
 		return cmdMetrics(ctx, c)
 	case "proxy":
 		return cmdProxy(ctx, c, args)
+	case "replication":
+		return cmdReplication(ctx, c, args)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -515,15 +522,7 @@ func cmdStats(ctx context.Context, c *client.Client) error {
 	// queries; everything for admins).
 	fmt.Printf("visible queries: %d\n", stats.VisibleQueries)
 	fmt.Printf("mined transactions: %d\n", stats.MinedTransactions)
-	if len(stats.DerivedState) > 0 {
-		// Whether each derived-state subsystem came back from a snapshot
-		// checkpoint on the last restart or had to rebuild from a full scan.
-		parts := make([]string, 0, len(stats.DerivedState))
-		for _, ds := range stats.DerivedState {
-			parts = append(parts, fmt.Sprintf("%s=%s", ds.Name, ds.Source))
-		}
-		fmt.Printf("derived state: %s\n", strings.Join(parts, ", "))
-	}
+	printStatusDoc(stats.Status)
 	if len(stats.TableCounts) > 0 {
 		fmt.Println("table counts:")
 		for _, tc := range stats.TableCounts {
@@ -576,8 +575,8 @@ func cmdProxy(ctx context.Context, c *client.Client, args []string) error {
 	if err != nil {
 		return err
 	}
+	printStatusDoc(server.StatusDocDTO{Role: st.Role, UptimeSeconds: st.UptimeSeconds})
 	fmt.Printf("backend:             %s\n", st.Backend)
-	fmt.Printf("uptime:              %.0fs\n", st.UptimeSeconds)
 	fmt.Printf("connections:         %d active, %d total\n", st.ActiveConnections, st.TotalConnections)
 	fmt.Printf("statements captured: %d\n", st.StatementsCaptured)
 	fmt.Printf("statements dropped:  %d\n", st.StatementsDropped)
@@ -585,5 +584,57 @@ func cmdProxy(ctx context.Context, c *client.Client, args []string) error {
 	fmt.Printf("backend dial errors: %d\n", st.BackendDialErrors)
 	fmt.Printf("bytes relayed:       %d from clients, %d from backend\n", st.BytesFromClients, st.BytesFromBackend)
 	fmt.Printf("capture enabled:     %v\n", st.CaptureEnabled)
+	return nil
+}
+
+// printStatusDoc renders the status document every status surface shares
+// (stats, proxy status, replication status): role, applied WAL sequence,
+// uptime and derived-state provenance.
+func printStatusDoc(doc server.StatusDocDTO) {
+	fmt.Printf("role:        %s\n", doc.Role)
+	fmt.Printf("applied seq: %d\n", doc.AppliedSeq)
+	fmt.Printf("uptime:      %.0fs\n", doc.UptimeSeconds)
+	if len(doc.Provenance) > 0 {
+		// Whether each derived-state subsystem came back from a snapshot
+		// checkpoint on the last (re)start or had to rebuild from a full scan.
+		parts := make([]string, 0, len(doc.Provenance))
+		for _, ds := range doc.Provenance {
+			parts = append(parts, fmt.Sprintf("%s=%s", ds.Name, ds.Source))
+		}
+		fmt.Printf("derived state: %s\n", strings.Join(parts, ", "))
+	}
+}
+
+func cmdReplication(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 || args[0] != "status" {
+		return fmt.Errorf("usage: replication status")
+	}
+	st, err := c.ReplicationStatus(ctx)
+	if err != nil {
+		return err
+	}
+	printStatusDoc(st.StatusDocDTO)
+	if st.Primary != "" {
+		fmt.Printf("primary:     %s\n", st.Primary)
+	}
+	fmt.Printf("primary seq: %d\n", st.PrimarySeq)
+	fmt.Printf("snapshot seq: %d\n", st.SnapshotSeq)
+	fmt.Printf("lag:         %d records", st.LagRecords)
+	if st.LagSeconds >= 0 {
+		fmt.Printf(", %.1fs", st.LagSeconds)
+	} else {
+		fmt.Printf(", never caught up")
+	}
+	fmt.Println()
+	if st.Role == "follower" {
+		if st.StalenessSeconds >= 0 {
+			fmt.Printf("staleness:   <= %.1fs\n", st.StalenessSeconds)
+		} else {
+			fmt.Printf("staleness:   unknown (still bootstrapping)\n")
+		}
+	}
+	if st.LastError != "" {
+		fmt.Printf("last error:  %s\n", st.LastError)
+	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -102,14 +103,42 @@ type Error struct {
 	API    server.APIError
 }
 
-// Error implements the error interface.
+// Error implements the error interface. Envelope details are rendered in a
+// stable order so a read_only refusal, for example, names the primary.
 func (e *Error) Error() string {
-	return fmt.Sprintf("client: %s: %s: %s (status %d)", e.Path, e.API.Code, e.API.Message, e.Status)
+	msg := fmt.Sprintf("client: %s: %s: %s (status %d)", e.Path, e.API.Code, e.API.Message, e.Status)
+	if len(e.API.Details) == 0 {
+		return msg
+	}
+	keys := make([]string, 0, len(e.API.Details))
+	for k := range e.API.Details {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(msg)
+	b.WriteString(" [")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", k, e.API.Details[k])
+	}
+	b.WriteString("]")
+	return b.String()
 }
 
 // Code returns the machine-readable error code, the field clients should
 // branch on.
 func (e *Error) Code() server.ErrorCode { return e.API.Code }
+
+// Details returns the envelope's details map (nil when the server sent none):
+// machine-readable context such as the offending field, or the primary URL on
+// a read_only refusal.
+func (e *Error) Details() map[string]string { return e.API.Details }
+
+// Detail returns one envelope detail ("" when absent).
+func (e *Error) Detail(key string) string { return e.API.Details[key] }
 
 // do performs one request against the v1 API: principal headers, JSON body
 // in, JSON body out, envelope errors decoded into *Error.
@@ -487,6 +516,7 @@ func (c *Client) LogCompact(ctx context.Context) (*server.LogSnapshotResponse, e
 // response. It lives here (not in internal/pgwire) so the client stays free
 // of the proxy's dependencies; the JSON contract is the shared surface.
 type ProxyStatus struct {
+	Role               string  `json:"role"`
 	UptimeSeconds      float64 `json:"uptimeSeconds"`
 	Backend            string  `json:"backend"`
 	ActiveConnections  int64   `json:"activeConnections"`

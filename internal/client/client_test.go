@@ -244,13 +244,16 @@ func TestDerivedStateAndSidecarSurface(t *testing.T) {
 		t.Fatalf("Stats: %v", err)
 	}
 	sources := map[string]string{}
-	for _, ds := range stats.DerivedState {
+	for _, ds := range stats.Status.Provenance {
 		sources[ds.Name] = ds.Source
 	}
 	for _, name := range []string{"stats", "miner-feed", "sessions"} {
 		if sources[name] != "live" {
-			t.Errorf("in-memory derivedState[%s] = %q, want live", name, sources[name])
+			t.Errorf("in-memory provenance[%s] = %q, want live", name, sources[name])
 		}
+	}
+	if stats.Status.Role != "primary" {
+		t.Errorf("stats status role = %q, want primary", stats.Status.Role)
 	}
 
 	// Durable server: a backup writes sidecar sections for every subscriber.

@@ -91,6 +91,14 @@ type CQMS struct {
 	wal      *wal.Manager      // nil when durability is disabled
 	recovery *wal.RecoveryInfo // what Open reconstructed from disk
 
+	// follower is the replication apply-loop state (OpenFollower); nil on a
+	// primary. started anchors the uptime reported by the status surfaces.
+	follower *followerState
+	started  time.Time
+	// replStreamBytes counts replication stream bytes (served on a durable
+	// primary, consumed on a follower); nil — and safe to Add on — otherwise.
+	replStreamBytes *telemetry.Counter
+
 	// metrics is never nil; the assist children and miner instruments are
 	// cached at construction so hot paths skip the vec lookup.
 	metrics       *telemetry.Registry
@@ -128,6 +136,7 @@ func NewWithEngine(eng *engine.Engine, cfg Config) *CQMS {
 		recommender: recommend.New(store, exec, cfg.Recommender),
 		maintainer:  maintenance.New(eng, store, cfg.Maintenance),
 		metrics:     reg,
+		started:     time.Now(),
 	}
 	// Derived-state subscribers attach before any durability layer opens
 	// (OpenWithEngine), so WAL recovery replay flows through them and their
@@ -194,8 +203,23 @@ func OpenWithEngine(eng *engine.Engine, cfg Config) (*CQMS, error) {
 	}
 	c.wal = mgr
 	c.recovery = recovery
+	// A durable primary can serve the /v1/replication stream; register the
+	// same instrument family a follower does so dashboards see one shape.
+	c.replStreamBytes = c.metrics.Counter("cqms_repl_stream_bytes_total",
+		"Replication stream bytes transferred (served by a primary, consumed by a follower).")
+	c.metrics.GaugeFunc("cqms_repl_applied_seq",
+		"Highest WAL sequence applied locally (followers: replicated; primary: appended).",
+		func() float64 { return float64(mgr.LastSeq()) })
+	c.metrics.GaugeFunc("cqms_repl_lag_seconds",
+		"Seconds since this follower last had everything the primary reported (0 when caught up).",
+		func() float64 { return 0 }) // a primary is never behind itself
 	return c, nil
 }
+
+// ReplStreamBytes is the replication stream byte counter: a primary's HTTP
+// layer adds bytes served, a follower's apply loop adds bytes consumed. Nil
+// (safe to Add on) when this process neither serves nor consumes a stream.
+func (c *CQMS) ReplStreamBytes() *telemetry.Counter { return c.replStreamBytes }
 
 // Close flushes the durable query log (a no-op for in-memory systems). The
 // CQMS must not be used afterwards.
@@ -242,6 +266,24 @@ func (c *CQMS) DerivedStateProvenance() map[string]string {
 			}
 		}
 		for _, name := range c.recovery.CheckpointRebuilt {
+			if _, ok := out[name]; ok {
+				out[name] = ProvenanceRebuilt
+			}
+		}
+	}
+	if f := c.follower; f != nil {
+		// A follower's bootstrap restore plays the same role recovery does:
+		// checkpoints came from the primary's snapshot sidecars.
+		f.mu.Lock()
+		restored := append([]string(nil), f.restored...)
+		rebuilt := append([]string(nil), f.rebuilt...)
+		f.mu.Unlock()
+		for _, name := range restored {
+			if _, ok := out[name]; ok {
+				out[name] = ProvenanceCheckpoint
+			}
+		}
+		for _, name := range rebuilt {
 			if _, ok := out[name]; ok {
 				out[name] = ProvenanceRebuilt
 			}
@@ -555,7 +597,11 @@ func (c *CQMS) RunMiner() *miner.Result {
 		c.minerPass.Observe(time.Since(start))
 		c.minerPasses.Inc()
 	}()
-	c.persistSessions()
+	// On a read-only replica the session assignments arrive through the
+	// replicated log; the local pass only refreshes the recommender.
+	if !c.store.ReadOnly() {
+		c.persistSessions()
+	}
 	res := c.miner.Run(c.store)
 	c.recommender.UpdateMining(res)
 	// The installed Result permanently supersedes the feed's approximate
@@ -632,21 +678,25 @@ func (c *CQMS) StartBackground(ctx context.Context) {
 			}
 		}
 	}()
-	go func() {
-		ticker := time.NewTicker(maintainEvery)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-ticker.C:
-				if _, err := c.RunMaintenance(); err != nil {
-					// Maintenance errors are retried on the next tick.
-					continue
+	// Maintenance repairs by writing (MarkInvalid, ReplaceText, …); on a
+	// read-only replica those repairs replicate in from the primary instead.
+	if !c.store.ReadOnly() {
+		go func() {
+			ticker := time.NewTicker(maintainEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if _, err := c.RunMaintenance(); err != nil {
+						// Maintenance errors are retried on the next tick.
+						continue
+					}
 				}
 			}
-		}
-	}()
+		}()
+	}
 	if c.wal != nil && c.cfg.Durability.SnapshotEvery > 0 {
 		go func() {
 			ticker := time.NewTicker(c.cfg.Durability.SnapshotEvery)

@@ -261,8 +261,12 @@ func (p *Proxy) spliceFrontend(from io.Reader, to io.Writer, trk *tracker) {
 	}
 }
 
-// Status is the proxy's admin-endpoint snapshot.
+// Status is the proxy's admin-endpoint snapshot. Role and UptimeSeconds
+// mirror the server's shared status document (see server.StatusDocDTO), so
+// every status surface in the topology reads the same way.
 type Status struct {
+	// Role is this process's place in the topology; always "proxy" here.
+	Role string `json:"role"`
 	// UptimeSeconds since the proxy was created.
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	Backend       string  `json:"backend"`
@@ -286,6 +290,7 @@ type Status struct {
 // Status returns the current counters.
 func (p *Proxy) Status() Status {
 	return Status{
+		Role:               "proxy",
 		UptimeSeconds:      time.Since(p.start).Seconds(),
 		Backend:            p.cfg.Backend,
 		ActiveConnections:  p.conns.Load(),

@@ -25,6 +25,9 @@ const (
 	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
 	CodeUnavailable      ErrorCode = "unavailable"
 	CodeInternal         ErrorCode = "internal"
+	// CodeReadOnly marks a write refused by a read replica; the envelope's
+	// details name the primary to send the write to.
+	CodeReadOnly ErrorCode = "read_only"
 )
 
 // APIError is the structured error envelope payload of every failed request:
@@ -44,8 +47,18 @@ func Errorf(code ErrorCode, format string, args ...interface{}) *APIError {
 	return &APIError{Code: code, Message: fmt.Sprintf(format, args...)}
 }
 
-// ErrorResponse is the error envelope returned for every failed request, on
-// both /v1/ and the legacy /api/ shims.
+// readOnlyError is the structured refusal a read replica returns for any
+// mutating route; primary names the process that does accept writes.
+func readOnlyError(primary string) *APIError {
+	err := Errorf(CodeReadOnly, "this server is a read replica; writes go to the primary")
+	err.Details = map[string]string{"role": "follower"}
+	if primary != "" {
+		err.Details["primary"] = primary
+	}
+	return err
+}
+
+// ErrorResponse is the error envelope returned for every failed request.
 type ErrorResponse struct {
 	Error APIError `json:"error"`
 }
@@ -71,6 +84,8 @@ func httpStatus(code ErrorCode) int {
 		return http.StatusGatewayTimeout
 	case CodeUnavailable:
 		return http.StatusServiceUnavailable
+	case CodeReadOnly:
+		return http.StatusForbidden
 	default:
 		return http.StatusInternalServerError
 	}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// /v1/replication: the primary's WAL shipping surface. A follower bootstraps
+// from GET /v1/replication/snapshot (the newest snapshot document, raw CRC
+// frames), then tails GET /v1/replication/wal?after=<seq> — the last frame's
+// sequence is the resume cursor, passed back verbatim on the next request.
+// GET /v1/replication/status reports either side's position. Snapshot and WAL
+// are admin-gated: they expose the entire log regardless of per-record
+// visibility, exactly like the pprof surface exposes process internals.
+
+// Replication response headers. The WAL tail announces the primary's current
+// last sequence so the follower can compute lag; frames are self-describing,
+// so the cursor advances from the frames themselves, not from a header.
+const (
+	headerReplSnapshotSeq = "X-CQMS-Repl-Snapshot-Seq"
+	headerReplLogSeq      = "X-CQMS-Repl-Log-Seq"
+)
+
+// WAL tail limits: responses stay bounded (the read holds the log's I/O
+// lock), and long-polls end before proxies time the connection out.
+const (
+	replDefaultMaxBytes = 4 << 20
+	replMaxMaxBytes     = 8 << 20
+	replMaxWait         = 55 * time.Second
+	replPollInterval    = 50 * time.Millisecond
+)
+
+// replicationManager returns the WAL manager serving the stream, or writes
+// the standard unavailable envelope: only a durable primary has a log to ship.
+func (s *Server) replicationManager(w http.ResponseWriter) *wal.Manager {
+	mgr := s.cqms.Durability()
+	if mgr == nil {
+		writeError(w, Errorf(CodeUnavailable,
+			"replication requires a durable primary (start the server with -data-dir)"))
+	}
+	return mgr
+}
+
+func (s *Server) handleV1ReplicationStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.cqms.ReplicationStatus()
+	writeJSON(w, http.StatusOK, ReplicationStatusResponse{
+		StatusDocDTO:     s.statusDoc(),
+		Primary:          st.Primary,
+		PrimarySeq:       st.PrimarySeq,
+		SnapshotSeq:      st.SnapshotSeq,
+		LagRecords:       st.LagRecords,
+		LagSeconds:       st.LagSeconds,
+		StalenessSeconds: st.StalenessSeconds,
+		LastError:        st.LastError,
+	})
+}
+
+func (s *Server) handleV1ReplicationSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !PrincipalFrom(r.Context()).Admin {
+		writeError(w, Errorf(CodePermissionDenied, "replication snapshot requires an admin principal"))
+		return
+	}
+	mgr := s.replicationManager(w)
+	if mgr == nil {
+		return
+	}
+	f, seq, ok, err := mgr.OpenLatestSnapshot()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(headerReplSnapshotSeq, strconv.FormatUint(seq, 10))
+	w.Header().Set(headerReplLogSeq, strconv.FormatUint(mgr.LastSeq(), 10))
+	if !ok {
+		// No snapshot yet: an empty body with seq 0 tells the follower to
+		// replay the whole log from the start.
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	defer f.Close()
+	n, _ := io.Copy(w, f) // client disconnects surface as copy errors; nothing to send
+	s.cqms.ReplStreamBytes().Add(uint64(n))
+}
+
+func (s *Server) handleV1ReplicationWAL(w http.ResponseWriter, r *http.Request) {
+	if !PrincipalFrom(r.Context()).Admin {
+		writeError(w, Errorf(CodePermissionDenied, "replication stream requires an admin principal"))
+		return
+	}
+	mgr := s.replicationManager(w)
+	if mgr == nil {
+		return
+	}
+	q := r.URL.Query()
+	var after uint64
+	if v := q.Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, Errorf(CodeInvalidArgument, "after must be an unsigned integer: %q", v))
+			return
+		}
+		after = n
+	}
+	maxBytes := int64(replDefaultMaxBytes)
+	if v := q.Get("max_bytes"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n <= 0 {
+			writeError(w, Errorf(CodeInvalidArgument, "max_bytes must be a positive integer: %q", v))
+			return
+		}
+		maxBytes = min(n, replMaxMaxBytes)
+	}
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeError(w, Errorf(CodeInvalidArgument, "wait must be a non-negative duration: %q", v))
+			return
+		}
+		wait = min(d, replMaxWait)
+	}
+
+	// Long-poll: when the cursor is already at the log's tip, hold the
+	// request until a new record lands or the window closes, so an idle
+	// follower stays one cheap parked request instead of a busy poll.
+	deadline := time.Now().Add(wait)
+	for mgr.LastSeq() <= after && wait > 0 && time.Now().Before(deadline) {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(replPollInterval):
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(headerReplLogSeq, strconv.FormatUint(mgr.LastSeq(), 10))
+	cw := &countingWriter{w: w}
+	_, _, err := mgr.ReadTail(after, maxBytes, cw)
+	s.cqms.ReplStreamBytes().Add(uint64(cw.n))
+	if err != nil && cw.n == 0 {
+		// Nothing streamed yet, so the envelope can still go out. A compacted
+		// cursor maps to not_found with a machine-readable reason; the client
+		// translates it back to wal.ErrCompacted and re-bootstraps.
+		if errors.Is(err, wal.ErrCompacted) {
+			apiErr := Errorf(CodeNotFound, "records after sequence %d have been compacted away", after)
+			apiErr.Details = map[string]string{
+				"reason":      "compacted",
+				"snapshotSeq": strconv.FormatUint(mgr.SnapshotSeq(), 10),
+			}
+			writeError(w, apiErr)
+			return
+		}
+		writeError(w, err)
+		return
+	}
+	// Mid-stream errors (client gone, disk fault) can only truncate the body;
+	// the follower's CRC framing rejects the torn tail and it refetches.
+}
+
+// countingWriter tracks bytes written through to the response.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

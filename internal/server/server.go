@@ -36,8 +36,9 @@ const (
 // clients can clamp before sending.
 const MaxBatchQueries = 500
 
-// Server is the CQMS HTTP server: the versioned /v1/ API plus thin legacy
-// /api/ compatibility shims over the same handler logic.
+// Server is the CQMS HTTP server: the versioned /v1/ API. The legacy
+// unversioned /api/ shims are gone; requests there receive a 404 envelope
+// with an `upgrade` hint naming the v1 surface.
 type Server struct {
 	cqms        *core.CQMS
 	mux         *http.ServeMux
@@ -91,13 +92,14 @@ func (s *Server) Handler() http.Handler { return s.handler }
 
 func (s *Server) routes() {
 	// Versioned v1 API: method-pattern routing, principal in X-CQMS-*
-	// headers, cursor pagination on list endpoints.
-	s.handleFunc("POST /v1/queries", s.handleV1Submit)
-	s.handleFunc("POST /v1/queries:batch", s.handleV1SubmitBatch)
+	// headers, cursor pagination on list endpoints. Mutating routes go
+	// through writable(), which refuses them with read_only on a follower.
+	s.handleFunc("POST /v1/queries", s.writable(s.handleV1Submit))
+	s.handleFunc("POST /v1/queries:batch", s.writable(s.handleV1SubmitBatch))
 	s.handleFunc("GET /v1/queries/{id}", s.handleV1GetQuery)
-	s.handleFunc("DELETE /v1/queries/{id}", s.handleV1DeleteQuery)
-	s.handleFunc("POST /v1/queries/{id}/annotations", s.handleV1Annotate)
-	s.handleFunc("PUT /v1/queries/{id}/visibility", s.handleV1Visibility)
+	s.handleFunc("DELETE /v1/queries/{id}", s.writable(s.handleV1DeleteQuery))
+	s.handleFunc("POST /v1/queries/{id}/annotations", s.writable(s.handleV1Annotate))
+	s.handleFunc("PUT /v1/queries/{id}/visibility", s.writable(s.handleV1Visibility))
 	s.handleFunc("GET /v1/history", s.handleV1History)
 	s.handleFunc("GET /v1/sessions", s.handleV1Sessions)
 	s.handleFunc("GET /v1/sessions/{id}/graph", s.handleV1SessionGraph)
@@ -111,45 +113,37 @@ func (s *Server) routes() {
 	s.handleFunc("POST /v1/assist/corrections", s.handleV1Corrections)
 	s.handleFunc("POST /v1/assist/similar", s.handleV1SimilarQueries)
 	s.handleFunc("GET /v1/assist/tutorial", s.handleV1Tutorial)
-	s.handleFunc("POST /v1/admin/mine", s.handleV1Mine)
-	s.handleFunc("POST /v1/admin/maintain", s.handleV1Maintain)
+	s.handleFunc("POST /v1/admin/mine", s.writable(s.handleV1Mine))
+	s.handleFunc("POST /v1/admin/maintain", s.writable(s.handleV1Maintain))
 	s.handleFunc("GET /v1/admin/log", s.handleV1LogInfo)
-	s.handleFunc("POST /v1/admin/log/snapshot", s.handleV1LogSnapshot)
-	s.handleFunc("POST /v1/admin/log/compact", s.handleV1LogCompact)
+	s.handleFunc("POST /v1/admin/log/snapshot", s.writable(s.handleV1LogSnapshot))
+	s.handleFunc("POST /v1/admin/log/compact", s.writable(s.handleV1LogCompact))
 	s.handleFunc("GET /v1/stats", s.handleV1Stats)
 	s.handleFunc("GET /v1/metrics", s.handleV1Metrics)
+	// Replication: snapshot bootstrap and the CRC-framed WAL tail are
+	// admin-gated (they expose the whole log regardless of visibility);
+	// status is open like /v1/stats.
+	s.handleFunc("GET /v1/replication/status", s.handleV1ReplicationStatus)
+	s.handleFunc("GET /v1/replication/snapshot", s.handleV1ReplicationSnapshot)
+	s.handleFunc("GET /v1/replication/wal", s.handleV1ReplicationWAL)
 	// The trailing-slash pattern matches the whole pprof subtree (index,
 	// named profiles, cmdline/profile/trace); symbol additionally accepts
 	// POST bodies per the pprof protocol.
 	s.handleFunc("GET /v1/admin/debug/pprof/", s.handleV1Pprof)
 	s.handleFunc("POST /v1/admin/debug/pprof/symbol", s.handleV1Pprof)
+}
 
-	// Legacy unversioned routes: kept as thin shims over the same handler
-	// logic. They still accept the principal in the request body (POST) or
-	// query parameters (GET) and return full, unpaginated arrays.
-	s.handleFunc("POST /api/query", s.handleLegacySubmit)
-	s.handleFunc("POST /api/annotate", s.handleLegacyAnnotate)
-	s.handleFunc("POST /api/search/keyword", s.handleLegacySearch("keyword"))
-	s.handleFunc("POST /api/search/substring", s.handleLegacySearch("substring"))
-	s.handleFunc("POST /api/search/metaquery", s.handleLegacySearch("metaquery"))
-	s.handleFunc("POST /api/search/partial", s.handleLegacySearch("partial"))
-	s.handleFunc("POST /api/search/bydata", s.handleLegacySearch("bydata"))
-	s.handleFunc("POST /api/search/similar", s.handleLegacySearch("similar"))
-	s.handleFunc("GET /api/history", s.handleLegacyHistory)
-	s.handleFunc("GET /api/sessions", s.handleLegacySessions)
-	s.handleFunc("GET /api/sessions/graph", s.handleLegacySessionGraph)
-	s.handleFunc("POST /api/assist/complete", s.handleLegacyComplete)
-	s.handleFunc("POST /api/assist/corrections", s.handleLegacyCorrections)
-	s.handleFunc("POST /api/assist/similar", s.handleLegacySimilarQueries)
-	s.handleFunc("GET /api/assist/tutorial", s.handleLegacyTutorial)
-	s.handleFunc("POST /api/admin/visibility", s.handleLegacyVisibility)
-	s.handleFunc("POST /api/admin/delete", s.handleLegacyDelete)
-	s.handleFunc("POST /api/admin/mine", s.handleV1Mine)
-	s.handleFunc("POST /api/admin/maintain", s.handleV1Maintain)
-	s.handleFunc("GET /api/admin/log/info", s.handleV1LogInfo)
-	s.handleFunc("POST /api/admin/log/snapshot", s.handleV1LogSnapshot)
-	s.handleFunc("POST /api/admin/log/compact", s.handleV1LogCompact)
-	s.handleFunc("GET /api/stats", s.handleV1Stats)
+// writable gates a mutating route: on a follower it refuses with the
+// structured read_only error naming the primary, before the handler reads
+// the body.
+func (s *Server) writable(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cqms.Role() == core.RoleFollower {
+			writeError(w, readOnlyError(s.cqms.PrimaryURL()))
+			return
+		}
+		fn(w, r)
+	}
 }
 
 // handleFunc registers one route, wrapping the handler so its latency and
@@ -204,6 +198,16 @@ func (s *Server) jsonFallback(mux *http.ServeMux) http.Handler {
 			w.Header().Set("Allow", strings.Join(allowed, ", "))
 			writeError(w, Errorf(CodeMethodNotAllowed,
 				"method %s not allowed for %s", r.Method, r.URL.Path))
+			return
+		}
+		// The retired legacy surface gets an upgrade hint: every /api/*
+		// operation has a v1 equivalent with the principal in headers.
+		if strings.HasPrefix(r.URL.Path, "/api/") {
+			err := Errorf(CodeNotFound, "the unversioned /api surface has been retired")
+			err.Details = map[string]string{
+				"upgrade": "use the versioned /v1 API (principal in X-CQMS-* headers); see API.md",
+			}
+			writeError(w, err)
 			return
 		}
 		writeError(w, Errorf(CodeNotFound, "no route for %s", r.URL.Path))
@@ -272,19 +276,8 @@ func matchesToDTO(matches []metaquery.Match) []MatchDTO {
 	return out
 }
 
-// principalFromQuery builds a principal from URL query parameters (legacy
-// GET endpoints only; v1 uses the X-CQMS-* headers).
-func principalFromQuery(r *http.Request) storage.Principal {
-	p := storage.Principal{User: r.URL.Query().Get("user")}
-	if g := r.URL.Query().Get("groups"); g != "" {
-		p.Groups = strings.Split(g, ",")
-	}
-	p.Admin = r.URL.Query().Get("admin") == "true"
-	return p
-}
-
 // ---------------------------------------------------------------------------
-// Shared handler logic: the v1 handlers and the legacy shims both call these.
+// Shared handler logic used by the v1 handlers.
 // ---------------------------------------------------------------------------
 
 func (s *Server) doSubmit(ctx context.Context, p storage.Principal, req SubmitParams) (*SubmitResponse, error) {
@@ -390,166 +383,4 @@ func (s *Server) sessionDTOs(sums []session.Summary) []SessionDTO {
 		})
 	}
 	return out
-}
-
-// ---------------------------------------------------------------------------
-// Legacy /api/ shims
-// ---------------------------------------------------------------------------
-
-func (s *Server) handleLegacySubmit(w http.ResponseWriter, r *http.Request) {
-	var req SubmitRequest
-	if err := decode(w, r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	resp, err := s.doSubmit(r.Context(), req.Principal.principal(), SubmitParams{
-		SQL: req.SQL, Group: req.Group, Visibility: req.Visibility,
-	})
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleLegacyAnnotate(w http.ResponseWriter, r *http.Request) {
-	var req AnnotateRequest
-	if err := decode(w, r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	err := s.doAnnotate(r.Context(), req.Principal.principal(), req.QueryID, AnnotateParams{
-		Text: req.Text, Fragment: req.Fragment,
-	})
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, struct{}{})
-}
-
-// handleLegacySearch adapts one search kind to the legacy contract: the
-// principal rides in the body and the full match list is returned.
-func (s *Server) handleLegacySearch(kind string) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		var req SearchRequest
-		if err := decode(w, r, &req); err != nil {
-			writeError(w, err)
-			return
-		}
-		params := SearchParams{
-			Keywords: req.Keywords, Substring: req.Substring, MetaSQL: req.MetaSQL,
-			Partial: req.Partial, Include: req.Include, Exclude: req.Exclude,
-			K: req.K, SQL: req.SQL,
-		}
-		if kind == "similar" && params.K <= 0 {
-			params.K = 5 // historical default
-		}
-		matches, err := s.runSearch(r.Context(), req.Principal.principal(), kind, params)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, SearchResponse{Matches: matchesToDTO(matches)})
-	}
-}
-
-func (s *Server) handleLegacyHistory(w http.ResponseWriter, r *http.Request) {
-	p := principalFromQuery(r)
-	user := r.URL.Query().Get("of")
-	if user == "" {
-		user = p.User
-	}
-	records, err := s.cqms.History(r.Context(), p, user)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	matches := make([]MatchDTO, 0, len(records))
-	for _, rec := range records {
-		matches = append(matches, MatchDTO{Query: queryDTO(rec), Score: 1})
-	}
-	writeJSON(w, http.StatusOK, SearchResponse{Matches: matches})
-}
-
-func (s *Server) handleLegacySessions(w http.ResponseWriter, r *http.Request) {
-	summaries, err := s.cqms.Sessions(r.Context(), principalFromQuery(r))
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, SessionsResponse{Sessions: s.sessionDTOs(summaries)})
-}
-
-func (s *Server) handleLegacySessionGraph(w http.ResponseWriter, r *http.Request) {
-	p := principalFromQuery(r)
-	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
-	if err != nil {
-		writeError(w, Errorf(CodeInvalidArgument, "invalid session id"))
-		return
-	}
-	graph, err := s.cqms.SessionGraph(r.Context(), p, id)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, GraphResponse{Graph: graph})
-}
-
-func (s *Server) handleLegacyComplete(w http.ResponseWriter, r *http.Request) {
-	var req CompleteRequest
-	if err := decode(w, r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	s.serveComplete(w, r, req.Principal.principal(), CompleteParams{Partial: req.Partial, K: req.K})
-}
-
-func (s *Server) handleLegacyCorrections(w http.ResponseWriter, r *http.Request) {
-	var req CompleteRequest
-	if err := decode(w, r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	s.serveCorrections(w, r, req.Principal.principal(), CompleteParams{Partial: req.Partial})
-}
-
-func (s *Server) handleLegacySimilarQueries(w http.ResponseWriter, r *http.Request) {
-	var req CompleteRequest
-	if err := decode(w, r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	s.serveSimilarQueries(w, r, req.Principal.principal(), CompleteParams{Partial: req.Partial, K: req.K})
-}
-
-func (s *Server) handleLegacyTutorial(w http.ResponseWriter, r *http.Request) {
-	s.serveTutorial(w, r, principalFromQuery(r), 3)
-}
-
-func (s *Server) handleLegacyVisibility(w http.ResponseWriter, r *http.Request) {
-	var req VisibilityRequest
-	if err := decode(w, r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	err := s.cqms.SetVisibility(storage.QueryID(req.QueryID), req.Principal.principal(), parseVisibility(req.Visibility))
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, struct{}{})
-}
-
-func (s *Server) handleLegacyDelete(w http.ResponseWriter, r *http.Request) {
-	var req DeleteRequest
-	if err := decode(w, r, &req); err != nil {
-		writeError(w, err)
-		return
-	}
-	if err := s.cqms.DeleteQuery(storage.QueryID(req.QueryID), req.Principal.principal()); err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, struct{}{})
 }

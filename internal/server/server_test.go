@@ -2,6 +2,7 @@ package server_test
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -272,15 +273,19 @@ func TestDeleteOverHTTP(t *testing.T) {
 
 func TestMethodNotAllowed(t *testing.T) {
 	ts, _, _, _ := newTestServer(t)
-	resp, err := ts.Client().Get(ts.URL + "/api/query")
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != 405 {
-		t.Errorf("GET /api/query status = %d, want 405", resp.StatusCode)
+		t.Errorf("DELETE /v1/stats status = %d, want 405", resp.StatusCode)
 	}
-	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "POST") {
-		t.Errorf("Allow header = %q, want POST listed", allow)
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Errorf("Allow header = %q, want GET listed", allow)
 	}
 }

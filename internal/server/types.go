@@ -8,8 +8,8 @@
 // method-pattern routing, the caller's principal in X-CQMS-* headers, a
 // structured error envelope with machine-readable codes, cursor pagination
 // on every list endpoint, and a batch submit endpoint that amortises the
-// store's commit lock. The unversioned /api/ routes remain as thin
-// compatibility shims over the same handler logic.
+// store's commit lock. The unversioned /api/ surface has been retired; any
+// request under it gets a not_found envelope with an upgrade hint.
 //
 // Authentication is out of scope for the paper and for this reproduction:
 // each request declares its principal (user, groups, admin flag), and the
@@ -21,26 +21,6 @@ import (
 
 	"repro/internal/storage"
 )
-
-// PrincipalDTO identifies the requesting user.
-type PrincipalDTO struct {
-	User   string   `json:"user"`
-	Groups []string `json:"groups,omitempty"`
-	Admin  bool     `json:"admin,omitempty"`
-}
-
-func (p PrincipalDTO) principal() storage.Principal {
-	return storage.Principal{User: p.User, Groups: p.Groups, Admin: p.Admin}
-}
-
-// SubmitRequest is the legacy Traditional-mode request: run a SQL query,
-// principal in the body.
-type SubmitRequest struct {
-	Principal  PrincipalDTO `json:"principal"`
-	Group      string       `json:"group,omitempty"`
-	Visibility string       `json:"visibility,omitempty"` // private, group, public
-	SQL        string       `json:"sql"`
-}
 
 // SubmitParams is the v1 Traditional-mode request body (POST /v1/queries);
 // the principal travels in the X-CQMS-* headers.
@@ -79,14 +59,6 @@ type SubmitResponse struct {
 	SuggestAnnotation bool       `json:"suggestAnnotation"`
 }
 
-// AnnotateRequest attaches an annotation to a logged query (legacy).
-type AnnotateRequest struct {
-	Principal PrincipalDTO `json:"principal"`
-	QueryID   int64        `json:"queryId"`
-	Text      string       `json:"text"`
-	Fragment  string       `json:"fragment,omitempty"`
-}
-
 // AnnotateParams is the v1 annotation body
 // (POST /v1/queries/{id}/annotations); the query ID rides in the path.
 type AnnotateParams struct {
@@ -100,23 +72,9 @@ type VisibilityParams struct {
 	Visibility string `json:"visibility"`
 }
 
-// SearchRequest covers the legacy keyword, substring, meta-query,
-// partial-query and query-by-data searches; exactly one of the payload
-// fields is used per endpoint.
-type SearchRequest struct {
-	Principal PrincipalDTO `json:"principal"`
-	Keywords  []string     `json:"keywords,omitempty"`
-	Substring string       `json:"substring,omitempty"`
-	MetaSQL   string       `json:"metaSql,omitempty"`
-	Partial   string       `json:"partial,omitempty"`
-	Include   []string     `json:"include,omitempty"`
-	Exclude   []string     `json:"exclude,omitempty"`
-	K         int          `json:"k,omitempty"`
-	SQL       string       `json:"sql,omitempty"`
-}
-
-// SearchParams is the v1 search body (POST /v1/search/{kind}): the payload
-// fields of SearchRequest minus the principal, plus pagination controls.
+// SearchParams is the v1 search body (POST /v1/search/{kind}), covering the
+// keyword, substring, meta-query, partial-query and query-by-data searches;
+// exactly one payload field group is used per kind, plus pagination controls.
 type SearchParams struct {
 	Keywords  []string `json:"keywords,omitempty"`
 	Substring string   `json:"substring,omitempty"`
@@ -160,14 +118,6 @@ type MatchDTO struct {
 type SearchResponse struct {
 	Matches    []MatchDTO `json:"matches"`
 	NextCursor string     `json:"nextCursor,omitempty"`
-}
-
-// CompleteRequest asks for completions / corrections / similar queries for a
-// (partial) query (legacy: principal in the body).
-type CompleteRequest struct {
-	Principal PrincipalDTO `json:"principal"`
-	Partial   string       `json:"partial"`
-	K         int          `json:"k,omitempty"`
 }
 
 // CompleteParams is the v1 assist body (POST /v1/assist/*).
@@ -238,19 +188,6 @@ type GraphResponse struct {
 	Graph string `json:"graph"`
 }
 
-// VisibilityRequest changes a query's visibility.
-type VisibilityRequest struct {
-	Principal  PrincipalDTO `json:"principal"`
-	QueryID    int64        `json:"queryId"`
-	Visibility string       `json:"visibility"`
-}
-
-// DeleteRequest removes a query.
-type DeleteRequest struct {
-	Principal PrincipalDTO `json:"principal"`
-	QueryID   int64        `json:"queryId"`
-}
-
 // MaintainResponse summarises a maintenance scan.
 type MaintainResponse struct {
 	Checked        int      `json:"checked"`
@@ -304,12 +241,58 @@ type StatsResponse struct {
 	// MinedTransactions is how many queries the incremental association-rule
 	// feed has ingested.
 	MinedTransactions int `json:"minedTransactions"`
-	// DerivedState reports, per derived-state subsystem (stats counters,
-	// miner feed, session detector), where its state came from after the
-	// last start: "checkpoint" (restored from a WAL snapshot sidecar),
-	// "rebuilt" (snapshot loaded but the sidecar was unusable, full rebuild)
-	// or "live" (built incrementally, no snapshot restore involved).
-	DerivedState []DerivedStateDTO `json:"derivedState,omitempty"`
+	// Status is the shared status document (role, applied sequence, uptime,
+	// derived-state provenance) every status surface embeds.
+	Status StatusDocDTO `json:"status"`
+}
+
+// StatusDocDTO is the status-document shape shared by every status surface:
+// /v1/stats, /v1/replication/status and the capture proxy's /v1/proxy/status
+// all report the same core fields, so operators and cqmsctl read one shape
+// everywhere.
+type StatusDocDTO struct {
+	// Role is this process's place in the topology: "primary", "follower" or
+	// "proxy".
+	Role string `json:"role"`
+	// AppliedSeq is the highest WAL sequence applied locally: appended on a
+	// primary, replicated on a follower, 0 when durability is off.
+	AppliedSeq uint64 `json:"appliedSeq"`
+	// UptimeSeconds is how long this process has been serving.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Provenance reports, per derived-state subsystem (stats counters, miner
+	// feed, session detector), where its state came from after the last
+	// start: "checkpoint" (restored from a WAL snapshot sidecar — local on a
+	// primary, the primary's on a follower), "rebuilt" (snapshot loaded but
+	// the sidecar was unusable, full rebuild) or "live" (built incrementally,
+	// no snapshot restore involved).
+	Provenance []DerivedStateDTO `json:"provenance,omitempty"`
+}
+
+// ReplicationStatusResponse reports a process's replication position
+// (GET /v1/replication/status): the shared status document plus the
+// stream-position fields. On a primary only the sequences are meaningful; on
+// a follower the lag and staleness fields bound how far behind its reads are.
+type ReplicationStatusResponse struct {
+	StatusDocDTO
+	// Primary is the upstream base URL (followers only).
+	Primary string `json:"primary,omitempty"`
+	// PrimarySeq is the primary's last sequence as this process knows it
+	// (equal to appliedSeq on the primary itself).
+	PrimarySeq uint64 `json:"primarySeq"`
+	// SnapshotSeq is the sequence the newest snapshot covers (the bootstrap
+	// snapshot on a follower).
+	SnapshotSeq uint64 `json:"snapshotSeq"`
+	// LagRecords is max(primarySeq-appliedSeq, 0).
+	LagRecords uint64 `json:"lagRecords"`
+	// LagSeconds is 0 when caught up, otherwise seconds since the follower
+	// last was; -1 before the first catch-up. Always 0 on a primary.
+	LagSeconds float64 `json:"lagSeconds"`
+	// StalenessSeconds bounds how far behind the primary a read served now
+	// can be: seconds since the follower last knew it had everything the
+	// primary reported (-1 before the first catch-up, 0 on a primary).
+	StalenessSeconds float64 `json:"stalenessSeconds"`
+	// LastError is the apply loop's most recent failure ("" when healthy).
+	LastError string `json:"lastError,omitempty"`
 }
 
 // StatsApproxDTO reports the error bounds of the bounded stats listings:

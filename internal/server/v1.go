@@ -500,6 +500,27 @@ func (s *Server) handleV1LogCompact(w http.ResponseWriter, r *http.Request) {
 // the payload bounded like every other list endpoint.
 const maxStatsItems = 20
 
+// statusDoc builds the status document every status surface shares: role,
+// applied WAL sequence, uptime and derived-state provenance (sorted by name
+// for a stable wire order).
+func (s *Server) statusDoc() StatusDocDTO {
+	doc := StatusDocDTO{
+		Role:          s.cqms.Role(),
+		AppliedSeq:    s.cqms.ReplicationStatus().AppliedSeq,
+		UptimeSeconds: s.cqms.Uptime().Seconds(),
+	}
+	prov := s.cqms.DerivedStateProvenance()
+	names := make([]string, 0, len(prov))
+	for name := range prov {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		doc.Provenance = append(doc.Provenance, DerivedStateDTO{Name: name, Source: prov[name]})
+	}
+	return doc
+}
+
 func (s *Server) handleV1Stats(w http.ResponseWriter, r *http.Request) {
 	p := PrincipalFrom(r.Context())
 	store := s.cqms.Store()
@@ -513,15 +534,7 @@ func (s *Server) handleV1Stats(w http.ResponseWriter, r *http.Request) {
 		Tables:   tables,
 		Sessions: s.cqms.SessionCount(),
 	}
-	prov := s.cqms.DerivedStateProvenance()
-	names := make([]string, 0, len(prov))
-	for name := range prov {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		resp.DerivedState = append(resp.DerivedState, DerivedStateDTO{Name: name, Source: prov[name]})
-	}
+	resp.Status = s.statusDoc()
 	if t := s.cqms.StatsTracker(); t != nil {
 		// Every listing below is served from the tracker's bounded top-K
 		// summaries: O(summary capacity), flat in log and user-population

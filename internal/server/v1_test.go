@@ -249,64 +249,49 @@ func TestV1SearchPaginationStable(t *testing.T) {
 	}
 }
 
-// TestLegacyShimEquivalence issues the same logical requests through a
-// legacy /api/ route (principal in body/query) and the v1 route (principal
-// in headers) and requires identical results.
-func TestLegacyShimEquivalence(t *testing.T) {
-	ts, alice, _, _ := newTestServer(t)
-	sub, err := alice.Submit(ctx, "SELECT WaterSalinity.salinity, WaterTemp.temp FROM WaterSalinity, WaterTemp WHERE WaterSalinity.loc_x = WaterTemp.loc_x",
-		client.Group("limnology"))
+// TestLegacyAPIRetired is the contract test for the retired unversioned
+// surface: every /api/* request — any method, any depth, with or without a
+// body — gets a structured not_found envelope whose details carry an upgrade
+// hint pointing at /v1, and never reaches a handler.
+func TestLegacyAPIRetired(t *testing.T) {
+	ts, _, _, _ := newTestServer(t)
+	cases := []struct {
+		method, path, body string
+	}{
+		{http.MethodPost, "/api/query", `{"principal":{"user":"alice"},"sql":"SELECT lake FROM WaterTemp"}`},
+		{http.MethodPost, "/api/search/keyword", `{"principal":{"user":"alice"},"keywords":["salinity"]}`},
+		{http.MethodGet, "/api/history?user=alice", ""},
+		{http.MethodGet, "/api/sessions?user=alice", ""},
+		{http.MethodPost, "/api/complete", `{"principal":{"user":"alice"},"partial":"SELECT"}`},
+		{http.MethodPost, "/api/visibility", `{"principal":{"user":"alice"},"queryId":1,"visibility":"public"}`},
+		{http.MethodDelete, "/api/delete", ""},
+		{http.MethodGet, "/api/", ""},
+	}
+	admin := client.New(ts.URL, client.WithAdmin())
+	before, err := admin.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.Annotate(ctx, sub.QueryID, "note"); err != nil {
-		t.Fatal(err)
-	}
-
-	// Keyword search: legacy body-principal vs v1 header-principal.
-	var legacy server.SearchResponse
-	resp := doRaw(t, http.MethodPost, ts.URL+"/api/search/keyword", nil,
-		`{"principal":{"user":"alice","groups":["limnology"]},"keywords":["salinity"]}`, &legacy)
-	if resp.StatusCode != 200 {
-		t.Fatalf("legacy search status = %d", resp.StatusCode)
-	}
-	v1, err := alice.SearchKeyword(ctx, "salinity").All()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(legacy.Matches) != len(v1) {
-		t.Fatalf("legacy %d matches, v1 %d", len(legacy.Matches), len(v1))
-	}
-	for i := range v1 {
-		if legacy.Matches[i].Query.ID != v1[i].Query.ID || legacy.Matches[i].Score != v1[i].Score {
-			t.Fatalf("match %d differs: legacy %+v vs v1 %+v", i, legacy.Matches[i], v1[i])
+	for _, tc := range cases {
+		resp := doRaw(t, tc.method, ts.URL+tc.path, nil, tc.body, nil)
+		env := decodeEnvelope(t, resp)
+		if resp.StatusCode != 404 {
+			t.Errorf("%s %s status = %d, want 404", tc.method, tc.path, resp.StatusCode)
+		}
+		if env.Error.Code != server.CodeNotFound {
+			t.Errorf("%s %s code = %q, want %q", tc.method, tc.path, env.Error.Code, server.CodeNotFound)
+		}
+		if hint := env.Error.Details["upgrade"]; !strings.Contains(hint, "/v1") {
+			t.Errorf("%s %s upgrade hint = %q, want a pointer to /v1", tc.method, tc.path, hint)
 		}
 	}
-
-	// History: legacy query-param principal vs v1 headers.
-	var legacyHist server.SearchResponse
-	doRaw(t, http.MethodGet, ts.URL+"/api/history?user=alice&groups=limnology", nil, "", &legacyHist)
-	v1Hist, err := alice.History(ctx, "").All()
+	// The queries the retired routes would have run never executed.
+	after, err := admin.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(legacyHist.Matches) != len(v1Hist) {
-		t.Fatalf("legacy history %d, v1 %d", len(legacyHist.Matches), len(v1Hist))
-	}
-
-	// Legacy submit still works and returns the same response shape.
-	var legacySub server.SubmitResponse
-	resp = doRaw(t, http.MethodPost, ts.URL+"/api/query", nil,
-		`{"principal":{"user":"alice","groups":["limnology"]},"group":"limnology","visibility":"group","sql":"SELECT lake FROM WaterTemp"}`, &legacySub)
-	if resp.StatusCode != 200 || legacySub.QueryID == 0 {
-		t.Fatalf("legacy submit: status %d resp %+v", resp.StatusCode, legacySub)
-	}
-
-	// Legacy errors use the structured envelope too.
-	resp = doRaw(t, http.MethodPost, ts.URL+"/api/query", nil,
-		`{"principal":{"user":"alice"},"sql":""}`, nil)
-	if env := decodeEnvelope(t, resp); resp.StatusCode != 400 || env.Error.Code != server.CodeInvalidArgument {
-		t.Fatalf("legacy error envelope: status %d code %q", resp.StatusCode, env.Error.Code)
+	if after.Queries != before.Queries {
+		t.Errorf("query count changed %d -> %d after retired-route requests", before.Queries, after.Queries)
 	}
 }
 

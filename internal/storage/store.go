@@ -17,6 +17,10 @@ var (
 	// ErrAccessDenied is returned when the principal may not see or modify a
 	// query.
 	ErrAccessDenied = errors.New("storage: access denied")
+	// ErrReadOnly is returned by live mutating operations while the store is
+	// in read-only (replica) mode. Apply — the replication/recovery replay
+	// entry point — is exempt: it is how a read-only store advances.
+	ErrReadOnly = errors.New("storage: store is read-only")
 )
 
 const (
@@ -81,6 +85,11 @@ type Store struct {
 	edgeSet map[SessionEdge]struct{}
 
 	count atomic.Int64
+
+	// readOnly, when set, makes every live mutating method refuse with
+	// ErrReadOnly. The replay path (Apply, RestoreState*) keeps working: a
+	// follower's store only advances by replaying the primary's mutations.
+	readOnly atomic.Bool
 
 	shards [shardCount]shard
 
@@ -171,6 +180,24 @@ func (s *Store) SetClock(now func() time.Time) {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	s.now = now
+}
+
+// SetReadOnly toggles read-only (replica) mode. While set, live mutating
+// methods refuse with ErrReadOnly; Apply and state restoration keep working
+// so replication can advance the store.
+func (s *Store) SetReadOnly(ro bool) { s.readOnly.Store(ro) }
+
+// ReadOnly reports whether the store refuses live mutations.
+func (s *Store) ReadOnly() bool { return s.readOnly.Load() }
+
+// writable is the live-mutation gate: every mutating method that can report
+// an error calls it before taking the commit lock. (Put and PutBatch have no
+// error return; their callers gate on ReadOnly at the API layer.)
+func (s *Store) writable() error {
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
+	return nil
 }
 
 // Put inserts a record and assigns it an ID. The record's IssuedAt is set to
@@ -563,6 +590,9 @@ func PickDisplayName(names map[string]int, fallback string) string {
 // Annotate appends an annotation to the query. Only the owner, a member of
 // the owning group, or an admin may annotate.
 func (s *Store) Annotate(id QueryID, p Principal, ann Annotation) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	s.lockCommit()
 	rec, err := s.lookup(id)
 	if err != nil {
@@ -592,6 +622,9 @@ func (s *Store) Annotate(id QueryID, p Principal, ann Annotation) error {
 // SetVisibility changes who can see the query. Only the owner or an admin
 // may change visibility (User Administrative Interaction Mode).
 func (s *Store) SetVisibility(id QueryID, p Principal, v Visibility) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	s.lockCommit()
 	rec, err := s.lookup(id)
 	if err != nil {
@@ -615,6 +648,9 @@ func (s *Store) SetVisibility(id QueryID, p Principal, v Visibility) error {
 // Delete removes a query from the store. Only the owner or an admin may
 // delete (§2.4 "Users will need the ability to delete old queries").
 func (s *Store) Delete(id QueryID, p Principal) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	s.lockCommit()
 	rec, err := s.lookup(id)
 	if err != nil {
@@ -721,6 +757,9 @@ func (s *Store) removeEdgesLocked(rec *QueryRecord) {
 // session detector). Re-assigning the same session is a no-op so the periodic
 // mining pass does not flood the mutation log.
 func (s *Store) AssignSession(id QueryID, sessionID int64) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	s.lockCommit()
 	rec, err := s.lookup(id)
 	if err != nil {
@@ -745,6 +784,9 @@ func (s *Store) AssignSession(id QueryID, sessionID int64) error {
 // already exists is a no-op: the session detector re-derives the full edge
 // set on every mining pass.
 func (s *Store) AddEdge(edge SessionEdge) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	s.lockCommit()
 	if _, dup := s.edgeSet[edge]; dup {
 		s.unlockCommit()
@@ -824,6 +866,9 @@ func (s *Store) ReplaceText(id QueryID, updated *QueryRecord) error {
 // mutate applies a mutation under the commit lock, emits it on success and
 // waits for its durability outside the lock.
 func (s *Store) mutate(m *Mutation) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	s.lockCommit()
 	if err := s.apply(m); err != nil {
 		s.unlockCommit()

@@ -1,0 +1,208 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// streamTestLog opens a log in a temp dir and appends n small payloads.
+func streamTestLog(t *testing.T, n int) *Log {
+	t.Helper()
+	l, err := OpenLog(Options{Dir: t.TempDir(), Sync: SyncOff, SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	for i := 1; i <= n; i++ {
+		if _, err := l.Append(fmt.Appendf(nil, "record-%04d", i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	return l
+}
+
+// TestReadTailRoundTrip streams a tail over ReadTail, decodes it with
+// ReadFrames (the follower's path) and checks every record past the cursor
+// comes back once, in order, byte-identical.
+func TestReadTailRoundTrip(t *testing.T) {
+	const n, after = 50, 17
+	l := streamTestLog(t, n)
+	var buf bytes.Buffer
+	last, records, err := l.ReadTail(after, 1<<20, &buf)
+	if err != nil {
+		t.Fatalf("ReadTail: %v", err)
+	}
+	if last != n || records != n-after {
+		t.Fatalf("ReadTail = (last %d, records %d), want (%d, %d)", last, records, n, n-after)
+	}
+	want := uint64(after + 1)
+	if err := ReadFrames(&buf, func(seq uint64, payload []byte) error {
+		if seq != want {
+			return fmt.Errorf("got seq %d, want %d", seq, want)
+		}
+		if got := string(payload); got != fmt.Sprintf("record-%04d", seq) {
+			return fmt.Errorf("seq %d payload = %q", seq, got)
+		}
+		want++
+		return nil
+	}); err != nil {
+		t.Fatalf("ReadFrames: %v", err)
+	}
+	if want != n+1 {
+		t.Fatalf("decoded up to %d, want %d", want-1, n+1)
+	}
+}
+
+// TestReadTailBudget: the byte budget stops the stream after the record that
+// crosses it, and the cursor-resume contract still drains everything.
+func TestReadTailBudget(t *testing.T) {
+	const n = 40
+	l := streamTestLog(t, n)
+	var got []uint64
+	after := uint64(0)
+	for i := 0; ; i++ {
+		var buf bytes.Buffer
+		last, records, err := l.ReadTail(after, 64, &buf) // a few frames per call
+		if err != nil {
+			t.Fatalf("ReadTail(after=%d): %v", after, err)
+		}
+		if records == 0 {
+			break
+		}
+		if err := ReadFrames(&buf, func(seq uint64, _ []byte) error {
+			got = append(got, seq)
+			return nil
+		}); err != nil {
+			t.Fatalf("ReadFrames: %v", err)
+		}
+		after = last
+		if i > n {
+			t.Fatal("budgeted tail never drained")
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("drained %d records, want %d", len(got), n)
+	}
+	for i, seq := range got {
+		if seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, seq)
+		}
+	}
+}
+
+// TestReadTailCompacted: a cursor before the oldest retained segment reports
+// ErrCompacted instead of silently skipping records.
+func TestReadTailCompacted(t *testing.T) {
+	l := streamTestLog(t, 60)
+	if _, err := l.RemoveSegmentsCoveredBy(40); err != nil {
+		t.Fatalf("RemoveSegmentsCoveredBy: %v", err)
+	}
+	segs, err := l.Segments()
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("Segments: %v (%d)", err, len(segs))
+	}
+	first := segs[0].FirstSeq
+	if first <= 1 {
+		t.Skip("compaction retained everything; nothing to assert")
+	}
+	if _, _, err := l.ReadTail(0, 1<<20, io.Discard); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadTail(0) err = %v, want ErrCompacted", err)
+	}
+	// Exactly at the boundary the tail is still serveable.
+	if _, _, err := l.ReadTail(first-1, 1<<20, io.Discard); err != nil {
+		t.Fatalf("ReadTail(%d) err = %v", first-1, err)
+	}
+}
+
+// TestReadFramesStrict: a truncated network body is an error, never a clean
+// end — the follower must refetch, not partially apply.
+func TestReadFramesStrict(t *testing.T) {
+	l := streamTestLog(t, 5)
+	var buf bytes.Buffer
+	if _, _, err := l.ReadTail(0, 1<<20, &buf); err != nil {
+		t.Fatalf("ReadTail: %v", err)
+	}
+	torn := buf.Bytes()[:buf.Len()-3]
+	err := ReadFrames(bytes.NewReader(torn), func(uint64, []byte) error { return nil })
+	if err == nil {
+		t.Fatal("ReadFrames on a torn body should fail")
+	}
+}
+
+// TestSnapshotStreamRoundTrip: OpenLatestSnapshot + DecodeSnapshot recover
+// the state payload and sidecars WriteSnapshotWithSidecars stored.
+func TestSnapshotStreamRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, _, _, err := OpenLatestSnapshot(dir); err != nil {
+		t.Fatalf("OpenLatestSnapshot(empty): %v", err)
+	}
+	if r, _, ok, _ := OpenLatestSnapshot(dir); ok || r != nil {
+		t.Fatal("empty dir should report no snapshot")
+	}
+
+	state := []byte(`{"fake":"store-state"}`)
+	sidecars := []SidecarSection{
+		{Name: "stats", Version: 2, Data: []byte("stats-checkpoint")},
+		{Name: "sessions", Version: 1, Data: []byte("sessions-checkpoint")},
+	}
+	if _, err := WriteSnapshotWithSidecars(dir, 41, []byte("old"), nil); err != nil {
+		t.Fatalf("WriteSnapshotWithSidecars: %v", err)
+	}
+	if _, err := WriteSnapshotWithSidecars(dir, 42, state, sidecars); err != nil {
+		t.Fatalf("WriteSnapshotWithSidecars: %v", err)
+	}
+
+	r, seq, ok, err := OpenLatestSnapshot(dir)
+	if err != nil || !ok {
+		t.Fatalf("OpenLatestSnapshot = ok %v, err %v", ok, err)
+	}
+	defer r.Close()
+	if seq != 42 {
+		t.Fatalf("snapshot seq = %d, want 42", seq)
+	}
+	dseq, payload, dsc, err := DecodeSnapshot(r)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if dseq != 42 || !bytes.Equal(payload, state) {
+		t.Fatalf("decoded (seq %d, %q), want (42, %q)", dseq, payload, state)
+	}
+	if len(dsc) != len(sidecars) {
+		t.Fatalf("decoded %d sidecars, want %d", len(dsc), len(sidecars))
+	}
+	for i, sc := range dsc {
+		if sc.Name != sidecars[i].Name || sc.Version != sidecars[i].Version || !bytes.Equal(sc.Data, sidecars[i].Data) {
+			t.Fatalf("sidecar %d = %+v, want %+v", i, sc, sidecars[i])
+		}
+	}
+}
+
+// TestDecodeSnapshotStrict: a torn snapshot transfer is an error even where
+// the on-disk reader would tolerate it (lenient sidecar tail).
+func TestDecodeSnapshotStrict(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteSnapshotWithSidecars(dir, 7, []byte("state"),
+		[]SidecarSection{{Name: "stats", Version: 1, Data: []byte("ck")}}); err != nil {
+		t.Fatalf("WriteSnapshotWithSidecars: %v", err)
+	}
+	r, _, _, err := OpenLatestSnapshot(dir)
+	if err != nil {
+		t.Fatalf("OpenLatestSnapshot: %v", err)
+	}
+	raw, err := io.ReadAll(r)
+	r.Close()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if _, _, _, err := DecodeSnapshot(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatal("DecodeSnapshot on a torn body should fail")
+	}
+	if _, _, _, err := DecodeSnapshot(strings.NewReader("")); err == nil {
+		t.Fatal("DecodeSnapshot on an empty body should fail")
+	}
+}
